@@ -1,0 +1,224 @@
+(* Benchmark harness: regenerates every table and figure of the paper and
+   times the computational kernel behind each with Bechamel.
+
+     dune exec bench/main.exe              # everything
+     dune exec bench/main.exe -- quick     # microbenchmarks only
+     dune exec bench/main.exe -- tables    # reproductions only
+
+   Reproduction output mirrors `hotpath table1|table2|fig2|fig3|fig4|fig5`
+   and is recorded in EXPERIMENTS.md. *)
+
+open Hotpath
+
+let heading title =
+  Format.printf "@.============================================================@.";
+  Format.printf "%s@." title;
+  Format.printf "============================================================@."
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks: one per table/figure kernel, plus the      *)
+(* profiling primitives whose costs the paper's argument rests on.      *)
+(* ------------------------------------------------------------------ *)
+
+let ops_tests () =
+  (* Profiling primitives, measured per operation. *)
+  let sig_builder = Signature.Builder.create ~head:0 in
+  let flip = ref false in
+  let shift =
+    Bechamel.Test.make ~name:"op/bit-trace-shift"
+      (Bechamel.Staged.stage (fun () ->
+           if Signature.Builder.branch_count sig_builder >= Signature.max_branches
+           then Signature.Builder.reset sig_builder ~head:0;
+           flip := not !flip;
+           Signature.Builder.add_branch sig_builder ~taken:!flip))
+  in
+  let program =
+    let b = Cfg.Builder.create ~name:"bench" in
+    let p = Cfg.Builder.add_proc b ~name:"main" in
+    let b0 = Cfg.Builder.add_block b ~proc:p ~weight:1 in
+    Cfg.Builder.set_term b b0 Cfg.Exit;
+    Cfg.Builder.finish b
+  in
+  let net_state = Net.create ~delay:1_000_000_000 ~program in
+  let counter = ref 0 in
+  let net_observe =
+    Bechamel.Test.make ~name:"op/net-head-counter"
+      (Bechamel.Staged.stage (fun () ->
+           incr counter;
+           ignore
+             (Net.observe net_state ~head:(!counter land 255) ~arrival:Path.Loop_head
+                ~path_id:!counter ~n_branches:8 ~n_blocks:10)))
+  in
+  let pp_state = Path_profile_scheme.create ~delay:1_000_000_000 ~program in
+  let pp_observe =
+    Bechamel.Test.make ~name:"op/path-profile-update"
+      (Bechamel.Staged.stage (fun () ->
+           incr counter;
+           ignore
+             (Path_profile_scheme.observe pp_state ~head:0 ~arrival:Path.Loop_head
+                ~path_id:(!counter land 4095) ~n_branches:8 ~n_blocks:10)))
+  in
+  [ shift; net_observe; pp_observe ]
+
+let experiment_tests () =
+  (* One kernel per table/figure, at reduced scale so each iteration is
+     milliseconds. *)
+  let bench = Suite.find_exn "deltablue" in
+  let recorded = Suite.record ~scale:0.05 bench in
+  let hot =
+    Hot_set.compute
+      ~freq:(Recorder.frequencies recorded)
+      ~total_flow:(Recorder.num_instances recorded)
+      ~threshold:Suite.hot_threshold
+  in
+  let table1 =
+    Bechamel.Test.make ~name:"table1/record+hot-set"
+      (Bechamel.Staged.stage (fun () ->
+           let r = Suite.record ~scale:0.02 bench in
+           ignore
+             (Hot_set.compute ~freq:(Recorder.frequencies r)
+                ~total_flow:(Recorder.num_instances r) ~threshold:Suite.hot_threshold)))
+  in
+  let table2 =
+    Bechamel.Test.make ~name:"table2/unique-heads"
+      (Bechamel.Staged.stage (fun () ->
+           ignore (Path_table.unique_heads recorded.Recorder.table);
+           ignore (Recorder.unique_loop_heads recorded)))
+  in
+  let fig2 =
+    Bechamel.Test.make ~name:"fig2/net-replay-sweep"
+      (Bechamel.Staged.stage (fun () ->
+           ignore (Sweep.run (module Net) recorded ~hot ~delays:[ 5; 50; 500 ])))
+  in
+  let fig3 =
+    Bechamel.Test.make ~name:"fig3/path-profile-replay-sweep"
+      (Bechamel.Staged.stage (fun () ->
+           ignore
+             (Sweep.run
+                (module Path_profile_scheme)
+                recorded ~hot ~delays:[ 5; 50; 500 ])))
+  in
+  let fig4 =
+    Bechamel.Test.make ~name:"fig4/counter-space-replay"
+      (Bechamel.Staged.stage (fun () ->
+           let net = Replay.run (module Net) ~delay:50 recorded in
+           let pp = Replay.run (module Path_profile_scheme) ~delay:50 recorded in
+           ignore (net.Replay.counter_space, pp.Replay.counter_space)))
+  in
+  let cost = Cost_model.default in
+  let fig5 =
+    Bechamel.Test.make ~name:"fig5/dynamo-engine"
+      (Bechamel.Staged.stage (fun () ->
+           ignore
+             (Engine.run
+                (Engine.config ~cost
+                   ~scheme:(module Net : Scheme.S)
+                   ~scheme_costs:(Engine.net_costs cost) ~delay:50 ())
+                recorded)))
+  in
+  [ table1; table2; fig2; fig3; fig4; fig5 ]
+
+let run_bechamel tests =
+  let ols =
+    Bechamel.Analyze.ols ~bootstrap:0 ~r_square:true
+      ~predictors:[| Bechamel.Measure.run |]
+  in
+  let instances = Bechamel.Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Bechamel.Benchmark.cfg ~limit:2000
+      ~quota:(Bechamel.Time.second 0.5)
+      ~kde:(Some 1000) ()
+  in
+  let raw =
+    Bechamel.Benchmark.all cfg instances
+      (Bechamel.Test.make_grouped ~name:"hotpath" tests)
+  in
+  let results =
+    List.map (fun instance -> Bechamel.Analyze.all ols instance raw) instances
+  in
+  let results = Bechamel.Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun _metric by_test ->
+       let rows =
+         Hashtbl.fold (fun name ols_result acc -> (name, ols_result) :: acc) by_test []
+         |> List.sort compare
+       in
+       List.iter
+         (fun (name, ols_result) ->
+            match Bechamel.Analyze.OLS.estimates ols_result with
+            | Some [ est ] -> Format.printf "  %-40s %12.1f ns/run@." name est
+            | Some _ | None -> Format.printf "  %-40s (no estimate)@." name)
+         rows)
+    results
+
+(* ------------------------------------------------------------------ *)
+(* Full reproductions                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let reproductions () =
+  heading "Table 1 — benchmark set (measured vs paper)";
+  print_string (Experiments.Table1.render ());
+  heading "Table 2 — paths vs unique path heads (measured vs paper)";
+  print_string (Experiments.Table2.render ());
+  (* Figures 2 and 3 share the sweep; compute once. *)
+  let figures = Hotpath_experiments.Figures23.compute () in
+  let render_fig ~hit ~zoom title =
+    heading title;
+    print_string
+      (Tablefmt.render (Hotpath_experiments.Figures23.to_table figures ~hit ~zoom))
+  in
+  render_fig ~hit:true ~zoom:true
+    "Figure 2 (zoom) — hit rate vs profiled flow, <= 10% region";
+  render_fig ~hit:false ~zoom:true
+    "Figure 3 (zoom) — noise rate vs profiled flow, <= 10% region";
+  heading "Figures 2/3 — summary of the average series";
+  List.iter
+    (fun su ->
+       let show = function Some v -> Printf.sprintf "%.1f%%" v | None -> "n/a" in
+       Format.printf
+         "  %-13s hit@10%%flow=%s (%d benchmarks)  noise@10%%flow=%s  \
+          hit@tau50=%.1f%%  noise@tau50=%.1f%%@."
+         su.Hotpath_experiments.Figures23.su_scheme
+         (show su.Hotpath_experiments.Figures23.su_hit_at_10pct)
+         su.Hotpath_experiments.Figures23.su_hit_at_10pct_n
+         (show su.Hotpath_experiments.Figures23.su_noise_at_10pct)
+         su.Hotpath_experiments.Figures23.su_hit_at_delay50
+         su.Hotpath_experiments.Figures23.su_noise_at_delay50)
+    (Hotpath_experiments.Figures23.summarize figures);
+  heading "Figure 4 — NET counter space normalized to path-profile";
+  print_string (Experiments.Fig4.render ());
+  heading "Figure 5 — Dynamo speedup over native (no-bail-out set, 8x flow)";
+  print_string (Experiments.Fig5.render ());
+  heading "Figure 5 (extended) — all benchmarks, showing gcc/go bail-out";
+  print_string (Experiments.Fig5.render ~all:true ());
+  heading "Ablation — NET variants (re-arm vs once vs last-executed-tail)";
+  print_string (Experiments.Ablations.render_net_variants ());
+  heading "Ablation — NET vs Boa branch-profile construction (Section 7)";
+  print_string (Experiments.Ablations.render_boa ());
+  heading "Ablation — hot-threshold sensitivity";
+  print_string (Experiments.Ablations.render_thresholds ());
+  heading "Ablation — Dynamo cost-model sensitivity (tau=50 averages)";
+  print_string (Experiments.Ablations.render_cost_sensitivity ());
+  heading "Offline — edge-vs-path showdown (Ball-Mataga-Sagiv)";
+  print_string (Experiments.Offline.render_showdown ());
+  heading "Offline — sampling profiler accuracy";
+  print_string (Experiments.Offline.render_sampling ());
+  heading "Phase-change study — retirement policies (Section 6.1 future work)";
+  print_string (Experiments.Phases.render ());
+  heading "Ablation — fragment-cache pressure policies (flush vs LRU)";
+  print_string (Experiments.Ablations.render_cache_policies ());
+  heading "Robustness — hit rates across 5 regenerated workload seeds";
+  print_string (Experiments.Ablations.render_seed_robustness ())
+
+let () =
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (* Microbenchmarks run first: the reproductions cache hundreds of MB of
+     recordings, and the resulting GC pressure would distort per-op
+     timings. *)
+  if mode = "all" || mode = "quick" then begin
+    heading "Bechamel microbenchmarks — profiling primitives";
+    run_bechamel (ops_tests ());
+    heading "Bechamel microbenchmarks — per-experiment kernels";
+    run_bechamel (experiment_tests ())
+  end;
+  if mode = "all" || mode = "tables" then reproductions ()

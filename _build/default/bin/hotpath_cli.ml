@@ -1,0 +1,418 @@
+(* Command-line interface: regenerate every table and figure of the paper,
+   inspect workloads, record/replay traces, and run individual experiments. *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Common arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let scale_arg =
+  let doc =
+    "Flow scale: fraction of each benchmark's calibrated path-instance \
+     budget to record (1.0 = full)."
+  in
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"S" ~doc)
+
+let csv_arg =
+  let doc = "Emit CSV instead of an aligned text table." in
+  Arg.(value & flag & info [ "csv" ] ~doc)
+
+let zoom_arg =
+  let doc = "Restrict to the practically relevant region (<= 10% profiled flow)." in
+  Arg.(value & flag & info [ "zoom" ] ~doc)
+
+let bench_arg =
+  let doc = "Benchmark name (see bench-list)." in
+  Arg.(required & opt (some string) None & info [ "bench"; "b" ] ~docv:"NAME" ~doc)
+
+let delay_arg =
+  let doc = "Prediction delay (tau)." in
+  Arg.(value & opt int 50 & info [ "delay"; "d" ] ~docv:"N" ~doc)
+
+let scheme_arg =
+  let doc = "Prediction scheme: net | net-once | let | path-profile." in
+  Arg.(value & opt string "net" & info [ "scheme"; "s" ] ~docv:"NAME" ~doc)
+
+let emit ~csv tbl =
+  print_string
+    (if csv then Hotpath_util.Tablefmt.render_csv tbl
+     else Hotpath_util.Tablefmt.render tbl)
+
+let scheme_of_string = function
+  | "net" -> (module Hotpath_prediction.Net : Hotpath_prediction.Scheme.S)
+  | "net-once" -> (module Hotpath_prediction.Net.Net_once)
+  | "let" -> (module Hotpath_prediction.Net.Last_executed_tail)
+  | "path-profile" -> (module Hotpath_prediction.Path_profile)
+  | other ->
+    raise
+      (Invalid_argument
+         (Printf.sprintf "unknown scheme %s (try net|net-once|let|path-profile)" other))
+
+(* ------------------------------------------------------------------ *)
+(* Tables and figures                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let table1_cmd =
+  let run scale csv =
+    emit ~csv (Hotpath_experiments.Table1.to_table (Hotpath_experiments.Table1.compute ~scale ()))
+  in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Benchmark set: paths, flow, 0.1% hot set")
+    Term.(const run $ scale_arg $ csv_arg)
+
+let table2_cmd =
+  let run scale csv =
+    emit ~csv (Hotpath_experiments.Table2.to_table (Hotpath_experiments.Table2.compute ~scale ()))
+  in
+  Cmd.v
+    (Cmd.info "table2" ~doc:"Paths vs unique path heads")
+    Term.(const run $ scale_arg $ csv_arg)
+
+let fig_cmd ~name ~doc ~hit =
+  let run scale zoom csv =
+    let t = Hotpath_experiments.Figures23.compute ~scale () in
+    emit ~csv (Hotpath_experiments.Figures23.to_table t ~hit ~zoom);
+    if not csv then begin
+      print_newline ();
+      print_endline "Summary (average series):";
+      List.iter
+        (fun su ->
+           let show = function Some v -> Printf.sprintf "%.1f%%" v | None -> "n/a" in
+           Printf.printf
+             "  %-13s hit@10%%flow=%s (%d benchmarks) noise@10%%flow=%s (%d) \
+              hit@tau50=%.1f%% noise@tau50=%.1f%%\n"
+             su.Hotpath_experiments.Figures23.su_scheme
+             (show su.Hotpath_experiments.Figures23.su_hit_at_10pct)
+             su.Hotpath_experiments.Figures23.su_hit_at_10pct_n
+             (show su.Hotpath_experiments.Figures23.su_noise_at_10pct)
+             su.Hotpath_experiments.Figures23.su_noise_at_10pct_n
+             su.Hotpath_experiments.Figures23.su_hit_at_delay50
+             su.Hotpath_experiments.Figures23.su_noise_at_delay50)
+        (Hotpath_experiments.Figures23.summarize t)
+    end
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ scale_arg $ zoom_arg $ csv_arg)
+
+let fig2_cmd = fig_cmd ~name:"fig2" ~doc:"Hit rate vs profiled flow (both schemes)" ~hit:true
+
+let fig3_cmd =
+  fig_cmd ~name:"fig3" ~doc:"Noise rate vs profiled flow (both schemes)" ~hit:false
+
+let fig4_cmd =
+  let run scale csv =
+    emit ~csv (Hotpath_experiments.Fig4.to_table (Hotpath_experiments.Fig4.compute ~scale ()))
+  in
+  Cmd.v
+    (Cmd.info "fig4" ~doc:"NET counter space normalized to path-profile-based prediction")
+    Term.(const run $ scale_arg $ csv_arg)
+
+let fig5_cmd =
+  let all_arg =
+    let doc = "Include the benchmarks that bail out (gcc, go, ...)." in
+    Arg.(value & flag & info [ "all" ] ~doc)
+  in
+  let fig5_scale_arg =
+    let doc = "Flow scale for the Dynamo runs (default 8.0; see EXPERIMENTS.md)." in
+    Arg.(
+      value
+      & opt float Hotpath_experiments.Fig5.default_scale
+      & info [ "scale" ] ~docv:"S" ~doc)
+  in
+  let run scale all csv =
+    let rows =
+      if all then Hotpath_experiments.Fig5.compute_all ~scale ()
+      else Hotpath_experiments.Fig5.compute ~scale ()
+    in
+    emit ~csv (Hotpath_experiments.Fig5.to_table rows)
+  in
+  Cmd.v
+    (Cmd.info "fig5" ~doc:"Dynamo speedup over native execution (NET vs path-profile)")
+    Term.(const run $ fig5_scale_arg $ all_arg $ csv_arg)
+
+let ablations_cmd =
+  let which_arg =
+    let doc = "Study: net-variants | boa | thresholds | costs | cache | seeds | all." in
+    Arg.(value & opt string "all" & info [ "which"; "w" ] ~docv:"STUDY" ~doc)
+  in
+  let run scale which =
+    let module A = Hotpath_experiments.Ablations in
+    if which = "all" || which = "net-variants" then begin
+      print_endline "== NET variants (re-arm vs once vs last-executed-tail) ==";
+      print_string (A.render_net_variants ~scale ())
+    end;
+    if which = "all" || which = "boa" then begin
+      print_endline "== NET vs Boa branch-profile construction (Section 7) ==";
+      print_string (A.render_boa ~scale ())
+    end;
+    if which = "all" || which = "thresholds" then begin
+      print_endline "== Hot-threshold sensitivity ==";
+      print_string (A.render_thresholds ~scale ())
+    end;
+    if which = "all" || which = "costs" then begin
+      print_endline "== Cost-model sensitivity (Figure 5 at tau=50) ==";
+      print_string (A.render_cost_sensitivity ())
+    end;
+    if which = "all" || which = "cache" then begin
+      print_endline "== Cache-pressure policies (flush vs LRU, li, tau=50) ==";
+      print_string (A.render_cache_policies ())
+    end;
+    if which = "all" || which = "seeds" then begin
+      print_endline "== Seed robustness (5 regenerated workloads per benchmark) ==";
+      print_string (A.render_seed_robustness ())
+    end
+  in
+  Cmd.v
+    (Cmd.info "ablations"
+       ~doc:"Ablation studies: NET variants, Boa comparison, threshold sensitivity")
+    Term.(const run $ scale_arg $ which_arg)
+
+let offline_cmd =
+  let which_arg =
+    let doc = "Study: showdown | sampling | all." in
+    Arg.(value & opt string "all" & info [ "which"; "w" ] ~docv:"STUDY" ~doc)
+  in
+  let run scale which =
+    let module O = Hotpath_experiments.Offline in
+    if which = "all" || which = "showdown" then begin
+      print_endline "== Edge-vs-path showdown (Ball-Mataga-Sagiv, Section 7) ==";
+      print_string (O.render_showdown ~scale ())
+    end;
+    if which = "all" || which = "sampling" then begin
+      print_endline "== Sampling profiler accuracy ==";
+      print_string (O.render_sampling ~scale ())
+    end
+  in
+  Cmd.v
+    (Cmd.info "offline"
+       ~doc:"Offline-profiling comparisons: edge-vs-path showdown, sampling accuracy")
+    Term.(const run $ scale_arg $ which_arg)
+
+let phases_cmd =
+  let window_arg =
+    let doc = "Metric window, in path instances." in
+    Arg.(value & opt int 8192 & info [ "window" ] ~docv:"N" ~doc)
+  in
+  let run delay window =
+    print_endline
+      "Phase-change study: NET under four path-retirement policies (Section 6.1)";
+    print_string (Hotpath_experiments.Phases.render ~delay ~window ())
+  in
+  Cmd.v
+    (Cmd.info "phases"
+       ~doc:"Phase-aware metrics with path retirement (the paper's future work)")
+    Term.(const run $ delay_arg $ window_arg)
+
+(* ------------------------------------------------------------------ *)
+(* Inspection                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let sweep_cmd =
+  let run scale bench =
+    let module F = Hotpath_experiments.Figures23 in
+    let t = F.compute ~scale () in
+    List.iter
+      (fun scheme ->
+         match F.series t ~scheme ~bench with
+         | None -> Printf.printf "unknown benchmark %s\n" bench
+         | Some s ->
+           Printf.printf "%s / %s:\n" s.F.s_scheme s.F.s_bench;
+           List.iter
+             (fun p ->
+                Printf.printf
+                  "  delay=%-8d profiled=%6.2f%% hit=%6.1f%% noise=%6.1f%% \
+                   preds=%-6d counters=%d\n"
+                  p.Hotpath_metrics.Sweep.delay p.Hotpath_metrics.Sweep.profiled_pct
+                  p.Hotpath_metrics.Sweep.hit_rate p.Hotpath_metrics.Sweep.noise_rate
+                  p.Hotpath_metrics.Sweep.predictions
+                  p.Hotpath_metrics.Sweep.counter_space)
+             s.F.s_points)
+      [ "path-profile"; "net" ]
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Delay sweep for one benchmark, both schemes")
+    Term.(const run $ scale_arg $ bench_arg)
+
+let dynamo_cmd =
+  let run scale bench scheme delay =
+    let module E = Hotpath_dynamo.Engine in
+    let b = Hotpath_workloads.Suite.find_exn bench in
+    let r = Hotpath_experiments.Runs.load ~scale b in
+    let cost = Hotpath_dynamo.Cost_model.default in
+    let packed = scheme_of_string scheme in
+    let costs =
+      if scheme = "path-profile" then E.path_profile_costs cost else E.net_costs cost
+    in
+    let config = E.config ~cost ~scheme:packed ~scheme_costs:costs ~delay () in
+    let result = E.run config r.Hotpath_experiments.Runs.recorded in
+    Format.printf "%a@." E.pp_result result
+  in
+  Cmd.v
+    (Cmd.info "dynamo" ~doc:"Run the Dynamo simulator on one benchmark")
+    Term.(const run $ scale_arg $ bench_arg $ scheme_arg $ delay_arg)
+
+let online_cmd =
+  let run scale bench scheme delay =
+    let module E = Hotpath_dynamo.Engine in
+    let b = Hotpath_workloads.Suite.find_exn bench in
+    let program, behavior =
+      Hotpath_workloads.Generator.build b.Hotpath_workloads.Suite.b_spec
+        ~seed:b.Hotpath_workloads.Suite.b_seed
+    in
+    let cost = Hotpath_dynamo.Cost_model.default in
+    let packed = scheme_of_string scheme in
+    let costs =
+      if scheme = "path-profile" then E.path_profile_costs cost else E.net_costs cost
+    in
+    let config = E.config ~cost ~scheme:packed ~scheme_costs:costs ~delay () in
+    let max_paths =
+      max 1000
+        (int_of_float (scale *. float_of_int b.Hotpath_workloads.Suite.b_flow))
+    in
+    let o =
+      Hotpath_dynamo.Online.run ~max_paths ~max_steps:(max_paths * 200) ~config
+        program behavior
+        ~rng:(Hotpath_util.Prng.create ~seed:(b.Hotpath_workloads.Suite.b_seed * 7919))
+    in
+    Printf.printf "live run: %d instances, %d distinct paths\n"
+      o.Hotpath_dynamo.Online.o_instances o.Hotpath_dynamo.Online.o_paths;
+    Format.printf "%a@." E.pp_result o.Hotpath_dynamo.Online.o_result
+  in
+  Cmd.v
+    (Cmd.info "online"
+       ~doc:"Run the live Dynamo driver (no recording step) on one benchmark")
+    Term.(const run $ scale_arg $ bench_arg $ scheme_arg $ delay_arg)
+
+let paths_cmd =
+  let top_arg =
+    let doc = "How many of the hottest paths to list." in
+    Arg.(value & opt int 15 & info [ "top"; "n" ] ~docv:"N" ~doc)
+  in
+  let run scale bench top csv =
+    let b = Hotpath_workloads.Suite.find_exn bench in
+    let run = Hotpath_experiments.Runs.load ~scale b in
+    let recorded = run.Hotpath_experiments.Runs.recorded in
+    let module R = Hotpath_trace.Recorder in
+    Printf.printf
+      "%s: %d instances, %d distinct paths, %d unique heads, %d loop heads\n" bench
+      (R.num_instances recorded) (R.num_paths recorded)
+      (List.length (Hotpath_trace.Path_table.unique_heads recorded.R.table))
+      (R.unique_loop_heads recorded);
+    let profile = Hotpath_profiling.Bit_tracing.profile recorded in
+    let tbl =
+      Hotpath_util.Tablefmt.create
+        ~columns:
+          Hotpath_util.Tablefmt.
+            [ ("Rank", Right); ("Signature", Left); ("Blocks", Right);
+              ("Instrs", Right); ("Freq", Right); ("%Flow", Right);
+              ("End", Left) ]
+    in
+    Array.iteri
+      (fun i (p, freq) ->
+         if i < top then
+           Hotpath_util.Tablefmt.add_row tbl
+             [
+               string_of_int (i + 1);
+               Hotpath_trace.Signature.to_string p.Hotpath_trace.Path.signature;
+               string_of_int (Array.length p.Hotpath_trace.Path.blocks);
+               string_of_int p.Hotpath_trace.Path.n_instrs;
+               Hotpath_util.Tablefmt.cell_int freq;
+               Hotpath_util.Tablefmt.cell_pct ~digits:2
+                 (100.0 *. float_of_int freq
+                  /. float_of_int (R.num_instances recorded));
+               Hotpath_trace.Path.end_kind_to_string p.Hotpath_trace.Path.end_kind;
+             ])
+      profile.Hotpath_profiling.Bit_tracing.entries;
+    emit ~csv tbl
+  in
+  Cmd.v
+    (Cmd.info "paths" ~doc:"Show the hottest recorded paths of a benchmark")
+    Term.(const run $ scale_arg $ bench_arg $ top_arg $ csv_arg)
+
+let dot_cmd =
+  let out_arg =
+    let doc = "Output file (default: <bench>.dot)." in
+    Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let run bench out =
+    let b = Hotpath_workloads.Suite.find_exn bench in
+    let program, _ = Hotpath_workloads.Generator.build b.Hotpath_workloads.Suite.b_spec
+        ~seed:b.Hotpath_workloads.Suite.b_seed
+    in
+    let path = Option.value ~default:(bench ^ ".dot") out in
+    let oc = open_out path in
+    output_string oc (Hotpath_cfg.Cfg.to_dot program);
+    close_out oc;
+    Printf.printf "wrote %s (%d blocks)\n" path
+      (Array.length program.Hotpath_cfg.Cfg.blocks)
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Export a benchmark's CFG as Graphviz")
+    Term.(const run $ bench_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* Trace files                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let trace_arg =
+  let doc = "Trace file path." in
+  Arg.(required & opt (some string) None & info [ "trace"; "t" ] ~docv:"FILE" ~doc)
+
+let record_cmd =
+  let run scale bench trace =
+    let b = Hotpath_workloads.Suite.find_exn bench in
+    let recorded = Hotpath_workloads.Suite.record ~scale b in
+    Hotpath_trace.Serialize.save recorded ~path:trace;
+    Printf.printf "recorded %d instances (%d paths) of %s into %s\n"
+      (Hotpath_trace.Recorder.num_instances recorded)
+      (Hotpath_trace.Recorder.num_paths recorded)
+      bench trace
+  in
+  Cmd.v
+    (Cmd.info "record" ~doc:"Record a benchmark's trace into a file")
+    Term.(const run $ scale_arg $ bench_arg $ trace_arg)
+
+let replay_cmd =
+  let run trace scheme delay =
+    match Hotpath_trace.Serialize.load ~path:trace with
+    | Error e ->
+      Printf.eprintf "cannot load %s: %s\n" trace e;
+      exit 1
+    | Ok recorded ->
+      let module Replay = Hotpath_prediction.Replay in
+      let outcome = Replay.run (scheme_of_string scheme) ~delay recorded in
+      let hot =
+        Hotpath_metrics.Hot_set.of_outcome outcome
+          ~threshold:Hotpath_workloads.Suite.hot_threshold
+      in
+      let rates = Hotpath_metrics.Rates.operational outcome hot in
+      Format.printf "%a@." Replay.pp_summary outcome;
+      Format.printf "%a@." Hotpath_metrics.Rates.pp rates
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Replay a recorded trace file under a prediction scheme")
+    Term.(const run $ trace_arg $ scheme_arg $ delay_arg)
+
+let bench_list_cmd =
+  let run () =
+    List.iter
+      (fun b ->
+         Printf.printf "%-10s %s\n" b.Hotpath_workloads.Suite.b_name
+           b.Hotpath_workloads.Suite.b_description)
+      Hotpath_workloads.Suite.all
+  in
+  Cmd.v (Cmd.info "bench-list" ~doc:"List the benchmark suite") Term.(const run $ const ())
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "hotpath" ~version:"1.0.0"
+       ~doc:
+         "Reproduction of Duesterwald & Bala, Software Profiling for Hot Path \
+          Prediction: Less is More (ASPLOS 2000)")
+    [
+      table1_cmd; table2_cmd; fig2_cmd; fig3_cmd; fig4_cmd; fig5_cmd; ablations_cmd; offline_cmd; phases_cmd;
+      sweep_cmd; dynamo_cmd; online_cmd; paths_cmd; dot_cmd; record_cmd; replay_cmd;
+      bench_list_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/correlation_blindness.ml: Array Branch_profile Correlated Format Hot_set Hotpath List Net Path Path_table Prng Rates Recorder Replay Signature

@@ -1,0 +1,1 @@
+examples/correlation_blindness.mli:

@@ -1,0 +1,1 @@
+examples/dynamo_demo.ml: Array Cost_model Engine Format Hotpath List Net Path_profile_scheme Recorder Scheme Suite Sys

@@ -1,0 +1,1 @@
+examples/dynamo_demo.mli:

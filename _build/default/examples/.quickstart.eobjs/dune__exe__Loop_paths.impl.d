@@ -1,0 +1,1 @@
+examples/loop_paths.ml: Array Figure1 Format Hot_set Hotpath Int List Net Path Path_profile_scheme Path_table Prng Rates Recorder Replay Scheme Signature String

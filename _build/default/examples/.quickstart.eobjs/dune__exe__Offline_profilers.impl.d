@@ -1,0 +1,1 @@
+examples/offline_profilers.ml: Array Ball_larus Bit_tracing Edge_profile Figure1 Format Hot_set Hotpath List Path Prng Recorder Sampling Signature String Vm Young_smith

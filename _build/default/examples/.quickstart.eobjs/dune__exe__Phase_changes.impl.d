@@ -1,0 +1,1 @@
+examples/phase_changes.ml: Array Cost_model Engine Format Hotpath Net Recorder Replay Scheme String Suite Vm

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Behavior Cfg Format Hot_set Hotpath Net Path Path_table Prng Rates Recorder Replay Signature

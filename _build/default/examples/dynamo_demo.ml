@@ -1,0 +1,35 @@
+(* End-to-end Dynamo simulation on one suite benchmark.
+
+     dune exec examples/dynamo_demo.exe            # compress
+     dune exec examples/dynamo_demo.exe -- li 20   # benchmark and delay
+
+   Replays the benchmark's recorded trace through the
+   interpret / profile / predict / optimize / cache-execute loop for both
+   prediction schemes and prints the cycle breakdown — the machinery
+   behind Figure 5 of the paper. *)
+
+open Hotpath
+
+let () =
+  let bench_name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "compress" in
+  let delay =
+    if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 50
+  in
+  let bench = Suite.find_exn bench_name in
+  Format.printf "benchmark %s: %s@." bench.Suite.b_name bench.Suite.b_description;
+  let recorded = Suite.record ~scale:4.0 bench in
+  Format.printf "recorded %d path instances, %d distinct paths@.@."
+    (Recorder.num_instances recorded)
+    (Recorder.num_paths recorded);
+  let cost = Cost_model.default in
+  Format.printf "cost model: %a@.@." Cost_model.pp cost;
+  List.iter
+    (fun (scheme, costs) ->
+       let result =
+         Engine.run (Engine.config ~cost ~scheme ~scheme_costs:costs ~delay ()) recorded
+       in
+       Format.printf "%a@.@." Engine.pp_result result)
+    [
+      ((module Net : Scheme.S), Engine.net_costs cost);
+      ((module Path_profile_scheme : Scheme.S), Engine.path_profile_costs cost);
+    ]

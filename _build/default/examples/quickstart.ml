@@ -1,0 +1,62 @@
+(* Quickstart: build a little program, record its execution, and let NET
+   predict its hot path.
+
+     dune exec examples/quickstart.exe
+
+   The program is a counted loop whose body branches 90/10 between a fast
+   arm and a slow arm.  NET keeps one counter at the loop head; when it
+   trips, the next executing tail is predicted hot — statistically the
+   90% arm.  The prediction delay is 20 head arrivals. *)
+
+open Hotpath
+
+let () =
+  (* 1. Build the control-flow graph. *)
+  let b = Cfg.Builder.create ~name:"quickstart" in
+  let main = Cfg.Builder.add_proc b ~name:"main" in
+  let entry = Cfg.Builder.add_block b ~proc:main ~weight:2 in
+  let head = Cfg.Builder.add_block b ~proc:main ~weight:1 in
+  let cond = Cfg.Builder.add_block b ~proc:main ~weight:2 in
+  let fast = Cfg.Builder.add_block b ~proc:main ~weight:3 in
+  let slow = Cfg.Builder.add_block b ~proc:main ~weight:9 in
+  let latch = Cfg.Builder.add_block b ~proc:main ~weight:1 in
+  let exit_blk = Cfg.Builder.add_block b ~proc:main ~weight:1 in
+  Cfg.Builder.set_term b entry (Cfg.Jump head);
+  Cfg.Builder.set_term b head (Cfg.Jump cond);
+  Cfg.Builder.set_term b cond (Cfg.Branch { taken = slow; fallthrough = fast });
+  Cfg.Builder.set_term b fast (Cfg.Jump latch);
+  Cfg.Builder.set_term b slow (Cfg.Jump latch);
+  Cfg.Builder.set_term b latch (Cfg.Branch { taken = head; fallthrough = exit_blk });
+  Cfg.Builder.set_term b exit_blk Cfg.Exit;
+  let program = Cfg.Builder.finish b in
+
+  (* 2. Describe branch behaviour: 10% slow arm, ~1000 loop iterations. *)
+  let behavior = Behavior.create program () in
+  Behavior.set_branch behavior cond (Behavior.Bias 0.1);
+  Behavior.set_branch behavior latch (Behavior.Bias 0.9995);
+
+  (* 3. Record one execution as a sequence of interprocedural paths. *)
+  let recorded =
+    Recorder.record program behavior ~rng:(Prng.create ~seed:2024)
+  in
+  Format.printf "recorded %d path instances over %d distinct paths@."
+    (Recorder.num_instances recorded)
+    (Recorder.num_paths recorded);
+
+  (* 4. Run NET prediction with delay tau = 50 over the recording. *)
+  let outcome = Replay.run (module Net) ~delay:20 recorded in
+  Format.printf "%a@." Replay.pp_summary outcome;
+  Array.iter
+    (fun (p : Replay.prediction) ->
+       let path = Path_table.path recorded.Recorder.table p.Replay.target in
+       Format.printf "predicted hot: %a (at instance %d)@." Signature.pp
+         path.Path.signature p.Replay.at_instance)
+    outcome.Replay.predictions;
+
+  (* 5. Score the prediction against the ground-truth 0.1% hot set. *)
+  let hot = Hot_set.of_outcome outcome ~threshold:0.001 in
+  let rates = Rates.operational outcome hot in
+  Format.printf
+    "hit rate %.1f%%  noise %.1f%%  profiled flow %.2f%%  counters %d@."
+    rates.Rates.hit_rate rates.Rates.noise_rate rates.Rates.profiled_flow_pct
+    outcome.Replay.counter_space

@@ -1,0 +1,1 @@
+lib/cfg/cfg.ml: Array Buffer Format Hotpath_util Printf String

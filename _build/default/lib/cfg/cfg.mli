@@ -1,0 +1,140 @@
+(** Virtual control-flow-graph ISA.
+
+    The reproduction substitutes the paper's PA-RISC binaries with programs
+    in this abstract ISA: a program is a set of procedures, each a list of
+    basic blocks laid out at consecutive addresses.  Every measurement in
+    the paper is a function of the dynamic branch trace, so blocks carry
+    only a weight (instruction count) and a terminator; instruction
+    semantics are irrelevant.
+
+    Addresses are the block layout order.  A control transfer from block
+    [src] to block [dst] is {e backward} iff [addr dst <= addr src] —
+    exactly the notion the paper uses to define path heads (targets of
+    backward {e taken} branches). *)
+
+type block_id = int
+(** Dense index into {!program.blocks}; doubles as the block address. *)
+
+type proc_id = int
+(** Dense index into {!program.procs}. *)
+
+type terminator =
+  | Branch of { taken : block_id; fallthrough : block_id }
+      (** Conditional direct branch.  [taken] may be backward (loop back
+          edge); [fallthrough] is always the next block in layout. *)
+  | Jump of block_id  (** Unconditional direct jump. *)
+  | Indirect of block_id array
+      (** Indirect jump (switch, function-pointer dispatch within a
+          procedure).  The array lists the possible targets. *)
+  | Call of { callee : proc_id; return_to : block_id }
+      (** Direct procedure call; control continues at the callee's entry and
+          the matching [Return] transfers to [return_to]. *)
+  | Return  (** Return to the caller's [return_to] block. *)
+  | Exit  (** Program termination. *)
+
+type block = {
+  id : block_id;
+  proc : proc_id;
+  weight : int;  (** Number of (abstract) instructions, including the terminator. *)
+  term : terminator;
+}
+
+type proc = {
+  pid : proc_id;
+  name : string;
+  entry : block_id;
+  blocks : block_id array;  (** Layout order; [blocks.(0) = entry]. *)
+}
+
+type program = {
+  pname : string;
+  blocks : block array;  (** [blocks.(i).id = i] for all [i]. *)
+  procs : proc array;  (** [procs.(i).pid = i] for all [i]. *)
+  main : proc_id;
+}
+
+val block : program -> block_id -> block
+(** @raise Invalid_argument when out of range. *)
+
+val proc : program -> proc_id -> proc
+(** @raise Invalid_argument when out of range. *)
+
+val entry_block : program -> block_id
+(** Entry block of the main procedure. *)
+
+val addr : program -> block_id -> int
+(** Block address (identical to the id under the dense layout). *)
+
+val is_backward : program -> src:block_id -> dst:block_id -> bool
+(** [is_backward p ~src ~dst] — does a transfer [src -> dst] go backward in
+    the address space?  Loop back edges are backward; calls, fallthroughs
+    and forward jumps are not. *)
+
+val successors : program -> block_id -> block_id list
+(** Intra-procedural successors (branch targets, jump target, indirect
+    targets).  [Call] contributes its [return_to] block — the
+    intra-procedural continuation — and [Return]/[Exit] contribute
+    nothing. *)
+
+val branch_count : program -> int
+(** Number of conditional branches ([Branch] terminators). *)
+
+val backward_branch_target_count : program -> int
+(** Number of distinct blocks that are the target of some backward
+    conditional-branch edge or backward jump — the static bound on NET
+    counter space (Section 4.2 of the paper). *)
+
+val validate : program -> (unit, string) result
+(** Structural well-formedness: ids dense and self-consistent, all targets
+    in range, branch/jump/indirect targets within the same procedure, entry
+    blocks owned by their procedure, positive weights, non-empty indirect
+    target lists, [Call.return_to] in the calling procedure. *)
+
+val validate_exn : program -> program
+(** [validate_exn p] is [p]; @raise Invalid_argument with the first
+    validation error otherwise. *)
+
+val pp_terminator : Format.formatter -> terminator -> unit
+
+val pp_block : Format.formatter -> block -> unit
+
+val pp_program : Format.formatter -> program -> unit
+(** Multi-line listing of every procedure and block. *)
+
+val to_dot : program -> string
+(** Graphviz rendering: one cluster per procedure, dashed edges for calls
+    and returns-to, bold edges for backward transfers. *)
+
+(** Imperative program construction.
+
+    Typical use:
+    {[
+      let b = Builder.create ~name:"demo" in
+      let p = Builder.add_proc b ~name:"main" in
+      let head = Builder.add_block b ~proc:p ~weight:4 in
+      ...
+      Builder.set_term b head (Branch { taken = ...; fallthrough = ... });
+      let program = Builder.finish b
+    ]}
+
+    Blocks receive consecutive addresses in creation order, so creating a
+    loop body after its header and branching back to the header yields a
+    backward (loop) edge, as in a natural code layout. *)
+module Builder : sig
+  type t
+
+  val create : name:string -> t
+
+  val add_proc : t -> name:string -> proc_id
+  (** Declare a procedure.  Its first added block becomes the entry. *)
+
+  val add_block : t -> proc:proc_id -> weight:int -> block_id
+  (** Append a block to [proc].  The terminator defaults to [Exit] and
+      should be set with {!set_term} before {!finish}. *)
+
+  val set_term : t -> block_id -> terminator -> unit
+
+  val finish : t -> program
+  (** Freeze and validate.  @raise Invalid_argument if the program is
+      ill-formed (see {!validate}). *)
+end

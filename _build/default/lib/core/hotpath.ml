@@ -1,0 +1,81 @@
+(** Facade: the library's public surface under one namespace.
+
+    {b hotpath} is an OCaml reproduction of Duesterwald & Bala,
+    {e Software Profiling for Hot Path Prediction: Less is More}
+    (ASPLOS 2000).  The layers, bottom up:
+
+    - {!Prng}, {!Vec}, {!Stats}, {!Tablefmt} — deterministic utilities;
+    - {!Cfg} — the virtual CFG ISA standing in for PA-RISC binaries;
+    - {!Behavior}, {!Vm} — stochastic branch models and the interpreter;
+    - {!Signature}, {!Path}, {!Path_table}, {!Recorder} — the paper's
+      interprocedural forward paths and the record-once/replay-many trace;
+    - {!Ball_larus}, {!Bit_tracing}, {!Young_smith} — offline path
+      profilers;
+    - {!Scheme}, {!Path_profile_scheme}, {!Net}, {!Replay} — online
+      prediction;
+    - {!Hot_set}, {!Rates}, {!Sweep} — the abstract evaluation metrics;
+    - {!Generator}, {!Figure1}, {!Suite} — synthetic workloads;
+    - {!Cost_model}, {!Fragment_cache}, {!Engine} — the Dynamo simulator;
+    - {!Experiments} — one driver per paper table/figure.
+
+    Quickstart:
+    {[
+      let bench = Hotpath.Suite.find_exn "compress" in
+      let recorded = Hotpath.Suite.record ~scale:0.1 bench in
+      let hot =
+        Hotpath.Hot_set.compute
+          ~freq:(Hotpath.Recorder.frequencies recorded)
+          ~total_flow:(Hotpath.Recorder.num_instances recorded)
+          ~threshold:0.001
+      in
+      let outcome = Hotpath.Replay.run (module Hotpath.Net) ~delay:50 recorded in
+      let rates = Hotpath.Rates.operational outcome hot in
+      Format.printf "NET hit rate: %.1f%%@." rates.Hotpath.Rates.hit_rate
+    ]} *)
+
+module Prng = Hotpath_util.Prng
+module Vec = Hotpath_util.Vec
+module Stats = Hotpath_util.Stats
+module Tablefmt = Hotpath_util.Tablefmt
+module Cfg = Hotpath_cfg.Cfg
+module Behavior = Hotpath_vm.Behavior
+module Vm = Hotpath_vm.Vm
+module Signature = Hotpath_trace.Signature
+module Path = Hotpath_trace.Path
+module Path_table = Hotpath_trace.Path_table
+module Recorder = Hotpath_trace.Recorder
+module Serialize = Hotpath_trace.Serialize
+module Ball_larus = Hotpath_profiling.Ball_larus
+module Bit_tracing = Hotpath_profiling.Bit_tracing
+module Young_smith = Hotpath_profiling.Young_smith
+module Edge_profile = Hotpath_profiling.Edge_profile
+module Sampling = Hotpath_profiling.Sampling
+module Scheme = Hotpath_prediction.Scheme
+module Path_profile_scheme = Hotpath_prediction.Path_profile
+module Net = Hotpath_prediction.Net
+module Branch_profile = Hotpath_prediction.Branch_profile
+module Replay = Hotpath_prediction.Replay
+module Hot_set = Hotpath_metrics.Hot_set
+module Rates = Hotpath_metrics.Rates
+module Sweep = Hotpath_metrics.Sweep
+module Phased = Hotpath_metrics.Phased
+module Generator = Hotpath_workloads.Generator
+module Figure1 = Hotpath_workloads.Figure1
+module Correlated = Hotpath_workloads.Correlated
+module Suite = Hotpath_workloads.Suite
+module Cost_model = Hotpath_dynamo.Cost_model
+module Fragment_cache = Hotpath_dynamo.Fragment_cache
+module Engine = Hotpath_dynamo.Engine
+module Online = Hotpath_dynamo.Online
+
+module Experiments = struct
+  module Runs = Hotpath_experiments.Runs
+  module Table1 = Hotpath_experiments.Table1
+  module Table2 = Hotpath_experiments.Table2
+  module Figures23 = Hotpath_experiments.Figures23
+  module Fig4 = Hotpath_experiments.Fig4
+  module Fig5 = Hotpath_experiments.Fig5
+  module Ablations = Hotpath_experiments.Ablations
+  module Offline = Hotpath_experiments.Offline
+  module Phases = Hotpath_experiments.Phases
+end

@@ -1,0 +1,1 @@
+lib/dynamo/cost_model.ml: Format List

@@ -1,0 +1,1 @@
+lib/dynamo/engine.ml: Array Cost_model Format Fragment_cache Hashtbl Hotpath_cfg Hotpath_prediction Hotpath_trace Hotpath_util List Option

@@ -1,0 +1,1 @@
+lib/dynamo/engine.mli: Cost_model Format Fragment_cache Hotpath_cfg Hotpath_prediction Hotpath_trace

@@ -1,0 +1,1 @@
+lib/dynamo/fragment_cache.ml: Hashtbl Hotpath_cfg Hotpath_trace List Option

@@ -1,0 +1,1 @@
+lib/dynamo/fragment_cache.mli: Hotpath_cfg Hotpath_trace

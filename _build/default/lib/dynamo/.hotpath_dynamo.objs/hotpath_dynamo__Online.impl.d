@@ -1,0 +1,1 @@
+lib/dynamo/online.ml: Engine Hotpath_cfg Hotpath_trace Hotpath_vm

@@ -1,0 +1,1 @@
+lib/dynamo/online.mli: Engine Hotpath_cfg Hotpath_util Hotpath_vm

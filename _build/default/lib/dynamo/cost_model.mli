@@ -1,0 +1,45 @@
+(** Cycle cost model for the Dynamo simulation (Section 6 of the paper).
+
+    The real Dynamo interprets the native binary until hot paths are
+    predicted, then executes optimized copies from a software code cache.
+    The simulator replays a recorded trace and charges cycles per path
+    instance according to where it would have executed.  Absolute numbers
+    are not the point (the paper ran on 1999 PA-RISC hardware); the ratios
+    are chosen so the relative behaviour matches Figure 5: NET at delay 50
+    averages ≈ +15%, path-profile-based prediction loses money except on
+    the most path-dominant programs.
+
+    All costs are in native cycles; a native instruction costs
+    [native_cycles_per_instr] = 1. *)
+
+type t = {
+  native_cycles_per_instr : float;  (** Baseline: 1.0. *)
+  interp_cycles_per_instr : float;
+      (** Emulation overhead while profiling (Dynamo interprets ~10-20x
+          slower than native). *)
+  fragment_cycles_per_instr : float;
+      (** Optimized cache execution: < 1 thanks to trace layout,
+          redundancy elimination and branch straightening. *)
+  fragment_link_cycles : float;
+      (** Per entry into a cached fragment (context switch in/out). *)
+  counter_cycles : float;
+      (** One NET head-counter increment (load, add, compare, store). *)
+  shift_cycles : float;
+      (** One bit-tracing signature shift-or, per executed branch. *)
+  table_update_cycles : float;
+      (** One path-table hash probe + counter bump, per completed path. *)
+  collection_cycles_per_block : float;
+      (** NET tail collection: one breakpoint place/handle/remove per
+          block (Section 4.2's incremental instrumentation). *)
+  optimize_cycles_per_instr : float;
+      (** Fragment construction: copy, optimize, emit, link. *)
+  flush_cycles : float;  (** Full cache flush (Section 6.1). *)
+}
+
+val default : t
+
+val pp : Format.formatter -> t -> unit
+
+val validate : t -> (unit, string) result
+(** All components must be positive; interpretation must be slower than
+    native and fragments faster than interpretation. *)

@@ -1,0 +1,377 @@
+module Scheme = Hotpath_prediction.Scheme
+module Recorder = Hotpath_trace.Recorder
+module Path_table = Hotpath_trace.Path_table
+module Path = Hotpath_trace.Path
+module Cfg = Hotpath_cfg.Cfg
+
+type scheme_costs = {
+  per_instance : n_branches:int -> arrival:Path.head_kind -> float;
+  per_prediction : n_blocks:int -> n_instrs:int -> float;
+}
+
+let path_profile_costs (c : Cost_model.t) =
+  {
+    per_instance =
+      (fun ~n_branches ~arrival ->
+         ignore arrival;
+         (float_of_int n_branches *. c.Cost_model.shift_cycles)
+         +. c.Cost_model.table_update_cycles);
+    per_prediction =
+      (fun ~n_blocks ~n_instrs ->
+         ignore n_blocks;
+         float_of_int n_instrs *. c.Cost_model.optimize_cycles_per_instr);
+  }
+
+let net_costs (c : Cost_model.t) =
+  {
+    per_instance =
+      (fun ~n_branches ~arrival ->
+         ignore n_branches;
+         match arrival with
+         | Path.Loop_head -> c.Cost_model.counter_cycles
+         | Path.Entry | Path.Continuation -> 0.0);
+    per_prediction =
+      (fun ~n_blocks ~n_instrs ->
+         (float_of_int n_blocks *. c.Cost_model.collection_cycles_per_block)
+         +. (float_of_int n_instrs *. c.Cost_model.optimize_cycles_per_instr));
+  }
+
+type flush_policy = { fp_window : int; fp_factor : float; fp_min : int }
+
+let default_flush_policy = { fp_window = 4096; fp_factor = 2.5; fp_min = 24 }
+
+type bail_policy = {
+  bp_overhead_frac : float;
+  bp_interp_frac : float;
+  bp_window : int;
+  bp_streak : int;
+}
+
+let default_bail_policy =
+  { bp_overhead_frac = 0.30; bp_interp_frac = 1.5; bp_window = 4096; bp_streak = 8 }
+
+type config = {
+  scheme : Scheme.packed;
+  scheme_costs : scheme_costs;
+  delay : int;
+  cost : Cost_model.t;
+  cache_capacity : int;
+  cache_eviction : Fragment_cache.eviction;
+  flush_policy : flush_policy option;
+  bail_policy : bail_policy option;
+}
+
+let config ?(cost = Cost_model.default) ?(cache_capacity = 16_384)
+    ?(cache_eviction = Fragment_cache.Reject_when_full)
+    ?(flush_policy = Some default_flush_policy)
+    ?(bail_policy = Some default_bail_policy) ~scheme ~scheme_costs ~delay () =
+  (match Cost_model.validate cost with
+   | Ok () -> ()
+   | Error e -> invalid_arg ("Engine.config: " ^ e));
+  if delay < 1 then invalid_arg "Engine.config: delay must be >= 1";
+  { scheme; scheme_costs; delay; cost; cache_capacity; cache_eviction; flush_policy;
+    bail_policy }
+
+type result = {
+  r_scheme : string;
+  r_delay : int;
+  r_native_cycles : float;
+  r_dynamo_cycles : float;
+  r_speedup_pct : float;
+  r_bailed : bool;
+  r_fragments : int;
+  r_flushes : int;
+  r_full_hits : int;
+  r_partial_hits : int;
+  r_misses : int;
+  r_native_tail : int;
+  r_cycles_fragment : float;
+  r_cycles_interp : float;
+  r_cycles_profile : float;
+  r_cycles_overhead : float;
+  r_cycles_flush : float;
+  r_cache_coverage_pct : float;
+}
+
+(* Instruction count of the common prefix of a fragment and an executed
+   path (the part that runs at fragment speed before the side exit). *)
+let prefix_instrs program (fr : Fragment_cache.fragment) (blocks : Cfg.block_id array)
+  =
+  let n = min (Array.length fr.Fragment_cache.fr_blocks) (Array.length blocks) in
+  let rec walk i acc =
+    if i >= n || fr.Fragment_cache.fr_blocks.(i) <> blocks.(i) then acc
+    else walk (i + 1) (acc + (Cfg.block program blocks.(i)).Cfg.weight)
+  in
+  walk 0 0
+
+(* Per-instance execution logic, shared by the offline replay (Engine.run)
+   and the live driver (Online): given a completed path instance, decide
+   where it executes, charge cycles, feed the prediction scheme, install
+   fragments, and apply the flush / bail-out policies. *)
+module Stepper = struct
+  type t = {
+    cfg : config;
+    program : Cfg.program;
+    lookup : int -> Path.t;  (* path id -> descriptor, for prediction targets *)
+    scheme_name : string;
+    observe :
+      head:Cfg.block_id ->
+      arrival:Path.head_kind ->
+      path_id:int ->
+      n_branches:int ->
+      n_blocks:int ->
+      int option;
+    cache : Fragment_cache.t;
+    predicted : (int, unit) Hashtbl.t;
+    mutable instances : int;
+    mutable native : float;
+    mutable cyc_fragment : float;
+    mutable cyc_interp : float;
+    mutable cyc_profile : float;
+    mutable cyc_overhead : float;
+    mutable cyc_flush : float;
+    mutable cyc_native_tail : float;
+    mutable full_hits : int;
+    mutable partial_hits : int;
+    mutable misses : int;
+    mutable native_tail : int;
+    mutable bailed : bool;
+    mutable fragment_instrs : float;
+    mutable prebail_instrs : float;
+    (* Flush heuristic. *)
+    mutable window_preds : int;
+    mutable baseline : float option;
+    mutable windows_seen : int;
+    (* Bail-out heuristic. *)
+    mutable bail_streak : int;
+    mutable bail_prev_ovh : float;
+    mutable bail_prev_interp : float;
+    mutable bail_prev_native : float;
+  }
+
+  let create cfg ~program ~lookup =
+    let (module S : Scheme.S) = cfg.scheme in
+    let state = S.create ~delay:cfg.delay ~program in
+    {
+      cfg;
+      program;
+      lookup;
+      scheme_name = S.name;
+      observe =
+        (fun ~head ~arrival ~path_id ~n_branches ~n_blocks ->
+           S.observe state ~head ~arrival ~path_id ~n_branches ~n_blocks);
+      cache =
+        Fragment_cache.create ~capacity:cfg.cache_capacity
+          ~eviction:cfg.cache_eviction ();
+      predicted = Hashtbl.create 1024;
+      instances = 0;
+      native = 0.0;
+      cyc_fragment = 0.0;
+      cyc_interp = 0.0;
+      cyc_profile = 0.0;
+      cyc_overhead = 0.0;
+      cyc_flush = 0.0;
+      cyc_native_tail = 0.0;
+      full_hits = 0;
+      partial_hits = 0;
+      misses = 0;
+      native_tail = 0;
+      bailed = false;
+      fragment_instrs = 0.0;
+      prebail_instrs = 0.0;
+      window_preds = 0;
+      baseline = None;
+      windows_seen = 0;
+      bail_streak = 0;
+      bail_prev_ovh = 0.0;
+      bail_prev_interp = 0.0;
+      bail_prev_native = 0.0;
+    }
+
+  let do_flush st =
+    Fragment_cache.flush st.cache;
+    Hashtbl.reset st.predicted;
+    st.cyc_flush <- st.cyc_flush +. st.cfg.cost.Cost_model.flush_cycles
+
+  let window_boundary st fp =
+    let count = st.window_preds in
+    st.window_preds <- 0;
+    st.windows_seen <- st.windows_seen + 1;
+    (* The very first window is the startup burst (everything hot is being
+       predicted); it would poison the baseline, so it is skipped. *)
+    if st.windows_seen > 1 then
+      match st.baseline with
+      | None -> st.baseline <- Some (float_of_int count)
+      | Some b ->
+        if count >= fp.fp_min && float_of_int count > fp.fp_factor *. (b +. 1.0) then
+          do_flush st;
+        st.baseline <- Some ((0.7 *. b) +. (0.3 *. float_of_int count))
+
+  let bail_boundary st bp =
+    let ovh_delta = st.cyc_overhead -. st.bail_prev_ovh
+    and interp_delta = st.cyc_interp -. st.bail_prev_interp
+    and native_delta = st.native -. st.bail_prev_native in
+    st.bail_prev_ovh <- st.cyc_overhead;
+    st.bail_prev_interp <- st.cyc_interp;
+    st.bail_prev_native <- st.native;
+    (* Excessive trace formation, or interpretation that keeps dominating
+       (the working set never materializes in the cache). *)
+    if
+      native_delta > 0.0
+      && (ovh_delta > bp.bp_overhead_frac *. native_delta
+          || interp_delta > bp.bp_interp_frac *. native_delta)
+    then st.bail_streak <- st.bail_streak + 1
+    else st.bail_streak <- 0;
+    if st.bail_streak >= bp.bp_streak then st.bailed <- true
+
+  let install st target_path =
+    let p = st.lookup target_path in
+    Hashtbl.replace st.predicted target_path ();
+    let fr = Fragment_cache.fragment_of_path p in
+    match Fragment_cache.insert st.cache fr with
+    | `Inserted | `Duplicate -> ()
+    | `Evicted victim ->
+      (* LRU made room; the victim's path must be re-predictable. *)
+      Hashtbl.remove st.predicted victim.Fragment_cache.fr_path
+    | `Full ->
+      (* Cache pressure under the reject policy: flush and retry, as
+         Dynamo does. *)
+      do_flush st;
+      Hashtbl.replace st.predicted target_path ();
+      (match Fragment_cache.insert st.cache fr with
+       | `Inserted | `Duplicate -> ()
+       | `Evicted _ | `Full -> assert false)
+
+  let step st ~path:(p : Path.t) ~arrival =
+    let c = st.cfg.cost in
+    let pid = p.Path.id in
+    let instrs = float_of_int p.Path.n_instrs in
+    st.instances <- st.instances + 1;
+    st.native <- st.native +. (instrs *. c.Cost_model.native_cycles_per_instr);
+    if st.bailed then begin
+      st.native_tail <- st.native_tail + 1;
+      st.cyc_native_tail <-
+        st.cyc_native_tail +. (instrs *. c.Cost_model.native_cycles_per_instr)
+    end
+    else begin
+      st.prebail_instrs <- st.prebail_instrs +. instrs;
+      if Hashtbl.mem st.predicted pid && Option.is_some (Fragment_cache.find_path st.cache pid)
+      then begin
+        st.full_hits <- st.full_hits + 1;
+        st.fragment_instrs <- st.fragment_instrs +. instrs;
+        st.cyc_fragment <-
+          st.cyc_fragment
+          +. c.Cost_model.fragment_link_cycles
+          +. (instrs *. c.Cost_model.fragment_cycles_per_instr)
+      end
+      else begin
+        (* Miss or partial hit: execution enters the cache at the head and
+           follows linked fragments while blocks match; the remainder is
+           interpreted and the instance is observed by the scheme. *)
+        (match Fragment_cache.find_head st.cache (Path.head p) with
+         | _ :: _ as candidates ->
+           let matched =
+             float_of_int
+               (List.fold_left
+                  (fun best fr -> max best (prefix_instrs st.program fr p.Path.blocks))
+                  0 candidates)
+           in
+           if matched > 0.0 then begin
+             st.partial_hits <- st.partial_hits + 1;
+             st.fragment_instrs <- st.fragment_instrs +. matched;
+             st.cyc_fragment <-
+               st.cyc_fragment
+               +. c.Cost_model.fragment_link_cycles
+               +. (matched *. c.Cost_model.fragment_cycles_per_instr);
+             st.cyc_interp <-
+               st.cyc_interp
+               +. ((instrs -. matched) *. c.Cost_model.interp_cycles_per_instr)
+           end
+           else begin
+             st.misses <- st.misses + 1;
+             st.cyc_interp <-
+               st.cyc_interp +. (instrs *. c.Cost_model.interp_cycles_per_instr)
+           end
+         | [] ->
+           st.misses <- st.misses + 1;
+           st.cyc_interp <-
+             st.cyc_interp +. (instrs *. c.Cost_model.interp_cycles_per_instr));
+        st.cyc_profile <-
+          st.cyc_profile
+          +. st.cfg.scheme_costs.per_instance ~n_branches:p.Path.n_branches ~arrival;
+        match
+          st.observe ~head:(Path.head p) ~arrival ~path_id:pid
+            ~n_branches:p.Path.n_branches
+            ~n_blocks:(Array.length p.Path.blocks)
+        with
+        | Some target when not (Hashtbl.mem st.predicted target) ->
+          let tp = st.lookup target in
+          st.cyc_overhead <-
+            st.cyc_overhead
+            +. st.cfg.scheme_costs.per_prediction
+                 ~n_blocks:(Array.length tp.Path.blocks)
+                 ~n_instrs:tp.Path.n_instrs;
+          install st target;
+          st.window_preds <- st.window_preds + 1
+        | Some _ | None -> ()
+      end
+    end;
+    (match st.cfg.flush_policy with
+     | Some fp -> if st.instances mod fp.fp_window = 0 then window_boundary st fp
+     | None -> ());
+    match st.cfg.bail_policy with
+    | Some bp when (not st.bailed) && st.instances mod bp.bp_window = 0 ->
+      bail_boundary st bp
+    | Some _ | None -> ()
+
+  let finalize st =
+    let dynamo =
+      st.cyc_fragment +. st.cyc_interp +. st.cyc_profile +. st.cyc_overhead
+      +. st.cyc_flush +. st.cyc_native_tail
+    in
+    {
+      r_scheme = st.scheme_name;
+      r_delay = st.cfg.delay;
+      r_native_cycles = st.native;
+      r_dynamo_cycles = dynamo;
+      r_speedup_pct =
+        (if dynamo > 0.0 then ((st.native /. dynamo) -. 1.0) *. 100.0 else 0.0);
+      r_bailed = st.bailed;
+      r_fragments = Fragment_cache.inserted_total st.cache;
+      r_flushes = Fragment_cache.flush_count st.cache;
+      r_full_hits = st.full_hits;
+      r_partial_hits = st.partial_hits;
+      r_misses = st.misses;
+      r_native_tail = st.native_tail;
+      r_cycles_fragment = st.cyc_fragment;
+      r_cycles_interp = st.cyc_interp;
+      r_cycles_profile = st.cyc_profile;
+      r_cycles_overhead = st.cyc_overhead;
+      r_cycles_flush = st.cyc_flush;
+      r_cache_coverage_pct =
+        Hotpath_util.Stats.pct st.fragment_instrs st.prebail_instrs;
+    }
+end
+
+let run cfg (r : Recorder.t) =
+  let paths = Path_table.paths r.Recorder.table in
+  let st = Stepper.create cfg ~program:r.Recorder.program ~lookup:(fun id -> paths.(id)) in
+  let instances = r.Recorder.instances in
+  for i = 0 to Array.length instances - 1 do
+    Stepper.step st ~path:paths.(instances.(i)) ~arrival:(Recorder.arrival r i)
+  done;
+  Stepper.finalize st
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "@[<v>%s delay=%d: speedup=%+.1f%%%s@,\
+     cycles: native=%.3e dynamo=%.3e (frag=%.3e interp=%.3e prof=%.3e ovh=%.3e \
+     flush=%.3e)@,\
+     hits: full=%d partial=%d miss=%d native-tail=%d fragments=%d flushes=%d \
+     coverage=%.1f%%@]"
+    r.r_scheme r.r_delay r.r_speedup_pct
+    (if r.r_bailed then " [BAILED OUT]" else "")
+    r.r_native_cycles r.r_dynamo_cycles r.r_cycles_fragment r.r_cycles_interp
+    r.r_cycles_profile r.r_cycles_overhead r.r_cycles_flush r.r_full_hits
+    r.r_partial_hits r.r_misses r.r_native_tail r.r_fragments r.r_flushes
+    r.r_cache_coverage_pct

@@ -1,0 +1,115 @@
+module Cfg = Hotpath_cfg.Cfg
+module Path = Hotpath_trace.Path
+
+type fragment = {
+  fr_path : int;
+  fr_head : Cfg.block_id;
+  fr_blocks : Cfg.block_id array;
+  fr_instrs : int;
+}
+
+let fragment_of_path (p : Path.t) =
+  {
+    fr_path = p.Path.id;
+    fr_head = Path.head p;
+    fr_blocks = p.Path.blocks;
+    fr_instrs = p.Path.n_instrs;
+  }
+
+type eviction = Reject_when_full | Evict_lru
+
+type t = {
+  capacity : int;
+  eviction : eviction;
+  by_path : (int, fragment) Hashtbl.t;
+  by_head : (Cfg.block_id, fragment list) Hashtbl.t;
+  stamps : (int, int) Hashtbl.t;  (* path id -> last-use clock *)
+  mutable clock : int;
+  mutable flushes : int;
+  mutable inserted : int;
+  mutable evicted : int;
+}
+
+let create ?(capacity = 8192) ?(eviction = Reject_when_full) () =
+  if capacity < 1 then invalid_arg "Fragment_cache.create: capacity must be >= 1";
+  { capacity; eviction; by_path = Hashtbl.create 256; by_head = Hashtbl.create 256;
+    stamps = Hashtbl.create 256; clock = 0; flushes = 0; inserted = 0; evicted = 0 }
+
+let size t = Hashtbl.length t.by_path
+
+let is_full t = size t >= t.capacity
+
+let touch t pid =
+  t.clock <- t.clock + 1;
+  Hashtbl.replace t.stamps pid t.clock
+
+let remove t (fr : fragment) =
+  Hashtbl.remove t.by_path fr.fr_path;
+  Hashtbl.remove t.stamps fr.fr_path;
+  match Hashtbl.find_opt t.by_head fr.fr_head with
+  | None -> ()
+  | Some frs -> (
+      match List.filter (fun f -> f.fr_path <> fr.fr_path) frs with
+      | [] -> Hashtbl.remove t.by_head fr.fr_head
+      | rest -> Hashtbl.replace t.by_head fr.fr_head rest)
+
+let lru_victim t =
+  let best = ref None in
+  Hashtbl.iter
+    (fun pid stamp ->
+       match !best with
+       | Some (_, s) when s <= stamp -> ()
+       | _ -> best := Some (pid, stamp))
+    t.stamps;
+  match !best with
+  | None -> None
+  | Some (pid, _) -> Hashtbl.find_opt t.by_path pid
+
+let do_insert t fr =
+  Hashtbl.add t.by_path fr.fr_path fr;
+  let existing = Option.value ~default:[] (Hashtbl.find_opt t.by_head fr.fr_head) in
+  Hashtbl.replace t.by_head fr.fr_head (fr :: existing);
+  touch t fr.fr_path;
+  t.inserted <- t.inserted + 1
+
+let insert t fr =
+  if Hashtbl.mem t.by_path fr.fr_path then `Duplicate
+  else if not (is_full t) then begin
+    do_insert t fr;
+    `Inserted
+  end
+  else
+    match t.eviction with
+    | Reject_when_full -> `Full
+    | Evict_lru -> (
+        match lru_victim t with
+        | None -> `Full
+        | Some victim ->
+          remove t victim;
+          t.evicted <- t.evicted + 1;
+          do_insert t fr;
+          `Evicted victim)
+
+let find_path t pid =
+  match Hashtbl.find_opt t.by_path pid with
+  | Some fr ->
+    touch t pid;
+    Some fr
+  | None -> None
+
+let find_head t head =
+  let frs = Option.value ~default:[] (Hashtbl.find_opt t.by_head head) in
+  List.iter (fun fr -> touch t fr.fr_path) frs;
+  frs
+
+let flush t =
+  Hashtbl.reset t.by_path;
+  Hashtbl.reset t.by_head;
+  Hashtbl.reset t.stamps;
+  t.flushes <- t.flushes + 1
+
+let flush_count t = t.flushes
+
+let inserted_total t = t.inserted
+
+let evicted_total t = t.evicted

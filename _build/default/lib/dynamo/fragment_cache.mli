@@ -1,0 +1,62 @@
+(** The software code cache: optimized single-path fragments.
+
+    A fragment is the optimized copy of one predicted path, keyed both by
+    its path id (exact hit: the whole instance runs in the cache) and by
+    its head block (partial hit: execution follows the fragment until the
+    executed path diverges, then exits to the interpreter).  The first
+    fragment installed at a head owns that head's cache entry point,
+    mirroring Dynamo's counter-to-fragment patching. *)
+
+module Cfg = Hotpath_cfg.Cfg
+module Path = Hotpath_trace.Path
+
+type fragment = {
+  fr_path : int;  (** Path id this fragment was built from. *)
+  fr_head : Cfg.block_id;
+  fr_blocks : Cfg.block_id array;
+  fr_instrs : int;
+}
+
+val fragment_of_path : Path.t -> fragment
+
+type eviction =
+  | Reject_when_full
+      (** [insert] reports [`Full]; the engine responds with a whole-cache
+          flush, as the original Dynamo did. *)
+  | Evict_lru
+      (** Make room by evicting the least-recently-entered fragment
+          ([find_path]/[find_head] hits refresh recency). *)
+
+type t
+
+val create : ?capacity:int -> ?eviction:eviction -> unit -> t
+(** [capacity] bounds the number of resident fragments (default 8192);
+    [eviction] defaults to [Reject_when_full]. *)
+
+val size : t -> int
+
+val is_full : t -> bool
+
+val insert : t -> fragment -> [ `Inserted | `Duplicate | `Full | `Evicted of fragment ]
+(** Install a fragment.  [`Duplicate] when its path already has one.  At
+    capacity: [`Full] (nothing inserted) under [Reject_when_full], or
+    [`Evicted victim] (victim removed, fragment inserted) under
+    [Evict_lru]. *)
+
+val find_path : t -> int -> fragment option
+(** Exact fragment for a path id. *)
+
+val find_head : t -> Cfg.block_id -> fragment list
+(** Every resident fragment starting at this head (most recent first);
+    empty when the head has no cache entry point. *)
+
+val flush : t -> unit
+(** Drop every fragment (the phase-transition response of Section 6.1). *)
+
+val flush_count : t -> int
+
+val inserted_total : t -> int
+(** Fragments ever created, across flushes. *)
+
+val evicted_total : t -> int
+(** Fragments removed by LRU eviction. *)

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Array Hotpath_dynamo Hotpath_metrics Hotpath_prediction Hotpath_trace Hotpath_util Hotpath_workloads List Printf Runs

@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Array Hotpath_prediction Hotpath_util Hotpath_workloads List Runs

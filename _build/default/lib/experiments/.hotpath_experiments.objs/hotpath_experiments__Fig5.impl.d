@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Array Hotpath_dynamo Hotpath_prediction Hotpath_util Hotpath_workloads List Printf Runs

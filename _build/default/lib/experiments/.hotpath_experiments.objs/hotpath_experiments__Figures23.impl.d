@@ -1,0 +1,1 @@
+lib/experiments/figures23.ml: Array Buffer Float Fun Hotpath_metrics Hotpath_prediction Hotpath_util Hotpath_workloads List Printf Runs

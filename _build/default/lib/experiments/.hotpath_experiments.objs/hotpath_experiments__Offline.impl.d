@@ -1,0 +1,1 @@
+lib/experiments/offline.ml: Hotpath_metrics Hotpath_profiling Hotpath_trace Hotpath_util Hotpath_workloads List Runs

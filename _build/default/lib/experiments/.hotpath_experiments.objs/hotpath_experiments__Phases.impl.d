@@ -1,0 +1,1 @@
+lib/experiments/phases.ml: Hotpath_metrics Hotpath_prediction Hotpath_util Hotpath_workloads List

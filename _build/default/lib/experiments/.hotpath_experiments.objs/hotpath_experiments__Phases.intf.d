@@ -1,0 +1,1 @@
+lib/experiments/phases.mli: Hotpath_metrics Hotpath_util

@@ -1,0 +1,1 @@
+lib/experiments/runs.ml: Hashtbl Hotpath_metrics Hotpath_trace Hotpath_workloads List

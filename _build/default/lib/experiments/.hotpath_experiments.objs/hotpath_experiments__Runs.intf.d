@@ -1,0 +1,1 @@
+lib/experiments/runs.mli: Hotpath_metrics Hotpath_trace Hotpath_workloads

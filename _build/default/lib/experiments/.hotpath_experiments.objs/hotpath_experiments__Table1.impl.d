@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Hotpath_metrics Hotpath_trace Hotpath_util Hotpath_workloads List Runs

@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Hotpath_trace Hotpath_util Hotpath_workloads List Runs

@@ -1,0 +1,431 @@
+module Suite = Hotpath_workloads.Suite
+module Correlated = Hotpath_workloads.Correlated
+module Recorder = Hotpath_trace.Recorder
+module Scheme = Hotpath_prediction.Scheme
+module Net = Hotpath_prediction.Net
+module Path_profile = Hotpath_prediction.Path_profile
+module Branch_profile = Hotpath_prediction.Branch_profile
+module Replay = Hotpath_prediction.Replay
+module Hot_set = Hotpath_metrics.Hot_set
+module Rates = Hotpath_metrics.Rates
+module Tablefmt = Hotpath_util.Tablefmt
+module Prng = Hotpath_util.Prng
+
+(* ------------------------------------------------------------------ *)
+(* NET variants                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type variant_row = {
+  v_bench : string;
+  v_scheme : string;
+  v_hit : float;
+  v_noise : float;
+  v_predictions : int;
+  v_counters : int;
+}
+
+let variants : (string * Scheme.packed) list =
+  [
+    ("net", (module Net : Scheme.S));
+    ("net-once", (module Net.Net_once : Scheme.S));
+    ("let", (module Net.Last_executed_tail : Scheme.S));
+  ]
+
+let net_variants ?scale ?(delay = 50) () =
+  List.concat_map
+    (fun (run : Runs.run) ->
+       List.map
+         (fun (scheme_name, scheme) ->
+            let o = Replay.run scheme ~delay run.Runs.recorded in
+            let rates = Rates.operational o run.Runs.hot in
+            {
+              v_bench = run.Runs.bench.Suite.b_name;
+              v_scheme = scheme_name;
+              v_hit = rates.Rates.hit_rate;
+              v_noise = rates.Rates.noise_rate;
+              v_predictions = Array.length o.Replay.predictions;
+              v_counters = o.Replay.counter_space;
+            })
+         variants)
+    (Runs.load_all ?scale ())
+
+let render_net_variants ?scale ?delay () =
+  let t =
+    Tablefmt.create
+      ~columns:
+        [
+          ("Benchmark", Tablefmt.Left);
+          ("Scheme", Tablefmt.Left);
+          ("Hit rate", Tablefmt.Right);
+          ("Noise", Tablefmt.Right);
+          ("Predictions", Tablefmt.Right);
+          ("Counters", Tablefmt.Right);
+        ]
+  in
+  let rows = net_variants ?scale ?delay () in
+  List.iteri
+    (fun i r ->
+       if i > 0 && i mod List.length variants = 0 then Tablefmt.add_separator t;
+       Tablefmt.add_row t
+         [
+           r.v_bench;
+           r.v_scheme;
+           Tablefmt.cell_pct r.v_hit;
+           Tablefmt.cell_pct r.v_noise;
+           Tablefmt.cell_int r.v_predictions;
+           Tablefmt.cell_int r.v_counters;
+         ])
+    rows;
+  Tablefmt.render t
+
+(* ------------------------------------------------------------------ *)
+(* Boa comparison                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type boa_row = {
+  b_bench : string;
+  b_net_hit : float;
+  b_boa_hit : float;
+  b_boa_phantoms : int;
+  b_net_ops : int;
+  b_boa_ops : int;
+}
+
+let boa_row_of ~name ~recorded ~hot ~delay =
+  let net = Replay.run (module Net) ~delay recorded in
+  let net_rates = Rates.operational net hot in
+  let boa = Branch_profile.run ~delay recorded in
+  let boa_rates = Rates.operational boa.Branch_profile.base hot in
+  {
+    b_bench = name;
+    b_net_hit = net_rates.Rates.hit_rate;
+    b_boa_hit = boa_rates.Rates.hit_rate;
+    b_boa_phantoms = List.length boa.Branch_profile.phantoms;
+    b_net_ops = net.Replay.profiling_ops;
+    b_boa_ops = boa.Branch_profile.base.Replay.profiling_ops;
+  }
+
+let correlated_recording () =
+  let program, behavior = Correlated.build ~triples:2 ~iterations:5_000 () in
+  let recorded =
+    Recorder.record ~max_paths:60_000 ~max_steps:3_000_000 program behavior
+      ~rng:(Prng.create ~seed:4242)
+  in
+  let hot =
+    Hot_set.compute
+      ~freq:(Recorder.frequencies recorded)
+      ~total_flow:(Recorder.num_instances recorded)
+      ~threshold:Suite.hot_threshold
+  in
+  (recorded, hot)
+
+let boa ?scale ?(delay = 50) () =
+  let suite_rows =
+    List.map
+      (fun (run : Runs.run) ->
+         boa_row_of ~name:run.Runs.bench.Suite.b_name ~recorded:run.Runs.recorded
+           ~hot:run.Runs.hot ~delay)
+      (Runs.load_all ?scale ())
+  in
+  let recorded, hot = correlated_recording () in
+  suite_rows @ [ boa_row_of ~name:"correlated" ~recorded ~hot ~delay ]
+
+let render_boa ?scale ?delay () =
+  let t =
+    Tablefmt.create
+      ~columns:
+        [
+          ("Benchmark", Tablefmt.Left);
+          ("NET hit", Tablefmt.Right);
+          ("Boa hit", Tablefmt.Right);
+          ("Boa phantoms", Tablefmt.Right);
+          ("NET ops", Tablefmt.Right);
+          ("Boa ops", Tablefmt.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+       Tablefmt.add_row t
+         [
+           r.b_bench;
+           Tablefmt.cell_pct r.b_net_hit;
+           Tablefmt.cell_pct r.b_boa_hit;
+           Tablefmt.cell_int r.b_boa_phantoms;
+           Tablefmt.cell_int r.b_net_ops;
+           Tablefmt.cell_int r.b_boa_ops;
+         ])
+    (boa ?scale ?delay ());
+  Tablefmt.render t
+
+(* ------------------------------------------------------------------ *)
+(* Hot-threshold sensitivity                                           *)
+(* ------------------------------------------------------------------ *)
+
+type threshold_row = {
+  t_bench : string;
+  t_threshold : float;
+  t_net_hit : float;
+  t_pp_hit : float;
+}
+
+let thresholds ?scale ?(delay = 50) ?(values = [ 0.0001; 0.001; 0.01 ]) () =
+  List.concat_map
+    (fun (run : Runs.run) ->
+       let recorded = run.Runs.recorded in
+       let freq = run.Runs.freq in
+       let net = Replay.run (module Net) ~delay recorded in
+       let pp = Replay.run (module Path_profile) ~delay recorded in
+       List.map
+         (fun threshold ->
+            let hot =
+              Hot_set.compute ~freq ~total_flow:(Recorder.num_instances recorded)
+                ~threshold
+            in
+            {
+              t_bench = run.Runs.bench.Suite.b_name;
+              t_threshold = threshold;
+              t_net_hit = (Rates.operational net hot).Rates.hit_rate;
+              t_pp_hit = (Rates.operational pp hot).Rates.hit_rate;
+            })
+         values)
+    (Runs.load_all ?scale ())
+
+let render_thresholds ?scale ?delay () =
+  let t =
+    Tablefmt.create
+      ~columns:
+        [
+          ("Benchmark", Tablefmt.Left);
+          ("Hot threshold", Tablefmt.Right);
+          ("NET hit", Tablefmt.Right);
+          ("Path-profile hit", Tablefmt.Right);
+        ]
+  in
+  let rows = thresholds ?scale ?delay () in
+  List.iteri
+    (fun i r ->
+       if i > 0 && i mod 3 = 0 then Tablefmt.add_separator t;
+       Tablefmt.add_row t
+         [
+           r.t_bench;
+           Printf.sprintf "%.2f%%" (100.0 *. r.t_threshold);
+           Tablefmt.cell_pct r.t_net_hit;
+           Tablefmt.cell_pct r.t_pp_hit;
+         ])
+    rows;
+  Tablefmt.render t
+
+(* ------------------------------------------------------------------ *)
+(* Cost-model sensitivity                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Cost_model = Hotpath_dynamo.Cost_model
+module Engine = Hotpath_dynamo.Engine
+
+type cost_row = {
+  c_interp : float;
+  c_fragment : float;
+  c_net50 : float;
+  c_pp50 : float;
+}
+
+let average_speedup ~cost ~scheme ~scheme_costs ~scale =
+  let speedups =
+    List.map
+      (fun bench ->
+         let run = Runs.load ~scale bench in
+         let config = Engine.config ~cost ~scheme ~scheme_costs ~delay:50 () in
+         (Engine.run config run.Runs.recorded).Engine.r_speedup_pct)
+      Suite.dynamo_set
+  in
+  Hotpath_util.Stats.mean (Array.of_list speedups)
+
+let cost_sensitivity ?(scale = 2.0) ?(interp_values = [ 2.0; 3.0; 5.0 ])
+    ?(fragment_values = [ 0.60; 0.68; 0.80 ]) () =
+  List.concat_map
+    (fun interp ->
+       List.map
+         (fun fragment ->
+            let cost =
+              {
+                Cost_model.default with
+                Cost_model.interp_cycles_per_instr = interp;
+                fragment_cycles_per_instr = fragment;
+              }
+            in
+            {
+              c_interp = interp;
+              c_fragment = fragment;
+              c_net50 =
+                average_speedup ~cost ~scale
+                  ~scheme:(module Net : Scheme.S)
+                  ~scheme_costs:(Engine.net_costs cost);
+              c_pp50 =
+                average_speedup ~cost ~scale
+                  ~scheme:(module Path_profile : Scheme.S)
+                  ~scheme_costs:(Engine.path_profile_costs cost);
+            })
+         fragment_values)
+    interp_values
+
+let render_cost_sensitivity ?scale () =
+  let t =
+    Tablefmt.create
+      ~columns:
+        [
+          ("Interp c/i", Tablefmt.Right);
+          ("Fragment c/i", Tablefmt.Right);
+          ("NET avg @50", Tablefmt.Right);
+          ("Path-profile avg @50", Tablefmt.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+       Tablefmt.add_row t
+         [
+           Tablefmt.cell_float ~digits:2 r.c_interp;
+           Tablefmt.cell_float ~digits:2 r.c_fragment;
+           Printf.sprintf "%+.1f%%" r.c_net50;
+           Printf.sprintf "%+.1f%%" r.c_pp50;
+         ])
+    (cost_sensitivity ?scale ());
+  Tablefmt.render t
+
+(* ------------------------------------------------------------------ *)
+(* Cache-pressure policies                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Fragment_cache = Hotpath_dynamo.Fragment_cache
+
+type cache_row = {
+  k_capacity : int;
+  k_policy : string;
+  k_speedup : float;
+  k_flushes : int;
+  k_fragments : int;  (* fragments ever built (re-predictions included) *)
+  k_coverage : float;
+}
+
+let cache_policies ?(scale = 2.0) ?(bench = "li") ?(capacities = [ 64; 256; 4096 ]) () =
+  let run = Runs.load ~scale (Suite.find_exn bench) in
+  let cost = Cost_model.default in
+  List.concat_map
+    (fun capacity ->
+       List.map
+         (fun (policy_name, eviction) ->
+            let config =
+              Engine.config ~cost ~cache_capacity:capacity ~cache_eviction:eviction
+                ~scheme:(module Net : Scheme.S)
+                ~scheme_costs:(Engine.net_costs cost) ~delay:50 ()
+            in
+            let result = Engine.run config run.Runs.recorded in
+            {
+              k_capacity = capacity;
+              k_policy = policy_name;
+              k_speedup = result.Engine.r_speedup_pct;
+              k_flushes = result.Engine.r_flushes;
+              k_fragments = result.Engine.r_fragments;
+              k_coverage = result.Engine.r_cache_coverage_pct;
+            })
+         [
+           ("flush-on-pressure", Fragment_cache.Reject_when_full);
+           ("evict-lru", Fragment_cache.Evict_lru);
+         ])
+    capacities
+
+let render_cache_policies ?scale () =
+  let t =
+    Tablefmt.create
+      ~columns:
+        [
+          ("Capacity", Tablefmt.Right);
+          ("Policy", Tablefmt.Left);
+          ("Speedup", Tablefmt.Right);
+          ("Flushes", Tablefmt.Right);
+          ("Fragments built", Tablefmt.Right);
+          ("Coverage", Tablefmt.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+       Tablefmt.add_row t
+         [
+           Tablefmt.cell_int r.k_capacity;
+           r.k_policy;
+           Printf.sprintf "%+.1f%%" r.k_speedup;
+           Tablefmt.cell_int r.k_flushes;
+           Tablefmt.cell_int r.k_fragments;
+           Tablefmt.cell_pct r.k_coverage;
+         ])
+    (cache_policies ?scale ());
+  Tablefmt.render t
+
+(* ------------------------------------------------------------------ *)
+(* Seed robustness                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Generator = Hotpath_workloads.Generator
+
+type seed_row = {
+  sr_bench : string;
+  sr_net_mean : float;
+  sr_net_std : float;
+  sr_pp_mean : float;
+  sr_pp_std : float;
+}
+
+let hit_rate_for ~bench ~seed ~scale scheme =
+  let program, behavior = Generator.build bench.Suite.b_spec ~seed in
+  let max_paths =
+    max 1000 (int_of_float (scale *. float_of_int bench.Suite.b_flow))
+  in
+  let recorded =
+    Recorder.record ~max_paths ~max_steps:(max_paths * 200) program behavior
+      ~rng:(Prng.create ~seed:(seed * 7919))
+  in
+  let hot =
+    Hot_set.compute
+      ~freq:(Recorder.frequencies recorded)
+      ~total_flow:(Recorder.num_instances recorded)
+      ~threshold:Suite.hot_threshold
+  in
+  (Rates.operational (Replay.run scheme ~delay:50 recorded) hot).Rates.hit_rate
+
+let seed_robustness ?(scale = 0.2) ?(seeds = [ 11; 22; 33; 44; 55 ]) () =
+  List.map
+    (fun bench ->
+       let rates scheme =
+         Array.of_list
+           (List.map (fun seed -> hit_rate_for ~bench ~seed ~scale scheme) seeds)
+       in
+       let net = rates (module Net : Scheme.S) in
+       let pp = rates (module Path_profile : Scheme.S) in
+       {
+         sr_bench = bench.Suite.b_name;
+         sr_net_mean = Hotpath_util.Stats.mean net;
+         sr_net_std = Hotpath_util.Stats.stddev net;
+         sr_pp_mean = Hotpath_util.Stats.mean pp;
+         sr_pp_std = Hotpath_util.Stats.stddev pp;
+       })
+    Suite.all
+
+let render_seed_robustness ?scale () =
+  let t =
+    Tablefmt.create
+      ~columns:
+        [
+          ("Benchmark", Tablefmt.Left);
+          ("NET hit (mean +/- std)", Tablefmt.Right);
+          ("Path-profile hit (mean +/- std)", Tablefmt.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+       Tablefmt.add_row t
+         [
+           r.sr_bench;
+           Printf.sprintf "%.1f%% +/- %.1f" r.sr_net_mean r.sr_net_std;
+           Printf.sprintf "%.1f%% +/- %.1f" r.sr_pp_mean r.sr_pp_std;
+         ])
+    (seed_robustness ?scale ());
+  Tablefmt.render t

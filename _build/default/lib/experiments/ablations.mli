@@ -1,0 +1,114 @@
+(** Ablations and extensions beyond the paper's headline figures.
+
+    Three studies, each isolating a design decision the paper (or this
+    reproduction's DESIGN.md) calls out:
+
+    - {b NET variants} — re-arming NET (default) vs [Net_once] (one
+      prediction per head; shows why modelling Dynamo's secondary trace
+      heads matters) vs [Last_executed_tail] (predict the {e previous}
+      tail; shows the staleness cost relative to the next executing tail).
+    - {b Boa comparison} — NET vs branch-profile-based construction
+      (Section 7 of the paper) across the suite plus the {!Hotpath_workloads}
+      [Correlated] loop, where the constructed path provably never
+      executes ({e phantoms}).
+    - {b Hot-threshold sensitivity} — the paper fixes the hot threshold at
+      0.1% of flow; sweeping it an order of magnitude both ways shows the
+      NET-matches-path-profile result is not an artifact of that choice. *)
+
+module Scheme = Hotpath_prediction.Scheme
+
+type variant_row = {
+  v_bench : string;
+  v_scheme : string;
+  v_hit : float;
+  v_noise : float;
+  v_predictions : int;
+  v_counters : int;
+}
+
+val net_variants : ?scale:float -> ?delay:int -> unit -> variant_row list
+(** net / net-once / let on every benchmark (default τ=50). *)
+
+val render_net_variants : ?scale:float -> ?delay:int -> unit -> string
+
+type boa_row = {
+  b_bench : string;
+  b_net_hit : float;
+  b_boa_hit : float;
+  b_boa_phantoms : int;
+  b_net_ops : int;
+  b_boa_ops : int;
+}
+
+val boa : ?scale:float -> ?delay:int -> unit -> boa_row list
+(** NET vs Boa per benchmark, plus a final ["correlated"] row on the
+    synthetic correlation workload. *)
+
+val render_boa : ?scale:float -> ?delay:int -> unit -> string
+
+type threshold_row = {
+  t_bench : string;
+  t_threshold : float;
+  t_net_hit : float;
+  t_pp_hit : float;
+}
+
+val thresholds :
+  ?scale:float -> ?delay:int -> ?values:float list -> unit -> threshold_row list
+(** Hit rates under hot thresholds 0.01%, 0.1% (the paper's), and 1% by
+    default. *)
+
+val render_thresholds : ?scale:float -> ?delay:int -> unit -> string
+
+type cost_row = {
+  c_interp : float;  (** Interpreter cycles per instruction. *)
+  c_fragment : float;  (** Fragment cycles per instruction. *)
+  c_net50 : float;  (** Average NET speedup at τ=50 over the Dynamo set. *)
+  c_pp50 : float;  (** Same for path-profile-based prediction. *)
+}
+
+val cost_sensitivity :
+  ?scale:float ->
+  ?interp_values:float list ->
+  ?fragment_values:float list ->
+  unit ->
+  cost_row list
+(** Figure 5's qualitative claim under perturbed cost constants: rerun the
+    Dynamo set at τ=50 for each (interpreter, fragment) cost combination
+    (defaults: interp 2/3/5, fragment 0.60/0.68/0.80; recording scale 2).
+    The NET-above-path-profile ordering should hold at every point. *)
+
+val render_cost_sensitivity : ?scale:float -> unit -> string
+
+type cache_row = {
+  k_capacity : int;
+  k_policy : string;
+  k_speedup : float;
+  k_flushes : int;
+  k_fragments : int;  (** Fragments ever built (re-predictions included). *)
+  k_coverage : float;
+}
+
+val cache_policies :
+  ?scale:float -> ?bench:string -> ?capacities:int list -> unit -> cache_row list
+(** Cache-pressure ablation: NET at τ=50 on one benchmark (default li) with
+    tight fragment caches, under Dynamo's flush-on-pressure policy vs LRU
+    eviction.  LRU degrades gracefully; whole-cache flushes cost coverage
+    cliffs. *)
+
+val render_cache_policies : ?scale:float -> unit -> string
+
+type seed_row = {
+  sr_bench : string;
+  sr_net_mean : float;  (** Mean NET hit rate at τ=50 over the seeds. *)
+  sr_net_std : float;
+  sr_pp_mean : float;
+  sr_pp_std : float;
+}
+
+val seed_robustness : ?scale:float -> ?seeds:int list -> unit -> seed_row list
+(** Re-generate and re-record each benchmark under several seeds (default
+    5) and report the spread of the τ=50 hit rates: the headline numbers
+    are properties of the workload shapes, not of one random stream. *)
+
+val render_seed_robustness : ?scale:float -> unit -> string

@@ -1,0 +1,74 @@
+module Suite = Hotpath_workloads.Suite
+module Replay = Hotpath_prediction.Replay
+module Scheme = Hotpath_prediction.Scheme
+module Tablefmt = Hotpath_util.Tablefmt
+module Stats = Hotpath_util.Stats
+
+type row = {
+  name : string;
+  net_counters : int;
+  path_profile_counters : int;
+  ratio : float;
+  paper_ratio : float;
+}
+
+let compute ?scale ?(delay = 50) () =
+  List.map
+    (fun (run : Runs.run) ->
+       let counter_space scheme =
+         (Replay.run scheme ~delay run.Runs.recorded).Replay.counter_space
+       in
+       let net = counter_space (module Hotpath_prediction.Net : Scheme.S) in
+       let pp = counter_space (module Hotpath_prediction.Path_profile : Scheme.S) in
+       let paper = run.Runs.bench.Suite.b_paper in
+       {
+         name = run.Runs.bench.Suite.b_name;
+         net_counters = net;
+         path_profile_counters = pp;
+         ratio = Stats.ratio (float_of_int net) (float_of_int pp);
+         paper_ratio =
+           Stats.ratio
+             (float_of_int paper.Suite.pr_unique_heads)
+             (float_of_int paper.Suite.pr_paths);
+       })
+    (Runs.load_all ?scale ())
+
+let average_ratio rows =
+  Stats.mean (Array.of_list (List.map (fun r -> r.ratio) rows))
+
+let to_table rows =
+  let t =
+    Tablefmt.create
+      ~columns:
+        [
+          ("Benchmark", Tablefmt.Left);
+          ("NET counters", Tablefmt.Right);
+          ("Path-profile counters", Tablefmt.Right);
+          ("Ratio", Tablefmt.Right);
+          ("paper ratio", Tablefmt.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+       Tablefmt.add_row t
+         [
+           r.name;
+           Tablefmt.cell_int r.net_counters;
+           Tablefmt.cell_int r.path_profile_counters;
+           Tablefmt.cell_float ~digits:3 r.ratio;
+           Tablefmt.cell_float ~digits:3 r.paper_ratio;
+         ])
+    rows;
+  Tablefmt.add_separator t;
+  let paper_avg =
+    Stats.mean (Array.of_list (List.map (fun r -> r.paper_ratio) rows))
+  in
+  Tablefmt.add_row t
+    [
+      "Average"; ""; "";
+      Tablefmt.cell_float ~digits:3 (average_ratio rows);
+      Tablefmt.cell_float ~digits:3 paper_avg;
+    ];
+  t
+
+let render ?scale ?delay () = Tablefmt.render (to_table (compute ?scale ?delay ()))

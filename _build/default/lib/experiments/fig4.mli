@@ -1,0 +1,27 @@
+(** Figure 4 of the paper: NET's counter space normalized to
+    path-profile-based prediction's.
+
+    Path-profile-based prediction allocates one counter per distinct
+    dynamic path; NET allocates one per loop head.  Both are measured
+    dynamically by replaying the trace at the Dynamo operating point
+    (τ = 50) and reading each scheme's live counter count.  The paper's
+    average bar sits around 0.4–0.6 ("NET uses about 60% [less of] the
+    counter space"). *)
+
+type row = {
+  name : string;
+  net_counters : int;
+  path_profile_counters : int;
+  ratio : float;  (** net / path-profile. *)
+  paper_ratio : float;  (** Table 2's unique-heads / paths. *)
+}
+
+val compute : ?scale:float -> ?delay:int -> unit -> row list
+(** Per benchmark, Table 1 order; default delay 50. *)
+
+val average_ratio : row list -> float
+
+val to_table : row list -> Hotpath_util.Tablefmt.t
+(** Includes a final Average row. *)
+
+val render : ?scale:float -> ?delay:int -> unit -> string

@@ -1,0 +1,103 @@
+module Suite = Hotpath_workloads.Suite
+module Scheme = Hotpath_prediction.Scheme
+module Engine = Hotpath_dynamo.Engine
+module Cost_model = Hotpath_dynamo.Cost_model
+module Tablefmt = Hotpath_util.Tablefmt
+module Stats = Hotpath_util.Stats
+
+type cell = { speedup_pct : float; bailed : bool }
+
+type row = { name : string; cells : (string * int * cell) list }
+
+let delays = [ 10; 50; 100 ]
+
+let schemes : (string * Scheme.packed * (Cost_model.t -> Engine.scheme_costs)) list =
+  [
+    ("net", (module Hotpath_prediction.Net : Scheme.S), Engine.net_costs);
+    ( "path-profile",
+      (module Hotpath_prediction.Path_profile : Scheme.S),
+      Engine.path_profile_costs );
+  ]
+
+let run_bench ?scale ~cost bench =
+  let run = Runs.load ?scale bench in
+  let cells =
+    List.concat_map
+      (fun (scheme_name, scheme, costs_of) ->
+         List.map
+           (fun delay ->
+              let config =
+                Engine.config ~cost ~scheme ~scheme_costs:(costs_of cost) ~delay ()
+              in
+              let result = Engine.run config run.Runs.recorded in
+              ( scheme_name,
+                delay,
+                {
+                  speedup_pct = result.Engine.r_speedup_pct;
+                  bailed = result.Engine.r_bailed;
+                } ))
+           delays)
+      schemes
+  in
+  { name = bench.Suite.b_name; cells }
+
+let average rows =
+  let cells =
+    List.concat_map
+      (fun (scheme_name, _, _) ->
+         List.map
+           (fun delay ->
+              let values =
+                List.map
+                  (fun row ->
+                     let _, _, cell =
+                       List.find
+                         (fun (s, d, _) -> s = scheme_name && d = delay)
+                         row.cells
+                     in
+                     cell.speedup_pct)
+                  rows
+              in
+              ( scheme_name,
+                delay,
+                { speedup_pct = Stats.mean (Array.of_list values); bailed = false } ))
+           delays)
+      schemes
+  in
+  { name = "Average"; cells }
+
+let default_scale = 8.0
+
+let compute ?(scale = default_scale) ?(cost = Cost_model.default) () =
+  let rows = List.map (run_bench ~scale ~cost) Suite.dynamo_set in
+  rows @ [ average rows ]
+
+let compute_all ?(scale = default_scale) ?(cost = Cost_model.default) () =
+  List.map (run_bench ~scale ~cost) Suite.all
+
+let to_table rows =
+  let headers =
+    List.concat_map
+      (fun (scheme_name, _, _) ->
+         List.map
+           (fun d -> (Printf.sprintf "%s %d" scheme_name d, Tablefmt.Right))
+           delays)
+      schemes
+  in
+  let t = Tablefmt.create ~columns:(("Benchmark", Tablefmt.Left) :: headers) in
+  List.iter
+    (fun row ->
+       let cells =
+         List.map
+           (fun (_, _, c) ->
+              if c.bailed then "bail-out"
+              else Printf.sprintf "%+.1f%%" c.speedup_pct)
+           row.cells
+       in
+       Tablefmt.add_row t (row.name :: cells))
+    rows;
+  t
+
+let render ?scale ?(all = false) () =
+  let rows = if all then compute_all ?scale () else compute ?scale () in
+  Tablefmt.render (to_table rows)

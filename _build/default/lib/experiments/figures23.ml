@@ -1,0 +1,200 @@
+module Sweep = Hotpath_metrics.Sweep
+module Scheme = Hotpath_prediction.Scheme
+module Suite = Hotpath_workloads.Suite
+module Tablefmt = Hotpath_util.Tablefmt
+module Stats = Hotpath_util.Stats
+
+let schemes : (string * Scheme.packed) list =
+  [
+    ("path-profile", (module Hotpath_prediction.Path_profile : Scheme.S));
+    ("net", (module Hotpath_prediction.Net : Scheme.S));
+  ]
+
+type series = { s_scheme : string; s_bench : string; s_points : Sweep.point list }
+
+type t = { delays : int list; series : series list }
+
+let average_series ~scheme ~delays per_bench =
+  let n = List.length per_bench in
+  let points =
+    List.mapi
+      (fun i delay ->
+         let nth s = List.nth s.s_points i in
+         let mean f =
+           Stats.mean (Array.of_list (List.map (fun s -> f (nth s)) per_bench))
+         in
+         {
+           Sweep.delay;
+           profiled_pct = mean (fun p -> p.Sweep.profiled_pct);
+           hit_rate = mean (fun p -> p.Sweep.hit_rate);
+           noise_rate = mean (fun p -> p.Sweep.noise_rate);
+           predictions =
+             List.fold_left (fun acc s -> acc + (nth s).Sweep.predictions) 0 per_bench
+             / max 1 n;
+           counter_space =
+             List.fold_left (fun acc s -> acc + (nth s).Sweep.counter_space) 0 per_bench
+             / max 1 n;
+           profiling_ops =
+             List.fold_left (fun acc s -> acc + (nth s).Sweep.profiling_ops) 0 per_bench
+             / max 1 n;
+           collection_ops =
+             List.fold_left
+               (fun acc s -> acc + (nth s).Sweep.collection_ops)
+               0 per_bench
+             / max 1 n;
+         })
+      delays
+  in
+  { s_scheme = scheme; s_bench = "average"; s_points = points }
+
+let compute ?scale ?(delays = Sweep.default_delays) () =
+  let runs = Runs.load_all ?scale () in
+  let series =
+    List.concat_map
+      (fun (scheme_name, scheme) ->
+         let per_bench =
+           List.map
+             (fun (run : Runs.run) ->
+                {
+                  s_scheme = scheme_name;
+                  s_bench = run.Runs.bench.Suite.b_name;
+                  s_points =
+                    Sweep.run scheme run.Runs.recorded ~hot:run.Runs.hot ~delays;
+                })
+             runs
+         in
+         per_bench @ [ average_series ~scheme:scheme_name ~delays per_bench ])
+      schemes
+  in
+  { delays; series }
+
+let series t ~scheme ~bench =
+  List.find_opt (fun s -> s.s_scheme = scheme && s.s_bench = bench) t.series
+
+type summary = {
+  su_scheme : string;
+  su_hit_at_10pct : float option;
+  su_hit_at_10pct_n : int;
+  su_noise_at_10pct : float option;
+  su_noise_at_10pct_n : int;
+  su_hit_at_delay50 : float;
+  su_noise_at_delay50 : float;
+  su_profiled_for_noise_below_10pct : float option;
+}
+
+let noise_below points ~threshold =
+  (* First profiled-flow level at which noise dips below [threshold],
+     scanning by increasing profiled flow. *)
+  let sorted =
+    List.sort
+      (fun a b -> Float.compare a.Sweep.profiled_pct b.Sweep.profiled_pct)
+      points
+  in
+  List.find_map
+    (fun p -> if p.Sweep.noise_rate < threshold then Some p.Sweep.profiled_pct else None)
+    sorted
+
+let mean_defined values =
+  let defined = List.filter_map Fun.id values in
+  match defined with
+  | [] -> (None, 0)
+  | _ ->
+    ( Some (Stats.mean (Array.of_list defined)),
+      List.length defined )
+
+let summarize t =
+  List.map
+    (fun (scheme_name, _) ->
+       let bench_series =
+         List.filter
+           (fun s -> s.s_scheme = scheme_name && s.s_bench <> "average")
+           t.series
+       in
+       let hit_10, hit_n =
+         mean_defined
+           (List.map
+              (fun s -> Sweep.interpolate_hit_at s.s_points ~profiled_pct:10.0)
+              bench_series)
+       in
+       let noise_10, noise_n =
+         mean_defined
+           (List.map
+              (fun s -> Sweep.interpolate_noise_at s.s_points ~profiled_pct:10.0)
+              bench_series)
+       in
+       let avg = series t ~scheme:scheme_name ~bench:"average" in
+       let at_delay50 field =
+         match avg with
+         | None -> 0.0
+         | Some a -> (
+             match List.find_opt (fun p -> p.Sweep.delay = 50) a.s_points with
+             | Some p -> field p
+             | None -> 0.0)
+       in
+       {
+         su_scheme = scheme_name;
+         su_hit_at_10pct = hit_10;
+         su_hit_at_10pct_n = hit_n;
+         su_noise_at_10pct = noise_10;
+         su_noise_at_10pct_n = noise_n;
+         su_hit_at_delay50 = at_delay50 (fun p -> p.Sweep.hit_rate);
+         su_noise_at_delay50 = at_delay50 (fun p -> p.Sweep.noise_rate);
+         su_profiled_for_noise_below_10pct =
+           (match avg with
+            | None -> None
+            | Some a -> noise_below a.s_points ~threshold:10.0);
+       })
+    schemes
+
+let to_table t ~hit ~zoom =
+  let tbl =
+    Tablefmt.create
+      ~columns:
+        [
+          ("Scheme", Tablefmt.Left);
+          ("Benchmark", Tablefmt.Left);
+          ("Delay", Tablefmt.Right);
+          ("Profiled flow", Tablefmt.Right);
+          ((if hit then "Hit rate" else "Noise rate"), Tablefmt.Right);
+        ]
+  in
+  List.iter
+    (fun s ->
+       let any = ref false in
+       List.iter
+         (fun p ->
+            if (not zoom) || p.Sweep.profiled_pct <= 10.0 then begin
+              any := true;
+              Tablefmt.add_row tbl
+                [
+                  s.s_scheme;
+                  s.s_bench;
+                  Tablefmt.cell_int p.Sweep.delay;
+                  Tablefmt.cell_pct ~digits:2 p.Sweep.profiled_pct;
+                  Tablefmt.cell_pct
+                    (if hit then p.Sweep.hit_rate else p.Sweep.noise_rate);
+                ]
+            end)
+         s.s_points;
+       if !any then Tablefmt.add_separator tbl)
+    t.series;
+  tbl
+
+let render ?scale ?delays ~hit ~zoom () =
+  let t = compute ?scale ?delays () in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Tablefmt.render (to_table t ~hit ~zoom));
+  Buffer.add_string buf "\nSummary (average series):\n";
+  List.iter
+    (fun su ->
+       let show = function Some v -> Printf.sprintf "%.1f%%" v | None -> "n/a" in
+       Buffer.add_string buf
+         (Printf.sprintf
+            "  %-13s hit@10%%flow=%s (%d benchmarks) noise@10%%flow=%s (%d) \
+             hit@tau50=%.1f%% noise@tau50=%.1f%% profiled-for-noise<10%%=%s\n"
+            su.su_scheme (show su.su_hit_at_10pct) su.su_hit_at_10pct_n
+            (show su.su_noise_at_10pct) su.su_noise_at_10pct_n su.su_hit_at_delay50
+            su.su_noise_at_delay50
+            (show su.su_profiled_for_noise_below_10pct)))
+    (summarize t);
+  Buffer.contents buf

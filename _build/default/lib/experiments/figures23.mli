@@ -1,0 +1,61 @@
+(** Figures 2 and 3 of the paper: hit rate and noise rate vs profiled flow
+    for path-profile-based prediction and NET.
+
+    For every benchmark and both schemes, the prediction delay τ is swept
+    over the paper's range (10 … 1,000,000) and each replay yields one
+    (profiled-flow %, hit %, noise %) point.  The "average" series averages
+    the per-benchmark rates at each delay.  The figures' headline readings
+    (hit ≈ 97.5% for both schemes at ≤ 10% profiled flow; NET noisier than
+    path-profile only at impractically long delays; NET at or below
+    path-profile noise in the practical zoom region) are exposed via
+    {!summary}. *)
+
+module Sweep = Hotpath_metrics.Sweep
+module Scheme = Hotpath_prediction.Scheme
+
+val schemes : (string * Scheme.packed) list
+(** [("path-profile", …); ("net", …)] — the two schemes of the figures. *)
+
+type series = {
+  s_scheme : string;
+  s_bench : string;  (** Benchmark name or ["average"]. *)
+  s_points : Sweep.point list;  (** One per swept delay, ascending delay. *)
+}
+
+type t = { delays : int list; series : series list }
+
+val compute : ?scale:float -> ?delays:int list -> unit -> t
+(** Sweep every benchmark under both schemes (defaults:
+    {!Sweep.default_delays}, scale 1.0). *)
+
+val series : t -> scheme:string -> bench:string -> series option
+
+type summary = {
+  su_scheme : string;
+  su_hit_at_10pct : float option;
+      (** Hit rate at 10% profiled flow: interpolated per benchmark, then
+          averaged over the benchmarks whose curves reach that region.  At
+          scaled flow the flat benchmarks (gcc, go, ijpeg) profile more
+          than 10% of their flow even at τ=10 — a scale artifact recorded
+          in EXPERIMENTS.md — so they drop out of this reading. *)
+  su_hit_at_10pct_n : int;  (** Benchmarks contributing to the reading. *)
+  su_noise_at_10pct : float option;
+  su_noise_at_10pct_n : int;
+  su_hit_at_delay50 : float;
+      (** Average-series hit rate at τ=50 (Dynamo's operating point). *)
+  su_noise_at_delay50 : float;
+  su_profiled_for_noise_below_10pct : float option;
+      (** Profiled-flow % at which the average noise rate first drops below
+          10% (the paper: ≈35% for path-profile, ≈45% for NET). *)
+}
+
+val summarize : t -> summary list
+(** One summary per scheme. *)
+
+val to_table : t -> hit:bool -> zoom:bool -> Hotpath_util.Tablefmt.t
+(** Long-format rendering of one figure: rows are (scheme, benchmark,
+    delay) with profiled flow and the hit ([hit:true], Figure 2) or noise
+    (Figure 3) rate.  [zoom] restricts to points with ≤ 10% profiled flow
+    (the right-hand panels). *)
+
+val render : ?scale:float -> ?delays:int list -> hit:bool -> zoom:bool -> unit -> string

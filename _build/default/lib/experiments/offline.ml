@@ -1,0 +1,134 @@
+module Suite = Hotpath_workloads.Suite
+module Correlated = Hotpath_workloads.Correlated
+module Recorder = Hotpath_trace.Recorder
+module Edge_profile = Hotpath_profiling.Edge_profile
+module Sampling = Hotpath_profiling.Sampling
+module Hot_set = Hotpath_metrics.Hot_set
+module Tablefmt = Hotpath_util.Tablefmt
+module Prng = Hotpath_util.Prng
+
+type showdown_row = {
+  s_bench : string;
+  s_hot : int;
+  s_identified : int;
+  s_flow_pct : float;
+  s_edge_counters : int;
+  s_path_counters : int;
+}
+
+let showdown_row ~name ~recorded ~hot =
+  let identified, hot_size, flow_pct = Edge_profile.showdown_stats recorded ~hot in
+  let edge = Edge_profile.collect recorded in
+  {
+    s_bench = name;
+    s_hot = hot_size;
+    s_identified = identified;
+    s_flow_pct = flow_pct;
+    s_edge_counters = Edge_profile.counter_space edge;
+    s_path_counters = Recorder.num_paths recorded;
+  }
+
+let correlated_run () =
+  let program, behavior = Correlated.build ~triples:2 ~iterations:5_000 () in
+  let recorded =
+    Recorder.record ~max_paths:60_000 ~max_steps:3_000_000 program behavior
+      ~rng:(Prng.create ~seed:4242)
+  in
+  let hot =
+    Hot_set.compute
+      ~freq:(Recorder.frequencies recorded)
+      ~total_flow:(Recorder.num_instances recorded)
+      ~threshold:Suite.hot_threshold
+  in
+  (recorded, hot)
+
+let showdown ?scale () =
+  let rows =
+    List.map
+      (fun (run : Runs.run) ->
+         showdown_row ~name:run.Runs.bench.Suite.b_name ~recorded:run.Runs.recorded
+           ~hot:run.Runs.hot)
+      (Runs.load_all ?scale ())
+  in
+  let recorded, hot = correlated_run () in
+  rows @ [ showdown_row ~name:"correlated" ~recorded ~hot ]
+
+let render_showdown ?scale () =
+  let t =
+    Tablefmt.create
+      ~columns:
+        [
+          ("Benchmark", Tablefmt.Left);
+          ("Hot paths", Tablefmt.Right);
+          ("Identified by edges", Tablefmt.Right);
+          ("Hot flow recovered", Tablefmt.Right);
+          ("Edge counters", Tablefmt.Right);
+          ("Path counters", Tablefmt.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+       Tablefmt.add_row t
+         [
+           r.s_bench;
+           Tablefmt.cell_int r.s_hot;
+           Tablefmt.cell_int r.s_identified;
+           Tablefmt.cell_pct r.s_flow_pct;
+           Tablefmt.cell_int r.s_edge_counters;
+           Tablefmt.cell_int r.s_path_counters;
+         ])
+    (showdown ?scale ());
+  Tablefmt.render t
+
+type sampling_row = {
+  p_bench : string;
+  p_period : int;
+  p_precision : float;
+  p_recall : float;
+  p_flow_pct : float;
+}
+
+let sampling ?scale ?(periods = [ 10; 100; 1000 ]) () =
+  List.concat_map
+    (fun (run : Runs.run) ->
+       List.map
+         (fun period ->
+            let acc =
+              Sampling.accuracy run.Runs.recorded ~hot:run.Runs.hot ~period
+            in
+            {
+              p_bench = run.Runs.bench.Suite.b_name;
+              p_period = period;
+              p_precision = acc.Sampling.acc_precision;
+              p_recall = acc.Sampling.acc_recall;
+              p_flow_pct = acc.Sampling.acc_flow_pct;
+            })
+         periods)
+    (Runs.load_all ?scale ())
+
+let render_sampling ?scale () =
+  let t =
+    Tablefmt.create
+      ~columns:
+        [
+          ("Benchmark", Tablefmt.Left);
+          ("Period", Tablefmt.Right);
+          ("Precision", Tablefmt.Right);
+          ("Recall", Tablefmt.Right);
+          ("Hot flow recovered", Tablefmt.Right);
+        ]
+  in
+  let rows = sampling ?scale () in
+  List.iteri
+    (fun i r ->
+       if i > 0 && i mod 3 = 0 then Tablefmt.add_separator t;
+       Tablefmt.add_row t
+         [
+           r.p_bench;
+           Tablefmt.cell_int r.p_period;
+           Tablefmt.cell_float ~digits:3 r.p_precision;
+           Tablefmt.cell_float ~digits:3 r.p_recall;
+           Tablefmt.cell_pct r.p_flow_pct;
+         ])
+    rows;
+  Tablefmt.render t

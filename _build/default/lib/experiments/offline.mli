@@ -1,0 +1,38 @@
+(** Offline-profiling comparisons surrounding the paper's Section 7.
+
+    - {b Edge-vs-path showdown} (Ball, Mataga & Sagiv, cited as [6]): how
+      much of the true hot-path set an edge profile's min-edge-bound
+      ranking recovers.  Expected: a large share on the (mostly
+      uncorrelated) suite — the paper's stated offline analogue of the
+      NET result — and a visible failure on the correlated workload.
+    - {b Sampling accuracy}: hot-set precision/recall of a systematic
+      sampling profiler as the sampling period grows; quantifies the
+      overhead/accuracy trade-off of the sampling-based collection the
+      paper's Section 1 mentions. *)
+
+type showdown_row = {
+  s_bench : string;
+  s_hot : int;  (** True hot-set size. *)
+  s_identified : int;  (** Truly hot among the top-|hot| by edge bound. *)
+  s_flow_pct : float;  (** Their true flow over the hot flow. *)
+  s_edge_counters : int;
+  s_path_counters : int;
+}
+
+val showdown : ?scale:float -> unit -> showdown_row list
+(** The nine benchmarks plus a final ["correlated"] row. *)
+
+val render_showdown : ?scale:float -> unit -> string
+
+type sampling_row = {
+  p_bench : string;
+  p_period : int;
+  p_precision : float;
+  p_recall : float;
+  p_flow_pct : float;
+}
+
+val sampling : ?scale:float -> ?periods:int list -> unit -> sampling_row list
+(** Default periods: 10, 100, 1000. *)
+
+val render_sampling : ?scale:float -> unit -> string

@@ -1,0 +1,76 @@
+module Suite = Hotpath_workloads.Suite
+module Phased = Hotpath_metrics.Phased
+module Net = Hotpath_prediction.Net
+module Scheme = Hotpath_prediction.Scheme
+module Tablefmt = Hotpath_util.Tablefmt
+
+type row = {
+  r_policy : string;
+  r_hit_rate : float;
+  r_phase_noise_rate : float;
+  r_stale_fraction : float;
+  r_retired : int;
+  r_live_final : int;
+}
+
+let policies =
+  [
+    ("no-retirement", Phased.No_retirement);
+    ("flush-every-20k", Phased.Flush_every 20_000);
+    ( "flush-on-spike",
+      Phased.Flush_on_spike { window = 2_048; factor = 2.0; min_preds = 8 } );
+    ("ttl-10k", Phased.Ttl 10_000);
+  ]
+
+let compute ?(delay = 20) ?(window = 8_192) ?max_paths () =
+  let recorded = Suite.record_phased ?max_paths () in
+  List.map
+    (fun (name, retirement) ->
+       let o =
+         Phased.run
+           (module Net : Scheme.S)
+           ~delay ~window ~retirement ~threshold:Suite.hot_threshold recorded
+       in
+       let live_final =
+         match List.rev o.Phased.windows with
+         | last :: _ -> last.Phased.w_live_predictions
+         | [] -> 0
+       in
+       {
+         r_policy = name;
+         r_hit_rate = o.Phased.avg_hit_rate;
+         r_phase_noise_rate = o.Phased.avg_phase_noise_rate;
+         r_stale_fraction = o.Phased.avg_stale_fraction;
+         r_retired = o.Phased.retired;
+         r_live_final = live_final;
+       })
+    policies
+
+let to_table rows =
+  let t =
+    Tablefmt.create
+      ~columns:
+        [
+          ("Retirement policy", Tablefmt.Left);
+          ("Windowed hit rate", Tablefmt.Right);
+          ("Phase noise", Tablefmt.Right);
+          ("Stale fraction", Tablefmt.Right);
+          ("Retired", Tablefmt.Right);
+          ("Live at end", Tablefmt.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+       Tablefmt.add_row t
+         [
+           r.r_policy;
+           Tablefmt.cell_pct r.r_hit_rate;
+           Tablefmt.cell_pct r.r_phase_noise_rate;
+           Tablefmt.cell_float ~digits:3 r.r_stale_fraction;
+           Tablefmt.cell_int r.r_retired;
+           Tablefmt.cell_int r.r_live_final;
+         ])
+    rows;
+  t
+
+let render ?delay ?window () = Tablefmt.render (to_table (compute ?delay ?window ()))

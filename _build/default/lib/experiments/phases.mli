@@ -1,0 +1,35 @@
+(** The phase-change study: the paper's Section 6.1 future work, measured.
+
+    On the phased workload ({!Hotpath_workloads} [Suite.phased_demo]), NET
+    is replayed under the {!Hotpath_metrics} [Phased] metrics with four
+    retirement policies.  Expected shape:
+
+    - {e no retirement} accumulates stale predictions (dead fragments)
+      across phases but scores the best windowed hit rate when phases
+      recur (old fragments are instantly hot again);
+    - {e periodic flushing} caps staleness at the price of re-predicting
+      after every flush;
+    - {e spike-triggered flushing} (Dynamo's heuristic) pays that price
+      only at actual transitions;
+    - {e TTL retirement} keeps the set small continuously.
+
+    The paper's open question — "at what granularity sensitivity to phase
+    changes is most beneficial" — becomes a measurable trade-off between
+    windowed hit rate and stale-fragment fraction. *)
+
+type row = {
+  r_policy : string;
+  r_hit_rate : float;  (** Windowed, hot-flow-weighted. *)
+  r_phase_noise_rate : float;
+  r_stale_fraction : float;  (** Mean stale share of the live set. *)
+  r_retired : int;
+  r_live_final : int;  (** Prediction-set size at the last window. *)
+}
+
+val policies : (string * Hotpath_metrics.Phased.retirement) list
+
+val compute : ?delay:int -> ?window:int -> ?max_paths:int -> unit -> row list
+
+val to_table : row list -> Hotpath_util.Tablefmt.t
+
+val render : ?delay:int -> ?window:int -> unit -> string

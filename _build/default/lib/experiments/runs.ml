@@ -1,0 +1,31 @@
+module Suite = Hotpath_workloads.Suite
+module Recorder = Hotpath_trace.Recorder
+module Hot_set = Hotpath_metrics.Hot_set
+
+type run = {
+  bench : Suite.benchmark;
+  recorded : Recorder.t;
+  freq : int array;
+  hot : Hot_set.t;
+}
+
+let cache : (string * float, run) Hashtbl.t = Hashtbl.create 16
+
+let load ?(scale = 1.0) bench =
+  let key = (bench.Suite.b_name, scale) in
+  match Hashtbl.find_opt cache key with
+  | Some run -> run
+  | None ->
+    let recorded = Suite.record ~scale bench in
+    let freq = Recorder.frequencies recorded in
+    let hot =
+      Hot_set.compute ~freq ~total_flow:(Recorder.num_instances recorded)
+        ~threshold:Suite.hot_threshold
+    in
+    let run = { bench; recorded; freq; hot } in
+    Hashtbl.add cache key run;
+    run
+
+let load_all ?(scale = 1.0) () = List.map (fun b -> load ~scale b) Suite.all
+
+let clear_cache () = Hashtbl.reset cache

@@ -1,0 +1,25 @@
+(** Shared benchmark runs for the experiment drivers.
+
+    Recording a benchmark trace is the expensive step (one VM
+    interpretation); every table and figure replays the same recording, so
+    runs are memoized per (benchmark, scale) within the process. *)
+
+module Suite = Hotpath_workloads.Suite
+module Recorder = Hotpath_trace.Recorder
+module Hot_set = Hotpath_metrics.Hot_set
+
+type run = {
+  bench : Suite.benchmark;
+  recorded : Recorder.t;
+  freq : int array;
+  hot : Hot_set.t;  (** The paper's 0.1% hot set. *)
+}
+
+val load : ?scale:float -> Suite.benchmark -> run
+(** Record (or fetch the memoized recording of) the benchmark at the given
+    flow scale (default 1.0). *)
+
+val load_all : ?scale:float -> unit -> run list
+(** All nine benchmarks, Table 1 order. *)
+
+val clear_cache : unit -> unit

@@ -1,0 +1,68 @@
+module Suite = Hotpath_workloads.Suite
+module Recorder = Hotpath_trace.Recorder
+module Hot_set = Hotpath_metrics.Hot_set
+module Tablefmt = Hotpath_util.Tablefmt
+
+type row = {
+  name : string;
+  paths : int;
+  flow : int;
+  hot_paths : int;
+  hot_flow_pct : float;
+  paper_paths : int;
+  paper_flow_m : int;
+  paper_hot_paths : int;
+  paper_hot_flow_pct : float;
+}
+
+let compute ?scale () =
+  List.map
+    (fun (run : Runs.run) ->
+       let paper = run.Runs.bench.Suite.b_paper in
+       {
+         name = run.Runs.bench.Suite.b_name;
+         paths = Recorder.num_paths run.Runs.recorded;
+         flow = Recorder.num_instances run.Runs.recorded;
+         hot_paths = Hot_set.size run.Runs.hot;
+         hot_flow_pct = Hot_set.flow_pct run.Runs.hot;
+         paper_paths = paper.Suite.pr_paths;
+         paper_flow_m = paper.Suite.pr_flow_m;
+         paper_hot_paths = paper.Suite.pr_hot_paths;
+         paper_hot_flow_pct = paper.Suite.pr_hot_flow_pct;
+       })
+    (Runs.load_all ?scale ())
+
+let to_table rows =
+  let t =
+    Tablefmt.create
+      ~columns:
+        [
+          ("Benchmark", Tablefmt.Left);
+          ("#Paths", Tablefmt.Right);
+          ("Flow", Tablefmt.Right);
+          ("0.1% #Paths", Tablefmt.Right);
+          ("0.1% %Flow", Tablefmt.Right);
+          ("paper #Paths", Tablefmt.Right);
+          ("paper Flow(M)", Tablefmt.Right);
+          ("paper 0.1% #Paths", Tablefmt.Right);
+          ("paper %Flow", Tablefmt.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+       Tablefmt.add_row t
+         [
+           r.name;
+           Tablefmt.cell_int r.paths;
+           Tablefmt.cell_int r.flow;
+           Tablefmt.cell_int r.hot_paths;
+           Tablefmt.cell_pct r.hot_flow_pct;
+           Tablefmt.cell_int r.paper_paths;
+           Tablefmt.cell_int r.paper_flow_m;
+           Tablefmt.cell_int r.paper_hot_paths;
+           Tablefmt.cell_pct r.paper_hot_flow_pct;
+         ])
+    rows;
+  t
+
+let render ?scale () = Tablefmt.render (to_table (compute ?scale ()))

@@ -1,0 +1,26 @@
+(** Table 1 of the paper: the benchmark set.
+
+    Per benchmark: total distinct paths, total flow, size of the 0.1% hot
+    set, and the share of flow it captures — measured on the synthetic
+    workloads, printed alongside the paper's published values.  Flow is
+    scaled (see {!Hotpath_workloads.Suite}), so paths and flow compare by
+    shape, while %Flow compares directly. *)
+
+type row = {
+  name : string;
+  paths : int;
+  flow : int;  (** Path instances recorded. *)
+  hot_paths : int;
+  hot_flow_pct : float;
+  paper_paths : int;
+  paper_flow_m : int;
+  paper_hot_paths : int;
+  paper_hot_flow_pct : float;
+}
+
+val compute : ?scale:float -> unit -> row list
+(** Table 1 order. *)
+
+val to_table : row list -> Hotpath_util.Tablefmt.t
+
+val render : ?scale:float -> unit -> string

@@ -1,0 +1,57 @@
+module Suite = Hotpath_workloads.Suite
+module Recorder = Hotpath_trace.Recorder
+module Path_table = Hotpath_trace.Path_table
+module Tablefmt = Hotpath_util.Tablefmt
+
+type row = {
+  name : string;
+  paths : int;
+  unique_heads : int;
+  loop_heads : int;
+  paper_paths : int;
+  paper_unique_heads : int;
+}
+
+let compute ?scale () =
+  List.map
+    (fun (run : Runs.run) ->
+       let paper = run.Runs.bench.Suite.b_paper in
+       {
+         name = run.Runs.bench.Suite.b_name;
+         paths = Recorder.num_paths run.Runs.recorded;
+         unique_heads =
+           List.length (Path_table.unique_heads run.Runs.recorded.Recorder.table);
+         loop_heads = Recorder.unique_loop_heads run.Runs.recorded;
+         paper_paths = paper.Suite.pr_paths;
+         paper_unique_heads = paper.Suite.pr_unique_heads;
+       })
+    (Runs.load_all ?scale ())
+
+let to_table rows =
+  let t =
+    Tablefmt.create
+      ~columns:
+        [
+          ("Benchmark", Tablefmt.Left);
+          ("#Paths", Tablefmt.Right);
+          ("#Unique heads", Tablefmt.Right);
+          ("#Loop heads", Tablefmt.Right);
+          ("paper #Paths", Tablefmt.Right);
+          ("paper #Unique heads", Tablefmt.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+       Tablefmt.add_row t
+         [
+           r.name;
+           Tablefmt.cell_int r.paths;
+           Tablefmt.cell_int r.unique_heads;
+           Tablefmt.cell_int r.loop_heads;
+           Tablefmt.cell_int r.paper_paths;
+           Tablefmt.cell_int r.paper_unique_heads;
+         ])
+    rows;
+  t
+
+let render ?scale () = Tablefmt.render (to_table (compute ?scale ()))

@@ -1,0 +1,20 @@
+(** Table 2 of the paper: number of distinct paths vs unique path heads.
+
+    The ratio is what makes NET cheap: counters live only at (loop) heads,
+    of which there are far fewer than dynamic paths. *)
+
+type row = {
+  name : string;
+  paths : int;
+  unique_heads : int;  (** Distinct head blocks over all recorded paths. *)
+  loop_heads : int;  (** Heads ever arrived at via a backward taken transfer
+                         — the counters NET actually allocates. *)
+  paper_paths : int;
+  paper_unique_heads : int;
+}
+
+val compute : ?scale:float -> unit -> row list
+
+val to_table : row list -> Hotpath_util.Tablefmt.t
+
+val render : ?scale:float -> unit -> string

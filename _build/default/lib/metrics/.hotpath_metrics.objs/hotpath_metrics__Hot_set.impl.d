@@ -1,0 +1,1 @@
+lib/metrics/hot_set.ml: Array Hotpath_prediction Hotpath_util Int List Printf

@@ -1,0 +1,1 @@
+lib/metrics/hot_set.mli: Hotpath_prediction

@@ -1,0 +1,1 @@
+lib/metrics/phased.ml: Array Format Hashtbl Hotpath_prediction Hotpath_trace Hotpath_util List

@@ -1,0 +1,1 @@
+lib/metrics/phased.mli: Format Hotpath_prediction Hotpath_trace

@@ -1,0 +1,1 @@
+lib/metrics/rates.ml: Array Format Hot_set Hotpath_prediction Hotpath_util

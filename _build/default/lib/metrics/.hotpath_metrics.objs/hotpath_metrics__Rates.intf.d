@@ -1,0 +1,1 @@
+lib/metrics/rates.mli: Format Hot_set Hotpath_prediction

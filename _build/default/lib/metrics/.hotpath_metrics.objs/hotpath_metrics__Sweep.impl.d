@@ -1,0 +1,1 @@
+lib/metrics/sweep.ml: Array Float Format Hotpath_prediction List Rates

@@ -1,0 +1,1 @@
+lib/metrics/sweep.mli: Format Hot_set Hotpath_prediction Hotpath_trace

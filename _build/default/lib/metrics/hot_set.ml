@@ -1,0 +1,38 @@
+type t = {
+  threshold : float;
+  cutoff : float;
+  members : bool array;
+  ids : int array;
+  hot_flow : int;
+  total_flow : int;
+}
+
+let compute ~freq ~total_flow ~threshold =
+  if threshold <= 0.0 || threshold >= 1.0 then
+    invalid_arg "Hot_set.compute: threshold must be in (0,1)";
+  let sum = Array.fold_left ( + ) 0 freq in
+  if sum <> total_flow then
+    invalid_arg
+      (Printf.sprintf "Hot_set.compute: total_flow %d <> sum of freq %d" total_flow sum);
+  let cutoff = threshold *. float_of_int total_flow in
+  let members = Array.map (fun f -> float_of_int f > cutoff) freq in
+  let ids =
+    Array.to_list members
+    |> List.mapi (fun id hot -> (id, hot))
+    |> List.filter_map (fun (id, hot) -> if hot then Some id else None)
+    |> List.sort (fun a b -> Int.compare freq.(b) freq.(a))
+    |> Array.of_list
+  in
+  let hot_flow = Array.fold_left (fun acc id -> acc + freq.(id)) 0 ids in
+  { threshold; cutoff; members; ids; hot_flow; total_flow }
+
+let of_outcome (o : Hotpath_prediction.Replay.outcome) ~threshold =
+  compute ~freq:o.Hotpath_prediction.Replay.freq
+    ~total_flow:o.Hotpath_prediction.Replay.total_instances ~threshold
+
+let is_hot t id = id >= 0 && id < Array.length t.members && t.members.(id)
+
+let size t = Array.length t.ids
+
+let flow_pct t =
+  Hotpath_util.Stats.pct (float_of_int t.hot_flow) (float_of_int t.total_flow)

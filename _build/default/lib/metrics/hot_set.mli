@@ -1,0 +1,31 @@
+(** The hot-path set [HotPath_h] (Section 3 of the paper).
+
+    A path is hot when its execution frequency exceeds [h] — a fraction of
+    the total flow; the paper evaluates [h = 0.1%].  The set is computed
+    from full-run frequencies: it is the ground truth a prediction scheme
+    is scored against, not something a scheme gets to see. *)
+
+type t = private {
+  threshold : float;  (** The fraction [h]. *)
+  cutoff : float;  (** Absolute frequency above which a path is hot. *)
+  members : bool array;  (** Per path id. *)
+  ids : int array;  (** Hot path ids, descending frequency. *)
+  hot_flow : int;  (** [freq(HotPath)] — total executions of hot paths. *)
+  total_flow : int;
+}
+
+val compute : freq:int array -> total_flow:int -> threshold:float -> t
+(** @raise Invalid_argument unless [0 < threshold < 1] and [total_flow]
+    equals the sum of [freq]. *)
+
+val of_outcome : Hotpath_prediction.Replay.outcome -> threshold:float -> t
+(** Convenience: hot set from a replay outcome's full-run frequencies. *)
+
+val is_hot : t -> int -> bool
+
+val size : t -> int
+(** Number of hot paths (the paper's Table 1 #Paths column for the 0.1%
+    set). *)
+
+val flow_pct : t -> float
+(** Percentage of total flow the hot set captures (Table 1 %Flow). *)

@@ -1,0 +1,214 @@
+module Scheme = Hotpath_prediction.Scheme
+module Recorder = Hotpath_trace.Recorder
+module Path = Hotpath_trace.Path
+module Path_table = Hotpath_trace.Path_table
+module Stats = Hotpath_util.Stats
+
+type retirement =
+  | No_retirement
+  | Flush_every of int
+  | Flush_on_spike of { window : int; factor : float; min_preds : int }
+  | Ttl of int
+
+type window_row = {
+  w_index : int;
+  w_flow : int;
+  w_hot_paths : int;
+  w_hot_flow : int;
+  w_hits : int;
+  w_phase_noise : int;
+  w_hit_rate : float;
+  w_phase_noise_rate : float;
+  w_live_predictions : int;
+  w_stale_predictions : int;
+}
+
+type outcome = {
+  windows : window_row list;
+  avg_hit_rate : float;
+  avg_phase_noise_rate : float;
+  avg_stale_fraction : float;
+  retired : int;
+}
+
+let validate_retirement = function
+  | No_retirement -> ()
+  | Flush_every n when n < 1 -> invalid_arg "Phased.run: Flush_every period < 1"
+  | Flush_on_spike { window; factor; min_preds } ->
+    if window < 1 || factor <= 0.0 || min_preds < 1 then
+      invalid_arg "Phased.run: malformed Flush_on_spike policy"
+  | Flush_every _ | Ttl _ -> ()
+
+(* Per-window hot sets: a path is hot in window w when its frequency there
+   exceeds threshold x window flow. *)
+let window_hot_sets (r : Recorder.t) ~window ~threshold =
+  let n = Recorder.num_instances r in
+  let n_windows = (n + window - 1) / window in
+  let n_paths = Recorder.num_paths r in
+  let hot = Array.init n_windows (fun _ -> Hashtbl.create 32) in
+  let hot_flow = Array.make n_windows 0 in
+  let flow = Array.make n_windows 0 in
+  let freq = Array.make n_paths 0 in
+  let w = ref 0 in
+  let flush_window upto =
+    let cutoff = threshold *. float_of_int (upto) in
+    Array.iteri
+      (fun pid f ->
+         if f > 0 then begin
+           if float_of_int f > cutoff then begin
+             Hashtbl.replace hot.(!w) pid ();
+             hot_flow.(!w) <- hot_flow.(!w) + f
+           end;
+           freq.(pid) <- 0
+         end)
+      freq
+  in
+  Array.iteri
+    (fun i pid ->
+       let wi = i / window in
+       if wi <> !w then begin
+         flush_window flow.(!w);
+         w := wi
+       end;
+       freq.(pid) <- freq.(pid) + 1;
+       flow.(wi) <- flow.(wi) + 1)
+    r.Recorder.instances;
+  if n > 0 then flush_window flow.(!w);
+  (n_windows, hot, hot_flow, flow)
+
+let run scheme ~delay ~window ~retirement ~threshold (r : Recorder.t) =
+  if window < 1 then invalid_arg "Phased.run: window must be >= 1";
+  if delay < 1 then invalid_arg "Phased.run: delay must be >= 1";
+  if threshold <= 0.0 || threshold >= 1.0 then
+    invalid_arg "Phased.run: threshold must be in (0,1)";
+  validate_retirement retirement;
+  let (module S : Scheme.S) = scheme in
+  let n_paths = Recorder.num_paths r in
+  let paths = Path_table.paths r.Recorder.table in
+  let n_windows, hot, hot_flow, flow = window_hot_sets r ~window ~threshold in
+  let state = S.create ~delay ~program:r.Recorder.program in
+  (* Prediction set with removal support; [last_use] drives TTL and the
+     stale count. *)
+  let predicted : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let last_use = Array.make n_paths (-1) in
+  let executed_in_window : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let retired = ref 0 in
+  let hits = Array.make n_windows 0 in
+  let phase_noise = Array.make n_windows 0 in
+  let live_at_end = Array.make n_windows 0 in
+  let stale_at_end = Array.make n_windows 0 in
+  (* Spike-flush state. *)
+  let spike_preds = ref 0 and spike_baseline = ref None and spike_windows = ref 0 in
+  let flush_all () =
+    retired := !retired + Hashtbl.length predicted;
+    Hashtbl.reset predicted
+  in
+  let spike_boundary ~factor ~min_preds =
+    let count = !spike_preds in
+    spike_preds := 0;
+    incr spike_windows;
+    if !spike_windows > 1 then
+      match !spike_baseline with
+      | None -> spike_baseline := Some (float_of_int count)
+      | Some b ->
+        if count >= min_preds && float_of_int count > factor *. (b +. 1.0) then
+          flush_all ();
+        spike_baseline := Some ((0.7 *. b) +. (0.3 *. float_of_int count))
+  in
+  let close_window wi =
+    live_at_end.(wi) <- Hashtbl.length predicted;
+    let stale = ref 0 in
+    Hashtbl.iter
+      (fun pid () -> if not (Hashtbl.mem executed_in_window pid) then incr stale)
+      predicted;
+    stale_at_end.(wi) <- !stale;
+    Hashtbl.reset executed_in_window
+  in
+  let instances = r.Recorder.instances in
+  let n = Array.length instances in
+  for i = 0 to n - 1 do
+    let wi = i / window in
+    if i > 0 && i mod window = 0 then close_window (wi - 1);
+    let pid = instances.(i) in
+    Hashtbl.replace executed_in_window pid ();
+    (* TTL retirement is lazy: an expired entry no longer captures. *)
+    let live =
+      Hashtbl.mem predicted pid
+      &&
+      match retirement with
+      | Ttl ttl when last_use.(pid) >= 0 && i - last_use.(pid) > ttl ->
+        Hashtbl.remove predicted pid;
+        incr retired;
+        false
+      | _ -> true
+    in
+    if live && Hashtbl.mem predicted pid then begin
+      if Hashtbl.mem hot.(wi) pid then hits.(wi) <- hits.(wi) + 1
+      else phase_noise.(wi) <- phase_noise.(wi) + 1;
+      last_use.(pid) <- i
+    end
+    else begin
+      let p = paths.(pid) in
+      match
+        S.observe state ~head:(Path.head p) ~arrival:(Recorder.arrival r i)
+          ~path_id:pid ~n_branches:p.Path.n_branches
+          ~n_blocks:(Array.length p.Path.blocks)
+      with
+      | Some target when not (Hashtbl.mem predicted target) ->
+        Hashtbl.replace predicted target ();
+        last_use.(target) <- i;
+        incr spike_preds
+      | Some _ | None -> ()
+    end;
+    (* Retirement policies tick on every instance. *)
+    (match retirement with
+     | Flush_every every when (i + 1) mod every = 0 -> flush_all ()
+     | Flush_on_spike { window = sw; factor; min_preds } when (i + 1) mod sw = 0 ->
+       spike_boundary ~factor ~min_preds
+     | No_retirement | Flush_every _ | Flush_on_spike _ | Ttl _ -> ())
+  done;
+  if n > 0 then close_window ((n - 1) / window);
+  let rows =
+    List.init n_windows (fun wi ->
+        {
+          w_index = wi;
+          w_flow = flow.(wi);
+          w_hot_paths = Hashtbl.length hot.(wi);
+          w_hot_flow = hot_flow.(wi);
+          w_hits = hits.(wi);
+          w_phase_noise = phase_noise.(wi);
+          w_hit_rate = Stats.pct (float_of_int hits.(wi)) (float_of_int hot_flow.(wi));
+          w_phase_noise_rate =
+            Stats.pct (float_of_int phase_noise.(wi)) (float_of_int hot_flow.(wi));
+          w_live_predictions = live_at_end.(wi);
+          w_stale_predictions = stale_at_end.(wi);
+        })
+  in
+  let total_hot = Array.fold_left ( + ) 0 hot_flow in
+  let total_hits = Array.fold_left ( + ) 0 hits in
+  let total_noise = Array.fold_left ( + ) 0 phase_noise in
+  let stale_fractions =
+    List.filter_map
+      (fun row ->
+         if row.w_live_predictions = 0 then None
+         else
+           Some
+             (float_of_int row.w_stale_predictions
+              /. float_of_int row.w_live_predictions))
+      rows
+  in
+  {
+    windows = rows;
+    avg_hit_rate = Stats.pct (float_of_int total_hits) (float_of_int total_hot);
+    avg_phase_noise_rate =
+      Stats.pct (float_of_int total_noise) (float_of_int total_hot);
+    avg_stale_fraction = Stats.mean (Array.of_list stale_fractions);
+    retired = !retired;
+  }
+
+let pp_window ppf w =
+  Format.fprintf ppf
+    "@[<h>window %d: flow=%d hot=%d(%d) hit=%.1f%% phase-noise=%.1f%% live=%d \
+     stale=%d@]"
+    w.w_index w.w_flow w.w_hot_paths w.w_hot_flow w.w_hit_rate w.w_phase_noise_rate
+    w.w_live_predictions w.w_stale_predictions

@@ -1,0 +1,73 @@
+(** Phase-aware prediction metrics with a path-retirement model.
+
+    Section 6.1 of the paper notes that its accumulated hit/noise metrics
+    cannot see phase changes, and announces as future work an extension
+    that "models path removal from the prediction set", giving "an
+    abstract measure to evaluate how well a prediction scheme reacts to
+    phase changes and how well it handles phase-induced noise".  This
+    module implements that extension.
+
+    The trace is cut into fixed-size windows, each with its own hot set
+    (frequency above [threshold] of the window's flow).  The scheme is
+    replayed with a {!retirement} policy that may remove predictions; per
+    window the module reports:
+
+    - {e hit rate} against the {e window's} hot set — a scheme that keeps
+      predicting last phase's paths scores poorly here;
+    - {e phase noise} — captured flow of paths cold in this window (the
+      formerly-hot-now-cold flow of Section 6.1);
+    - {e stale predictions} — live predictions that did not execute at all
+      during the window: dead fragments occupying the cache. *)
+
+module Scheme = Hotpath_prediction.Scheme
+module Recorder = Hotpath_trace.Recorder
+
+type retirement =
+  | No_retirement  (** The accumulated model of Sections 3–5. *)
+  | Flush_every of int
+      (** Clear the prediction set every [n] instances (periodic cache
+          flush). *)
+  | Flush_on_spike of { window : int; factor : float; min_preds : int }
+      (** Dynamo's heuristic: clear when a window's prediction count jumps
+          above [factor] x the EWMA baseline (and at least [min_preds]). *)
+  | Ttl of int
+      (** Retire a prediction [n] instances after its last execution —
+          an idealized per-path retiring scheme (the paper cites the
+          hardware hot-spot detector of Merten et al. for this idea). *)
+
+type window_row = {
+  w_index : int;
+  w_flow : int;  (** Instances in the window. *)
+  w_hot_paths : int;
+  w_hot_flow : int;
+  w_hits : int;
+  w_phase_noise : int;
+  w_hit_rate : float;  (** 100 x hits / hot flow of the window. *)
+  w_phase_noise_rate : float;
+  w_live_predictions : int;  (** Prediction-set size at window end. *)
+  w_stale_predictions : int;
+      (** Live predictions with zero executions in the window. *)
+}
+
+type outcome = {
+  windows : window_row list;
+  avg_hit_rate : float;  (** Hot-flow-weighted over windows. *)
+  avg_phase_noise_rate : float;
+  avg_stale_fraction : float;
+      (** Mean share of the live prediction set that is stale, over
+          windows with a non-empty set. *)
+  retired : int;  (** Predictions removed by the policy. *)
+}
+
+val run :
+  Scheme.packed ->
+  delay:int ->
+  window:int ->
+  retirement:retirement ->
+  threshold:float ->
+  Recorder.t ->
+  outcome
+(** @raise Invalid_argument when [window < 1], [delay < 1], or the
+    threshold is outside (0,1). *)
+
+val pp_window : Format.formatter -> window_row -> unit

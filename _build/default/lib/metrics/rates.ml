@@ -1,0 +1,90 @@
+module Replay = Hotpath_prediction.Replay
+module Stats = Hotpath_util.Stats
+
+type t = {
+  hit_rate : float;
+  noise_rate : float;
+  profiled_flow_pct : float;
+  hits : int;
+  noise : int;
+  moc : int;
+  predicted_hot : int;
+  predicted_cold : int;
+}
+
+let operational (o : Replay.outcome) (hot : Hot_set.t) =
+  let hits = ref 0
+  and noise = ref 0
+  and moc = ref 0
+  and predicted_hot = ref 0
+  and predicted_cold = ref 0 in
+  Array.iteri
+    (fun pid at ->
+       if at <> max_int then begin
+         let captured = o.Replay.captured.(pid) in
+         if Hot_set.is_hot hot pid then begin
+           incr predicted_hot;
+           hits := !hits + captured;
+           moc := !moc + (o.Replay.freq.(pid) - captured)
+         end
+         else begin
+           incr predicted_cold;
+           noise := !noise + captured
+         end
+       end)
+    o.Replay.predicted_at;
+  let hot_flow = float_of_int hot.Hot_set.hot_flow in
+  {
+    hit_rate = Stats.pct (float_of_int !hits) hot_flow;
+    noise_rate = Stats.pct (float_of_int !noise) hot_flow;
+    profiled_flow_pct =
+      Stats.pct
+        (float_of_int o.Replay.profiled_instances)
+        (float_of_int o.Replay.total_instances);
+    hits = !hits;
+    noise = !noise;
+    moc = !moc;
+    predicted_hot = !predicted_hot;
+    predicted_cold = !predicted_cold;
+  }
+
+let closed_form (o : Replay.outcome) (hot : Hot_set.t) =
+  let tau = o.Replay.delay in
+  let hot_freq = ref 0
+  and cold_freq = ref 0
+  and predicted_hot = ref 0
+  and predicted_cold = ref 0 in
+  Array.iteri
+    (fun pid at ->
+       if at <> max_int then
+         if Hot_set.is_hot hot pid then begin
+           incr predicted_hot;
+           hot_freq := !hot_freq + o.Replay.freq.(pid)
+         end
+         else begin
+           incr predicted_cold;
+           cold_freq := !cold_freq + o.Replay.freq.(pid)
+         end)
+    o.Replay.predicted_at;
+  let hits = !hot_freq - (!predicted_hot * tau) in
+  let noise = !cold_freq - (!predicted_cold * tau) in
+  let moc = !predicted_hot * tau in
+  let hot_flow = float_of_int hot.Hot_set.hot_flow in
+  {
+    hit_rate = Stats.pct (float_of_int hits) hot_flow;
+    noise_rate = Stats.pct (float_of_int noise) hot_flow;
+    profiled_flow_pct =
+      Stats.pct
+        (float_of_int o.Replay.profiled_instances)
+        (float_of_int o.Replay.total_instances);
+    hits;
+    noise;
+    moc;
+    predicted_hot = !predicted_hot;
+    predicted_cold = !predicted_cold;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<h>hit=%.1f%% noise=%.1f%% profiled=%.1f%% moc=%d pred(hot=%d,cold=%d)@]"
+    t.hit_rate t.noise_rate t.profiled_flow_pct t.moc t.predicted_hot t.predicted_cold

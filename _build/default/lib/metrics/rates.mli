@@ -1,0 +1,39 @@
+(** Hit rate, noise rate, and missed-opportunity cost (Section 3).
+
+    Given a replay outcome and the ground-truth hot set:
+
+    - {e hits} — hot flow captured after prediction;
+    - {e noise} — cold flow captured after prediction;
+    - {e missed-opportunity cost (MOC)} — hot flow of predicted hot paths
+      that executed before their prediction, i.e. the reuse forfeited to
+      the prediction delay.
+
+    Both rates are normalized to the hot flow, as in the paper:
+    [HitRate = 100 * Hits / freq(HotPath)],
+    [NoiseRate = 100 * Noise / freq(HotPath)].
+
+    {!operational} measures these directly from the trace replay — the
+    numbers the reproduction reports.  {!closed_form} evaluates the
+    paper's aggregate formulas ([Hits = freq(P∩Hot) - |P∩Hot|·τ], etc.);
+    for path-profile-based prediction the two agree exactly (a predicted
+    path has executed exactly τ times at prediction), which is tested. *)
+
+type t = {
+  hit_rate : float;  (** Percentage of hot flow captured. *)
+  noise_rate : float;  (** Captured cold flow as a percentage of hot flow. *)
+  profiled_flow_pct : float;  (** Share of total flow consumed by profiling. *)
+  hits : int;
+  noise : int;
+  moc : int;
+  predicted_hot : int;  (** |P ∩ HotPath| *)
+  predicted_cold : int;  (** |P − HotPath| *)
+}
+
+val operational : Hotpath_prediction.Replay.outcome -> Hot_set.t -> t
+
+val closed_form : Hotpath_prediction.Replay.outcome -> Hot_set.t -> t
+(** The paper's formulas evaluated with τ = the outcome's delay.  Note the
+    aggregate subtraction can undershoot the operational value for NET,
+    whose predicted tails may have executed fewer than τ times. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,72 @@
+module Replay = Hotpath_prediction.Replay
+
+type point = {
+  delay : int;
+  profiled_pct : float;
+  hit_rate : float;
+  noise_rate : float;
+  predictions : int;
+  counter_space : int;
+  profiling_ops : int;
+  collection_ops : int;
+}
+
+(* The paper sweeps 10 .. 1,000,000 on runs with flow in the billions.  At
+   this reproduction's scaled flow (~10^5), small delays map to the same
+   freq(p)/tau regime the paper's 10..100 occupies, so the sweep starts at
+   2. *)
+let default_delays =
+  [ 2; 3; 5; 10; 20; 50; 100; 200; 500; 1_000; 2_000; 5_000; 10_000; 20_000;
+    50_000; 100_000; 200_000; 500_000; 1_000_000 ]
+
+let run scheme r ~hot ~delays =
+  List.map
+    (fun delay ->
+       let o = Replay.run scheme ~delay r in
+       let rates = Rates.operational o hot in
+       {
+         delay;
+         profiled_pct = rates.Rates.profiled_flow_pct;
+         hit_rate = rates.Rates.hit_rate;
+         noise_rate = rates.Rates.noise_rate;
+         predictions = Array.length o.Replay.predictions;
+         counter_space = o.Replay.counter_space;
+         profiling_ops = o.Replay.profiling_ops;
+         collection_ops = o.Replay.collection_ops;
+       })
+    delays
+
+let interpolate field points ~profiled_pct =
+  (* Points ordered by increasing delay are increasing in profiled flow;
+     sort defensively and scan for the bracketing pair. *)
+  let pts =
+    List.sort (fun a b -> Float.compare a.profiled_pct b.profiled_pct) points
+  in
+  let rec scan = function
+    | [] | [ _ ] -> None
+    | a :: (b :: _ as rest) ->
+      if profiled_pct < a.profiled_pct then None
+      else if profiled_pct <= b.profiled_pct then begin
+        let span = b.profiled_pct -. a.profiled_pct in
+        if span <= 0.0 then Some (field a)
+        else
+          let w = (profiled_pct -. a.profiled_pct) /. span in
+          Some ((field a *. (1.0 -. w)) +. (field b *. w))
+      end
+      else scan rest
+  in
+  match pts with
+  | [ only ] when Float.abs (only.profiled_pct -. profiled_pct) < 1e-9 ->
+    Some (field only)
+  | _ -> scan pts
+
+let interpolate_hit_at points ~profiled_pct =
+  interpolate (fun p -> p.hit_rate) points ~profiled_pct
+
+let interpolate_noise_at points ~profiled_pct =
+  interpolate (fun p -> p.noise_rate) points ~profiled_pct
+
+let pp_point ppf p =
+  Format.fprintf ppf
+    "@[<h>delay=%d profiled=%.2f%% hit=%.1f%% noise=%.1f%% preds=%d counters=%d@]"
+    p.delay p.profiled_pct p.hit_rate p.noise_rate p.predictions p.counter_space

@@ -1,0 +1,37 @@
+(** Prediction-delay sweeps — the data behind Figures 2 and 3.
+
+    For each delay τ the scheme is replayed over the recorded trace and one
+    point (profiled-flow %, hit rate, noise rate, costs) is produced.  The
+    X axis of the paper's figures is the profiled-flow share, which grows
+    monotonically with τ. *)
+
+type point = {
+  delay : int;
+  profiled_pct : float;
+  hit_rate : float;
+  noise_rate : float;
+  predictions : int;
+  counter_space : int;
+  profiling_ops : int;
+  collection_ops : int;
+}
+
+val default_delays : int list
+(** The paper's range: 10 to 1,000,000, log-spaced. *)
+
+val run :
+  Hotpath_prediction.Scheme.packed ->
+  Hotpath_trace.Recorder.t ->
+  hot:Hot_set.t ->
+  delays:int list ->
+  point list
+(** One point per delay, in the given order. *)
+
+val interpolate_hit_at : point list -> profiled_pct:float -> float option
+(** Linear interpolation of the hit rate at a given profiled-flow
+    percentage ([None] outside the swept range).  Used to read "hit rate at
+    10% profiled flow" off a sweep, as the paper does. *)
+
+val interpolate_noise_at : point list -> profiled_pct:float -> float option
+
+val pp_point : Format.formatter -> point -> unit

@@ -1,0 +1,1 @@
+lib/prediction/branch_profile.ml: Array Hashtbl Hotpath_cfg Hotpath_trace Hotpath_util List Option Replay

@@ -1,0 +1,1 @@
+lib/prediction/branch_profile.mli: Hashtbl Hotpath_cfg Hotpath_trace Replay

@@ -1,0 +1,1 @@
+lib/prediction/net.ml: Hashtbl Hotpath_cfg Hotpath_trace Option

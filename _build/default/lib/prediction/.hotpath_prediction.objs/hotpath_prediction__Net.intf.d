@@ -1,0 +1,1 @@
+lib/prediction/net.mli: Scheme

@@ -1,0 +1,1 @@
+lib/prediction/path_profile.ml: Hashtbl Hotpath_cfg Hotpath_trace Option

@@ -1,0 +1,1 @@
+lib/prediction/path_profile.mli: Scheme

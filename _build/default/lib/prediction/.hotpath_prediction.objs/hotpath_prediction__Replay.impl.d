@@ -1,0 +1,1 @@
+lib/prediction/replay.ml: Array Format Hotpath_trace Hotpath_util Int List Scheme

@@ -1,0 +1,1 @@
+lib/prediction/replay.mli: Format Hotpath_trace Scheme

@@ -1,0 +1,1 @@
+lib/prediction/scheme.ml: Hotpath_cfg Hotpath_trace

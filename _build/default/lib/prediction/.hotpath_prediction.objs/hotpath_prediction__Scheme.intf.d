@@ -1,0 +1,1 @@
+lib/prediction/scheme.mli: Hotpath_cfg Hotpath_trace

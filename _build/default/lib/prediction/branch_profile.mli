@@ -1,0 +1,53 @@
+(** Boa-style branch-profile-based prediction (Section 7 of the paper).
+
+    The Boa binary translator profiles {e every branch} during
+    interpretation; when a hot head is found, the predicted path is
+    {e constructed} by repeatedly following each branch's most likely
+    successor.  The paper's criticism, reproduced here: building a path
+    from isolated branch frequencies ignores branch correlation, so the
+    constructed path may be one that never executes as a whole.  Such
+    constructions are reported as {e phantoms} — in a real system they
+    become fragments that are optimized, cached, and never reused.
+
+    This scheme does not fit the {!Scheme.S} interface (a prediction may
+    target a path the trace never exhibits), so it ships with its own
+    replay that returns a {!Hotpath_prediction.Replay.outcome}-compatible
+    record plus phantom accounting. *)
+
+module Cfg = Hotpath_cfg.Cfg
+module Recorder = Hotpath_trace.Recorder
+module Signature = Hotpath_trace.Signature
+
+type outcome = {
+  base : Replay.outcome;
+      (** Standard replay accounting; [scheme_name] is ["boa"].
+          [profiling_ops] counts one update per executed branch (every
+          branch is profiled) plus a head-counter bump per loop-head
+          arrival; [counter_space] counts branch counters plus head
+          counters. *)
+  phantoms : Signature.t list;
+      (** Constructed paths that never occur in the trace, in construction
+          order.  Each is pure cost: a fragment built and never entered. *)
+}
+
+val run : delay:int -> Recorder.t -> outcome
+(** Replay the recorded trace under Boa prediction with delay τ: per
+    observed instance, bump the per-branch (and per-indirect-target)
+    frequency counts along the executed path; when a loop head's counter
+    trips, walk the CFG from the head following argmax directions — across
+    forward calls and returns, ending at a backward transfer, a matched
+    return, the signature cap, or program exit, as in the recorder — and
+    predict the constructed path.
+    @raise Invalid_argument when [delay < 1]. *)
+
+val construct :
+  Cfg.program ->
+  taken_counts:(Cfg.block_id, int * int) Hashtbl.t ->
+  indirect_counts:(Cfg.block_id * Cfg.block_id, int) Hashtbl.t ->
+  head:Cfg.block_id ->
+  Signature.t * Cfg.block_id array
+(** The path-construction step alone (exposed for tests): from [head],
+    follow per-branch argmax ([taken_counts] maps a branch block to its
+    (taken, not-taken) counts; ties and unseen branches fall through), the
+    hottest recorded indirect target (unseen: the first), and calls/returns
+    with the paper's path-termination rules. *)

@@ -1,0 +1,23 @@
+(** NET — Next Executing Tail prediction (Section 4.1 of the paper).
+
+    Profiling is limited to potential path starting points: a counter is
+    kept per target of a backward taken transfer (loop head) and bumped on
+    every arrival there via such a transfer.  When a head's counter reaches
+    the prediction delay τ, the head is hot and the tail executing {e right
+    now} — the next executing tail — is speculatively predicted as the hot
+    path, collected by incremental instrumentation (one breakpoint per
+    block, charged as collection ops).
+
+    After a prediction the head's counter re-arms, modelling Dynamo's
+    secondary trace heads at fragment exits: a loop with several hot paths
+    can have each of them predicted in turn (instances of already-predicted
+    paths execute in the cache and are not observed).  The {!Net_once}
+    variant predicts at most once per head — the ablation showing why
+    re-arming matters — and {!Last_executed_tail} predicts the {e previous}
+    tail seen at the head (the stale-choice ablation). *)
+
+include Scheme.S
+
+module Net_once : Scheme.S
+
+module Last_executed_tail : Scheme.S

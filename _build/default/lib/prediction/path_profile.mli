@@ -1,0 +1,13 @@
+(** Path-profile-based prediction (Section 4 of the paper).
+
+    The straightforward online adaptation of an offline path profiler:
+    profile every path (here via bit tracing, which needs no preparatory
+    static analysis) and predict a path as hot as soon as its execution
+    count reaches the prediction delay τ.
+
+    Cost model, per observed instance: one signature shift per conditional
+    branch on the path plus one path-table counter update.  Counter space
+    is one counter per distinct dynamic path — the quantity Table 2 and
+    Figure 4 of the paper compare against NET. *)
+
+include Scheme.S

@@ -1,0 +1,90 @@
+module Recorder = Hotpath_trace.Recorder
+module Path = Hotpath_trace.Path
+module Path_table = Hotpath_trace.Path_table
+module Vec = Hotpath_util.Vec
+
+type prediction = { target : int; at_instance : int }
+
+type outcome = {
+  scheme_name : string;
+  delay : int;
+  total_instances : int;
+  predictions : prediction array;
+  predicted_at : int array;
+  freq : int array;
+  captured : int array;
+  profiled_instances : int;
+  captured_instances : int;
+  counter_space : int;
+  profiling_ops : int;
+  collection_ops : int;
+}
+
+let run (module S : Scheme.S) ~delay (r : Recorder.t) =
+  let n_paths = Recorder.num_paths r in
+  let table = r.Recorder.table in
+  (* Cache per-path descriptors once; the replay loop is hot. *)
+  let heads = Array.make n_paths 0
+  and branches = Array.make n_paths 0
+  and blocks = Array.make n_paths 0 in
+  Path_table.iter
+    (fun p ->
+       heads.(p.Path.id) <- Path.head p;
+       branches.(p.Path.id) <- p.Path.n_branches;
+       blocks.(p.Path.id) <- Array.length p.Path.blocks)
+    table;
+  let state = S.create ~delay ~program:r.Recorder.program in
+  let predicted_at = Array.make n_paths max_int in
+  let freq = Array.make n_paths 0 in
+  let captured = Array.make n_paths 0 in
+  let predictions = Vec.create () in
+  let profiled = ref 0 and captured_total = ref 0 in
+  let instances = r.Recorder.instances in
+  let n = Array.length instances in
+  for i = 0 to n - 1 do
+    let pid = instances.(i) in
+    freq.(pid) <- freq.(pid) + 1;
+    if predicted_at.(pid) < i then begin
+      captured.(pid) <- captured.(pid) + 1;
+      incr captured_total
+    end
+    else begin
+      incr profiled;
+      match
+        S.observe state ~head:heads.(pid) ~arrival:(Recorder.arrival r i)
+          ~path_id:pid ~n_branches:branches.(pid) ~n_blocks:blocks.(pid)
+      with
+      | Some target when predicted_at.(target) = max_int ->
+        predicted_at.(target) <- i;
+        Vec.push predictions { target; at_instance = i }
+      | Some _ | None -> ()
+    end
+  done;
+  {
+    scheme_name = S.name;
+    delay;
+    total_instances = n;
+    predictions = Vec.to_array predictions;
+    predicted_at;
+    freq;
+    captured;
+    profiled_instances = !profiled;
+    captured_instances = !captured_total;
+    counter_space = S.counter_space state;
+    profiling_ops = S.profiling_ops state;
+    collection_ops = S.collection_ops state;
+  }
+
+let predicted_paths o =
+  Array.to_list o.predictions
+  |> List.map (fun p -> p.target)
+  |> List.sort Int.compare
+
+let pp_summary ppf o =
+  Format.fprintf ppf
+    "@[<h>%s(delay=%d): instances=%d predicted=%d profiled=%d captured=%d \
+     counters=%d ops=%d collect=%d@]"
+    o.scheme_name o.delay o.total_instances
+    (Array.length o.predictions)
+    o.profiled_instances o.captured_instances o.counter_space o.profiling_ops
+    o.collection_ops

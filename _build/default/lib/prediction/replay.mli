@@ -1,0 +1,41 @@
+(** Replay a recorded trace through an online prediction scheme.
+
+    The engine models a dynamic compilation system: instances of a path
+    that has already been predicted execute inside the code cache and are
+    {e not} observed by the scheme (no profiling cost); every other
+    instance is profiled.  A prediction made at instance [i] takes effect
+    for instances after [i] — the triggering instance itself is still
+    profiled flow, giving the paper's [captured = freq - τ] accounting for
+    path-profile-based prediction. *)
+
+type prediction = {
+  target : int;  (** Predicted path id. *)
+  at_instance : int;  (** Trace position where the prediction fired. *)
+}
+
+type outcome = {
+  scheme_name : string;
+  delay : int;
+  total_instances : int;
+  predictions : prediction array;  (** In firing order. *)
+  predicted_at : int array;
+      (** Per path id: the instance index at which it was predicted, or
+          [max_int] if never. *)
+  freq : int array;  (** Per path id: total executions (freq(p)). *)
+  captured : int array;
+      (** Per path id: executions strictly after its prediction — the flow
+          a real system would run from the code cache. *)
+  profiled_instances : int;  (** Instances observed by the scheme. *)
+  captured_instances : int;  (** Sum of [captured]. *)
+  counter_space : int;
+  profiling_ops : int;
+  collection_ops : int;
+}
+
+val run : Scheme.packed -> delay:int -> Hotpath_trace.Recorder.t -> outcome
+(** @raise Invalid_argument when [delay < 1]. *)
+
+val predicted_paths : outcome -> int list
+(** Path ids predicted, ascending. *)
+
+val pp_summary : Format.formatter -> outcome -> unit

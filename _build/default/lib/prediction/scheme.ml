@@ -1,0 +1,29 @@
+module Cfg = Hotpath_cfg.Cfg
+module Path = Hotpath_trace.Path
+
+module type S = sig
+  type t
+
+  val name : string
+
+  val create : delay:int -> program:Cfg.program -> t
+
+  val observe :
+    t ->
+    head:Cfg.block_id ->
+    arrival:Path.head_kind ->
+    path_id:int ->
+    n_branches:int ->
+    n_blocks:int ->
+    int option
+
+  val counter_space : t -> int
+
+  val profiling_ops : t -> int
+
+  val collection_ops : t -> int
+end
+
+type packed = (module S)
+
+let name (module M : S) = M.name

@@ -1,0 +1,49 @@
+(** Online hot-path prediction schemes (Section 4 of the paper).
+
+    A scheme observes path instances in execution order and occasionally
+    predicts a path as hot.  The {!Replay} engine drives a scheme over a
+    recorded trace, withholding instances of already-predicted paths (they
+    execute inside the code cache in a real system) and accounting the
+    scheme's runtime costs:
+
+    - {e profiling operations} — recurring work per observed instance
+      (bit shifts and table updates for path-profile-based prediction,
+      one counter increment per loop-head arrival for NET);
+    - {e collection operations} — one-time work to materialize a predicted
+      path (NET's incremental breakpoints; free for path-profile-based
+      prediction, which already holds the path);
+    - {e counter space} — live counters allocated so far. *)
+
+module Cfg = Hotpath_cfg.Cfg
+module Path = Hotpath_trace.Path
+
+module type S = sig
+  type t
+
+  val name : string
+
+  val create : delay:int -> program:Cfg.program -> t
+  (** Fresh scheme state with prediction delay [delay] (the paper's τ).
+      @raise Invalid_argument when [delay < 1]. *)
+
+  val observe :
+    t ->
+    head:Cfg.block_id ->
+    arrival:Path.head_kind ->
+    path_id:int ->
+    n_branches:int ->
+    n_blocks:int ->
+    int option
+  (** Feed one (not-yet-predicted) path instance; [Some p] predicts path
+      [p] as hot, effective for subsequent instances. *)
+
+  val counter_space : t -> int
+
+  val profiling_ops : t -> int
+
+  val collection_ops : t -> int
+end
+
+type packed = (module S)
+
+val name : packed -> string

@@ -1,0 +1,1 @@
+lib/profiling/ball_larus.ml: Array Bool Fun Hashtbl Hotpath_cfg Hotpath_util Hotpath_vm Int List Option Printf

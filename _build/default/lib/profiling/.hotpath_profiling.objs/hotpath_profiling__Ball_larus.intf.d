@@ -1,0 +1,1 @@
+lib/profiling/ball_larus.mli: Hotpath_cfg Hotpath_vm

@@ -1,0 +1,1 @@
+lib/profiling/bit_tracing.ml: Array Hotpath_trace Hotpath_util Int List

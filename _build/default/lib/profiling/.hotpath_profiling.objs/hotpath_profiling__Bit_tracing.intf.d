@@ -1,0 +1,1 @@
+lib/profiling/bit_tracing.mli: Hotpath_trace

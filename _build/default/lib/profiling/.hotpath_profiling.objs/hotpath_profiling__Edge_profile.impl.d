@@ -1,0 +1,1 @@
+lib/profiling/edge_profile.ml: Array Hashtbl Hotpath_cfg Hotpath_metrics Hotpath_trace Hotpath_util Int List Option

@@ -1,0 +1,1 @@
+lib/profiling/edge_profile.mli: Hotpath_cfg Hotpath_metrics Hotpath_trace

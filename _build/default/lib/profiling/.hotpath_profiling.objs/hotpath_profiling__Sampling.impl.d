@@ -1,0 +1,1 @@
+lib/profiling/sampling.ml: Array Hotpath_metrics Hotpath_trace Hotpath_util List

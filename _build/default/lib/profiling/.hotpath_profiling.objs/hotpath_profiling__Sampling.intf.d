@@ -1,0 +1,1 @@
+lib/profiling/sampling.mli: Hotpath_metrics Hotpath_trace

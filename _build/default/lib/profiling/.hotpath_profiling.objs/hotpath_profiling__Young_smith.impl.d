@@ -1,0 +1,1 @@
+lib/profiling/young_smith.ml: Array Bool Hashtbl Hotpath_cfg Hotpath_vm Int List Option Printf String

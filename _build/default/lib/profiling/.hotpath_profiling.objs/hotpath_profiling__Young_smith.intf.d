@@ -1,0 +1,1 @@
+lib/profiling/young_smith.mli: Hotpath_cfg Hotpath_vm

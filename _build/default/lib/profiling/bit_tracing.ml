@@ -1,0 +1,46 @@
+module Path = Hotpath_trace.Path
+module Recorder = Hotpath_trace.Recorder
+
+type profile = {
+  entries : (Path.t * int) array;
+  total_flow : int;
+  shift_ops : int;
+  table_updates : int;
+  counter_space : int;
+}
+
+let profile (r : Recorder.t) =
+  let freq = Recorder.frequencies r in
+  let entries =
+    Array.mapi (fun id count -> (Hotpath_trace.Path_table.path r.Recorder.table id, count)) freq
+  in
+  Array.sort
+    (fun (p1, c1) (p2, c2) ->
+       let c = Int.compare c2 c1 in
+       if c <> 0 then c else Int.compare p1.Path.id p2.Path.id)
+    entries;
+  let shift_ops =
+    Array.fold_left
+      (fun acc (p, count) -> acc + (p.Path.n_branches * count))
+      0 entries
+  in
+  {
+    entries;
+    total_flow = Recorder.num_instances r;
+    shift_ops;
+    table_updates = Recorder.num_instances r;
+    counter_space = Recorder.num_paths r;
+  }
+
+let hot_set p ~threshold =
+  if threshold <= 0.0 || threshold >= 1.0 then
+    invalid_arg "Bit_tracing.hot_set: threshold must be in (0,1)";
+  let cutoff = threshold *. float_of_int p.total_flow in
+  Array.of_list
+    (List.filter
+       (fun (_, count) -> float_of_int count > cutoff)
+       (Array.to_list p.entries))
+
+let coverage p paths =
+  let captured = Array.fold_left (fun acc (_, c) -> acc + c) 0 paths in
+  Hotpath_util.Stats.pct (float_of_int captured) (float_of_int p.total_flow)

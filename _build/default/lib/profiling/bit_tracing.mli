@@ -1,0 +1,37 @@
+(** Bit-tracing path profiler (Section 2 of the paper).
+
+    Constructs path signatures on the fly — one shift per executed
+    conditional branch, one table update per completed path — with no
+    preparatory static analysis.  This is the offline scheme the paper's
+    path-profile-based prediction is derived from, so its cost accounting
+    (shift operations, table updates, counter space) is what Figures 4/5
+    charge to that scheme.
+
+    The heavy lifting (signature construction, interning) is shared with
+    {!Hotpath_trace}; this module layers the profile view and the cost
+    model over a recorded trace. *)
+
+module Path = Hotpath_trace.Path
+
+type profile = {
+  entries : (Path.t * int) array;
+      (** (path, frequency), descending frequency; ties by path id. *)
+  total_flow : int;  (** Completed path executions. *)
+  shift_ops : int;
+      (** Signature shift-or operations: one per executed conditional
+          branch. *)
+  table_updates : int;  (** One per completed path execution. *)
+  counter_space : int;  (** Distinct paths — live counters in the table. *)
+}
+
+val profile : Hotpath_trace.Recorder.t -> profile
+(** Full-run profile of a recorded trace. *)
+
+val hot_set : profile -> threshold:float -> (Path.t * int) array
+(** Paths whose frequency exceeds [threshold] (a fraction, e.g. [0.001]
+    for the paper's 0.1%) of the total flow, descending frequency.
+    @raise Invalid_argument unless [0 < threshold < 1]. *)
+
+val coverage : profile -> (Path.t * int) array -> float
+(** Percentage of total flow captured by the given paths — the offline
+    coverage metric hit rate is the online analog of. *)

@@ -1,0 +1,105 @@
+module Cfg = Hotpath_cfg.Cfg
+module Recorder = Hotpath_trace.Recorder
+module Path = Hotpath_trace.Path
+module Path_table = Hotpath_trace.Path_table
+module Signature = Hotpath_trace.Signature
+module Hot_set = Hotpath_metrics.Hot_set
+
+type t = { counts : (Cfg.block_id * Cfg.block_id, int) Hashtbl.t }
+
+let bump t key =
+  Hashtbl.replace t.counts key (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts key))
+
+(* Each path contributes its internal edges; the terminal edge goes to the
+   next instance's head.  Frequencies are accumulated per distinct path
+   once and multiplied, except terminal edges, which genuinely vary per
+   instance (the next head differs), so the trace is walked directly. *)
+let collect (r : Recorder.t) =
+  let t = { counts = Hashtbl.create 1024 } in
+  let paths = Path_table.paths r.Recorder.table in
+  let n = Array.length r.Recorder.instances in
+  for i = 0 to n - 1 do
+    let p = paths.(r.Recorder.instances.(i)) in
+    let blocks = p.Path.blocks in
+    for j = 0 to Array.length blocks - 2 do
+      bump t (blocks.(j), blocks.(j + 1))
+    done;
+    if i + 1 < n then begin
+      let next_head = Path.head paths.(r.Recorder.instances.(i + 1)) in
+      bump t (blocks.(Array.length blocks - 1), next_head)
+    end
+  done;
+  t
+
+let count t ~src ~dst = Option.value ~default:0 (Hashtbl.find_opt t.counts (src, dst))
+
+let edges t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.counts []
+  |> List.sort (fun (k1, a) (k2, b) ->
+      let c = Int.compare b a in
+      if c <> 0 then c else compare k1 k2)
+
+let counter_space t = Hashtbl.length t.counts
+
+let path_bound t (p : Path.t) ~next_head =
+  let blocks = p.Path.blocks in
+  let bound = ref max_int in
+  for j = 0 to Array.length blocks - 2 do
+    bound := min !bound (count t ~src:blocks.(j) ~dst:blocks.(j + 1))
+  done;
+  (match next_head with
+   | Some dst -> bound := min !bound (count t ~src:blocks.(Array.length blocks - 1) ~dst)
+   | None -> ());
+  if !bound = max_int then 0 else !bound
+
+type estimate = { est_path : Path.t; est_bound : int; est_true_freq : int }
+
+(* The dominant terminal edge per path (most paths end at a loop's back
+   edge whose target is fixed); recovered from the trace. *)
+let terminal_heads (r : Recorder.t) =
+  let paths = Path_table.paths r.Recorder.table in
+  let heads = Hashtbl.create 256 in
+  let n = Array.length r.Recorder.instances in
+  for i = 0 to n - 2 do
+    let pid = r.Recorder.instances.(i) in
+    if not (Hashtbl.mem heads pid) then
+      Hashtbl.add heads pid (Path.head paths.(r.Recorder.instances.(i + 1)))
+  done;
+  heads
+
+let estimate_hot_paths (r : Recorder.t) ~k =
+  let t = collect r in
+  let freq = Recorder.frequencies r in
+  let heads = terminal_heads r in
+  let estimates =
+    Array.to_list
+      (Array.map
+         (fun (p : Path.t) ->
+            {
+              est_path = p;
+              est_bound = path_bound t p ~next_head:(Hashtbl.find_opt heads p.Path.id);
+              est_true_freq = freq.(p.Path.id);
+            })
+         (Path_table.paths r.Recorder.table))
+  in
+  let sorted =
+    List.sort
+      (fun a b ->
+         let c = Int.compare b.est_bound a.est_bound in
+         if c <> 0 then c else Int.compare a.est_path.Path.id b.est_path.Path.id)
+      estimates
+  in
+  List.filteri (fun i _ -> i < k) sorted
+
+let showdown_stats (r : Recorder.t) ~(hot : Hot_set.t) =
+  let k = Hot_set.size hot in
+  let top = estimate_hot_paths r ~k in
+  let identified =
+    List.filter (fun e -> Hot_set.is_hot hot e.est_path.Path.id) top
+  in
+  let flow =
+    List.fold_left (fun acc e -> acc + e.est_true_freq) 0 identified
+  in
+  ( List.length identified,
+    k,
+    Hotpath_util.Stats.pct (float_of_int flow) (float_of_int hot.Hot_set.hot_flow) )

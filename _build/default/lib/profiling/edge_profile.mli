@@ -1,0 +1,53 @@
+(** Edge profiling, and hot-path estimation from edge counts.
+
+    The cheapest classical profile: one counter per control-flow edge.
+    The paper's Section 7 cites Ball, Mataga & Sagiv ("Edge profiling
+    versus path profiling: the showdown", POPL 1998): an edge profile is
+    enough to compute a large percentage of the hot portion of the
+    corresponding path profile — offline.  This module collects edge
+    counts from a recorded trace and implements the estimation side: a
+    path's frequency is bounded above by the minimum count over its edges,
+    and ranking paths by that bound recovers most of the hot set on
+    uncorrelated workloads (and fails on correlated ones, where products
+    of edge frequencies lie — see {!Hotpath_workloads} [Correlated]). *)
+
+module Cfg = Hotpath_cfg.Cfg
+module Recorder = Hotpath_trace.Recorder
+module Path = Hotpath_trace.Path
+
+type t
+
+val collect : Recorder.t -> t
+(** Edge counts over the whole recorded trace: every intra-path transfer
+    plus each path's terminal transfer (recovered from the next instance's
+    head, so the loop back edges are counted too). *)
+
+val count : t -> src:Cfg.block_id -> dst:Cfg.block_id -> int
+
+val edges : t -> ((Cfg.block_id * Cfg.block_id) * int) list
+(** All edges with their counts, descending. *)
+
+val counter_space : t -> int
+(** Distinct edges with a live counter — compare with path-table and NET
+    head counters. *)
+
+val path_bound : t -> Path.t -> next_head:Cfg.block_id option -> int
+(** The min-edge-count upper bound on a path's frequency.  [next_head]
+    supplies the terminal edge's destination when known. *)
+
+type estimate = {
+  est_path : Path.t;
+  est_bound : int;  (** Min-edge upper bound. *)
+  est_true_freq : int;
+}
+
+val estimate_hot_paths : Recorder.t -> k:int -> estimate list
+(** The [k] paths with the highest min-edge bounds (the edge profile's best
+    guess at the hot set), with their true frequencies attached. *)
+
+val showdown_stats :
+  Recorder.t -> hot:Hotpath_metrics.Hot_set.t -> int * int * float
+(** [(identified, hot_size, flow_pct)]: take the top-[|hot|] paths by edge
+    bound; [identified] of them are truly hot, capturing [flow_pct] percent
+    of the hot flow.  The Ball–Mataga–Sagiv claim is that this percentage
+    is large on real (mostly uncorrelated) programs. *)

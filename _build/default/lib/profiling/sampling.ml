@@ -1,0 +1,57 @@
+module Recorder = Hotpath_trace.Recorder
+module Hot_set = Hotpath_metrics.Hot_set
+
+type t = {
+  period : int;
+  counts : int array;  (* per path id: sampled occurrences *)
+  n_samples : int;
+}
+
+let profile (r : Recorder.t) ~period =
+  if period < 1 then invalid_arg "Sampling.profile: period must be >= 1";
+  let counts = Array.make (Recorder.num_paths r) 0 in
+  let n_samples = ref 0 in
+  let instances = r.Recorder.instances in
+  let i = ref 0 in
+  while !i < Array.length instances do
+    counts.(instances.(!i)) <- counts.(instances.(!i)) + 1;
+    incr n_samples;
+    i := !i + period
+  done;
+  { period; counts; n_samples = !n_samples }
+
+let samples t = t.n_samples
+
+let estimated_freq t = Array.map (fun c -> c * t.period) t.counts
+
+let counter_space t = Array.fold_left (fun acc c -> if c > 0 then acc + 1 else acc) 0 t.counts
+
+type accuracy = {
+  acc_period : int;
+  acc_precision : float;
+  acc_recall : float;
+  acc_flow_pct : float;
+}
+
+let accuracy (r : Recorder.t) ~(hot : Hot_set.t) ~period =
+  let t = profile r ~period in
+  let est = estimated_freq t in
+  let est_total = Array.fold_left ( + ) 0 est in
+  let cutoff = hot.Hot_set.threshold *. float_of_int est_total in
+  let freq = Recorder.frequencies r in
+  let est_hot = ref [] in
+  Array.iteri (fun id e -> if float_of_int e > cutoff then est_hot := id :: !est_hot) est;
+  let est_hot = !est_hot in
+  let true_positive = List.filter (Hot_set.is_hot hot) est_hot in
+  let tp_flow = List.fold_left (fun acc id -> acc + freq.(id)) 0 true_positive in
+  {
+    acc_period = period;
+    acc_precision =
+      (if est_hot = [] then 0.0
+       else float_of_int (List.length true_positive) /. float_of_int (List.length est_hot));
+    acc_recall =
+      (if Hot_set.size hot = 0 then 0.0
+       else float_of_int (List.length true_positive) /. float_of_int (Hot_set.size hot));
+    acc_flow_pct =
+      Hotpath_util.Stats.pct (float_of_int tp_flow) (float_of_int hot.Hot_set.hot_flow);
+  }

@@ -1,0 +1,40 @@
+(** Sampling-based hot-path identification.
+
+    Section 1 of the paper lists sampling (and hardware counters) among the
+    mechanisms a software scheme can use to collect frequency information.
+    This module implements the simplest form — count every [period]-th path
+    instance and scale — and quantifies what the period costs in hot-set
+    accuracy, the trade-off a sampling profiler buys its low overhead
+    with. *)
+
+module Recorder = Hotpath_trace.Recorder
+module Hot_set = Hotpath_metrics.Hot_set
+
+type t
+
+val profile : Recorder.t -> period:int -> t
+(** Keep every [period]-th instance (deterministic systematic sampling;
+    [period = 1] degenerates to the full profile).
+    @raise Invalid_argument when [period < 1]. *)
+
+val samples : t -> int
+(** Instances actually counted. *)
+
+val estimated_freq : t -> int array
+(** Per path id: sample count x period — the scaled frequency estimate. *)
+
+val counter_space : t -> int
+(** Distinct paths with a live sample counter. *)
+
+type accuracy = {
+  acc_period : int;
+  acc_precision : float;  (** Share of estimated-hot paths that are truly hot. *)
+  acc_recall : float;  (** Share of truly hot paths found. *)
+  acc_flow_pct : float;
+      (** True flow of the correctly identified paths, as a percentage of
+          the hot flow. *)
+}
+
+val accuracy : Recorder.t -> hot:Hot_set.t -> period:int -> accuracy
+(** Build the sampled profile, threshold it exactly like the ground-truth
+    set ([hot.threshold] over the {e estimated} flow), and compare. *)

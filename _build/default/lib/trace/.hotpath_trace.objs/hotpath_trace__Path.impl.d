@@ -1,0 +1,1 @@
+lib/trace/path.ml: Array Format Hotpath_cfg Signature String

@@ -1,0 +1,1 @@
+lib/trace/path.mli: Format Hotpath_cfg Signature

@@ -1,0 +1,1 @@
+lib/trace/path_table.ml: Array Hashtbl Hotpath_cfg Hotpath_util Int List Path Printf Signature

@@ -1,0 +1,1 @@
+lib/trace/path_table.mli: Hotpath_cfg Path Signature

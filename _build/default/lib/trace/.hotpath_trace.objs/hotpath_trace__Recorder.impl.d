@@ -1,0 +1,1 @@
+lib/trace/recorder.ml: Array Buffer Bytes Char Hashtbl Hotpath_cfg Hotpath_util Hotpath_vm List Option Path Path_table Printf Segmenter

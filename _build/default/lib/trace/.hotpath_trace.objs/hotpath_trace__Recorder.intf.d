@@ -1,0 +1,1 @@
+lib/trace/recorder.mli: Bytes Hashtbl Hotpath_cfg Hotpath_util Hotpath_vm Path Path_table

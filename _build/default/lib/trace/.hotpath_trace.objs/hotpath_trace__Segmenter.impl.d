@@ -1,0 +1,1 @@
+lib/trace/segmenter.ml: Array Hotpath_cfg Hotpath_vm List Path Signature

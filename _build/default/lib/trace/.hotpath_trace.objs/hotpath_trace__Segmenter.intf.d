@@ -1,0 +1,1 @@
+lib/trace/segmenter.mli: Hotpath_cfg Hotpath_vm Path Signature

@@ -1,0 +1,1 @@
+lib/trace/serialize.ml: Array Buffer Bytes Char Fun Hotpath_cfg Hotpath_vm Int32 Int64 List Path Path_table Printf Recorder Signature String

@@ -1,0 +1,1 @@
+lib/trace/signature.ml: Buffer Format Hotpath_cfg Int Int64 List Printf

@@ -1,0 +1,1 @@
+lib/trace/signature.mli: Format Hotpath_cfg

@@ -1,0 +1,45 @@
+module Cfg = Hotpath_cfg.Cfg
+module Vec = Hotpath_util.Vec
+
+module Tbl = Hashtbl.Make (struct
+    type t = Signature.t
+
+    let equal = Signature.equal
+
+    let hash = Signature.hash
+  end)
+
+type t = { by_sig : int Tbl.t; by_id : Path.t Vec.t }
+
+let create () = { by_sig = Tbl.create 1024; by_id = Vec.create () }
+
+let size t = Vec.length t.by_id
+
+let intern t signature ~blocks ~n_instrs ~n_branches ~end_kind =
+  match Tbl.find_opt t.by_sig signature with
+  | Some id ->
+    (* Bit-tracing signatures determine the block sequence (see
+       DESIGN.md §5); a mismatch would indicate a recorder bug. *)
+    assert (Array.length (Vec.get t.by_id id).Path.blocks = Array.length blocks);
+    id
+  | None ->
+    let id = Vec.length t.by_id in
+    Tbl.add t.by_sig signature id;
+    Vec.push t.by_id { Path.id; signature; blocks; n_instrs; n_branches; end_kind };
+    id
+
+let find t signature = Tbl.find_opt t.by_sig signature
+
+let path t id =
+  if id < 0 || id >= Vec.length t.by_id then
+    invalid_arg (Printf.sprintf "Path_table.path: unknown id %d" id);
+  Vec.get t.by_id id
+
+let paths t = Vec.to_array t.by_id
+
+let iter f t = Vec.iter f t.by_id
+
+let unique_heads t =
+  let heads = Hashtbl.create 64 in
+  Vec.iter (fun p -> Hashtbl.replace heads (Path.head p) ()) t.by_id;
+  List.sort Int.compare (Hashtbl.fold (fun h () acc -> h :: acc) heads [])

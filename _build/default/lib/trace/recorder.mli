@@ -1,0 +1,79 @@
+(** Trace recording: run the VM once, segment the transfer stream into
+    interprocedural forward paths, and keep the whole execution as a dense
+    sequence of path-instance ids.
+
+    Everything the paper measures — path frequencies, hot sets, hit and
+    noise rates for any scheme at any prediction delay, Dynamo cycle
+    accounting — is then an O(trace) replay over the recorded arrays, with
+    no re-interpretation.  This is what makes the full Figure 2/3 delay
+    sweeps tractable (DESIGN.md §5). *)
+
+module Cfg = Hotpath_cfg.Cfg
+
+type t = private {
+  program : Cfg.program;
+  table : Path_table.t;
+  instances : int array;  (** Path id per executed path instance, in order. *)
+  arrivals : Bytes.t;
+      (** Head kind per instance, encoded: 0 = loop head, 1 = entry,
+          2 = continuation. *)
+  vm_stats : Hotpath_vm.Vm.run_stats;
+}
+
+val record :
+  ?max_steps:int ->
+  ?max_paths:int ->
+  ?max_stack:int ->
+  Cfg.program ->
+  Hotpath_vm.Behavior.t ->
+  rng:Hotpath_util.Prng.t ->
+  t
+(** Interpret the program and record its paths.  [max_steps] bounds
+    executed blocks; [max_paths] stops after that many completed path
+    instances.  Only {e completed} paths are recorded: a partial path cut
+    off by fuel or the instance budget is discarded (a truncated prefix
+    could collide with a genuine path that continues through bit-less
+    transfers), while a path terminated by program exit is completed with
+    end kind [Program_end].  For naturally exiting programs, concatenating
+    the recorded paths' blocks reproduces the executed block sequence
+    exactly. *)
+
+val of_parts :
+  program:Cfg.program ->
+  table:Path_table.t ->
+  instances:int array ->
+  arrivals:Bytes.t ->
+  vm_stats:Hotpath_vm.Vm.run_stats ->
+  (t, string) result
+(** Reassemble a recording (deserialization support).  Validates that the
+    program is well-formed, every instance id is a table path, arrival
+    codes are in range and as numerous as the instances, and every path's
+    blocks exist in the program. *)
+
+val num_instances : t -> int
+(** Total flow: the number of path executions (the paper's [Flow]). *)
+
+val num_paths : t -> int
+(** Distinct paths (the paper's #Paths). *)
+
+val instance_path : t -> int -> Path.t
+(** Path executed by instance [i]. *)
+
+val arrival : t -> int -> Path.head_kind
+
+val frequencies : t -> int array
+(** Execution count per path id — the paper's [freq(p)]. *)
+
+val head_arrival_counts : t -> (Cfg.block_id, int) Hashtbl.t
+(** Per head block: how many instances arrived at it via a backward taken
+    transfer — the counter values a NET profiler with an infinite delay
+    would accumulate. *)
+
+val unique_loop_heads : t -> int
+(** Distinct blocks ever arrived at as loop heads — NET's dynamic counter
+    space. *)
+
+val block_trace : t -> Cfg.block_id list
+(** The executed block sequence, reconstructed by concatenating path
+    blocks.  Intended for tests (linear in trace length but builds a
+    list — do not call on large traces). *)

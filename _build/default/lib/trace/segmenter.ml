@@ -1,0 +1,109 @@
+module Cfg = Hotpath_cfg.Cfg
+module Vm = Hotpath_vm.Vm
+
+type completed = {
+  c_signature : Signature.t;
+  c_blocks : Cfg.block_id array;
+  c_n_instrs : int;
+  c_n_branches : int;
+  c_end_kind : Path.end_kind;
+  c_arrival : Path.head_kind;
+}
+
+type t = {
+  program : Cfg.program;
+  signature : Signature.Builder.t;
+  mutable blocks : Cfg.block_id list;  (* reversed *)
+  mutable n_blocks : int;
+  mutable n_instrs : int;
+  mutable calls_on_path : int;
+  mutable arrival : Path.head_kind;
+  mutable exited : bool;
+}
+
+let weight t b = (Cfg.block t.program b).Cfg.weight
+
+let create program =
+  let entry = Cfg.entry_block program in
+  {
+    program;
+    signature = Signature.Builder.create ~head:entry;
+    blocks = [ entry ];
+    n_blocks = 1;
+    n_instrs = (Cfg.block program entry).Cfg.weight;
+    calls_on_path = 0;
+    arrival = Path.Entry;
+    exited = false;
+  }
+
+let finish t end_kind =
+  {
+    c_signature = Signature.Builder.freeze t.signature;
+    c_blocks = Array.of_list (List.rev t.blocks);
+    c_n_instrs = t.n_instrs;
+    c_n_branches = Signature.Builder.branch_count t.signature;
+    c_end_kind = end_kind;
+    c_arrival = t.arrival;
+  }
+
+let start t head arrival =
+  Signature.Builder.reset t.signature ~head;
+  t.blocks <- [ head ];
+  t.n_blocks <- 1;
+  t.n_instrs <- weight t head;
+  t.calls_on_path <- 0;
+  t.arrival <- arrival
+
+let feed t (tr : Vm.transfer) =
+  if t.exited then invalid_arg "Segmenter.feed: program already exited";
+  (* Signature contributions. *)
+  (match tr.Vm.kind with
+   | Vm.T_branch { taken } -> Signature.Builder.add_branch t.signature ~taken
+   | Vm.T_indirect -> begin
+       match tr.Vm.dst with
+       | Some target -> Signature.Builder.add_indirect t.signature ~target
+       | None -> assert false
+     end
+   | Vm.T_call -> t.calls_on_path <- t.calls_on_path + 1
+   | Vm.T_return | Vm.T_jump | Vm.T_exit -> ());
+  let matched_return =
+    match tr.Vm.kind with
+    | Vm.T_return when t.calls_on_path > 0 ->
+      t.calls_on_path <- t.calls_on_path - 1;
+      true
+    | _ -> false
+  in
+  let ended =
+    match tr.Vm.kind with
+    | Vm.T_exit -> Some Path.Program_end
+    | _ when tr.Vm.backward -> Some Path.Backward_transfer
+    | _ when matched_return -> Some Path.Matched_return
+    | Vm.T_branch _
+      when Signature.Builder.branch_count t.signature = Signature.max_branches ->
+      Some Path.Cap
+    | _ -> None
+  in
+  (* A crossed (forward, unmatched) return is an indirect branch: its
+     dynamic target disambiguates paths from shared callees. *)
+  (match tr.Vm.kind, ended, tr.Vm.dst with
+   | Vm.T_return, None, Some target -> Signature.Builder.add_indirect t.signature ~target
+   | _ -> ());
+  match ended, tr.Vm.dst with
+  | Some end_kind, Some dst ->
+    let c = finish t end_kind in
+    start t dst (if tr.Vm.backward then Path.Loop_head else Path.Continuation);
+    Some c
+  | Some end_kind, None ->
+    let c = finish t end_kind in
+    t.exited <- true;
+    t.blocks <- [];
+    t.n_blocks <- 0;
+    Some c
+  | None, Some dst ->
+    t.blocks <- dst :: t.blocks;
+    t.n_blocks <- t.n_blocks + 1;
+    t.n_instrs <- t.n_instrs + weight t dst;
+    None
+  | None, None -> assert false
+
+let in_flight_blocks t = t.n_blocks

@@ -1,0 +1,38 @@
+(** Streaming path segmentation.
+
+    Turns a VM transfer stream into the paper's interprocedural forward
+    paths, one completed path at a time — the shared core of the offline
+    {!Recorder} and of online consumers (the live Dynamo driver) that must
+    see each path the moment it completes, without a recording step.
+
+    Path-end rules (Section 3 of the paper; see {!Path}): backward taken
+    transfers, returns matching an on-path call, the signature cap, and
+    program exit.  A forward return the path extends across contributes
+    its dynamic target to the signature's indirect list (see DESIGN.md
+    §5). *)
+
+module Cfg = Hotpath_cfg.Cfg
+
+type completed = {
+  c_signature : Signature.t;
+  c_blocks : Cfg.block_id array;
+  c_n_instrs : int;
+  c_n_branches : int;
+  c_end_kind : Path.end_kind;
+  c_arrival : Path.head_kind;  (** How this path's head was reached. *)
+}
+
+type t
+
+val create : Cfg.program -> t
+(** Segmentation state positioned at the program entry (arrival kind
+    [Entry]). *)
+
+val feed : t -> Hotpath_vm.Vm.transfer -> completed option
+(** Consume one transfer (in execution order); [Some c] when it completed
+    a path.  After a [T_exit] transfer the segmenter yields the final path
+    and any further [feed] is rejected.
+    @raise Invalid_argument when fed past program exit. *)
+
+val in_flight_blocks : t -> int
+(** Blocks accumulated on the current partial path (0 after exit). *)

@@ -1,0 +1,286 @@
+module Cfg = Hotpath_cfg.Cfg
+module Vm = Hotpath_vm.Vm
+
+let magic = "HOTPATH1"
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let add_u8 buf v = Buffer.add_uint8 buf v
+
+let add_i32 buf v = Buffer.add_int32_le buf (Int32.of_int v)
+
+let add_i64 buf v = Buffer.add_int64_le buf (Int64.of_int v)
+
+let add_raw_i64 buf v = Buffer.add_int64_le buf v
+
+let add_str buf s =
+  add_i32 buf (String.length s);
+  Buffer.add_string buf s
+
+let add_int_array buf arr =
+  add_i32 buf (Array.length arr);
+  Array.iter (add_i32 buf) arr
+
+let add_terminator buf = function
+  | Cfg.Branch { taken; fallthrough } ->
+    add_u8 buf 0;
+    add_i32 buf taken;
+    add_i32 buf fallthrough
+  | Cfg.Jump t ->
+    add_u8 buf 1;
+    add_i32 buf t
+  | Cfg.Indirect targets ->
+    add_u8 buf 2;
+    add_int_array buf targets
+  | Cfg.Call { callee; return_to } ->
+    add_u8 buf 3;
+    add_i32 buf callee;
+    add_i32 buf return_to
+  | Cfg.Return -> add_u8 buf 4
+  | Cfg.Exit -> add_u8 buf 5
+
+let add_program buf (p : Cfg.program) =
+  add_str buf p.Cfg.pname;
+  add_i32 buf p.Cfg.main;
+  add_i32 buf (Array.length p.Cfg.procs);
+  Array.iter
+    (fun (pr : Cfg.proc) ->
+       add_str buf pr.Cfg.name;
+       add_int_array buf pr.Cfg.blocks)
+    p.Cfg.procs;
+  add_i32 buf (Array.length p.Cfg.blocks);
+  Array.iter
+    (fun (b : Cfg.block) ->
+       add_i32 buf b.Cfg.proc;
+       add_i32 buf b.Cfg.weight;
+       add_terminator buf b.Cfg.term)
+    p.Cfg.blocks
+
+let end_kind_code = function
+  | Path.Backward_transfer -> 0
+  | Path.Matched_return -> 1
+  | Path.Cap -> 2
+  | Path.Program_end -> 3
+
+let add_path buf (p : Path.t) =
+  let s = p.Path.signature in
+  add_i32 buf (Signature.head s);
+  add_u8 buf (Signature.length s);
+  add_raw_i64 buf (Signature.history s);
+  add_int_array buf (Array.of_list (Signature.indirect_targets s));
+  add_int_array buf p.Path.blocks;
+  add_i32 buf p.Path.n_instrs;
+  add_u8 buf (end_kind_code p.Path.end_kind)
+
+let add_stats buf (s : Vm.run_stats) =
+  add_u8 buf (match s.Vm.reason with `Exited -> 0 | `Fuel -> 1);
+  List.iter (add_i64 buf)
+    [ s.Vm.blocks; s.Vm.branches; s.Vm.calls; s.Vm.returns; s.Vm.indirects;
+      s.Vm.backward_transfers; s.Vm.max_stack ]
+
+let write (r : Recorder.t) buf =
+  Buffer.add_string buf magic;
+  add_program buf r.Recorder.program;
+  add_i32 buf (Path_table.size r.Recorder.table);
+  Path_table.iter (add_path buf) r.Recorder.table;
+  add_i64 buf (Array.length r.Recorder.instances);
+  Array.iter (add_i32 buf) r.Recorder.instances;
+  Buffer.add_bytes buf r.Recorder.arrivals;
+  add_stats buf r.Recorder.vm_stats
+
+let to_string r =
+  let buf = Buffer.create (1 lsl 16) in
+  write r buf;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Reader                                                              *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse of string
+
+type cursor = { s : string; mutable pos : int }
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Parse m)) fmt
+
+let need c n =
+  if c.pos + n > String.length c.s then
+    fail "truncated input at offset %d (need %d bytes)" c.pos n
+
+let get_u8 c =
+  need c 1;
+  let v = Char.code c.s.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let get_i32 c =
+  need c 4;
+  let v = Int32.to_int (String.get_int32_le c.s c.pos) in
+  c.pos <- c.pos + 4;
+  v
+
+let get_raw_i64 c =
+  need c 8;
+  let v = String.get_int64_le c.s c.pos in
+  c.pos <- c.pos + 8;
+  v
+
+let get_i64 c =
+  let v = get_raw_i64 c in
+  match Int64.unsigned_to_int v with
+  | Some n -> n
+  | None -> fail "64-bit value out of range at offset %d" (c.pos - 8)
+
+let get_str c =
+  let n = get_i32 c in
+  if n < 0 then fail "negative string length";
+  need c n;
+  let s = String.sub c.s c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let get_int_array c =
+  let n = get_i32 c in
+  if n < 0 then fail "negative array length";
+  need c (n * 4);
+  Array.init n (fun _ -> get_i32 c)
+
+let get_terminator c =
+  match get_u8 c with
+  | 0 ->
+    let taken = get_i32 c in
+    let fallthrough = get_i32 c in
+    Cfg.Branch { taken; fallthrough }
+  | 1 -> Cfg.Jump (get_i32 c)
+  | 2 -> Cfg.Indirect (get_int_array c)
+  | 3 ->
+    let callee = get_i32 c in
+    let return_to = get_i32 c in
+    Cfg.Call { callee; return_to }
+  | 4 -> Cfg.Return
+  | 5 -> Cfg.Exit
+  | tag -> fail "unknown terminator tag %d" tag
+
+let get_program c =
+  let pname = get_str c in
+  let main = get_i32 c in
+  let n_procs = get_i32 c in
+  if n_procs < 0 || n_procs > 1_000_000 then fail "implausible proc count %d" n_procs;
+  let procs =
+    Array.init n_procs (fun pid ->
+        let name = get_str c in
+        let blocks = get_int_array c in
+        if Array.length blocks = 0 then fail "procedure %s has no blocks" name;
+        { Cfg.pid; name; entry = blocks.(0); blocks })
+  in
+  let n_blocks = get_i32 c in
+  if n_blocks < 0 || n_blocks > 100_000_000 then
+    fail "implausible block count %d" n_blocks;
+  let blocks =
+    Array.init n_blocks (fun id ->
+        let proc = get_i32 c in
+        let weight = get_i32 c in
+        let term = get_terminator c in
+        { Cfg.id; proc; weight; term })
+  in
+  { Cfg.pname; blocks; procs; main }
+
+let end_kind_of_code = function
+  | 0 -> Path.Backward_transfer
+  | 1 -> Path.Matched_return
+  | 2 -> Path.Cap
+  | 3 -> Path.Program_end
+  | tag -> fail "unknown end-kind tag %d" tag
+
+let get_path c table expected_id =
+  let head = get_i32 c in
+  let len = get_u8 c in
+  if len > Signature.max_branches then fail "signature length %d over cap" len;
+  let bits = get_raw_i64 c in
+  let indirects = get_int_array c in
+  let sigb = Signature.Builder.create ~head in
+  for i = 0 to len - 1 do
+    Signature.Builder.add_branch sigb
+      ~taken:(Int64.(logand (shift_right_logical bits i) 1L) = 1L)
+  done;
+  Array.iter (fun target -> Signature.Builder.add_indirect sigb ~target) indirects;
+  let signature = Signature.Builder.freeze sigb in
+  let blocks = get_int_array c in
+  if Array.length blocks = 0 then fail "path %d has no blocks" expected_id;
+  let n_instrs = get_i32 c in
+  let end_kind = end_kind_of_code (get_u8 c) in
+  if Path_table.find table signature <> None then
+    fail "duplicate path signature at id %d" expected_id;
+  let id =
+    Path_table.intern table signature ~blocks ~n_instrs ~n_branches:len ~end_kind
+  in
+  if id <> expected_id then fail "out-of-order path %d" expected_id
+
+let get_stats c =
+  let reason = match get_u8 c with 0 -> `Exited | 1 -> `Fuel | t -> fail "reason %d" t in
+  let blocks = get_i64 c in
+  let branches = get_i64 c in
+  let calls = get_i64 c in
+  let returns = get_i64 c in
+  let indirects = get_i64 c in
+  let backward_transfers = get_i64 c in
+  let max_stack = get_i64 c in
+  { Vm.reason; blocks; branches; calls; returns; indirects; backward_transfers;
+    max_stack }
+
+let read s ~pos =
+  let c = { s; pos } in
+  try
+    need c (String.length magic);
+    let m = String.sub c.s c.pos (String.length magic) in
+    if m <> magic then raise (Parse (Printf.sprintf "bad magic %S" m));
+    c.pos <- c.pos + String.length magic;
+    let program = get_program c in
+    let n_paths = get_i32 c in
+    if n_paths < 0 || n_paths > 100_000_000 then fail "implausible path count %d" n_paths;
+    let table = Path_table.create () in
+    for id = 0 to n_paths - 1 do
+      get_path c table id
+    done;
+    let n_instances = get_i64 c in
+    if n_instances < 0 then fail "negative instance count";
+    need c (n_instances * 4);
+    let instances = Array.init n_instances (fun _ -> get_i32 c) in
+    need c n_instances;
+    let arrivals = Bytes.of_string (String.sub c.s c.pos n_instances) in
+    c.pos <- c.pos + n_instances;
+    let vm_stats = get_stats c in
+    (match Recorder.of_parts ~program ~table ~instances ~arrivals ~vm_stats with
+     | Ok r -> Ok (r, c.pos)
+     | Error e -> Error ("invalid recording: " ^ e))
+  with Parse msg -> Error msg
+
+let of_string s =
+  match read s ~pos:0 with
+  | Error _ as e -> e
+  | Ok (r, finish) ->
+    if finish <> String.length s then
+      Error (Printf.sprintf "trailing garbage after offset %d" finish)
+    else Ok r
+
+let save r ~path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+       let buf = Buffer.create (1 lsl 16) in
+       write r buf;
+       Buffer.output_buffer oc buf)
+
+let load ~path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+         let n = in_channel_length ic in
+         let s = really_input_string ic n in
+         of_string s)

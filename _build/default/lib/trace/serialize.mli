@@ -1,0 +1,33 @@
+(** Versioned binary serialization of recorded traces.
+
+    Recording is the expensive step (one full interpretation); persisting
+    the result lets a trace be recorded once and replayed by any number of
+    analysis processes — `hotpath record`/`--trace` style workflows.
+
+    The format is explicit and versioned (magic ["HOTPATH1"]), independent
+    of the OCaml [Marshal] representation: program (blocks, terminators,
+    procedures), interned path table (signatures, block sequences, sizes),
+    the instance and arrival arrays, and the VM run statistics.  All
+    integers are little-endian; loading validates structure via
+    {!Recorder.of_parts} and fails with a message rather than crashing on
+    corrupt input. *)
+
+val magic : string
+
+val write : Recorder.t -> Buffer.t -> unit
+(** Append the serialized recording. *)
+
+val read : string -> pos:int -> (Recorder.t * int, string) result
+(** [read s ~pos] parses a recording serialized at offset [pos] of [s];
+    returns the recording and the offset just past it. *)
+
+val to_string : Recorder.t -> string
+
+val of_string : string -> (Recorder.t, string) result
+(** Requires the whole string to be exactly one recording. *)
+
+val save : Recorder.t -> path:string -> unit
+(** Write to a file.  @raise Sys_error on I/O failure. *)
+
+val load : path:string -> (Recorder.t, string) result
+(** Read back from a file; I/O errors are returned as [Error]. *)

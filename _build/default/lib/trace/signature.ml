@@ -1,0 +1,100 @@
+module Cfg = Hotpath_cfg.Cfg
+
+type t = {
+  shead : Cfg.block_id;
+  slen : int;
+  sbits : int64;  (* bit i = outcome of i-th branch *)
+  sindirects : Cfg.block_id list;  (* execution order *)
+}
+
+let max_branches = 62
+
+let head s = s.shead
+
+let length s = s.slen
+
+let bit s i =
+  if i < 0 || i >= s.slen then invalid_arg "Signature.bit: index out of range";
+  Int64.(logand (shift_right_logical s.sbits i) 1L) = 1L
+
+let history s = s.sbits
+
+let indirect_targets s = s.sindirects
+
+let equal a b =
+  a.shead = b.shead && a.slen = b.slen
+  && Int64.equal a.sbits b.sbits
+  && List.equal Int.equal a.sindirects b.sindirects
+
+let compare a b =
+  let c = Int.compare a.shead b.shead in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.slen b.slen in
+    if c <> 0 then c
+    else
+      let c = Int64.compare a.sbits b.sbits in
+      if c <> 0 then c else List.compare Int.compare a.sindirects b.sindirects
+
+let hash s =
+  let h = ref (s.shead * 0x9E3779B1) in
+  h := (!h * 31) + s.slen;
+  h := (!h * 31) + Int64.to_int s.sbits;
+  h := (!h * 31) + Int64.to_int (Int64.shift_right_logical s.sbits 31);
+  List.iter (fun t -> h := (!h * 31) + t) s.sindirects;
+  !h land max_int
+
+let to_string s =
+  let buf = Buffer.create 32 in
+  Buffer.add_string buf (Printf.sprintf "B%d." s.shead);
+  for i = 0 to s.slen - 1 do
+    Buffer.add_char buf (if bit s i then '1' else '0')
+  done;
+  (match s.sindirects with
+   | [] -> ()
+   | targets ->
+     Buffer.add_string buf ",[";
+     List.iteri
+       (fun i t ->
+          if i > 0 then Buffer.add_char buf ';';
+          Buffer.add_string buf (Printf.sprintf "B%d" t))
+       targets;
+     Buffer.add_char buf ']');
+  Buffer.contents buf
+
+let pp ppf s = Format.pp_print_string ppf (to_string s)
+
+module Builder = struct
+  type t = {
+    mutable bhead : Cfg.block_id;
+    mutable blen : int;
+    mutable bbits : int64;
+    mutable bindirects : Cfg.block_id list;  (* reversed *)
+  }
+
+  let create ~head = { bhead = head; blen = 0; bbits = 0L; bindirects = [] }
+
+  let reset t ~head =
+    t.bhead <- head;
+    t.blen <- 0;
+    t.bbits <- 0L;
+    t.bindirects <- []
+
+  let add_branch t ~taken =
+    if t.blen >= max_branches then
+      invalid_arg "Signature.Builder.add_branch: path branch cap exceeded";
+    if taken then t.bbits <- Int64.(logor t.bbits (shift_left 1L t.blen));
+    t.blen <- t.blen + 1
+
+  let add_indirect t ~target = t.bindirects <- target :: t.bindirects
+
+  let branch_count t = t.blen
+
+  let freeze t =
+    {
+      shead = t.bhead;
+      slen = t.blen;
+      sbits = t.bbits;
+      sindirects = List.rev t.bindirects;
+    }
+end

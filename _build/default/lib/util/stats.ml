@@ -1,0 +1,58 @@
+let total xs = Array.fold_left ( +. ) 0.0 xs
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else total xs /. float_of_int n
+
+let geomean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    Array.iter
+      (fun x ->
+         if x <= 0.0 then invalid_arg "Stats.geomean: non-positive value";
+         acc := !acc +. log x)
+      xs;
+    exp (!acc /. float_of_int n)
+  end
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = ref 0.0 in
+    Array.iter (fun x -> acc := !acc +. ((x -. m) *. (x -. m))) xs;
+    sqrt (!acc /. float_of_int n)
+  end
+
+let percentile xs ~p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) in
+  let hi = int_of_float (ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let w = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. w)) +. (sorted.(hi) *. w)
+
+let minimum xs =
+  if Array.length xs = 0 then invalid_arg "Stats.minimum: empty array";
+  Array.fold_left min xs.(0) xs
+
+let maximum xs =
+  if Array.length xs = 0 then invalid_arg "Stats.maximum: empty array";
+  Array.fold_left max xs.(0) xs
+
+let ratio num den = if den = 0.0 then 0.0 else num /. den
+
+let pct part whole = if whole = 0.0 then 0.0 else 100.0 *. part /. whole
+
+let round_to digits x =
+  let f = 10.0 ** float_of_int digits in
+  Float.round (x *. f) /. f

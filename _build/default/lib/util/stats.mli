@@ -1,0 +1,33 @@
+(** Small numeric helpers used by the metrics and experiment layers. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0. for an empty array. *)
+
+val geomean : float array -> float
+(** Geometric mean of strictly positive values; 0. for an empty array.
+    @raise Invalid_argument when a value is not positive. *)
+
+val stddev : float array -> float
+(** Population standard deviation; 0. for fewer than two samples. *)
+
+val percentile : float array -> p:float -> float
+(** [percentile xs ~p] with [p] in [\[0,100\]], linear interpolation between
+    order statistics.  @raise Invalid_argument on an empty array or [p]
+    outside the range. *)
+
+val minimum : float array -> float
+(** @raise Invalid_argument on an empty array. *)
+
+val maximum : float array -> float
+(** @raise Invalid_argument on an empty array. *)
+
+val total : float array -> float
+
+val ratio : float -> float -> float
+(** [ratio num den] is [num /. den], or 0. when [den = 0.]. *)
+
+val pct : float -> float -> float
+(** [pct part whole] is [100 *. part /. whole], or 0. when [whole = 0.]. *)
+
+val round_to : int -> float -> float
+(** [round_to digits x] rounds to [digits] decimal places. *)

@@ -1,0 +1,123 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  headers : string list;
+  aligns : align list;
+  width : int;
+  mutable rows : row list;  (* reversed *)
+}
+
+let create ~columns =
+  {
+    headers = List.map fst columns;
+    aligns = List.map snd columns;
+    width = List.length columns;
+    rows = [];
+  }
+
+let add_row t cells =
+  if List.length cells <> t.width then
+    invalid_arg
+      (Printf.sprintf "Tablefmt.add_row: expected %d cells, got %d" t.width
+         (List.length cells));
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let data_rows t =
+  List.rev t.rows
+
+let column_widths t =
+  let widths = Array.of_list (List.map String.length t.headers) in
+  List.iter
+    (function
+      | Separator -> ()
+      | Cells cells ->
+        List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells)
+    (data_rows t);
+  widths
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render t =
+  let widths = column_widths t in
+  let buf = Buffer.create 1024 in
+  let emit_cells cells =
+    let line = Buffer.create 80 in
+    List.iteri
+      (fun i c ->
+         if i > 0 then Buffer.add_string line "  ";
+         let align = List.nth t.aligns i in
+         Buffer.add_string line (pad align widths.(i) c))
+      cells;
+    (* Trim trailing padding so lines do not end in spaces. *)
+    let s = Buffer.contents line in
+    let n = ref (String.length s) in
+    while !n > 0 && s.[!n - 1] = ' ' do decr n done;
+    Buffer.add_string buf (String.sub s 0 !n);
+    Buffer.add_char buf '\n'
+  in
+  let rule () =
+    Array.iteri
+      (fun i w ->
+         if i > 0 then Buffer.add_string buf "  ";
+         Buffer.add_string buf (String.make w '-'))
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  emit_cells t.headers;
+  rule ();
+  List.iter
+    (function Separator -> rule () | Cells cells -> emit_cells cells)
+    (data_rows t);
+  Buffer.contents buf
+
+let csv_field s =
+  let needs_quote =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n') s
+  in
+  if not needs_quote then s
+  else begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+         if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let render_csv t =
+  let buf = Buffer.create 1024 in
+  let emit cells =
+    Buffer.add_string buf (String.concat "," (List.map csv_field cells));
+    Buffer.add_char buf '\n'
+  in
+  emit t.headers;
+  List.iter (function Separator -> () | Cells cells -> emit cells) (data_rows t);
+  Buffer.contents buf
+
+let cell_int n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3) + 1) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+       if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+       Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let cell_float ?(digits = 1) x = Printf.sprintf "%.*f" digits x
+
+let cell_pct ?(digits = 1) x = Printf.sprintf "%.*f%%" digits x

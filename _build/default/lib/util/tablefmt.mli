@@ -1,0 +1,36 @@
+(** Plain-text and CSV rendering of experiment tables.
+
+    Every table and figure reproduction prints through this module so that
+    the CLI, the benchmark harness, and EXPERIMENTS.md agree on formatting. *)
+
+type align = Left | Right
+
+type t
+(** A table under construction: a header row plus data rows of equal
+    width. *)
+
+val create : columns:(string * align) list -> t
+(** [create ~columns] starts a table with the given header labels and
+    per-column alignment. *)
+
+val add_row : t -> string list -> unit
+(** Append a data row.  @raise Invalid_argument if the width differs from
+    the header. *)
+
+val add_separator : t -> unit
+(** Append a horizontal rule (rendered in text output, skipped in CSV). *)
+
+val render : t -> string
+(** Box-drawing-free aligned text rendering, ready for a terminal. *)
+
+val render_csv : t -> string
+(** RFC-4180-style CSV (quotes fields containing commas or quotes). *)
+
+val cell_int : int -> string
+(** Integer with thousands separators, e.g. [12,345]. *)
+
+val cell_float : ?digits:int -> float -> string
+(** Fixed-point float, default 1 digit. *)
+
+val cell_pct : ?digits:int -> float -> string
+(** Percentage with a trailing [%], default 1 digit. *)

@@ -1,0 +1,90 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+  capacity_hint : int;  (* honoured at the first allocation *)
+  (* [dummy] fills unused slots after [pop]/[clear] so values can be
+     collected; it is the first pushed element and is never observed. *)
+  mutable dummy : 'a option;
+}
+
+let create ?(capacity = 0) () =
+  { data = [||]; len = 0; capacity_hint = max 0 capacity; dummy = None }
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let grow t needed =
+  let cap = Array.length t.data in
+  let cap' = max (max needed t.capacity_hint) (max 8 (cap * 2)) in
+  match t.dummy with
+  | None -> assert false
+  | Some d ->
+    let data' = Array.make cap' d in
+    Array.blit t.data 0 data' 0 t.len;
+    t.data <- data'
+
+let push t x =
+  if t.dummy = None then t.dummy <- Some x;
+  if t.len = Array.length t.data then grow t (t.len + 1);
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let check t i op =
+  if i < 0 || i >= t.len then
+    invalid_arg (Printf.sprintf "Vec.%s: index %d out of bounds [0,%d)" op i t.len)
+
+let get t i =
+  check t i "get";
+  t.data.(i)
+
+let set t i x =
+  check t i "set";
+  t.data.(i) <- x
+
+let last t =
+  if t.len = 0 then invalid_arg "Vec.last: empty";
+  t.data.(t.len - 1)
+
+let pop t =
+  if t.len = 0 then invalid_arg "Vec.pop: empty";
+  let x = t.data.(t.len - 1) in
+  (match t.dummy with Some d -> t.data.(t.len - 1) <- d | None -> ());
+  t.len <- t.len - 1;
+  x
+
+let clear t =
+  (match t.dummy with
+   | Some d -> for i = 0 to t.len - 1 do t.data.(i) <- d done
+   | None -> ());
+  t.len <- 0
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.data.(i)
+  done
+
+let fold_left f acc t =
+  let acc = ref acc in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let to_array t = Array.sub t.data 0 t.len
+
+let of_array arr =
+  let t = create () in
+  Array.iter (push t) arr;
+  t
+
+let to_list t = Array.to_list (to_array t)
+
+let exists p t =
+  let rec loop i = i < t.len && (p t.data.(i) || loop (i + 1)) in
+  loop 0

@@ -1,0 +1,48 @@
+(** Growable arrays.
+
+    OCaml 5.1 predates [Dynarray]; this is the small subset the reproduction
+    needs: amortized O(1) push, O(1) read/write, and conversion to a plain
+    array.  Not thread-safe. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** Fresh empty vector.  [capacity] pre-sizes the backing store. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** Append, growing geometrically when full. *)
+
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument when out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** @raise Invalid_argument when out of bounds. *)
+
+val last : 'a t -> 'a
+(** @raise Invalid_argument when empty. *)
+
+val pop : 'a t -> 'a
+(** Remove and return the last element.  @raise Invalid_argument when
+    empty. *)
+
+val clear : 'a t -> unit
+(** Drop all elements (keeps capacity). *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val to_array : 'a t -> 'a array
+(** Fresh array of the current contents. *)
+
+val of_array : 'a array -> 'a t
+
+val to_list : 'a t -> 'a list
+
+val exists : ('a -> bool) -> 'a t -> bool

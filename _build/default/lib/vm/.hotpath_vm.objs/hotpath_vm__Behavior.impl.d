@@ -1,0 +1,1 @@
+lib/vm/behavior.ml: Array Bool Hotpath_cfg Hotpath_util Printf

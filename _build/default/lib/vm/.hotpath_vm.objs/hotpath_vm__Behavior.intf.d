@@ -1,0 +1,1 @@
+lib/vm/behavior.mli: Hotpath_cfg Hotpath_util

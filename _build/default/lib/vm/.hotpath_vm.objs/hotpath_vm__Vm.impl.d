@@ -1,0 +1,1 @@
+lib/vm/vm.ml: Behavior Format Hotpath_cfg Hotpath_util Printf

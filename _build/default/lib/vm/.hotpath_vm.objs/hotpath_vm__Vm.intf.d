@@ -1,0 +1,1 @@
+lib/vm/vm.mli: Behavior Format Hotpath_cfg Hotpath_util

@@ -1,0 +1,177 @@
+module Cfg = Hotpath_cfg.Cfg
+module Prng = Hotpath_util.Prng
+
+type branch_model =
+  | Always of bool
+  | Bias of float
+  | Correlated of { bits : int; taken_prob : float array }
+  | Periodic of bool array
+  | Phased of (int * branch_model) array
+
+type indirect_model =
+  | Uniform_target
+  | Weighted_target of float array
+  | Phased_target of (int * float array) array
+
+type t = {
+  program : Cfg.program;
+  branches : branch_model array;  (* indexed by block id; meaningful for Branch blocks *)
+  indirects : indirect_model array;  (* indexed by block id; meaningful for Indirect blocks *)
+}
+
+let create program ?(default_branch = Bias 0.5) ?(default_indirect = Uniform_target) () =
+  let n = Array.length program.Cfg.blocks in
+  {
+    program;
+    branches = Array.make n default_branch;
+    indirects = Array.make n default_indirect;
+  }
+
+let set_branch t b model =
+  match (Cfg.block t.program b).term with
+  | Cfg.Branch _ -> t.branches.(b) <- model
+  | _ -> invalid_arg (Printf.sprintf "Behavior.set_branch: block %d is not a branch" b)
+
+let set_indirect t b model =
+  match (Cfg.block t.program b).term with
+  | Cfg.Indirect _ -> t.indirects.(b) <- model
+  | _ ->
+    invalid_arg (Printf.sprintf "Behavior.set_indirect: block %d is not indirect" b)
+
+let branch_model t b = t.branches.(b)
+
+let indirect_model t b = t.indirects.(b)
+
+let prob_ok p = p >= 0.0 && p <= 1.0
+
+let rec branch_model_ok = function
+  | Always _ -> Ok ()
+  | Bias p -> if prob_ok p then Ok () else Error "Bias probability out of [0,1]"
+  | Correlated { bits; taken_prob } ->
+    if bits <= 0 || bits > 16 then Error "Correlated bits out of (0,16]"
+    else if Array.length taken_prob <> 1 lsl bits then
+      Error "Correlated table length is not 2^bits"
+    else if not (Array.for_all prob_ok taken_prob) then
+      Error "Correlated probability out of [0,1]"
+    else Ok ()
+  | Periodic pattern ->
+    if Array.length pattern = 0 then Error "Periodic pattern is empty" else Ok ()
+  | Phased schedule ->
+    if Array.length schedule = 0 then Error "Phased schedule is empty"
+    else begin
+      let ascending = ref true in
+      Array.iteri
+        (fun i (threshold, _) ->
+           if i > 0 && threshold <= fst schedule.(i - 1) then ascending := false)
+        schedule;
+      if not !ascending then Error "Phased thresholds not ascending"
+      else
+        Array.fold_left
+          (fun acc (_, m) -> match acc with Error _ -> acc | Ok () -> branch_model_ok m)
+          (Ok ()) schedule
+    end
+
+let weights_ok ~ntargets w =
+  if Array.length w <> ntargets then Error "weight vector length mismatch"
+  else if not (Array.for_all (fun x -> x >= 0.0) w) then Error "negative weight"
+  else if Array.fold_left ( +. ) 0.0 w <= 0.0 then Error "zero total weight"
+  else Ok ()
+
+let indirect_model_ok ~ntargets = function
+  | Uniform_target -> Ok ()
+  | Weighted_target w -> weights_ok ~ntargets w
+  | Phased_target schedule ->
+    if Array.length schedule = 0 then Error "Phased_target schedule is empty"
+    else
+      Array.fold_left
+        (fun acc (_, w) ->
+           match acc with Error _ -> acc | Ok () -> weights_ok ~ntargets w)
+        (Ok ()) schedule
+
+let validate t =
+  let result = ref (Ok ()) in
+  Array.iter
+    (fun b ->
+       if !result = Ok () then
+         match b.Cfg.term with
+         | Cfg.Branch _ -> begin
+             match branch_model_ok t.branches.(b.Cfg.id) with
+             | Ok () -> ()
+             | Error e ->
+               result := Error (Printf.sprintf "block %d branch model: %s" b.Cfg.id e)
+           end
+         | Cfg.Indirect targets -> begin
+             match indirect_model_ok ~ntargets:(Array.length targets) t.indirects.(b.Cfg.id) with
+             | Ok () -> ()
+             | Error e ->
+               result := Error (Printf.sprintf "block %d indirect model: %s" b.Cfg.id e)
+           end
+         | Cfg.Jump _ | Cfg.Call _ | Cfg.Return | Cfg.Exit -> ())
+    t.program.Cfg.blocks;
+  !result
+
+module Decider = struct
+  type behavior = t
+
+  type t = {
+    behavior : behavior;
+    rng : Prng.t;
+    exec_counts : int array;  (* per-block execution count, drives Periodic *)
+    mutable hist : int;
+    mutable step_count : int;
+  }
+
+  let create program behavior ~rng =
+    ignore program;
+    {
+      behavior;
+      rng;
+      exec_counts = Array.make (Array.length behavior.program.Cfg.blocks) 0;
+      hist = 0;
+      step_count = 0;
+    }
+
+  let steps t = t.step_count
+
+  let history t = t.hist
+
+  let tick t = t.step_count <- t.step_count + 1
+
+  let rec eval_branch t b = function
+    | Always v -> v
+    | Bias p -> Prng.bool t.rng ~p
+    | Correlated { bits; taken_prob } ->
+      let idx = t.hist land ((1 lsl bits) - 1) in
+      Prng.bool t.rng ~p:taken_prob.(idx)
+    | Periodic pattern -> pattern.(t.exec_counts.(b) mod Array.length pattern)
+    | Phased schedule ->
+      let model = phase_pick t schedule in
+      eval_branch t b model
+
+  and phase_pick : 'a. t -> (int * 'a) array -> 'a =
+    fun t schedule ->
+    let n = Array.length schedule in
+    let rec find i =
+      if i = n - 1 then snd schedule.(i)
+      else if t.step_count < fst schedule.(i) then snd schedule.(i)
+      else find (i + 1)
+    in
+    find 0
+
+  let decide_branch t b =
+    let outcome = eval_branch t b t.behavior.branches.(b) in
+    t.exec_counts.(b) <- t.exec_counts.(b) + 1;
+    t.hist <- ((t.hist lsl 1) lor Bool.to_int outcome) land 0xFFFF;
+    outcome
+
+  let decide_indirect t b ~targets =
+    let idx =
+      match t.behavior.indirects.(b) with
+      | Uniform_target -> Prng.int t.rng ~bound:(Array.length targets)
+      | Weighted_target w -> Prng.pick_weighted t.rng ~weights:w
+      | Phased_target schedule ->
+        Prng.pick_weighted t.rng ~weights:(phase_pick t schedule)
+    in
+    t.exec_counts.(b) <- t.exec_counts.(b) + 1;
+    targets.(idx)
+end

@@ -1,0 +1,134 @@
+module Cfg = Hotpath_cfg.Cfg
+module Vec = Hotpath_util.Vec
+
+type transfer_kind =
+  | T_branch of { taken : bool }
+  | T_jump
+  | T_indirect
+  | T_call
+  | T_return
+  | T_exit
+
+type transfer = {
+  src : Cfg.block_id;
+  kind : transfer_kind;
+  dst : Cfg.block_id option;
+  backward : bool;
+}
+
+type t = {
+  program : Cfg.program;
+  decider : Behavior.Decider.t;
+  stack : Cfg.block_id Vec.t;  (* return-to blocks *)
+  max_stack : int;
+  mutable current : Cfg.block_id option;
+  mutable executed : int;
+}
+
+let create ?(max_stack = 10_000) program behavior ~rng =
+  (match Behavior.validate behavior with
+   | Ok () -> ()
+   | Error e -> invalid_arg ("Vm.create: invalid behavior: " ^ e));
+  {
+    program;
+    decider = Behavior.Decider.create program behavior ~rng;
+    stack = Vec.create ();
+    max_stack;
+    current = Some (Cfg.entry_block program);
+    executed = 0;
+  }
+
+let current_block t = t.current
+
+let blocks_executed t = t.executed
+
+let stack_depth t = Vec.length t.stack
+
+let step t =
+  match t.current with
+  | None -> None
+  | Some src ->
+    t.executed <- t.executed + 1;
+    Behavior.Decider.tick t.decider;
+    let mk kind dst =
+      let backward =
+        match dst with
+        | Some d -> Cfg.is_backward t.program ~src ~dst:d
+        | None -> false
+      in
+      t.current <- dst;
+      Some { src; kind; dst; backward }
+    in
+    (match (Cfg.block t.program src).term with
+     | Cfg.Branch { taken; fallthrough } ->
+       let outcome = Behavior.Decider.decide_branch t.decider src in
+       mk (T_branch { taken = outcome }) (Some (if outcome then taken else fallthrough))
+     | Cfg.Jump dst -> mk T_jump (Some dst)
+     | Cfg.Indirect targets ->
+       let dst = Behavior.Decider.decide_indirect t.decider src ~targets in
+       mk T_indirect (Some dst)
+     | Cfg.Call { callee; return_to } ->
+       if Vec.length t.stack >= t.max_stack then
+         failwith
+           (Printf.sprintf "Vm.step: call-stack overflow (depth %d) at block %d"
+              t.max_stack src);
+       Vec.push t.stack return_to;
+       mk T_call (Some (Cfg.proc t.program callee).entry)
+     | Cfg.Return ->
+       if Vec.is_empty t.stack then mk T_exit None
+       else mk T_return (Some (Vec.pop t.stack))
+     | Cfg.Exit -> mk T_exit None)
+
+type run_stats = {
+  reason : [ `Exited | `Fuel ];
+  blocks : int;
+  branches : int;
+  calls : int;
+  returns : int;
+  indirects : int;
+  backward_transfers : int;
+  max_stack : int;
+}
+
+let pp_run_stats ppf s =
+  Format.fprintf ppf
+    "@[<h>%s: blocks=%d branches=%d calls=%d returns=%d indirects=%d backward=%d \
+     max_stack=%d@]"
+    (match s.reason with `Exited -> "exited" | `Fuel -> "fuel")
+    s.blocks s.branches s.calls s.returns s.indirects s.backward_transfers s.max_stack
+
+let run ?(max_steps = max_int) t ~on_transfer =
+  let branches = ref 0
+  and calls = ref 0
+  and returns = ref 0
+  and indirects = ref 0
+  and backward = ref 0
+  and max_stack_seen = ref 0 in
+  let rec loop () =
+    if t.executed >= max_steps then `Fuel
+    else
+      match step t with
+      | None -> `Exited
+      | Some tr ->
+        (match tr.kind with
+         | T_branch _ -> incr branches
+         | T_call -> incr calls
+         | T_return -> incr returns
+         | T_indirect -> incr indirects
+         | T_jump | T_exit -> ());
+        if tr.backward then incr backward;
+        max_stack_seen := max !max_stack_seen (Vec.length t.stack);
+        on_transfer tr;
+        loop ()
+  in
+  let reason = loop () in
+  {
+    reason;
+    blocks = t.executed;
+    branches = !branches;
+    calls = !calls;
+    returns = !returns;
+    indirects = !indirects;
+    backward_transfers = !backward;
+    max_stack = !max_stack_seen;
+  }

@@ -1,0 +1,64 @@
+(** Trace-producing interpreter for the virtual CFG ISA.
+
+    One {!step} executes the current basic block and performs its
+    terminator, yielding a {!transfer} record — the unit the path builder
+    consumes.  Conditional and indirect outcomes come from the
+    {!Behavior.Decider}; the call stack lives here. *)
+
+module Cfg = Hotpath_cfg.Cfg
+
+type transfer_kind =
+  | T_branch of { taken : bool }  (** Conditional direct branch. *)
+  | T_jump
+  | T_indirect
+  | T_call  (** Destination is the callee entry. *)
+  | T_return  (** Destination is the caller's return-to block. *)
+  | T_exit  (** Program termination; no destination. *)
+
+type transfer = {
+  src : Cfg.block_id;  (** Block just executed. *)
+  kind : transfer_kind;
+  dst : Cfg.block_id option;  (** [None] only for [T_exit]. *)
+  backward : bool;
+      (** True when the transfer lands at an address [<=] the source — the
+          paper's criterion for a path-terminating transfer and for the
+          destination being a potential path head. *)
+}
+
+type t
+
+val create : ?max_stack:int -> Cfg.program -> Behavior.t -> rng:Hotpath_util.Prng.t -> t
+(** Interpreter positioned at the main procedure's entry.  [max_stack]
+    bounds call depth (default 10_000).
+    @raise Invalid_argument when the behaviour fails {!Behavior.validate}. *)
+
+val step : t -> transfer option
+(** Execute one block and its terminator.  [None] once the program has
+    exited.  A [Return] with an empty call stack terminates the program
+    (reported as [T_exit]).
+    @raise Failure on call-stack overflow. *)
+
+val current_block : t -> Cfg.block_id option
+(** Block about to execute; [None] after exit. *)
+
+val blocks_executed : t -> int
+
+val stack_depth : t -> int
+
+type run_stats = {
+  reason : [ `Exited | `Fuel ];
+  blocks : int;  (** Blocks executed. *)
+  branches : int;  (** Conditional branches executed. *)
+  calls : int;
+  returns : int;
+  indirects : int;
+  backward_transfers : int;
+  max_stack : int;
+}
+
+val pp_run_stats : Format.formatter -> run_stats -> unit
+
+val run : ?max_steps:int -> t -> on_transfer:(transfer -> unit) -> run_stats
+(** Drive {!step} until exit or until [max_steps] blocks have executed
+    (default unbounded), invoking [on_transfer] on every transfer in
+    order. *)

@@ -1,0 +1,1 @@
+lib/workloads/correlated.ml: Array Hotpath_cfg Hotpath_trace Hotpath_vm List

@@ -1,0 +1,1 @@
+lib/workloads/correlated.mli: Hotpath_cfg Hotpath_trace Hotpath_vm

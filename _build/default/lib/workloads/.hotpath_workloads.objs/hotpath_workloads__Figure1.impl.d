@@ -1,0 +1,1 @@
+lib/workloads/figure1.ml: Array Hotpath_cfg Hotpath_vm List Printf String

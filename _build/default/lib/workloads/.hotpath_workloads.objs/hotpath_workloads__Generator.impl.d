@@ -1,0 +1,1 @@
+lib/workloads/generator.ml: Array Hotpath_cfg Hotpath_util Hotpath_vm List Printf

@@ -1,0 +1,1 @@
+lib/workloads/generator.mli: Hotpath_cfg Hotpath_vm

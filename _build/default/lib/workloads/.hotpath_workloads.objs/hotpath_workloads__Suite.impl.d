@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Generator Hotpath_trace Hotpath_util List Printf

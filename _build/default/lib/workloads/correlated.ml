@@ -1,0 +1,71 @@
+module Cfg = Hotpath_cfg.Cfg
+module Behavior = Hotpath_vm.Behavior
+module Signature = Hotpath_trace.Signature
+
+let build ?(triples = 1) ?(iterations = 2000) ?(first_bias = 0.45) () =
+  if triples < 1 then invalid_arg "Correlated.build: triples must be >= 1";
+  if first_bias <= 0.0 || first_bias >= 0.5 then
+    invalid_arg "Correlated.build: first_bias must be in (0, 0.5)";
+  let b = Cfg.Builder.create ~name:"correlated" in
+  let p = Cfg.Builder.add_proc b ~name:"main" in
+  let entry = Cfg.Builder.add_block b ~proc:p ~weight:2 in
+  let head = Cfg.Builder.add_block b ~proc:p ~weight:1 in
+  let models = ref [] in
+  let diamond model =
+    let branch = Cfg.Builder.add_block b ~proc:p ~weight:2 in
+    let arm_f = Cfg.Builder.add_block b ~proc:p ~weight:3 in
+    let arm_t = Cfg.Builder.add_block b ~proc:p ~weight:3 in
+    let join = Cfg.Builder.add_block b ~proc:p ~weight:1 in
+    Cfg.Builder.set_term b branch (Cfg.Branch { taken = arm_t; fallthrough = arm_f });
+    Cfg.Builder.set_term b arm_f (Cfg.Jump join);
+    Cfg.Builder.set_term b arm_t (Cfg.Jump join);
+    models := (branch, model) :: !models;
+    (branch, join)
+  in
+  let cursor = ref head in
+  let link src dst = Cfg.Builder.set_term b src (Cfg.Jump dst) in
+  for _ = 1 to triples do
+    let b1, j1 = diamond (Behavior.Bias first_bias) in
+    let b2, j2 = diamond (Behavior.Bias first_bias) in
+    (* Taken iff at least one of the two preceding outcomes (the low two
+       history bits) was taken: indices 01, 10, 11 -> 1.0; 00 -> 0.0. *)
+    let b3, j3 =
+      diamond (Behavior.Correlated { bits = 2; taken_prob = [| 0.0; 1.0; 1.0; 1.0 |] })
+    in
+    link !cursor b1;
+    link j1 b2;
+    link j2 b3;
+    cursor := j3
+  done;
+  let latch = Cfg.Builder.add_block b ~proc:p ~weight:1 in
+  let exit_blk = Cfg.Builder.add_block b ~proc:p ~weight:1 in
+  link !cursor latch;
+  Cfg.Builder.set_term b latch (Cfg.Branch { taken = head; fallthrough = exit_blk });
+  models := (latch, Behavior.Bias (1.0 -. (1.0 /. float_of_int iterations))) :: !models;
+  Cfg.Builder.set_term b exit_blk Cfg.Exit;
+  Cfg.Builder.set_term b entry (Cfg.Jump head);
+  let program = Cfg.Builder.finish b in
+  let behavior = Behavior.create program () in
+  List.iter (fun (blk, m) -> Behavior.set_branch behavior blk m) !models;
+  (program, behavior)
+
+let loop_head (program : Cfg.program) =
+  match (Cfg.block program (Cfg.entry_block program)).Cfg.term with
+  | Cfg.Jump head -> head
+  | _ -> invalid_arg "Correlated.loop_head: unexpected program shape"
+
+let phantom_signature (program : Cfg.program) =
+  let head = loop_head program in
+  let sigb = Signature.Builder.create ~head in
+  (* Per triple the per-branch argmax outcomes are (fall, fall, taken) —
+     a combination with probability zero — and the latch bit is taken.
+     Three diamonds of four blocks per triple, plus entry/head and
+     latch/exit, recover the triple count from the block total. *)
+  let n_triples = (Array.length program.Cfg.blocks - 4) / 12 in
+  for _ = 1 to n_triples do
+    Signature.Builder.add_branch sigb ~taken:false;
+    Signature.Builder.add_branch sigb ~taken:false;
+    Signature.Builder.add_branch sigb ~taken:true
+  done;
+  Signature.Builder.add_branch sigb ~taken:true;
+  Signature.Builder.freeze sigb

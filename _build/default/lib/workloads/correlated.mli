@@ -1,0 +1,40 @@
+(** A loop with correlated branch triples — the workload on which
+    constructing paths from isolated branch frequencies is {e guaranteed}
+    to build a path that never executes.
+
+    Each triple is three consecutive diamonds: the first two are
+    independent with taken-probability [first_bias] (default 0.45, so each
+    profiles as majority-fallthrough), and the third is taken iff at least
+    one of the first two was taken (a 2-bit-history OR).  Marginally the
+    third branch is taken [1 - (1-first_bias)^2] ≈ 70% of the time, so a
+    Boa-style argmax construction ({!Hotpath_prediction} [Branch_profile])
+    builds (fall, fall, taken) — a combination with probability exactly
+    zero.  This makes the paper's Section 7 criticism concrete: paths
+    built from isolated branch frequencies "may lead to paths that, as a
+    whole, never execute".  NET, which grabs a tail that just executed, is
+    immune by construction. *)
+
+module Cfg = Hotpath_cfg.Cfg
+module Behavior = Hotpath_vm.Behavior
+
+val build :
+  ?triples:int ->
+  ?iterations:int ->
+  ?first_bias:float ->
+  unit ->
+  Cfg.program * Behavior.t
+(** [build ~triples ~iterations ~first_bias ()] — a single loop with
+    [triples] correlated diamond triples (default 1), mean trip count
+    [iterations] (default 2000).  [first_bias] must stay below 0.5 for the
+    phantom guarantee.  Deterministic CFG; stochastic behaviour comes from
+    the VM's seeded generator.
+    @raise Invalid_argument when [triples < 1] or [first_bias] outside
+    (0, 0.5). *)
+
+val loop_head : Cfg.program -> Cfg.block_id
+(** The loop head block of the built program (for assertions). *)
+
+val phantom_signature : Cfg.program -> Hotpath_trace.Signature.t
+(** The never-executing path a frequency-argmax construction builds from
+    the loop head: fall, fall, taken for every triple, then the backward
+    latch. *)

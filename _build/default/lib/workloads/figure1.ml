@@ -1,0 +1,89 @@
+module Cfg = Hotpath_cfg.Cfg
+module Behavior = Hotpath_vm.Behavior
+
+type config = {
+  p_a_to_c : float;
+  p_c_to_f : float;
+  p_d_to_h : float;
+  p_g_loop : float;
+  p_j_loop : float;
+}
+
+let dominant =
+  { p_a_to_c = 0.1; p_c_to_f = 0.5; p_d_to_h = 0.1; p_g_loop = 0.9; p_j_loop = 0.98 }
+
+let flat =
+  (* Tuned so the five paths draw comparable shares:
+     P(ABDG-ish) = 0.5 at A, then 0.5 at D, then G splits.  The loop exit
+     (J fallthrough) is rare so a single run visits every path often. *)
+  { p_a_to_c = 0.5; p_c_to_f = 0.5; p_d_to_h = 0.5; p_g_loop = 0.5; p_j_loop = 0.995 }
+
+(* Layout: A=0 B=1 C=2 D=3 E=4 F=5 G=6 H=7 I=8 J=9 K=10(exit). *)
+let labels = [| "A"; "B"; "C"; "D"; "E"; "F"; "G"; "H"; "I"; "J"; "K" |]
+
+let block name =
+  let rec find i =
+    if i >= Array.length labels then
+      invalid_arg (Printf.sprintf "Figure1.block: unknown label %s" name)
+    else if labels.(i) = name then i
+    else find (i + 1)
+  in
+  find 0
+
+let label id =
+  if id < 0 || id >= Array.length labels then
+    invalid_arg (Printf.sprintf "Figure1.label: unknown block %d" id)
+  else labels.(id)
+
+let build ?(config = dominant) () =
+  let b = Cfg.Builder.create ~name:"figure1" in
+  let p = Cfg.Builder.add_proc b ~name:"main" in
+  let ids = Array.map (fun _ -> Cfg.Builder.add_block b ~proc:p ~weight:2) labels in
+  let a = ids.(0) and b1 = ids.(1) and c = ids.(2) and d = ids.(3) and e = ids.(4)
+  and f = ids.(5) and g = ids.(6) and h = ids.(7) and i = ids.(8) and j = ids.(9)
+  and k = ids.(10) in
+  let branch blk ~taken ~fallthrough =
+    Cfg.Builder.set_term b blk (Cfg.Branch { taken; fallthrough })
+  in
+  branch a ~taken:c ~fallthrough:b1;
+  branch b1 ~taken:d ~fallthrough:c;  (* fallthrough never taken *)
+  branch c ~taken:f ~fallthrough:e;
+  branch d ~taken:h ~fallthrough:g;
+  branch e ~taken:i ~fallthrough:f;  (* fallthrough never taken *)
+  branch f ~taken:i ~fallthrough:g;  (* fallthrough never taken *)
+  branch g ~taken:a ~fallthrough:j;  (* back edge *)
+  branch h ~taken:j ~fallthrough:i;  (* fallthrough never taken *)
+  branch i ~taken:j ~fallthrough:j;
+  branch j ~taken:a ~fallthrough:k;  (* back edge *)
+  Cfg.Builder.set_term b k Cfg.Exit;
+  let program = Cfg.Builder.finish b in
+  let behavior = Behavior.create program () in
+  let set blk m = Behavior.set_branch behavior blk m in
+  set a (Behavior.Bias config.p_a_to_c);
+  set b1 (Behavior.Always true);
+  set c (Behavior.Bias config.p_c_to_f);
+  set d (Behavior.Bias config.p_d_to_h);
+  set e (Behavior.Always true);
+  set f (Behavior.Always true);
+  set g (Behavior.Bias config.p_g_loop);
+  set h (Behavior.Always true);
+  set i (Behavior.Always true);
+  set j (Behavior.Bias config.p_j_loop);
+  (program, behavior)
+
+let paper_signatures =
+  [
+    ("ABDG", "A.0101");
+    ("ABDGJ", "A.01001");
+    ("ABDHJ", "A.01111");
+    ("ACEIJ", "A.10111");
+    ("ACFIJ", "A.11111");
+  ]
+
+let signature_of_blocks path =
+  match List.assoc_opt path paper_signatures with
+  | None -> invalid_arg (Printf.sprintf "Figure1.signature_of_blocks: %s" path)
+  | Some s ->
+    (* Translate the paper's "A.bits" into this library's "B0.bits". *)
+    let bits = String.sub s 2 (String.length s - 2) in
+    Printf.sprintf "B%d.%s" (block "A") bits

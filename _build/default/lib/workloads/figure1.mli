@@ -1,0 +1,52 @@
+(** The paper's Figure 1: five paths through one loop.
+
+    Blocks A..J form a loop body with two-way decisions at A, C, D, G, H,
+    I, J; the five executable paths and their bit-tracing signatures are
+    exactly the paper's:
+
+    {v
+    ABDG  : A.0101     ABDGJ : A.01001    ABDHJ : A.01111
+    ACEIJ : A.10111    ACFIJ : A.11111
+    v}
+
+    G and J close the loop back to A (backward taken branches); J's
+    fallthrough leaves the loop.  Used by the quickstart/example programs
+    and as a reference fixture in tests. *)
+
+module Cfg = Hotpath_cfg.Cfg
+module Behavior = Hotpath_vm.Behavior
+
+type config = {
+  p_a_to_c : float;  (** P(A branches to C) — bit 1 at A. *)
+  p_c_to_f : float;  (** P(C branches to F). *)
+  p_d_to_h : float;  (** P(D branches to H). *)
+  p_g_loop : float;  (** P(G takes the back edge to A). *)
+  p_j_loop : float;  (** P(J takes the back edge to A). *)
+}
+
+val dominant : config
+(** ABDG strongly dominant — the "one or two dominant paths" regime where
+    NET is statistically likely to pick the right tail. *)
+
+val flat : config
+(** Execution spread evenly over all five paths — the regime where no
+    scheme can make a better prediction (Section 4.1). *)
+
+val build : ?config:config -> unit -> Cfg.program * Behavior.t
+(** Deterministic CFG; behaviour per [config] (default {!dominant}). *)
+
+val block : string -> Cfg.block_id
+(** Block id by paper label, ["A"].."J"] plus the exit ["K"].
+    @raise Invalid_argument for other labels. *)
+
+val label : Cfg.block_id -> string
+(** Inverse of {!block} for this program's ids. *)
+
+val paper_signatures : (string * string) list
+(** [(path, signature)] as printed in the paper, e.g.
+    [("ABDG", "A.0101")]. *)
+
+val signature_of_blocks : string -> string
+(** Expected signature string (in this library's [B<n>] notation) for a
+    path given by its block labels, e.g. ["ABDG"].
+    @raise Invalid_argument for labels outside the five paper paths. *)

@@ -1,0 +1,256 @@
+module Cfg = Hotpath_cfg.Cfg
+module Behavior = Hotpath_vm.Behavior
+module Prng = Hotpath_util.Prng
+
+type loop_kind = {
+  lk_branches : int;
+  lk_bias : float;
+  lk_iterations : int;
+  lk_loopback : float option;
+  lk_fire_period : int option;
+  lk_calls : bool;
+  lk_indirect : int;
+  lk_phase_flip : bool;
+}
+
+let loop ?(bias = 0.9) ?(iterations = 50) ?loopback ?fire_period ?(calls = false)
+    ?(indirect = 0) ?(phase_flip = false) ~branches () =
+  {
+    lk_branches = branches;
+    lk_bias = bias;
+    lk_iterations = iterations;
+    lk_loopback = loopback;
+    lk_fire_period = fire_period;
+    lk_calls = calls;
+    lk_indirect = indirect;
+    lk_phase_flip = phase_flip;
+  }
+
+let micro_loop ?(fire_period = 12) () = loop ~branches:0 ~iterations:1 ~fire_period ()
+
+type t = {
+  g_name : string;
+  g_loops : (int * loop_kind) list;
+  g_procs : int;
+  g_phase_steps : int option;
+}
+
+let total_loops t = List.fold_left (fun acc (n, _) -> acc + n) 0 t.g_loops
+
+let validate t =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if t.g_loops = [] then err "%s: no loops" t.g_name
+  else if t.g_procs < 1 then err "%s: procs must be >= 1" t.g_name
+  else
+    let bad =
+      List.find_opt
+        (fun (count, lk) ->
+           count < 1 || lk.lk_branches < 0 || lk.lk_branches > 16
+           || lk.lk_bias < 0.0 || lk.lk_bias > 1.0
+           || lk.lk_iterations < 1
+           || (match lk.lk_loopback with
+               | Some p -> p <= 0.0 || p >= 1.0
+               | None -> false)
+           || (match lk.lk_fire_period with Some k -> k < 2 | None -> false)
+           || (lk.lk_indirect <> 0 && lk.lk_indirect < 2))
+        t.g_loops
+    in
+    match bad with
+    | Some _ -> err "%s: malformed loop kind" t.g_name
+    | None -> (
+        match t.g_phase_steps with
+        | Some n when n < 1 -> err "%s: phase steps must be >= 1" t.g_name
+        | Some _ | None -> Ok ())
+
+(* Deferred branch-model assignments, applied once the program is frozen. *)
+type pending_models = {
+  mutable branch_models : (Cfg.block_id * Behavior.branch_model) list;
+  mutable indirect_models : (Cfg.block_id * Behavior.indirect_model) list;
+}
+
+(* Alternating-phase bias: dominant direction flips each [steps]-block
+   phase; twelve boundaries, the last model persisting. *)
+let phased_bias ~steps ~p =
+  let entries =
+    Array.init 12 (fun k ->
+        let prob = if k mod 2 = 0 then p else 1.0 -. p in
+        ((k + 1) * steps, Behavior.Bias prob))
+  in
+  Behavior.Phased entries
+
+let build t ~seed =
+  (match validate t with
+   | Ok () -> ()
+   | Error e -> invalid_arg ("Generator.build: " ^ e));
+  let rng = Prng.create ~seed in
+  let b = Cfg.Builder.create ~name:t.g_name in
+  let models = { branch_models = []; indirect_models = [] } in
+  let set_branch blk m = models.branch_models <- (blk, m) :: models.branch_models in
+  let set_indirect blk m =
+    models.indirect_models <- (blk, m) :: models.indirect_models
+  in
+  let weight () = 1 + Prng.int rng ~bound:8 in
+  (* Flatten the loop groups and deal them round-robin over the workers so
+     every worker gets a mix of kinds. *)
+  let all_loops =
+    List.concat_map (fun (count, lk) -> List.init count (fun _ -> lk)) t.g_loops
+  in
+  let workers = Array.make t.g_procs [] in
+  List.iteri
+    (fun i lk -> workers.(i mod t.g_procs) <- lk :: workers.(i mod t.g_procs))
+    all_loops;
+  let workers = Array.map List.rev workers in
+  (* Driver procedure: an endless loop calling each worker in turn.  The
+     worker procs do not exist yet, so call terminators are patched at the
+     end via this queue. *)
+  let driver = Cfg.Builder.add_proc b ~name:"driver" in
+  let d_entry = Cfg.Builder.add_block b ~proc:driver ~weight:(weight ()) in
+  let d_head = Cfg.Builder.add_block b ~proc:driver ~weight:(weight ()) in
+  let call_blocks =
+    Array.init t.g_procs (fun _ -> Cfg.Builder.add_block b ~proc:driver ~weight:1)
+  in
+  let d_latch = Cfg.Builder.add_block b ~proc:driver ~weight:1 in
+  let d_exit = Cfg.Builder.add_block b ~proc:driver ~weight:1 in
+  Cfg.Builder.set_term b d_entry (Cfg.Jump d_head);
+  Cfg.Builder.set_term b d_head
+    (Cfg.Jump (if t.g_procs > 0 then call_blocks.(0) else d_latch));
+  Cfg.Builder.set_term b d_latch (Cfg.Branch { taken = d_head; fallthrough = d_exit });
+  set_branch d_latch (Behavior.Always true);
+  Cfg.Builder.set_term b d_exit Cfg.Exit;
+  (* One small shared helper, built after the workers so calls to it are
+     forward and its returns backward (extra loop heads, as in real
+     layouts).  Worker call sites are patched once it exists. *)
+  let pending_helper_calls = ref [] in
+  let pending_worker_calls = ref [] in
+  let build_loop ~proc lk ~latch_patches =
+    let head = Cfg.Builder.add_block b ~proc ~weight:(weight ()) in
+    let cursor = ref head in
+    let link src dst = Cfg.Builder.set_term b src (Cfg.Jump dst) in
+    (* Diamond chain. *)
+    for _ = 1 to lk.lk_branches do
+      let branch = Cfg.Builder.add_block b ~proc ~weight:(weight ()) in
+      let arm_f = Cfg.Builder.add_block b ~proc ~weight:(weight ()) in
+      let arm_t = Cfg.Builder.add_block b ~proc ~weight:(weight ()) in
+      let join = Cfg.Builder.add_block b ~proc ~weight:1 in
+      link !cursor branch;
+      Cfg.Builder.set_term b branch (Cfg.Branch { taken = arm_t; fallthrough = arm_f });
+      link arm_f join;
+      link arm_t join;
+      (* Which arm dominates is chosen per diamond. *)
+      let p_taken = if Prng.bool rng ~p:0.5 then lk.lk_bias else 1.0 -. lk.lk_bias in
+      let model =
+        match t.g_phase_steps with
+        | Some steps when lk.lk_phase_flip -> phased_bias ~steps ~p:p_taken
+        | Some _ | None -> Behavior.Bias p_taken
+      in
+      set_branch branch model;
+      cursor := join
+    done;
+    (* Optional indirect dispatch (switch / bytecode-handler shape). *)
+    if lk.lk_indirect >= 2 then begin
+      let dispatch = Cfg.Builder.add_block b ~proc ~weight:(weight ()) in
+      link !cursor dispatch;
+      let targets =
+        Array.init lk.lk_indirect (fun _ ->
+            Cfg.Builder.add_block b ~proc ~weight:(weight ()))
+      in
+      let join = Cfg.Builder.add_block b ~proc ~weight:1 in
+      Array.iter (fun target -> link target join) targets;
+      Cfg.Builder.set_term b dispatch (Cfg.Indirect targets);
+      (* Skewed dispatch when the loop is biased, uniform when flat. *)
+      let model =
+        if lk.lk_bias > 0.55 then begin
+          let ratio = 1.0 -. lk.lk_bias in
+          Behavior.Weighted_target
+            (Array.init lk.lk_indirect (fun i -> ratio ** float_of_int i))
+        end
+        else Behavior.Uniform_target
+      in
+      set_indirect dispatch model;
+      cursor := join
+    end;
+    (* Optional helper call. *)
+    if lk.lk_calls then begin
+      let call = Cfg.Builder.add_block b ~proc ~weight:1 in
+      let post = Cfg.Builder.add_block b ~proc ~weight:(weight ()) in
+      link !cursor call;
+      pending_helper_calls := (call, post) :: !pending_helper_calls;
+      cursor := post
+    end;
+    (* Latch: back edge to the head with mean trip count lk_iterations. *)
+    let latch = Cfg.Builder.add_block b ~proc ~weight:(weight ()) in
+    link !cursor latch;
+    (match lk.lk_fire_period, lk.lk_loopback with
+     | Some k, _ ->
+       (* Deterministic micro loop: the back edge fires on every k-th
+          execution, so the glue paths through micro chains repeat exactly
+          instead of minting fresh signatures. *)
+       set_branch latch
+         (Behavior.Periodic (Array.init k (fun i -> i = k - 1)))
+     | None, Some p -> set_branch latch (Behavior.Bias p)
+     | None, None ->
+       let p_continue = 1.0 -. (1.0 /. float_of_int lk.lk_iterations) in
+       set_branch latch (Behavior.Bias p_continue));
+    latch_patches := (latch, head) :: !latch_patches;
+    latch
+  in
+  Array.iteri
+    (fun i loops ->
+       let proc = Cfg.Builder.add_proc b ~name:(Printf.sprintf "worker%d" i) in
+       let entry = Cfg.Builder.add_block b ~proc ~weight:(weight ()) in
+       pending_worker_calls := (call_blocks.(i), proc) :: !pending_worker_calls;
+       let latch_patches = ref [] in
+       let latches =
+         List.map (fun lk -> build_loop ~proc lk ~latch_patches) loops
+       in
+       let ret = Cfg.Builder.add_block b ~proc ~weight:1 in
+       Cfg.Builder.set_term b ret Cfg.Return;
+       (* Wire entry -> first head; latch fallthroughs -> next head / ret. *)
+       let heads = List.rev_map snd !latch_patches in
+       (match heads with
+        | first :: _ -> Cfg.Builder.set_term b entry (Cfg.Jump first)
+        | [] -> Cfg.Builder.set_term b entry (Cfg.Jump ret));
+       let rec wire = function
+         | [] -> ()
+         | [ last ] ->
+           let head = List.assoc last !latch_patches in
+           Cfg.Builder.set_term b last (Cfg.Branch { taken = head; fallthrough = ret })
+         | l :: (next :: _ as rest) ->
+           let head = List.assoc l !latch_patches in
+           let next_head = List.assoc next !latch_patches in
+           Cfg.Builder.set_term b l
+             (Cfg.Branch { taken = head; fallthrough = next_head });
+           wire rest
+       in
+       wire latches)
+    workers;
+  (* The shared helper: entry -> small diamond -> return. *)
+  let helper = Cfg.Builder.add_proc b ~name:"helper" in
+  let h_entry = Cfg.Builder.add_block b ~proc:helper ~weight:(weight ()) in
+  let h_branch = Cfg.Builder.add_block b ~proc:helper ~weight:(weight ()) in
+  let h_a = Cfg.Builder.add_block b ~proc:helper ~weight:(weight ()) in
+  let h_b = Cfg.Builder.add_block b ~proc:helper ~weight:(weight ()) in
+  let h_ret = Cfg.Builder.add_block b ~proc:helper ~weight:1 in
+  Cfg.Builder.set_term b h_entry (Cfg.Jump h_branch);
+  Cfg.Builder.set_term b h_branch (Cfg.Branch { taken = h_a; fallthrough = h_b });
+  set_branch h_branch (Behavior.Bias 0.8);
+  Cfg.Builder.set_term b h_a (Cfg.Jump h_ret);
+  Cfg.Builder.set_term b h_b (Cfg.Jump h_ret);
+  Cfg.Builder.set_term b h_ret Cfg.Return;
+  List.iter
+    (fun (call, post) ->
+       Cfg.Builder.set_term b call (Cfg.Call { callee = helper; return_to = post }))
+    !pending_helper_calls;
+  List.iter
+    (fun (call, proc) ->
+       (* Driver call blocks are consecutive; the block after the last one
+          is the driver latch, so [call + 1] is always the continuation. *)
+       Cfg.Builder.set_term b call (Cfg.Call { callee = proc; return_to = call + 1 }))
+    !pending_worker_calls;
+  let program = Cfg.Builder.finish b in
+  let behavior = Behavior.create program () in
+  List.iter (fun (blk, m) -> Behavior.set_branch behavior blk m) models.branch_models;
+  List.iter
+    (fun (blk, m) -> Behavior.set_indirect behavior blk m)
+    models.indirect_models;
+  (program, behavior)

@@ -1,0 +1,79 @@
+(** Parametric synthetic-workload generator.
+
+    Substitutes the paper's SpecInt95/deltablue binaries: every measurement
+    in the paper is a function of the dynamic branch trace, so a workload
+    is a CFG shape plus stochastic branch behaviour whose trace statistics
+    (path counts, flow concentration, loop-head density, phase structure)
+    are calibrated per benchmark to Tables 1 and 2.
+
+    A workload is a set of {e loop archetypes}.  Each loop has a diamond
+    chain as its body — [lk_branches] two-way decisions per iteration, each
+    biased towards a dominant arm with probability [lk_bias] (0.5 = flat) —
+    an optional helper call and an optional indirect dispatch in the body,
+    and a latch taking the back edge with mean trip count [lk_iterations].
+    Loops are distributed over [g_procs] worker procedures called in
+    round-robin from an endless driver loop; execution stops when the
+    recorder reaches its flow target. *)
+
+module Cfg = Hotpath_cfg.Cfg
+module Behavior = Hotpath_vm.Behavior
+
+type loop_kind = {
+  lk_branches : int;  (** Diamonds per body, 0..16; path signature bits. *)
+  lk_bias : float;  (** Dominant-arm probability per diamond; 0.5 = flat. *)
+  lk_iterations : int;  (** Mean back-edge trips per loop entry (>= 1). *)
+  lk_loopback : float option;
+      (** When set, overrides the iteration-derived back-edge probability.
+          Values well below 1 give loops that mostly fall straight
+          through. *)
+  lk_fire_period : int option;
+      (** When set (and taking precedence over [lk_loopback]), the back
+          edge fires deterministically on every k-th execution.  Micro
+          loops use this: they populate the program with path heads the way
+          real binaries do (Table 2's head density) while their glue paths
+          repeat exactly instead of minting fresh signatures. *)
+  lk_calls : bool;  (** Body calls a small out-of-line helper. *)
+  lk_indirect : int;  (** 0 = none; else an indirect dispatch with this fanout. *)
+  lk_phase_flip : bool;
+      (** Under a phase schedule, this loop's dominant arms flip direction
+          at each phase boundary. *)
+}
+
+val loop :
+  ?bias:float ->
+  ?iterations:int ->
+  ?loopback:float ->
+  ?fire_period:int ->
+  ?calls:bool ->
+  ?indirect:int ->
+  ?phase_flip:bool ->
+  branches:int ->
+  unit ->
+  loop_kind
+(** Convenience constructor; defaults: bias 0.9, iterations 50, no calls,
+    no indirect, no phase flip. *)
+
+val micro_loop : ?fire_period:int -> unit -> loop_kind
+(** An empty-bodied loop whose back edge fires deterministically every
+    [fire_period]-th execution (default 12): negligible flow, one extra
+    path head. *)
+
+type t = {
+  g_name : string;
+  g_loops : (int * loop_kind) list;  (** (count, kind) groups. *)
+  g_procs : int;  (** Worker procedures the loops are spread over (>= 1). *)
+  g_phase_steps : int option;
+      (** [Some n]: phase boundaries every [n] executed blocks (loops with
+          [lk_phase_flip] change dominant direction each phase). *)
+}
+
+val build : t -> seed:int -> Cfg.program * Behavior.t
+(** Deterministic in [seed].  The program's driver loop is endless — run it
+    under [max_paths] / [max_steps] (see
+    {!Hotpath_trace.Recorder.record}). *)
+
+val total_loops : t -> int
+
+val validate : t -> (unit, string) result
+(** Spec sanity: at least one loop, positive counts, branches within the
+    signature cap, fanout >= 2 when an indirect is requested, procs >= 1. *)

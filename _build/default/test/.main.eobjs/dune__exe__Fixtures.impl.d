@@ -1,0 +1,1 @@
+test/fixtures.ml: Array Hotpath_cfg Hotpath_vm

@@ -1,0 +1,1 @@
+test/test_ablations.ml: Alcotest Array Hotpath_experiments Hotpath_util Hotpath_workloads Lazy List Printf String

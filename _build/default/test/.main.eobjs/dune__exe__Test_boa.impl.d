@@ -1,0 +1,1 @@
+test/test_boa.ml: Alcotest Array Fixtures Hashtbl Hotpath_cfg Hotpath_metrics Hotpath_prediction Hotpath_trace Hotpath_util Hotpath_vm Hotpath_workloads List Printf

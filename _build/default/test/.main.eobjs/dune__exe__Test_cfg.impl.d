@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Array Fixtures Format Hotpath_cfg String

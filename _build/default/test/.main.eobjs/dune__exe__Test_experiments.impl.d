@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Hotpath_experiments Hotpath_metrics Hotpath_workloads Lazy List Printf

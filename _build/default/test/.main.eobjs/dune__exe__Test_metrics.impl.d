@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Fixtures Hotpath_metrics Hotpath_prediction Hotpath_trace Hotpath_util Int List Printf QCheck QCheck_alcotest

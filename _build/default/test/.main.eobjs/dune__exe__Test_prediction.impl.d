@@ -1,0 +1,1 @@
+test/test_prediction.ml: Alcotest Array Fixtures Hotpath_cfg Hotpath_prediction Hotpath_trace Hotpath_util Int List QCheck QCheck_alcotest

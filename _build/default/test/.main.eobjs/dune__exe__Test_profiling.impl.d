@@ -1,0 +1,1 @@
+test/test_profiling.ml: Alcotest Array Fixtures Hashtbl Hotpath_cfg Hotpath_profiling Hotpath_trace Hotpath_util Hotpath_vm List Option Printf QCheck QCheck_alcotest

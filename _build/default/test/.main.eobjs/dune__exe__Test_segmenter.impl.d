@@ -1,0 +1,1 @@
+test/test_segmenter.ml: Alcotest Array Fixtures Hotpath_cfg Hotpath_trace Hotpath_util Hotpath_vm List

@@ -1,0 +1,1 @@
+test/test_serialize.ml: Alcotest Array Bytes Char Filename Fixtures Fun Hotpath_prediction Hotpath_trace Hotpath_util Hotpath_vm Hotpath_workloads List String Sys

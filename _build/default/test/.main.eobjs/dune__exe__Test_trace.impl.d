@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Fixtures Fun Gen Hashtbl Hotpath_cfg Hotpath_trace Hotpath_util Hotpath_vm Int List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Fixtures Hotpath_cfg Hotpath_util Hotpath_vm List Printf String

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Hashtbl Hotpath_cfg Hotpath_trace Hotpath_util Hotpath_vm Hotpath_workloads List Printf

@@ -1,0 +1,179 @@
+(* Tests for the ablation studies. *)
+
+module A = Hotpath_experiments.Ablations
+module Stats = Hotpath_util.Stats
+
+let scale = 0.1
+
+let variants = lazy (A.net_variants ~scale ())
+
+let test_variant_rows () =
+  Alcotest.(check int) "9 benchmarks x 3 variants" 27
+    (List.length (Lazy.force variants))
+
+let test_variant_rates_bounded () =
+  List.iter
+    (fun r ->
+       Alcotest.(check bool)
+         (Printf.sprintf "%s/%s hit %.1f in range" r.A.v_bench r.A.v_scheme r.A.v_hit)
+         true
+         (r.A.v_hit >= 0.0 && r.A.v_hit <= 100.0 && r.A.v_noise >= 0.0))
+    (Lazy.force variants)
+
+let avg_hit scheme =
+  let rows = List.filter (fun r -> r.A.v_scheme = scheme) (Lazy.force variants) in
+  Stats.mean (Array.of_list (List.map (fun r -> r.A.v_hit) rows))
+
+let test_rearming_beats_once () =
+  (* Re-arming NET models Dynamo's secondary trace heads; predicting only
+     once per head leaves later hot tails of the same loop uncaptured. *)
+  let net = avg_hit "net" and once = avg_hit "net-once" in
+  Alcotest.(check bool)
+    (Printf.sprintf "net %.1f%% > net-once %.1f%%" net once)
+    true (net > once +. 5.0)
+
+let test_net_at_least_as_good_as_let () =
+  (* The next executing tail is fresher than the last executed one. *)
+  let net = avg_hit "net" and let_ = avg_hit "let" in
+  Alcotest.(check bool)
+    (Printf.sprintf "net %.1f%% >= let %.1f%% - 2" net let_)
+    true
+    (net >= let_ -. 2.0)
+
+let test_once_predicts_fewer () =
+  List.iter
+    (fun bench ->
+       let get scheme =
+         List.find
+           (fun r -> r.A.v_bench = bench && r.A.v_scheme = scheme)
+           (Lazy.force variants)
+       in
+       Alcotest.(check bool)
+         (bench ^ ": once predicts no more than re-arming")
+         true
+         ((get "net-once").A.v_predictions <= (get "net").A.v_predictions))
+    Hotpath_workloads.Suite.names
+
+let boa_rows = lazy (A.boa ~scale ())
+
+let test_boa_rows () =
+  Alcotest.(check int) "9 benchmarks + correlated" 10 (List.length (Lazy.force boa_rows))
+
+let test_boa_more_expensive () =
+  List.iter
+    (fun r ->
+       Alcotest.(check bool)
+         (Printf.sprintf "%s: Boa ops (%d) > NET ops (%d)" r.A.b_bench r.A.b_boa_ops
+            r.A.b_net_ops)
+         true
+         (r.A.b_boa_ops > r.A.b_net_ops))
+    (Lazy.force boa_rows)
+
+let test_boa_never_clearly_better () =
+  let net =
+    Stats.mean
+      (Array.of_list (List.map (fun r -> r.A.b_net_hit) (Lazy.force boa_rows)))
+  and boa =
+    Stats.mean
+      (Array.of_list (List.map (fun r -> r.A.b_boa_hit) (Lazy.force boa_rows)))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "NET avg %.1f%% > Boa avg %.1f%%" net boa)
+    true (net > boa)
+
+let test_boa_phantom_on_correlated () =
+  let row = List.find (fun r -> r.A.b_bench = "correlated") (Lazy.force boa_rows) in
+  Alcotest.(check bool) "phantoms constructed" true (row.A.b_boa_phantoms >= 1);
+  Alcotest.(check bool)
+    (Printf.sprintf "NET %.1f%% beats Boa %.1f%% on correlated" row.A.b_net_hit
+       row.A.b_boa_hit)
+    true
+    (row.A.b_net_hit > row.A.b_boa_hit)
+
+let threshold_rows = lazy (A.thresholds ~scale ())
+
+let test_threshold_rows () =
+  Alcotest.(check int) "9 benchmarks x 3 thresholds" 27
+    (List.length (Lazy.force threshold_rows))
+
+let test_net_matches_pp_across_thresholds () =
+  (* The headline NET ~ path-profile equivalence is not an artifact of the
+     paper's 0.1% choice. *)
+  List.iter
+    (fun r ->
+       Alcotest.(check bool)
+         (Printf.sprintf "%s@%.2f%%: NET %.1f ~ PP %.1f" r.A.t_bench
+            (100.0 *. r.A.t_threshold) r.A.t_net_hit r.A.t_pp_hit)
+         true
+         (abs_float (r.A.t_net_hit -. r.A.t_pp_hit) < 15.0))
+    (Lazy.force threshold_rows)
+
+let test_cost_sensitivity_ordering () =
+  (* Figure 5's qualitative result must not depend on the calibration
+     constants: NET stays above path-profile at every cost point. *)
+  let rows =
+    A.cost_sensitivity ~scale:1.0 ~interp_values:[ 2.0; 4.0 ]
+      ~fragment_values:[ 0.6; 0.8 ] ()
+  in
+  Alcotest.(check int) "grid size" 4 (List.length rows);
+  List.iter
+    (fun r ->
+       Alcotest.(check bool)
+         (Printf.sprintf "interp=%.1f frag=%.2f: NET %.1f > PP %.1f" r.A.c_interp
+            r.A.c_fragment r.A.c_net50 r.A.c_pp50)
+         true
+         (r.A.c_net50 > r.A.c_pp50))
+    rows
+
+let test_seed_robustness () =
+  let rows = A.seed_robustness ~scale:0.05 ~seeds:[ 7; 8; 9 ] () in
+  Alcotest.(check int) "nine benchmarks" 9 (List.length rows);
+  List.iter
+    (fun r ->
+       Alcotest.(check bool)
+         (Printf.sprintf "%s: tight spread (net std %.1f)" r.A.sr_bench r.A.sr_net_std)
+         true
+         (r.A.sr_net_std < 6.0 && r.A.sr_pp_std < 6.0);
+       Alcotest.(check bool)
+         (Printf.sprintf "%s: NET %.1f ~>= PP %.1f" r.A.sr_bench r.A.sr_net_mean
+            r.A.sr_pp_mean)
+         true
+         (r.A.sr_net_mean >= r.A.sr_pp_mean -. 3.0))
+    rows
+
+let test_renderers_smoke () =
+  Alcotest.(check bool) "variants renders" true
+    (String.length (A.render_net_variants ~scale ()) > 100);
+  Alcotest.(check bool) "boa renders" true
+    (String.length (A.render_boa ~scale ()) > 100);
+  Alcotest.(check bool) "thresholds renders" true
+    (String.length (A.render_thresholds ~scale ()) > 100)
+
+let suites =
+  [
+    ( "ablations.net_variants",
+      [
+        Alcotest.test_case "row count" `Quick test_variant_rows;
+        Alcotest.test_case "rates bounded" `Quick test_variant_rates_bounded;
+        Alcotest.test_case "re-arming beats once" `Quick test_rearming_beats_once;
+        Alcotest.test_case "net >= let" `Quick test_net_at_least_as_good_as_let;
+        Alcotest.test_case "once predicts fewer" `Quick test_once_predicts_fewer;
+      ] );
+    ( "ablations.boa",
+      [
+        Alcotest.test_case "row count" `Quick test_boa_rows;
+        Alcotest.test_case "boa more expensive" `Quick test_boa_more_expensive;
+        Alcotest.test_case "net better on average" `Quick test_boa_never_clearly_better;
+        Alcotest.test_case "phantom on correlated" `Quick test_boa_phantom_on_correlated;
+      ] );
+    ( "ablations.thresholds",
+      [
+        Alcotest.test_case "row count" `Quick test_threshold_rows;
+        Alcotest.test_case "net ~ pp across thresholds" `Quick
+          test_net_matches_pp_across_thresholds;
+        Alcotest.test_case "cost-sensitivity ordering" `Slow
+          test_cost_sensitivity_ordering;
+        Alcotest.test_case "seed robustness" `Slow test_seed_robustness;
+        Alcotest.test_case "renderers" `Quick test_renderers_smoke;
+      ] );
+  ]

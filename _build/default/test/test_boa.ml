@@ -1,0 +1,239 @@
+(* Tests for Boa-style branch-profile prediction and the correlated
+   workload that defeats it (Section 7 of the paper). *)
+
+module Cfg = Hotpath_cfg.Cfg
+module Recorder = Hotpath_trace.Recorder
+module Signature = Hotpath_trace.Signature
+module Path = Hotpath_trace.Path
+module Path_table = Hotpath_trace.Path_table
+module Branch_profile = Hotpath_prediction.Branch_profile
+module Net = Hotpath_prediction.Net
+module Replay = Hotpath_prediction.Replay
+module Hot_set = Hotpath_metrics.Hot_set
+module Rates = Hotpath_metrics.Rates
+module Correlated = Hotpath_workloads.Correlated
+module Prng = Hotpath_util.Prng
+
+(* ------------------------------------------------------------------ *)
+(* construct                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_construct_follows_argmax () =
+  let program, _, (_, b1, b2, b3) = Fixtures.simple_loop () in
+  ignore b3;
+  let taken_counts = Hashtbl.create 4 in
+  let indirect_counts = Hashtbl.create 4 in
+  (* Loop branch at b2 heavily taken: construction from the head follows
+     the back edge. *)
+  Hashtbl.replace taken_counts b2 (90, 10);
+  let signature, blocks =
+    Branch_profile.construct program ~taken_counts ~indirect_counts ~head:b1
+  in
+  Alcotest.(check (array int)) "loop body" [| b1; b2 |] blocks;
+  Alcotest.(check string) "signature" (Printf.sprintf "B%d.1" b1)
+    (Signature.to_string signature)
+
+let test_construct_unseen_falls_through () =
+  let program, _, (_, b1, b2, b3) = Fixtures.simple_loop () in
+  let taken_counts = Hashtbl.create 4 in
+  let indirect_counts = Hashtbl.create 4 in
+  (* No counts at all: static not-taken prediction exits the loop. *)
+  let _, blocks =
+    Branch_profile.construct program ~taken_counts ~indirect_counts ~head:b1
+  in
+  Alcotest.(check (array int)) "falls out of the loop" [| b1; b2; b3 |] blocks
+
+let test_construct_ends_at_matched_return () =
+  let program, _, (_, b1, b2, b3, b4, _, _) = Fixtures.call_loop () in
+  let taken_counts = Hashtbl.create 4 in
+  let indirect_counts = Hashtbl.create 4 in
+  let _, blocks =
+    Branch_profile.construct program ~taken_counts ~indirect_counts ~head:b1
+  in
+  (* Crosses the forward call and ends at the matched return, like the
+     recorder's paths. *)
+  Alcotest.(check (array int)) "ends at matched return" [| b1; b2; b3; b4 |] blocks
+
+let test_construct_follows_hottest_indirect () =
+  let program, _, (_, b1, b2, b3, b4, b5, _) = Fixtures.indirect_loop () in
+  ignore b3;
+  let taken_counts = Hashtbl.create 4 in
+  let indirect_counts = Hashtbl.create 4 in
+  Hashtbl.replace indirect_counts (b2, b4) 10;
+  Hashtbl.replace taken_counts b5 (9, 1);
+  let signature, blocks =
+    Branch_profile.construct program ~taken_counts ~indirect_counts ~head:b1
+  in
+  Alcotest.(check (array int)) "takes hottest target" [| b1; b2; b4; b5 |] blocks;
+  Alcotest.(check (list int)) "indirect recorded" [ b4 ]
+    (Signature.indirect_targets signature)
+
+(* ------------------------------------------------------------------ *)
+(* run on plain workloads                                              *)
+(* ------------------------------------------------------------------ *)
+
+let record_simple ?(iterations = 500) () =
+  let program, behavior, _ = Fixtures.simple_loop ~iterations () in
+  Recorder.record program behavior ~rng:(Prng.create ~seed:6)
+
+let test_boa_predicts_dominant_loop () =
+  let r = record_simple () in
+  let o = Branch_profile.run ~delay:10 r in
+  Alcotest.(check string) "scheme name" "boa" o.Branch_profile.base.Replay.scheme_name;
+  Alcotest.(check bool) "predicts the loop path" true
+    (Array.length o.Branch_profile.base.Replay.predictions >= 1);
+  Alcotest.(check (list int)) "no phantoms on a single-path loop" []
+    (List.map (fun _ -> 0) o.Branch_profile.phantoms);
+  let hot = Hot_set.of_outcome o.Branch_profile.base ~threshold:0.01 in
+  let rates = Rates.operational o.Branch_profile.base hot in
+  Alcotest.(check bool) "high hit rate" true (rates.Rates.hit_rate > 90.0)
+
+let test_boa_profiles_every_branch () =
+  let r = record_simple ~iterations:100 () in
+  let o = Branch_profile.run ~delay:1_000_000 r in
+  (* Never predicts; ops = one per executed branch (every instance here has
+     exactly one branch) plus one head-counter bump per loop-head arrival. *)
+  let loop_head_arrivals = ref 0 in
+  for i = 0 to Recorder.num_instances r - 1 do
+    if Recorder.arrival r i = Hotpath_trace.Path.Loop_head then incr loop_head_arrivals
+  done;
+  Alcotest.(check int) "branch + head ops"
+    (r.Recorder.vm_stats.Hotpath_vm.Vm.branches + !loop_head_arrivals)
+    o.Branch_profile.base.Replay.profiling_ops;
+  Alcotest.(check int) "no predictions" 0
+    (Array.length o.Branch_profile.base.Replay.predictions)
+
+let test_boa_invalid_delay () =
+  let r = record_simple ~iterations:10 () in
+  Alcotest.check_raises "delay 0"
+    (Invalid_argument "Branch_profile.run: delay must be >= 1") (fun () ->
+      ignore (Branch_profile.run ~delay:0 r))
+
+let test_boa_determinism () =
+  let r = record_simple () in
+  let o1 = Branch_profile.run ~delay:10 r in
+  let o2 = Branch_profile.run ~delay:10 r in
+  Alcotest.(check (array int)) "same predicted_at"
+    o1.Branch_profile.base.Replay.predicted_at
+    o2.Branch_profile.base.Replay.predicted_at
+
+(* ------------------------------------------------------------------ *)
+(* Correlated workload                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let record_correlated ?(triples = 1) ?(seed = 11) () =
+  let program, behavior = Correlated.build ~triples ~iterations:3_000 () in
+  let recorded =
+    Recorder.record ~max_paths:20_000 ~max_steps:2_000_000 program behavior
+      ~rng:(Prng.create ~seed)
+  in
+  (program, recorded)
+
+let test_correlated_impossible_combo_never_executes () =
+  let program, recorded = record_correlated () in
+  let phantom = Correlated.phantom_signature program in
+  Alcotest.(check (option int)) "the (fall,fall,taken) path never occurs" None
+    (Path_table.find recorded.Recorder.table phantom)
+
+let test_correlated_third_branch_marginal () =
+  (* The third branch is taken iff one of the first two was: marginally
+     about 1 - 0.55^2 = 69.75%. *)
+  let program, recorded = record_correlated () in
+  ignore program;
+  let taken = ref 0 and total = ref 0 in
+  let paths = Path_table.paths recorded.Recorder.table in
+  let freq = Recorder.frequencies recorded in
+  Array.iter
+    (fun (p : Path.t) ->
+       if p.Path.n_branches = 4 then begin
+         (* head-started loop path: bits b1 b2 b3 latch *)
+         total := !total + freq.(p.Path.id);
+         if Signature.bit p.Path.signature 2 then taken := !taken + freq.(p.Path.id)
+       end)
+    paths;
+  let rate = float_of_int !taken /. float_of_int (max 1 !total) in
+  Alcotest.(check bool)
+    (Printf.sprintf "third-branch marginal %.2f near 0.70" rate)
+    true
+    (abs_float (rate -. 0.6975) < 0.03)
+
+let test_boa_builds_phantom_on_correlated () =
+  let program, recorded = record_correlated () in
+  let o = Branch_profile.run ~delay:50 recorded in
+  Alcotest.(check bool) "at least one phantom" true
+    (List.length o.Branch_profile.phantoms >= 1);
+  let phantom = Correlated.phantom_signature program in
+  Alcotest.(check bool) "the impossible combination is among them" true
+    (List.exists (Signature.equal phantom) o.Branch_profile.phantoms)
+
+let test_net_beats_boa_on_correlated () =
+  (* At small delays Boa's early, still-noisy counts occasionally construct
+     real paths before the marginals converge; by delay 400 the counts have
+     converged and every construction is the phantom. *)
+  let _, recorded = record_correlated () in
+  let hot =
+    Hot_set.compute
+      ~freq:(Recorder.frequencies recorded)
+      ~total_flow:(Recorder.num_instances recorded)
+      ~threshold:0.001
+  in
+  let net = Rates.operational (Replay.run (module Net) ~delay:400 recorded) hot in
+  let boa =
+    Rates.operational (Branch_profile.run ~delay:400 recorded).Branch_profile.base hot
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "NET %.1f%% >> Boa %.1f%%" net.Rates.hit_rate boa.Rates.hit_rate)
+    true
+    (net.Rates.hit_rate > boa.Rates.hit_rate +. 20.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "Boa stuck on the phantom (%.1f%%)" boa.Rates.hit_rate)
+    true
+    (boa.Rates.hit_rate < 30.0)
+
+let test_correlated_build_validation () =
+  (match Correlated.build ~triples:0 () with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "triples 0 accepted");
+  match Correlated.build ~first_bias:0.6 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bias 0.6 accepted"
+
+let test_correlated_program_valid () =
+  let program, behavior = Correlated.build ~triples:3 () in
+  Alcotest.(check bool) "cfg valid" true (Cfg.validate program = Ok ());
+  Alcotest.(check bool) "behavior valid" true
+    (Hotpath_vm.Behavior.validate behavior = Ok ())
+
+let suites =
+  [
+    ( "boa.construct",
+      [
+        Alcotest.test_case "follows argmax" `Quick test_construct_follows_argmax;
+        Alcotest.test_case "unseen falls through" `Quick
+          test_construct_unseen_falls_through;
+        Alcotest.test_case "ends at matched return" `Quick
+          test_construct_ends_at_matched_return;
+        Alcotest.test_case "hottest indirect" `Quick
+          test_construct_follows_hottest_indirect;
+      ] );
+    ( "boa.run",
+      [
+        Alcotest.test_case "predicts dominant loop" `Quick
+          test_boa_predicts_dominant_loop;
+        Alcotest.test_case "profiles every branch" `Quick test_boa_profiles_every_branch;
+        Alcotest.test_case "invalid delay" `Quick test_boa_invalid_delay;
+        Alcotest.test_case "determinism" `Quick test_boa_determinism;
+      ] );
+    ( "boa.correlated",
+      [
+        Alcotest.test_case "impossible combo absent from trace" `Quick
+          test_correlated_impossible_combo_never_executes;
+        Alcotest.test_case "third-branch marginal" `Quick
+          test_correlated_third_branch_marginal;
+        Alcotest.test_case "Boa builds the phantom" `Quick
+          test_boa_builds_phantom_on_correlated;
+        Alcotest.test_case "NET beats Boa" `Quick test_net_beats_boa_on_correlated;
+        Alcotest.test_case "build validation" `Quick test_correlated_build_validation;
+        Alcotest.test_case "program valid" `Quick test_correlated_program_valid;
+      ] );
+  ]

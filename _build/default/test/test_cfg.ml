@@ -1,0 +1,161 @@
+(* Tests for the virtual CFG ISA: builder, validation, address geometry. *)
+
+module Cfg = Hotpath_cfg.Cfg
+
+let build_two_block_loop () =
+  let b = Cfg.Builder.create ~name:"t" in
+  let p = Cfg.Builder.add_proc b ~name:"main" in
+  let b0 = Cfg.Builder.add_block b ~proc:p ~weight:1 in
+  let b1 = Cfg.Builder.add_block b ~proc:p ~weight:1 in
+  let b2 = Cfg.Builder.add_block b ~proc:p ~weight:1 in
+  Cfg.Builder.set_term b b0 (Cfg.Jump b1);
+  Cfg.Builder.set_term b b1 (Cfg.Branch { taken = b0; fallthrough = b2 });
+  Cfg.Builder.set_term b b2 Cfg.Exit;
+  (Cfg.Builder.finish b, b0, b1, b2)
+
+let test_builder_basic () =
+  let program, b0, b1, b2 = build_two_block_loop () in
+  Alcotest.(check int) "blocks" 3 (Array.length program.Cfg.blocks);
+  Alcotest.(check int) "procs" 1 (Array.length program.Cfg.procs);
+  Alcotest.(check int) "entry" b0 (Cfg.entry_block program);
+  Alcotest.(check int) "addr = id" b1 (Cfg.addr program b1);
+  Alcotest.(check int) "weight" 1 (Cfg.block program b2).Cfg.weight
+
+let test_is_backward () =
+  let program, b0, b1, b2 = build_two_block_loop () in
+  Alcotest.(check bool) "back edge" true (Cfg.is_backward program ~src:b1 ~dst:b0);
+  Alcotest.(check bool) "self edge is backward" true
+    (Cfg.is_backward program ~src:b1 ~dst:b1);
+  Alcotest.(check bool) "forward" false (Cfg.is_backward program ~src:b0 ~dst:b2)
+
+let test_successors () =
+  let program, b0, b1, b2 = build_two_block_loop () in
+  Alcotest.(check (list int)) "jump" [ b1 ] (Cfg.successors program b0);
+  Alcotest.(check (list int)) "branch" [ b0; b2 ] (Cfg.successors program b1);
+  Alcotest.(check (list int)) "exit" [] (Cfg.successors program b2)
+
+let test_counts () =
+  let program, _, _, _ = build_two_block_loop () in
+  Alcotest.(check int) "branch count" 1 (Cfg.branch_count program);
+  Alcotest.(check int) "backward targets" 1 (Cfg.backward_branch_target_count program)
+
+let test_out_of_range_accessors () =
+  let program, _, _, _ = build_two_block_loop () in
+  Alcotest.check_raises "block" (Invalid_argument "Cfg.block: id 99 out of range")
+    (fun () -> ignore (Cfg.block program 99));
+  Alcotest.check_raises "proc" (Invalid_argument "Cfg.proc: id 5 out of range") (fun () ->
+      ignore (Cfg.proc program 5))
+
+let expect_invalid name make =
+  Alcotest.test_case name `Quick (fun () ->
+      match make () with
+      | exception Invalid_argument _ -> ()
+      | (_ : Cfg.program) -> Alcotest.fail "expected validation failure")
+
+let invalid_cross_proc_branch () =
+  let b = Cfg.Builder.create ~name:"bad" in
+  let p0 = Cfg.Builder.add_proc b ~name:"main" in
+  let p1 = Cfg.Builder.add_proc b ~name:"other" in
+  let b0 = Cfg.Builder.add_block b ~proc:p0 ~weight:1 in
+  let b1 = Cfg.Builder.add_block b ~proc:p1 ~weight:1 in
+  Cfg.Builder.set_term b b0 (Cfg.Jump b1);
+  Cfg.Builder.set_term b b1 Cfg.Return;
+  Cfg.Builder.finish b
+
+let invalid_empty_indirect () =
+  let b = Cfg.Builder.create ~name:"bad" in
+  let p = Cfg.Builder.add_proc b ~name:"main" in
+  let b0 = Cfg.Builder.add_block b ~proc:p ~weight:1 in
+  Cfg.Builder.set_term b b0 (Cfg.Indirect [||]);
+  Cfg.Builder.finish b
+
+let invalid_target_out_of_range () =
+  let b = Cfg.Builder.create ~name:"bad" in
+  let p = Cfg.Builder.add_proc b ~name:"main" in
+  let b0 = Cfg.Builder.add_block b ~proc:p ~weight:1 in
+  Cfg.Builder.set_term b b0 (Cfg.Jump 42);
+  Cfg.Builder.finish b
+
+let invalid_bad_callee () =
+  let b = Cfg.Builder.create ~name:"bad" in
+  let p = Cfg.Builder.add_proc b ~name:"main" in
+  let b0 = Cfg.Builder.add_block b ~proc:p ~weight:1 in
+  let b1 = Cfg.Builder.add_block b ~proc:p ~weight:1 in
+  Cfg.Builder.set_term b b0 (Cfg.Call { callee = 9; return_to = b1 });
+  Cfg.Builder.set_term b b1 Cfg.Exit;
+  Cfg.Builder.finish b
+
+let invalid_empty_proc () =
+  let b = Cfg.Builder.create ~name:"bad" in
+  let p = Cfg.Builder.add_proc b ~name:"main" in
+  let _ = Cfg.Builder.add_proc b ~name:"empty" in
+  let b0 = Cfg.Builder.add_block b ~proc:p ~weight:1 in
+  Cfg.Builder.set_term b b0 Cfg.Exit;
+  Cfg.Builder.finish b
+
+let invalid_zero_weight () =
+  let b = Cfg.Builder.create ~name:"bad" in
+  let p = Cfg.Builder.add_proc b ~name:"main" in
+  let b0 = Cfg.Builder.add_block b ~proc:p ~weight:0 in
+  Cfg.Builder.set_term b b0 Cfg.Exit;
+  Cfg.Builder.finish b
+
+let test_validate_ok () =
+  let program, _, _, _ = build_two_block_loop () in
+  match Cfg.validate program with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "unexpected validation error: %s" e
+
+let test_dot_export () =
+  let program, _, _, _ = build_two_block_loop () in
+  let dot = Cfg.to_dot program in
+  let contains needle =
+    let n = String.length needle and h = String.length dot in
+    let rec scan i = i + n <= h && (String.sub dot i n = needle || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "digraph" true (contains "digraph");
+  Alcotest.(check bool) "cluster" true (contains "cluster_p0");
+  Alcotest.(check bool) "backward edge styled" true (contains "style=bold")
+
+let test_pp_roundtrip_smoke () =
+  let program, _, _, _ = build_two_block_loop () in
+  let s = Format.asprintf "%a" Cfg.pp_program program in
+  Alcotest.(check bool) "prints something" true (String.length s > 20)
+
+let test_fixture_programs_valid () =
+  let check name program =
+    match Cfg.validate program with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "%s invalid: %s" name e
+  in
+  let p1, _, _ = Fixtures.simple_loop () in
+  let p2, _, _ = Fixtures.call_loop () in
+  let p3, _, _ = Fixtures.recursive () in
+  let p4, _, _ = Fixtures.indirect_loop () in
+  check "simple_loop" p1;
+  check "call_loop" p2;
+  check "recursive" p3;
+  check "indirect_loop" p4
+
+let suites =
+  [
+    ( "cfg",
+      [
+        Alcotest.test_case "builder basics" `Quick test_builder_basic;
+        Alcotest.test_case "is_backward" `Quick test_is_backward;
+        Alcotest.test_case "successors" `Quick test_successors;
+        Alcotest.test_case "counts" `Quick test_counts;
+        Alcotest.test_case "out-of-range accessors" `Quick test_out_of_range_accessors;
+        Alcotest.test_case "validate ok" `Quick test_validate_ok;
+        expect_invalid "reject cross-proc branch" invalid_cross_proc_branch;
+        expect_invalid "reject empty indirect" invalid_empty_indirect;
+        expect_invalid "reject out-of-range target" invalid_target_out_of_range;
+        expect_invalid "reject bad callee" invalid_bad_callee;
+        expect_invalid "reject empty procedure" invalid_empty_proc;
+        expect_invalid "reject zero weight" invalid_zero_weight;
+        Alcotest.test_case "dot export" `Quick test_dot_export;
+        Alcotest.test_case "pp smoke" `Quick test_pp_roundtrip_smoke;
+        Alcotest.test_case "fixtures valid" `Quick test_fixture_programs_valid;
+      ] );
+  ]

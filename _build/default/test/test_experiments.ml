@@ -1,0 +1,244 @@
+(* Integration tests: the paper-shape criteria of DESIGN.md §4, at reduced
+   scale so the whole suite stays fast. *)
+
+module Suite = Hotpath_workloads.Suite
+module Table1 = Hotpath_experiments.Table1
+module Table2 = Hotpath_experiments.Table2
+module Figures23 = Hotpath_experiments.Figures23
+module Fig4 = Hotpath_experiments.Fig4
+module Fig5 = Hotpath_experiments.Fig5
+module Runs = Hotpath_experiments.Runs
+module Sweep = Hotpath_metrics.Sweep
+
+let scale = 0.1
+
+let table1 = lazy (Table1.compute ~scale ())
+
+let find1 name = List.find (fun r -> r.Table1.name = name) (Lazy.force table1)
+
+let test_table1_row_count () =
+  Alcotest.(check int) "nine rows" 9 (List.length (Lazy.force table1))
+
+let test_table1_compress_shape () =
+  let c = find1 "compress" in
+  Alcotest.(check bool) "fewest paths" true
+    (List.for_all (fun r -> r.Table1.paths >= c.Table1.paths) (Lazy.force table1));
+  Alcotest.(check bool)
+    (Printf.sprintf "dominant hot flow (%.1f%%)" c.Table1.hot_flow_pct)
+    true (c.Table1.hot_flow_pct > 94.0)
+
+let test_table1_gcc_shape () =
+  let g = find1 "gcc" in
+  Alcotest.(check bool) "most paths" true
+    (List.for_all (fun r -> r.Table1.paths <= g.Table1.paths) (Lazy.force table1));
+  Alcotest.(check bool)
+    (Printf.sprintf "weak hot flow (%.1f%%)" g.Table1.hot_flow_pct)
+    true
+    (g.Table1.hot_flow_pct < 65.0)
+
+let test_table1_dominant_band () =
+  List.iter
+    (fun name ->
+       let r = find1 name in
+       Alcotest.(check bool)
+         (Printf.sprintf "%s hot flow %.1f%% in band" name r.Table1.hot_flow_pct)
+         true
+         (r.Table1.hot_flow_pct > 80.0))
+    [ "ijpeg"; "li"; "m88ksim"; "perl"; "deltablue" ]
+
+let test_table1_flow_ratios () =
+  (* Flow column scales with the paper's Flow(M) column. *)
+  List.iter
+    (fun r ->
+       Alcotest.(check int)
+         (Printf.sprintf "%s flow" r.Table1.name)
+         (int_of_float (scale *. float_of_int (r.Table1.paper_flow_m * 100)))
+         r.Table1.flow)
+    (Lazy.force table1)
+
+let table2 = lazy (Table2.compute ~scale ())
+
+let find2 name = List.find (fun r -> r.Table2.name = name) (Lazy.force table2)
+
+let test_table2_heads_below_paths () =
+  List.iter
+    (fun r ->
+       Alcotest.(check bool)
+         (Printf.sprintf "%s: heads (%d) < paths (%d)" r.Table2.name
+            r.Table2.unique_heads r.Table2.paths)
+         true
+         (r.Table2.unique_heads < r.Table2.paths))
+    (Lazy.force table2)
+
+let test_table2_ratio_ordering () =
+  let ratio r = float_of_int r.Table2.unique_heads /. float_of_int r.Table2.paths in
+  Alcotest.(check bool) "compress densest heads" true
+    (ratio (find2 "compress") > ratio (find2 "gcc"));
+  Alcotest.(check bool) "go sparse" true (ratio (find2 "go") < 0.15)
+
+let test_fig4_ratios () =
+  (* Counter space is measured dynamically; at tiny scales rarely-arriving
+     heads are never observed, so Figure 4 is checked at full scale and the
+     Dynamo operating point. *)
+  let rows = Fig4.compute ~scale:1.0 ~delay:50 () in
+  List.iter
+    (fun r ->
+       Alcotest.(check bool)
+         (Printf.sprintf "%s ratio %.3f in (0,1)" r.Fig4.name r.Fig4.ratio)
+         true
+         (r.Fig4.ratio > 0.0 && r.Fig4.ratio < 1.0))
+    rows;
+  let avg = Fig4.average_ratio rows in
+  Alcotest.(check bool)
+    (Printf.sprintf "average ratio %.3f in the paper's band" avg)
+    true
+    (avg > 0.2 && avg < 0.6);
+  let ratio name = (List.find (fun r -> r.Fig4.name = name) rows).Fig4.ratio in
+  Alcotest.(check bool) "compress ratio above gcc's" true
+    (ratio "compress" > ratio "gcc")
+
+let figures = lazy (Figures23.compute ~scale ~delays:[ 2; 10; 100; 2_000 ] ())
+
+let test_fig2_net_matches_path_profile () =
+  let t = Lazy.force figures in
+  List.iter
+    (fun bench ->
+       let point scheme =
+         match Figures23.series t ~scheme ~bench with
+         | Some s -> List.nth s.Figures23.s_points 1 (* delay 10 *)
+         | None -> Alcotest.failf "missing series %s/%s" scheme bench
+       in
+       let net = point "net" and pp = point "path-profile" in
+       Alcotest.(check bool)
+         (Printf.sprintf "%s: NET %.1f ~ PP %.1f at tau=10" bench
+            net.Sweep.hit_rate pp.Sweep.hit_rate)
+         true
+         (abs_float (net.Sweep.hit_rate -. pp.Sweep.hit_rate) < 10.0))
+    Suite.names
+
+let test_fig2_hit_declines () =
+  let t = Lazy.force figures in
+  List.iter
+    (fun (scheme, _) ->
+       match Figures23.series t ~scheme ~bench:"average" with
+       | None -> Alcotest.fail "missing average"
+       | Some s ->
+         let hits = List.map (fun p -> p.Sweep.hit_rate) s.Figures23.s_points in
+         (match (hits, List.rev hits) with
+          | first :: _, last :: _ ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: %.1f -> %.1f declines" scheme first last)
+              true (first > last +. 10.0)
+          | _ -> Alcotest.fail "no points"))
+    Figures23.schemes
+
+let test_fig3_noise_declines () =
+  let t = Lazy.force figures in
+  List.iter
+    (fun (scheme, _) ->
+       match Figures23.series t ~scheme ~bench:"gcc" with
+       | None -> Alcotest.fail "missing gcc"
+       | Some s ->
+         (match s.Figures23.s_points with
+          | p2 :: _ ->
+            let last = List.nth s.Figures23.s_points 3 in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s gcc noise %.1f -> %.1f falls" scheme
+                 p2.Sweep.noise_rate last.Sweep.noise_rate)
+              true
+              (p2.Sweep.noise_rate > last.Sweep.noise_rate)
+          | [] -> Alcotest.fail "no points"))
+    Figures23.schemes
+
+let test_figures_summary_well_formed () =
+  let t = Lazy.force figures in
+  let summaries = Figures23.summarize t in
+  Alcotest.(check int) "two schemes" 2 (List.length summaries);
+  List.iter
+    (fun su ->
+       Alcotest.(check bool) "hit@10% benchmarks counted" true
+         (su.Figures23.su_hit_at_10pct_n >= 0
+          && su.Figures23.su_hit_at_10pct_n <= 9))
+    summaries
+
+(* Figure 5 at moderate scale: relative claims only. *)
+let test_fig5_net_beats_path_profile () =
+  let rows = Fig5.compute ~scale:1.0 () in
+  let avg = List.find (fun r -> r.Fig5.name = "Average") rows in
+  let cell scheme delay =
+    let _, _, c =
+      List.find (fun (s, d, _) -> s = scheme && d = delay) avg.Fig5.cells
+    in
+    c
+  in
+  let net50 = cell "net" 50 and pp50 = cell "path-profile" 50 in
+  Alcotest.(check bool)
+    (Printf.sprintf "NET50 (%.1f%%) > PP50 (%.1f%%)" net50.Fig5.speedup_pct
+       pp50.Fig5.speedup_pct)
+    true
+    (net50.Fig5.speedup_pct > pp50.Fig5.speedup_pct)
+
+let test_fig5_compress_positive () =
+  let rows = Fig5.compute ~scale:1.0 () in
+  let compress = List.find (fun r -> r.Fig5.name = "compress") rows in
+  let _, _, c =
+    List.find (fun (s, d, _) -> s = "net" && d = 50) compress.Fig5.cells
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "compress NET50 positive (%.1f%%)" c.Fig5.speedup_pct)
+    true
+    (c.Fig5.speedup_pct > 5.0 && not c.Fig5.bailed)
+
+let test_fig5_gcc_bails () =
+  let rows = Fig5.compute_all ~scale:1.0 () in
+  List.iter
+    (fun name ->
+       let row = List.find (fun r -> r.Fig5.name = name) rows in
+       let bails =
+         List.exists (fun (_, _, c) -> c.Fig5.bailed) row.Fig5.cells
+       in
+       Alcotest.(check bool) (name ^ " bails at some delay") true bails)
+    [ "gcc"; "go" ]
+
+let test_runs_cache () =
+  let b = Suite.find_exn "compress" in
+  let r1 = Runs.load ~scale:0.01 b and r2 = Runs.load ~scale:0.01 b in
+  Alcotest.(check bool) "memoized" true (r1 == r2);
+  Runs.clear_cache ();
+  let r3 = Runs.load ~scale:0.01 b in
+  Alcotest.(check bool) "fresh after clear" true (r1 != r3)
+
+let suites =
+  [
+    ( "experiments.table1",
+      [
+        Alcotest.test_case "row count" `Quick test_table1_row_count;
+        Alcotest.test_case "compress shape" `Quick test_table1_compress_shape;
+        Alcotest.test_case "gcc shape" `Quick test_table1_gcc_shape;
+        Alcotest.test_case "dominant band" `Quick test_table1_dominant_band;
+        Alcotest.test_case "flow ratios" `Quick test_table1_flow_ratios;
+      ] );
+    ( "experiments.table2",
+      [
+        Alcotest.test_case "heads below paths" `Quick test_table2_heads_below_paths;
+        Alcotest.test_case "ratio ordering" `Quick test_table2_ratio_ordering;
+      ] );
+    ( "experiments.fig4",
+      [ Alcotest.test_case "counter-space ratios" `Quick test_fig4_ratios ] );
+    ( "experiments.fig23",
+      [
+        Alcotest.test_case "NET ~ path-profile hit rates" `Quick
+          test_fig2_net_matches_path_profile;
+        Alcotest.test_case "hit declines with delay" `Quick test_fig2_hit_declines;
+        Alcotest.test_case "noise declines" `Quick test_fig3_noise_declines;
+        Alcotest.test_case "summary well-formed" `Quick test_figures_summary_well_formed;
+      ] );
+    ( "experiments.fig5",
+      [
+        Alcotest.test_case "NET beats path-profile" `Slow test_fig5_net_beats_path_profile;
+        Alcotest.test_case "compress positive" `Slow test_fig5_compress_positive;
+        Alcotest.test_case "gcc/go bail" `Slow test_fig5_gcc_bails;
+      ] );
+    ( "experiments.runs",
+      [ Alcotest.test_case "cache" `Quick test_runs_cache ] );
+  ]

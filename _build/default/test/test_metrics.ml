@@ -1,0 +1,222 @@
+(* Tests for the abstract evaluation metrics: hot sets, hit/noise rates,
+   delay sweeps. *)
+
+module Recorder = Hotpath_trace.Recorder
+module Replay = Hotpath_prediction.Replay
+module Scheme = Hotpath_prediction.Scheme
+module Path_profile = Hotpath_prediction.Path_profile
+module Net = Hotpath_prediction.Net
+module Hot_set = Hotpath_metrics.Hot_set
+module Rates = Hotpath_metrics.Rates
+module Sweep = Hotpath_metrics.Sweep
+module Prng = Hotpath_util.Prng
+
+let check_float = Alcotest.(check (float 1e-6))
+
+(* ------------------------------------------------------------------ *)
+(* Hot_set                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_hot_set_basic () =
+  let freq = [| 50; 30; 15; 4; 1 |] in
+  let hot = Hot_set.compute ~freq ~total_flow:100 ~threshold:0.1 in
+  (* Cutoff 10: paths 0, 1, 2 are hot. *)
+  Alcotest.(check int) "size" 3 (Hot_set.size hot);
+  Alcotest.(check bool) "0 hot" true (Hot_set.is_hot hot 0);
+  Alcotest.(check bool) "3 cold" false (Hot_set.is_hot hot 3);
+  Alcotest.(check int) "hot flow" 95 hot.Hot_set.hot_flow;
+  check_float "flow pct" 95.0 (Hot_set.flow_pct hot);
+  Alcotest.(check (array int)) "descending ids" [| 0; 1; 2 |] hot.Hot_set.ids
+
+let test_hot_set_strict_inequality () =
+  (* A path at exactly the cutoff is NOT hot (freq(p) > h, strictly). *)
+  let freq = [| 10; 90 |] in
+  let hot = Hot_set.compute ~freq ~total_flow:100 ~threshold:0.1 in
+  Alcotest.(check bool) "at-cutoff path is cold" false (Hot_set.is_hot hot 0)
+
+let test_hot_set_validation () =
+  Alcotest.check_raises "bad threshold"
+    (Invalid_argument "Hot_set.compute: threshold must be in (0,1)") (fun () ->
+      ignore (Hot_set.compute ~freq:[| 1 |] ~total_flow:1 ~threshold:1.0));
+  Alcotest.check_raises "flow mismatch"
+    (Invalid_argument "Hot_set.compute: total_flow 5 <> sum of freq 3") (fun () ->
+      ignore (Hot_set.compute ~freq:[| 1; 2 |] ~total_flow:5 ~threshold:0.1))
+
+let test_hot_set_is_hot_bounds () =
+  let hot = Hot_set.compute ~freq:[| 10 |] ~total_flow:10 ~threshold:0.5 in
+  Alcotest.(check bool) "negative id" false (Hot_set.is_hot hot (-1));
+  Alcotest.(check bool) "out of range id" false (Hot_set.is_hot hot 99)
+
+(* ------------------------------------------------------------------ *)
+(* Rates                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let record_simple ?(iterations = 12) () =
+  let program, behavior, _ = Fixtures.simple_loop ~iterations () in
+  Recorder.record program behavior ~rng:(Prng.create ~seed:1)
+
+let test_rates_hand_computed () =
+  (* 12 instances: entry(1), loop x10, exit(1).  Hot threshold 20% ->
+     cutoff 2.4 -> only the loop path (freq 10) is hot. *)
+  let r = record_simple ~iterations:12 () in
+  let o = Replay.run (module Path_profile) ~delay:3 r in
+  let hot = Hot_set.of_outcome o ~threshold:0.2 in
+  Alcotest.(check int) "hot size" 1 (Hot_set.size hot);
+  let rates = Rates.operational o hot in
+  (* Loop path predicted at its 3rd execution: 7 captured, 3 lost. *)
+  Alcotest.(check int) "hits" 7 rates.Rates.hits;
+  check_float "hit rate" 70.0 rates.Rates.hit_rate;
+  Alcotest.(check int) "moc" 3 rates.Rates.moc;
+  Alcotest.(check int) "no noise" 0 rates.Rates.noise;
+  check_float "noise rate" 0.0 rates.Rates.noise_rate;
+  Alcotest.(check int) "predicted hot" 1 rates.Rates.predicted_hot;
+  Alcotest.(check int) "predicted cold" 0 rates.Rates.predicted_cold;
+  (* Profiled: entry, 3 loop executions, exit = 5 of 12. *)
+  check_float "profiled pct" (100.0 *. 5.0 /. 12.0) rates.Rates.profiled_flow_pct
+
+let test_rates_noise_counted () =
+  (* Delay 1 predicts everything on first sight: entry and exit paths are
+     cold and each captures 0 (freq 1, predicted at the only execution). *)
+  let r = record_simple ~iterations:12 () in
+  let o = Replay.run (module Path_profile) ~delay:1 r in
+  let hot = Hot_set.of_outcome o ~threshold:0.2 in
+  let rates = Rates.operational o hot in
+  Alcotest.(check int) "two cold predictions" 2 rates.Rates.predicted_cold;
+  Alcotest.(check int) "their captured flow is zero" 0 rates.Rates.noise;
+  Alcotest.(check int) "hot captured 9 of 10" 9 rates.Rates.hits
+
+let test_closed_form_agrees_for_path_profile () =
+  let r = record_simple ~iterations:50 () in
+  List.iter
+    (fun delay ->
+       let o = Replay.run (module Path_profile) ~delay r in
+       let hot = Hot_set.of_outcome o ~threshold:0.05 in
+       let op = Rates.operational o hot and cf = Rates.closed_form o hot in
+       Alcotest.(check int) (Printf.sprintf "hits tau=%d" delay) op.Rates.hits
+         cf.Rates.hits;
+       Alcotest.(check int) (Printf.sprintf "noise tau=%d" delay) op.Rates.noise
+         cf.Rates.noise;
+       Alcotest.(check int) (Printf.sprintf "moc tau=%d" delay) op.Rates.moc cf.Rates.moc)
+    [ 1; 2; 5; 10; 25 ]
+
+let prop_closed_form_matches_operational_pp =
+  QCheck.Test.make
+    ~name:"closed form = operational for path-profile prediction" ~count:40
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 30))
+    (fun (seed, delay) ->
+       let program, behavior, _ = Fixtures.indirect_loop ~exit_prob:0.03 () in
+       let r =
+         Recorder.record ~max_steps:4_000 program behavior ~rng:(Prng.create ~seed)
+       in
+       let o = Replay.run (module Path_profile) ~delay r in
+       let hot = Hot_set.of_outcome o ~threshold:0.01 in
+       let op = Rates.operational o hot and cf = Rates.closed_form o hot in
+       op.Rates.hits = cf.Rates.hits && op.Rates.noise = cf.Rates.noise
+       && op.Rates.moc = cf.Rates.moc)
+
+let prop_rates_bounds =
+  QCheck.Test.make ~name:"rate bounds and conservation" ~count:40
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 100))
+    (fun (seed, delay) ->
+       let program, behavior, _ = Fixtures.indirect_loop ~exit_prob:0.03 () in
+       let r =
+         Recorder.record ~max_steps:4_000 program behavior ~rng:(Prng.create ~seed)
+       in
+       let o = Replay.run (module Net) ~delay r in
+       let hot = Hot_set.of_outcome o ~threshold:0.01 in
+       let rates = Rates.operational o hot in
+       rates.Rates.hit_rate >= 0.0
+       && rates.Rates.hit_rate <= 100.0
+       && rates.Rates.noise >= 0
+       && rates.Rates.moc >= 0
+       (* hits + moc accounts for all flow of predicted hot paths *)
+       && rates.Rates.hits + rates.Rates.moc <= hot.Hot_set.hot_flow)
+
+(* ------------------------------------------------------------------ *)
+(* Sweep                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_sweep_monotone_profiled () =
+  let r = record_simple ~iterations:200 () in
+  let o = Replay.run (module Net) ~delay:1 r in
+  let hot = Hot_set.of_outcome o ~threshold:0.001 in
+  let points =
+    Sweep.run (module Net) r ~hot ~delays:[ 1; 5; 20; 50; 100; 500 ]
+  in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "profiled flow grows with delay" true
+        (a.Sweep.profiled_pct <= b.Sweep.profiled_pct +. 1e-9);
+      check rest
+    | _ -> ()
+  in
+  check points
+
+let test_sweep_interpolation () =
+  let mk delay profiled hit noise =
+    {
+      Sweep.delay;
+      profiled_pct = profiled;
+      hit_rate = hit;
+      noise_rate = noise;
+      predictions = 0;
+      counter_space = 0;
+      profiling_ops = 0;
+      collection_ops = 0;
+    }
+  in
+  let points = [ mk 1 0.0 100.0 50.0; mk 2 10.0 90.0 30.0; mk 3 20.0 50.0 0.0 ] in
+  Alcotest.(check (option (float 1e-6))) "midpoint" (Some 95.0)
+    (Sweep.interpolate_hit_at points ~profiled_pct:5.0);
+  Alcotest.(check (option (float 1e-6))) "exact point" (Some 90.0)
+    (Sweep.interpolate_hit_at points ~profiled_pct:10.0);
+  Alcotest.(check (option (float 1e-6))) "noise midpoint" (Some 15.0)
+    (Sweep.interpolate_noise_at points ~profiled_pct:15.0);
+  Alcotest.(check (option (float 1e-6))) "out of range" None
+    (Sweep.interpolate_hit_at points ~profiled_pct:30.0)
+
+let test_sweep_default_delays () =
+  let d = Sweep.default_delays in
+  Alcotest.(check bool) "ascending" true (List.sort Int.compare d = d);
+  Alcotest.(check bool) "covers the paper's range" true
+    (List.mem 10 d && List.mem 1_000_000 d);
+  Alcotest.(check bool) "extends into the scaled-noise regime" true (List.mem 2 d)
+
+let test_sweep_hit_decreases_with_delay () =
+  let r = record_simple ~iterations:500 () in
+  let o = Replay.run (module Net) ~delay:1 r in
+  let hot = Hot_set.of_outcome o ~threshold:0.001 in
+  let points = Sweep.run (module Net) r ~hot ~delays:[ 2; 20; 200 ] in
+  match points with
+  | [ a; b; c ] ->
+    Alcotest.(check bool) "hit falls with delay" true
+      (a.Sweep.hit_rate >= b.Sweep.hit_rate && b.Sweep.hit_rate >= c.Sweep.hit_rate)
+  | _ -> Alcotest.fail "expected three points"
+
+let suites =
+  [
+    ( "metrics.hot_set",
+      [
+        Alcotest.test_case "basic" `Quick test_hot_set_basic;
+        Alcotest.test_case "strict inequality" `Quick test_hot_set_strict_inequality;
+        Alcotest.test_case "validation" `Quick test_hot_set_validation;
+        Alcotest.test_case "is_hot bounds" `Quick test_hot_set_is_hot_bounds;
+      ] );
+    ( "metrics.rates",
+      [
+        Alcotest.test_case "hand computed" `Quick test_rates_hand_computed;
+        Alcotest.test_case "noise counted" `Quick test_rates_noise_counted;
+        Alcotest.test_case "closed form agrees (path-profile)" `Quick
+          test_closed_form_agrees_for_path_profile;
+        QCheck_alcotest.to_alcotest prop_closed_form_matches_operational_pp;
+        QCheck_alcotest.to_alcotest prop_rates_bounds;
+      ] );
+    ( "metrics.sweep",
+      [
+        Alcotest.test_case "monotone profiled flow" `Quick test_sweep_monotone_profiled;
+        Alcotest.test_case "interpolation" `Quick test_sweep_interpolation;
+        Alcotest.test_case "default delays" `Quick test_sweep_default_delays;
+        Alcotest.test_case "hit falls with delay" `Quick
+          test_sweep_hit_decreases_with_delay;
+      ] );
+  ]

@@ -1,0 +1,192 @@
+(* Tests for edge profiling, the edge-vs-path showdown, and the sampling
+   profiler. *)
+
+module Recorder = Hotpath_trace.Recorder
+module Path_table = Hotpath_trace.Path_table
+module Path = Hotpath_trace.Path
+module Edge_profile = Hotpath_profiling.Edge_profile
+module Sampling = Hotpath_profiling.Sampling
+module Hot_set = Hotpath_metrics.Hot_set
+module Offline = Hotpath_experiments.Offline
+module Prng = Hotpath_util.Prng
+
+let record_simple ?(iterations = 100) () =
+  let program, behavior, ids = Fixtures.simple_loop ~iterations () in
+  (Recorder.record program behavior ~rng:(Prng.create ~seed:2), ids)
+
+(* ------------------------------------------------------------------ *)
+(* Edge profile                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_edge_counts_simple_loop () =
+  let r, (b0, b1, b2, b3) = record_simple ~iterations:100 () in
+  let t = Edge_profile.collect r in
+  (* b0->b1 once; b1->b2 100 times; b2->b1 (back edge) 99; b2->b3 once. *)
+  Alcotest.(check int) "entry edge" 1 (Edge_profile.count t ~src:b0 ~dst:b1);
+  Alcotest.(check int) "body edge" 100 (Edge_profile.count t ~src:b1 ~dst:b2);
+  Alcotest.(check int) "back edge" 99 (Edge_profile.count t ~src:b2 ~dst:b1);
+  Alcotest.(check int) "exit edge" 1 (Edge_profile.count t ~src:b2 ~dst:b3);
+  Alcotest.(check int) "unknown edge" 0 (Edge_profile.count t ~src:b3 ~dst:b0);
+  Alcotest.(check int) "counter space" 4 (Edge_profile.counter_space t)
+
+let test_edge_list_descending () =
+  let r, _ = record_simple () in
+  let t = Edge_profile.collect r in
+  let counts = List.map snd (Edge_profile.edges t) in
+  Alcotest.(check (list int)) "descending" (List.sort (fun a b -> compare b a) counts)
+    counts
+
+let test_path_bound_upper_bounds_freq () =
+  let r, _ = record_simple ~iterations:200 () in
+  let t = Edge_profile.collect r in
+  let freq = Recorder.frequencies r in
+  Path_table.iter
+    (fun p ->
+       let bound = Edge_profile.path_bound t p ~next_head:None in
+       Alcotest.(check bool)
+         (Printf.sprintf "path %d: bound %d >= freq %d" p.Path.id bound
+            freq.(p.Path.id))
+         true
+         (bound >= freq.(p.Path.id)))
+    r.Recorder.table
+
+let test_estimate_recovers_dominant_path () =
+  let r, (_, b1, _, _) = record_simple ~iterations:500 () in
+  match Edge_profile.estimate_hot_paths r ~k:1 with
+  | [ e ] ->
+    Alcotest.(check int) "hottest estimated path is the loop body" b1
+      (Path.head e.Edge_profile.est_path);
+    Alcotest.(check bool) "with a high true frequency" true
+      (e.Edge_profile.est_true_freq > 400)
+  | other -> Alcotest.failf "expected one estimate, got %d" (List.length other)
+
+let test_showdown_perfect_on_single_loop () =
+  let r, _ = record_simple ~iterations:1000 () in
+  let hot =
+    Hot_set.compute ~freq:(Recorder.frequencies r)
+      ~total_flow:(Recorder.num_instances r) ~threshold:0.01
+  in
+  let identified, hot_size, flow_pct = Edge_profile.showdown_stats r ~hot in
+  Alcotest.(check int) "identified all" hot_size identified;
+  Alcotest.(check bool) "full hot flow" true (flow_pct > 99.0)
+
+(* ------------------------------------------------------------------ *)
+(* Sampling                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_sampling_period_one_is_exact () =
+  let r, _ = record_simple () in
+  let t = Sampling.profile r ~period:1 in
+  Alcotest.(check int) "all sampled" (Recorder.num_instances r) (Sampling.samples t);
+  Alcotest.(check (array int)) "exact frequencies" (Recorder.frequencies r)
+    (Sampling.estimated_freq t)
+
+let test_sampling_counts_every_nth () =
+  let r, _ = record_simple ~iterations:100 () in
+  let t = Sampling.profile r ~period:10 in
+  Alcotest.(check int) "100 instances at iterations=100" 100
+    (Recorder.num_instances r);
+  (* ceil(100/10) = 10 samples. *)
+  Alcotest.(check int) "sample count" 10 (Sampling.samples t);
+  let est_total = Array.fold_left ( + ) 0 (Sampling.estimated_freq t) in
+  Alcotest.(check int) "scaled total" 100 est_total
+
+let test_sampling_invalid_period () =
+  let r, _ = record_simple () in
+  Alcotest.check_raises "period 0"
+    (Invalid_argument "Sampling.profile: period must be >= 1") (fun () ->
+      ignore (Sampling.profile r ~period:0))
+
+let test_sampling_accuracy_perfect_at_period_one () =
+  let r, _ = record_simple ~iterations:1000 () in
+  let hot =
+    Hot_set.compute ~freq:(Recorder.frequencies r)
+      ~total_flow:(Recorder.num_instances r) ~threshold:0.01
+  in
+  let acc = Sampling.accuracy r ~hot ~period:1 in
+  Alcotest.(check (float 1e-9)) "precision 1" 1.0 acc.Sampling.acc_precision;
+  Alcotest.(check (float 1e-9)) "recall 1" 1.0 acc.Sampling.acc_recall
+
+let test_sampling_counter_space_shrinks () =
+  let program, behavior, _ = Fixtures.indirect_loop ~exit_prob:0.01 () in
+  let r = Recorder.record ~max_steps:30_000 program behavior ~rng:(Prng.create ~seed:5) in
+  let space p = Sampling.counter_space (Sampling.profile r ~period:p) in
+  Alcotest.(check bool) "fewer counters at longer periods" true
+    (space 100 <= space 10 && space 10 <= space 1)
+
+(* ------------------------------------------------------------------ *)
+(* Offline experiment drivers                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_offline_showdown_rows () =
+  let rows = Offline.showdown ~scale:0.05 () in
+  Alcotest.(check int) "9 + correlated" 10 (List.length rows);
+  List.iter
+    (fun r ->
+       Alcotest.(check bool)
+         (Printf.sprintf "%s: identified (%d) <= hot (%d)" r.Offline.s_bench
+            r.Offline.s_identified r.Offline.s_hot)
+         true
+         (r.Offline.s_identified <= r.Offline.s_hot && r.Offline.s_flow_pct <= 100.0))
+    rows
+
+let test_offline_showdown_recovers_majority () =
+  (* The Ball-Mataga-Sagiv claim: edge profiles recover a large share of
+     the hot path profile.  Check the dominant benchmarks. *)
+  let rows = Offline.showdown ~scale:0.1 () in
+  List.iter
+    (fun name ->
+       let r = List.find (fun r -> r.Offline.s_bench = name) rows in
+       Alcotest.(check bool)
+         (Printf.sprintf "%s recovers %.1f%% hot flow" name r.Offline.s_flow_pct)
+         true
+         (r.Offline.s_flow_pct > 60.0))
+    [ "compress"; "li"; "m88ksim"; "perl"; "deltablue" ]
+
+let test_offline_sampling_monotone_recall () =
+  let rows = Offline.sampling ~scale:0.1 ~periods:[ 1; 50 ] () in
+  List.iter
+    (fun name ->
+       let get period =
+         List.find
+           (fun r -> r.Offline.p_bench = name && r.Offline.p_period = period)
+           rows
+       in
+       Alcotest.(check bool)
+         (name ^ ": denser sampling at least as accurate")
+         true
+         ((get 1).Offline.p_recall >= (get 50).Offline.p_recall -. 0.01))
+    Hotpath_workloads.Suite.names
+
+let suites =
+  [
+    ( "offline.edge_profile",
+      [
+        Alcotest.test_case "simple-loop counts" `Quick test_edge_counts_simple_loop;
+        Alcotest.test_case "edges descending" `Quick test_edge_list_descending;
+        Alcotest.test_case "bound upper-bounds freq" `Quick
+          test_path_bound_upper_bounds_freq;
+        Alcotest.test_case "estimates dominant path" `Quick
+          test_estimate_recovers_dominant_path;
+        Alcotest.test_case "showdown on single loop" `Quick
+          test_showdown_perfect_on_single_loop;
+      ] );
+    ( "offline.sampling",
+      [
+        Alcotest.test_case "period 1 exact" `Quick test_sampling_period_one_is_exact;
+        Alcotest.test_case "every nth" `Quick test_sampling_counts_every_nth;
+        Alcotest.test_case "invalid period" `Quick test_sampling_invalid_period;
+        Alcotest.test_case "perfect at period 1" `Quick
+          test_sampling_accuracy_perfect_at_period_one;
+        Alcotest.test_case "counter space shrinks" `Quick
+          test_sampling_counter_space_shrinks;
+      ] );
+    ( "offline.experiments",
+      [
+        Alcotest.test_case "showdown rows" `Quick test_offline_showdown_rows;
+        Alcotest.test_case "showdown recovers majority" `Quick
+          test_offline_showdown_recovers_majority;
+        Alcotest.test_case "sampling monotone recall" `Quick
+          test_offline_sampling_monotone_recall;
+      ] );
+  ]

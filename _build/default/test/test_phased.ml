@@ -1,0 +1,188 @@
+(* Tests for the phase-aware metrics (the paper's Section 6.1 future work)
+   and the phase-change experiment. *)
+
+module Recorder = Hotpath_trace.Recorder
+module Phased = Hotpath_metrics.Phased
+module Net = Hotpath_prediction.Net
+module Path_profile = Hotpath_prediction.Path_profile
+module Scheme = Hotpath_prediction.Scheme
+module Suite = Hotpath_workloads.Suite
+module Phases = Hotpath_experiments.Phases
+module Prng = Hotpath_util.Prng
+
+let record_simple ?(iterations = 2_000) () =
+  let program, behavior, _ = Fixtures.simple_loop ~iterations () in
+  Recorder.record program behavior ~rng:(Prng.create ~seed:3)
+
+let run ?(delay = 10) ?(window = 500) ?(retirement = Phased.No_retirement)
+    ?(threshold = 0.01) r =
+  Phased.run (module Net : Scheme.S) ~delay ~window ~retirement ~threshold r
+
+(* ------------------------------------------------------------------ *)
+(* Steady workload: windowed metrics reduce to the accumulated ones.   *)
+(* ------------------------------------------------------------------ *)
+
+let test_steady_high_hit_rate () =
+  let r = record_simple () in
+  let o = run r in
+  Alcotest.(check bool)
+    (Printf.sprintf "hit %.1f high on steady loop" o.Phased.avg_hit_rate)
+    true
+    (o.Phased.avg_hit_rate > 95.0);
+  Alcotest.(check int) "nothing retired without a policy" 0 o.Phased.retired
+
+let test_window_rows_cover_trace () =
+  let r = record_simple ~iterations:2_000 () in
+  let o = run ~window:500 r in
+  Alcotest.(check int) "window count" 4 (List.length o.Phased.windows);
+  let total = List.fold_left (fun acc w -> acc + w.Phased.w_flow) 0 o.Phased.windows in
+  Alcotest.(check int) "flows sum to trace" (Recorder.num_instances r) total
+
+let test_window_hot_sets_local () =
+  let r = record_simple () in
+  let o = run r in
+  List.iter
+    (fun w ->
+       Alcotest.(check bool) "hot flow bounded by window flow" true
+         (w.Phased.w_hot_flow <= w.Phased.w_flow);
+       Alcotest.(check bool) "hits bounded by hot flow" true
+         (w.Phased.w_hits <= w.Phased.w_hot_flow))
+    o.Phased.windows
+
+let test_validation () =
+  let r = record_simple ~iterations:50 () in
+  let bad f = match f () with
+    | exception Invalid_argument _ -> ()
+    | (_ : Phased.outcome) -> Alcotest.fail "expected Invalid_argument"
+  in
+  bad (fun () -> run ~window:0 r);
+  bad (fun () -> run ~delay:0 r);
+  bad (fun () -> run ~threshold:0.0 r);
+  bad (fun () -> run ~retirement:(Phased.Flush_every 0) r);
+  bad (fun () ->
+      run ~retirement:(Phased.Flush_on_spike { window = 0; factor = 1.0; min_preds = 1 }) r)
+
+(* ------------------------------------------------------------------ *)
+(* Retirement policies                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let phased_recording = lazy (Suite.record_phased ~max_paths:60_000 ())
+
+let test_flush_every_retires () =
+  let r = Lazy.force phased_recording in
+  let o = run ~delay:20 ~window:8_192 ~retirement:(Phased.Flush_every 10_000)
+      ~threshold:0.001 r
+  in
+  Alcotest.(check bool) "retires predictions" true (o.Phased.retired > 0)
+
+let test_ttl_retires_stale () =
+  let r = Lazy.force phased_recording in
+  let none =
+    run ~delay:20 ~window:8_192 ~retirement:Phased.No_retirement ~threshold:0.001 r
+  in
+  let ttl =
+    run ~delay:20 ~window:8_192 ~retirement:(Phased.Ttl 5_000) ~threshold:0.001 r
+  in
+  Alcotest.(check bool) "ttl retires" true (ttl.Phased.retired > 0);
+  let live o =
+    match List.rev o.Phased.windows with
+    | last :: _ -> last.Phased.w_live_predictions
+    | [] -> 0
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "ttl keeps the set smaller (%d < %d)" (live ttl) (live none))
+    true
+    (live ttl < live none)
+
+let test_no_retirement_accumulates_stale () =
+  let r = Lazy.force phased_recording in
+  let o =
+    run ~delay:20 ~window:8_192 ~retirement:Phased.No_retirement ~threshold:0.001 r
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "stale fraction %.2f grows across phases" o.Phased.avg_stale_fraction)
+    true
+    (o.Phased.avg_stale_fraction > 0.1)
+
+let test_flush_every_caps_staleness () =
+  let r = Lazy.force phased_recording in
+  let none =
+    run ~delay:20 ~window:8_192 ~retirement:Phased.No_retirement ~threshold:0.001 r
+  in
+  let flush =
+    run ~delay:20 ~window:8_192 ~retirement:(Phased.Flush_every 10_000)
+      ~threshold:0.001 r
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "flushing reduces staleness (%.2f < %.2f)"
+       flush.Phased.avg_stale_fraction none.Phased.avg_stale_fraction)
+    true
+    (flush.Phased.avg_stale_fraction < none.Phased.avg_stale_fraction)
+
+let test_windowed_vs_accumulated_on_phased () =
+  (* The point of Section 6.1: accumulated metrics hide phase structure;
+     the windowed hit rate is what a cache-resident consumer experiences.
+     On the phased workload both are high for NET (it re-predicts fast),
+     but windowed hot sets must be non-trivial in every window. *)
+  let r = Lazy.force phased_recording in
+  let o =
+    run ~delay:20 ~window:8_192 ~retirement:Phased.No_retirement ~threshold:0.001 r
+  in
+  List.iter
+    (fun w ->
+       Alcotest.(check bool)
+         (Printf.sprintf "window %d has a hot set" w.Phased.w_index)
+         true
+         (w.Phased.w_hot_paths > 0))
+    o.Phased.windows
+
+let test_deterministic () =
+  let r = Lazy.force phased_recording in
+  let o1 = run ~delay:20 ~window:8_192 ~retirement:(Phased.Ttl 5_000) ~threshold:0.001 r in
+  let o2 = run ~delay:20 ~window:8_192 ~retirement:(Phased.Ttl 5_000) ~threshold:0.001 r in
+  Alcotest.(check (float 1e-9)) "same hit rate" o1.Phased.avg_hit_rate
+    o2.Phased.avg_hit_rate;
+  Alcotest.(check int) "same retired" o1.Phased.retired o2.Phased.retired
+
+(* ------------------------------------------------------------------ *)
+(* Experiment driver                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_phases_experiment_rows () =
+  let rows = Phases.compute ~max_paths:60_000 () in
+  Alcotest.(check int) "four policies" 4 (List.length rows);
+  List.iter
+    (fun r ->
+       Alcotest.(check bool)
+         (Printf.sprintf "%s: rates in range" r.Phases.r_policy)
+         true
+         (r.Phases.r_hit_rate >= 0.0 && r.Phases.r_hit_rate <= 100.0
+          && r.Phases.r_stale_fraction >= 0.0
+          && r.Phases.r_stale_fraction <= 1.0))
+    rows;
+  let get name = List.find (fun r -> r.Phases.r_policy = name) rows in
+  Alcotest.(check bool) "flushing trades hit rate for freshness" true
+    ((get "flush-every-20k").Phases.r_stale_fraction
+     < (get "no-retirement").Phases.r_stale_fraction)
+
+let suites =
+  [
+    ( "metrics.phased",
+      [
+        Alcotest.test_case "steady high hit rate" `Quick test_steady_high_hit_rate;
+        Alcotest.test_case "windows cover trace" `Quick test_window_rows_cover_trace;
+        Alcotest.test_case "window hot sets local" `Quick test_window_hot_sets_local;
+        Alcotest.test_case "validation" `Quick test_validation;
+        Alcotest.test_case "flush-every retires" `Quick test_flush_every_retires;
+        Alcotest.test_case "ttl retires stale" `Quick test_ttl_retires_stale;
+        Alcotest.test_case "no retirement accumulates stale" `Quick
+          test_no_retirement_accumulates_stale;
+        Alcotest.test_case "flushing caps staleness" `Quick
+          test_flush_every_caps_staleness;
+        Alcotest.test_case "hot set per window" `Quick
+          test_windowed_vs_accumulated_on_phased;
+        Alcotest.test_case "deterministic" `Quick test_deterministic;
+      ] );
+    ( "experiments.phases",
+      [ Alcotest.test_case "policy rows" `Quick test_phases_experiment_rows ] );
+  ]

@@ -1,0 +1,271 @@
+(* Tests for the online prediction schemes and the replay engine. *)
+
+module Cfg = Hotpath_cfg.Cfg
+module Path = Hotpath_trace.Path
+module Recorder = Hotpath_trace.Recorder
+module Scheme = Hotpath_prediction.Scheme
+module Path_profile = Hotpath_prediction.Path_profile
+module Net = Hotpath_prediction.Net
+module Replay = Hotpath_prediction.Replay
+module Prng = Hotpath_util.Prng
+
+let dummy_program =
+  let b = Cfg.Builder.create ~name:"dummy" in
+  let p = Cfg.Builder.add_proc b ~name:"main" in
+  let b0 = Cfg.Builder.add_block b ~proc:p ~weight:1 in
+  Cfg.Builder.set_term b b0 Cfg.Exit;
+  Cfg.Builder.finish b
+
+let observe_pp t ~path_id ?(head = 0) ?(arrival = Path.Loop_head) ?(n_branches = 2) () =
+  Path_profile.observe t ~head ~arrival ~path_id ~n_branches ~n_blocks:3
+
+let observe_net (type a) (module N : Scheme.S with type t = a) (t : a) ~head ~path_id
+    ?(arrival = Path.Loop_head) ?(n_branches = 2) ?(n_blocks = 3) () =
+  N.observe t ~head ~arrival ~path_id ~n_branches ~n_blocks
+
+(* ------------------------------------------------------------------ *)
+(* Path-profile-based prediction                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_pp_predicts_at_delay () =
+  let t = Path_profile.create ~delay:3 ~program:dummy_program in
+  Alcotest.(check (option int)) "1st" None (observe_pp t ~path_id:7 ());
+  Alcotest.(check (option int)) "2nd" None (observe_pp t ~path_id:7 ());
+  Alcotest.(check (option int)) "3rd fires" (Some 7) (observe_pp t ~path_id:7 ());
+  (* Past the threshold the path keeps being offered (re-prediction after a
+     cache flush); consumers dedupe. *)
+  Alcotest.(check (option int)) "4th re-offers" (Some 7) (observe_pp t ~path_id:7 ())
+
+let test_pp_counts_paths_independently () =
+  let t = Path_profile.create ~delay:2 ~program:dummy_program in
+  Alcotest.(check (option int)) "a1" None (observe_pp t ~path_id:1 ());
+  Alcotest.(check (option int)) "b1" None (observe_pp t ~path_id:2 ());
+  Alcotest.(check (option int)) "a2 fires" (Some 1) (observe_pp t ~path_id:1 ());
+  Alcotest.(check (option int)) "b2 fires" (Some 2) (observe_pp t ~path_id:2 ())
+
+let test_pp_counter_space_and_ops () =
+  let t = Path_profile.create ~delay:100 ~program:dummy_program in
+  ignore (observe_pp t ~path_id:1 ~n_branches:4 ());
+  ignore (observe_pp t ~path_id:2 ~n_branches:6 ());
+  ignore (observe_pp t ~path_id:1 ~n_branches:4 ());
+  Alcotest.(check int) "one counter per distinct path" 2
+    (Path_profile.counter_space t);
+  (* Ops: one shift per branch plus one table update per instance. *)
+  Alcotest.(check int) "ops" (5 + 7 + 5) (Path_profile.profiling_ops t);
+  Alcotest.(check int) "no collection cost" 0 (Path_profile.collection_ops t)
+
+let test_pp_ignores_arrival_kind () =
+  let t = Path_profile.create ~delay:2 ~program:dummy_program in
+  ignore (observe_pp t ~path_id:3 ~arrival:Path.Entry ());
+  Alcotest.(check (option int)) "continuation arrival counted" (Some 3)
+    (observe_pp t ~path_id:3 ~arrival:Path.Continuation ())
+
+let test_pp_invalid_delay () =
+  Alcotest.check_raises "delay 0"
+    (Invalid_argument "Path_profile.create: delay must be >= 1") (fun () ->
+      ignore (Path_profile.create ~delay:0 ~program:dummy_program))
+
+(* ------------------------------------------------------------------ *)
+(* NET                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_net_predicts_next_tail () =
+  let t = Net.create ~delay:3 ~program:dummy_program in
+  let obs = observe_net (module Net) t ~head:5 in
+  Alcotest.(check (option int)) "1st" None (obs ~path_id:10 ());
+  Alcotest.(check (option int)) "2nd" None (obs ~path_id:11 ());
+  (* Third arrival at the head trips the counter; the tail executing right
+     now is predicted. *)
+  Alcotest.(check (option int)) "3rd fires with current tail" (Some 12)
+    (obs ~path_id:12 ())
+
+let test_net_ignores_non_loop_heads () =
+  let t = Net.create ~delay:1 ~program:dummy_program in
+  let obs = observe_net (module Net) t ~head:5 in
+  Alcotest.(check (option int)) "entry ignored" None
+    (obs ~path_id:1 ~arrival:Path.Entry ());
+  Alcotest.(check (option int)) "continuation ignored" None
+    (obs ~path_id:1 ~arrival:Path.Continuation ());
+  Alcotest.(check int) "no ops for ignored arrivals" 0 (Net.profiling_ops t);
+  Alcotest.(check (option int)) "loop head counts" (Some 1) (obs ~path_id:1 ())
+
+let test_net_rearms () =
+  let t = Net.create ~delay:2 ~program:dummy_program in
+  let obs = observe_net (module Net) t ~head:5 in
+  ignore (obs ~path_id:1 ());
+  Alcotest.(check (option int)) "first trip" (Some 2) (obs ~path_id:2 ());
+  ignore (obs ~path_id:3 ());
+  Alcotest.(check (option int)) "re-armed second trip" (Some 4) (obs ~path_id:4 ())
+
+let test_net_counter_space () =
+  let t = Net.create ~delay:10 ~program:dummy_program in
+  ignore (observe_net (module Net) t ~head:1 ~path_id:1 ());
+  ignore (observe_net (module Net) t ~head:2 ~path_id:2 ());
+  ignore (observe_net (module Net) t ~head:1 ~path_id:3 ());
+  Alcotest.(check int) "one counter per head" 2 (Net.counter_space t)
+
+let test_net_collection_ops () =
+  let t = Net.create ~delay:1 ~program:dummy_program in
+  ignore (observe_net (module Net) t ~head:1 ~path_id:1 ~n_blocks:7 ());
+  (* One breakpoint per block of the collected tail. *)
+  Alcotest.(check int) "collection ops" 7 (Net.collection_ops t);
+  Alcotest.(check int) "profiling ops" 1 (Net.profiling_ops t)
+
+let test_net_once_retires_head () =
+  let module O = Net.Net_once in
+  let t = O.create ~delay:1 ~program:dummy_program in
+  let obs = observe_net (module O) t ~head:5 in
+  Alcotest.(check (option int)) "fires once" (Some 1) (obs ~path_id:1 ());
+  Alcotest.(check (option int)) "retired" None (obs ~path_id:2 ());
+  Alcotest.(check (option int)) "still retired" None (obs ~path_id:3 ())
+
+let test_let_predicts_previous_tail () =
+  let module L = Net.Last_executed_tail in
+  let t = L.create ~delay:2 ~program:dummy_program in
+  let obs = observe_net (module L) t ~head:5 in
+  Alcotest.(check (option int)) "1st" None (obs ~path_id:10 ());
+  (* Trips on the second arrival and predicts the tail seen before. *)
+  Alcotest.(check (option int)) "previous tail predicted" (Some 10)
+    (obs ~path_id:11 ())
+
+let test_let_falls_back_to_current () =
+  let module L = Net.Last_executed_tail in
+  let t = L.create ~delay:1 ~program:dummy_program in
+  let obs = observe_net (module L) t ~head:5 in
+  (* No history at the first trip: the current tail is used. *)
+  Alcotest.(check (option int)) "fallback" (Some 42) (obs ~path_id:42 ())
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let record_simple ?(iterations = 12) () =
+  let program, behavior, ids = Fixtures.simple_loop ~iterations () in
+  (Recorder.record program behavior ~rng:(Prng.create ~seed:1), ids)
+
+let test_replay_path_profile_semantics () =
+  let r, _ = record_simple ~iterations:12 () in
+  (* Instances: entry(1), loop x10, exit(1).  Delay 3: the loop path is
+     predicted at its 3rd execution; 7 later executions are captured. *)
+  let o = Replay.run (module Path_profile) ~delay:3 r in
+  Alcotest.(check int) "total" 12 o.Replay.total_instances;
+  Alcotest.(check int) "one prediction" 1 (Array.length o.Replay.predictions);
+  let p = o.Replay.predictions.(0) in
+  Alcotest.(check int) "fired at instance 3 (0-based)" 3 p.Replay.at_instance;
+  Alcotest.(check int) "captured 7" 7 o.Replay.captured.(p.Replay.target);
+  Alcotest.(check int) "profiled 5" 5 o.Replay.profiled_instances;
+  Alcotest.(check int) "captured total" 7 o.Replay.captured_instances
+
+let test_replay_freq_matches_recorder () =
+  let r, _ = record_simple () in
+  let o = Replay.run (module Path_profile) ~delay:5 r in
+  Alcotest.(check (array int)) "freq" (Recorder.frequencies r) o.Replay.freq
+
+let test_replay_net_on_loop () =
+  let r, _ = record_simple ~iterations:12 () in
+  (* NET delay 3: loop-head arrivals are instances 1..11; the 3rd loop-head
+     arrival trips and predicts the tail executing then (the loop path). *)
+  let o = Replay.run (module Net) ~delay:3 r in
+  Alcotest.(check int) "one prediction" 1 (Array.length o.Replay.predictions);
+  Alcotest.(check int) "fired at instance 3" 3
+    o.Replay.predictions.(0).Replay.at_instance;
+  Alcotest.(check int) "captured 7" 7 o.Replay.captured_instances
+
+let test_replay_conservation () =
+  let program, behavior, _ = Fixtures.indirect_loop ~exit_prob:0.02 () in
+  let r = Recorder.record ~max_steps:20_000 program behavior ~rng:(Prng.create ~seed:4) in
+  List.iter
+    (fun delay ->
+       let o = Replay.run (module Net) ~delay r in
+       Alcotest.(check int) "profiled + captured = total" o.Replay.total_instances
+         (o.Replay.profiled_instances + o.Replay.captured_instances))
+    [ 1; 2; 5; 50; 1_000 ]
+
+let test_replay_counter_space_bounds () =
+  let program, behavior, _ = Fixtures.indirect_loop ~exit_prob:0.02 () in
+  let r = Recorder.record ~max_steps:20_000 program behavior ~rng:(Prng.create ~seed:4) in
+  let net = Replay.run (module Net) ~delay:10 r in
+  let pp = Replay.run (module Path_profile) ~delay:10 r in
+  Alcotest.(check bool) "net counters <= loop heads" true
+    (net.Replay.counter_space <= Recorder.unique_loop_heads r);
+  Alcotest.(check bool) "pp counters <= distinct paths" true
+    (pp.Replay.counter_space <= Recorder.num_paths r);
+  Alcotest.(check bool) "net uses fewer counters" true
+    (net.Replay.counter_space <= pp.Replay.counter_space)
+
+let test_replay_determinism () =
+  let program, behavior, _ = Fixtures.indirect_loop () in
+  let r = Recorder.record ~max_steps:5_000 program behavior ~rng:(Prng.create ~seed:4) in
+  let o1 = Replay.run (module Net) ~delay:7 r in
+  let o2 = Replay.run (module Net) ~delay:7 r in
+  Alcotest.(check (array int)) "same predicted_at" o1.Replay.predicted_at
+    o2.Replay.predicted_at
+
+let test_replay_predicted_paths_sorted () =
+  let program, behavior, _ = Fixtures.indirect_loop ~exit_prob:0.02 () in
+  let r = Recorder.record ~max_steps:20_000 program behavior ~rng:(Prng.create ~seed:4) in
+  let o = Replay.run (module Net) ~delay:5 r in
+  let ids = Replay.predicted_paths o in
+  Alcotest.(check (list int)) "ascending" (List.sort Int.compare ids) ids;
+  Alcotest.(check int) "matches prediction count" (Array.length o.Replay.predictions)
+    (List.length ids)
+
+let prop_replay_invariants =
+  QCheck.Test.make ~name:"replay invariants on random indirect loops" ~count:40
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 40))
+    (fun (seed, delay) ->
+       let program, behavior, _ = Fixtures.indirect_loop ~exit_prob:0.03 () in
+       let r =
+         Recorder.record ~max_steps:4_000 program behavior
+           ~rng:(Prng.create ~seed)
+       in
+       let check scheme =
+         let o = Replay.run scheme ~delay r in
+         o.Replay.profiled_instances + o.Replay.captured_instances
+         = o.Replay.total_instances
+         && Array.for_all2 (fun c f -> c >= 0 && c <= f) o.Replay.captured o.Replay.freq
+         && Array.fold_left ( + ) 0 o.Replay.captured = o.Replay.captured_instances
+         && Array.for_all
+              (fun (p : Replay.prediction) ->
+                 o.Replay.predicted_at.(p.Replay.target) = p.Replay.at_instance)
+              o.Replay.predictions
+       in
+       check (module Net : Scheme.S) && check (module Path_profile : Scheme.S))
+
+let suites =
+  [
+    ( "prediction.path_profile",
+      [
+        Alcotest.test_case "predicts at delay" `Quick test_pp_predicts_at_delay;
+        Alcotest.test_case "independent counters" `Quick
+          test_pp_counts_paths_independently;
+        Alcotest.test_case "counter space and ops" `Quick test_pp_counter_space_and_ops;
+        Alcotest.test_case "arrival-kind agnostic" `Quick test_pp_ignores_arrival_kind;
+        Alcotest.test_case "invalid delay" `Quick test_pp_invalid_delay;
+      ] );
+    ( "prediction.net",
+      [
+        Alcotest.test_case "predicts next executing tail" `Quick
+          test_net_predicts_next_tail;
+        Alcotest.test_case "ignores non-loop heads" `Quick test_net_ignores_non_loop_heads;
+        Alcotest.test_case "re-arms" `Quick test_net_rearms;
+        Alcotest.test_case "counter space" `Quick test_net_counter_space;
+        Alcotest.test_case "collection ops" `Quick test_net_collection_ops;
+        Alcotest.test_case "net-once retires" `Quick test_net_once_retires_head;
+        Alcotest.test_case "LET previous tail" `Quick test_let_predicts_previous_tail;
+        Alcotest.test_case "LET fallback" `Quick test_let_falls_back_to_current;
+      ] );
+    ( "prediction.replay",
+      [
+        Alcotest.test_case "path-profile semantics" `Quick
+          test_replay_path_profile_semantics;
+        Alcotest.test_case "freq matches recorder" `Quick test_replay_freq_matches_recorder;
+        Alcotest.test_case "net on loop" `Quick test_replay_net_on_loop;
+        Alcotest.test_case "conservation" `Quick test_replay_conservation;
+        Alcotest.test_case "counter-space bounds" `Quick test_replay_counter_space_bounds;
+        Alcotest.test_case "determinism" `Quick test_replay_determinism;
+        Alcotest.test_case "predicted paths sorted" `Quick
+          test_replay_predicted_paths_sorted;
+        QCheck_alcotest.to_alcotest prop_replay_invariants;
+      ] );
+  ]

@@ -1,0 +1,261 @@
+(* Cross-layer property tests: random workload specs are generated with
+   QCheck and every layer's invariants are checked on the resulting
+   programs, recordings, replays, serializations, and Dynamo runs. *)
+
+module Cfg = Hotpath_cfg.Cfg
+module Behavior = Hotpath_vm.Behavior
+module Recorder = Hotpath_trace.Recorder
+module Serialize = Hotpath_trace.Serialize
+module Path = Hotpath_trace.Path
+module Path_table = Hotpath_trace.Path_table
+module Generator = Hotpath_workloads.Generator
+module Scheme = Hotpath_prediction.Scheme
+module Net = Hotpath_prediction.Net
+module Path_profile = Hotpath_prediction.Path_profile
+module Branch_profile = Hotpath_prediction.Branch_profile
+module Replay = Hotpath_prediction.Replay
+module Hot_set = Hotpath_metrics.Hot_set
+module Rates = Hotpath_metrics.Rates
+module Ball_larus = Hotpath_profiling.Ball_larus
+module Cost_model = Hotpath_dynamo.Cost_model
+module Engine = Hotpath_dynamo.Engine
+module Prng = Hotpath_util.Prng
+
+(* ------------------------------------------------------------------ *)
+(* Random workload specs                                               *)
+(* ------------------------------------------------------------------ *)
+
+let gen_loop_kind =
+  QCheck.Gen.(
+    let* branches = 0 -- 5 in
+    let* bias = float_range 0.5 0.95 in
+    let* iterations = 2 -- 50 in
+    let* calls = bool in
+    let* indirect = oneofl [ 0; 0; 0; 2; 3; 4 ] in
+    return (Generator.loop ~branches ~bias ~iterations ~calls ~indirect ()))
+
+let gen_spec =
+  QCheck.Gen.(
+    let* n_groups = 1 -- 3 in
+    let* groups =
+      list_repeat n_groups
+        (let* count = 1 -- 3 in
+         let* kind = gen_loop_kind in
+         return (count, kind))
+    in
+    let* micros = 0 -- 12 in
+    let* procs = 1 -- 3 in
+    let groups =
+      if micros > 0 then (micros, Generator.micro_loop ~fire_period:6 ()) :: groups
+      else groups
+    in
+    return { Generator.g_name = "prop"; g_loops = groups; g_procs = procs;
+             g_phase_steps = None })
+
+let print_spec spec =
+  Printf.sprintf "{loops=%d procs=%d}" (Generator.total_loops spec)
+    spec.Generator.g_procs
+
+let arb_workload =
+  QCheck.make ~print:(fun (spec, seed) -> print_spec spec ^ Printf.sprintf " seed=%d" seed)
+    QCheck.Gen.(pair gen_spec (0 -- 1_000_000))
+
+let record_spec (spec, seed) =
+  let program, behavior = Generator.build spec ~seed in
+  let recorded =
+    Recorder.record ~max_steps:15_000 program behavior
+      ~rng:(Prng.create ~seed:(seed + 1))
+  in
+  (program, recorded)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_generated_programs_valid =
+  QCheck.Test.make ~name:"generated programs and behaviours validate" ~count:60
+    arb_workload
+    (fun (spec, seed) ->
+       let program, behavior = Generator.build spec ~seed in
+       Cfg.validate program = Ok () && Behavior.validate behavior = Ok ())
+
+let prop_recording_partitions_blocks =
+  QCheck.Test.make ~name:"recorded paths partition the executed blocks" ~count:40
+    arb_workload
+    (fun w ->
+       let _, recorded = record_spec w in
+       let recorded_blocks =
+         Array.fold_left
+           (fun acc pid ->
+              acc
+              + Array.length
+                  (Path_table.path recorded.Recorder.table pid).Path.blocks)
+           0 recorded.Recorder.instances
+       in
+       (* Fuel stops drop the in-flight unexecuted block, so recorded blocks
+          can undershoot by at most one partial path (bounded by the cap's
+          block count); they can never overshoot. *)
+       recorded_blocks <= recorded.Recorder.vm_stats.Hotpath_vm.Vm.blocks
+       && recorded.Recorder.vm_stats.Hotpath_vm.Vm.blocks - recorded_blocks < 1_000)
+
+let prop_counter_space_ordering =
+  QCheck.Test.make ~name:"NET counter space <= path-profile counter space"
+    ~count:40 arb_workload
+    (fun w ->
+       let _, recorded = record_spec w in
+       Recorder.num_instances recorded = 0
+       ||
+       let net = Replay.run (module Net) ~delay:10 recorded in
+       let pp = Replay.run (module Path_profile) ~delay:10 recorded in
+       net.Replay.counter_space <= pp.Replay.counter_space)
+
+let prop_hits_bounded_by_hot_flow =
+  QCheck.Test.make ~name:"hits + MOC never exceed hot flow (all schemes)" ~count:30
+    arb_workload
+    (fun w ->
+       let _, recorded = record_spec w in
+       Recorder.num_instances recorded < 100
+       ||
+       let hot =
+         Hot_set.compute
+           ~freq:(Recorder.frequencies recorded)
+           ~total_flow:(Recorder.num_instances recorded)
+           ~threshold:0.01
+       in
+       let check outcome =
+         let r = Rates.operational outcome hot in
+         r.Rates.hits + r.Rates.moc <= hot.Hot_set.hot_flow
+         && r.Rates.hit_rate >= 0.0
+         && r.Rates.hit_rate <= 100.0
+       in
+       check (Replay.run (module Net) ~delay:7 recorded)
+       && check (Replay.run (module Path_profile) ~delay:7 recorded)
+       && check (Branch_profile.run ~delay:7 recorded).Branch_profile.base)
+
+let prop_serialize_roundtrip =
+  QCheck.Test.make ~name:"serialization round-trips generated recordings" ~count:30
+    arb_workload
+    (fun w ->
+       let _, recorded = record_spec w in
+       match Serialize.of_string (Serialize.to_string recorded) with
+       | Error _ -> false
+       | Ok r ->
+         r.Recorder.instances = recorded.Recorder.instances
+         && r.Recorder.arrivals = recorded.Recorder.arrivals
+         && Recorder.num_paths r = Recorder.num_paths recorded)
+
+let prop_engine_invariants =
+  QCheck.Test.make ~name:"Dynamo engine accounting invariants" ~count:30 arb_workload
+    (fun w ->
+       let _, recorded = record_spec w in
+       Recorder.num_instances recorded = 0
+       ||
+       let cost = Cost_model.default in
+       let result =
+         Engine.run
+           (Engine.config ~cost
+              ~scheme:(module Net : Scheme.S)
+              ~scheme_costs:(Engine.net_costs cost) ~delay:10 ())
+           recorded
+       in
+       let breakdown =
+         result.Engine.r_cycles_fragment +. result.Engine.r_cycles_interp
+         +. result.Engine.r_cycles_profile +. result.Engine.r_cycles_overhead
+         +. result.Engine.r_cycles_flush
+       in
+       let native_tail_cycles =
+         result.Engine.r_dynamo_cycles -. breakdown
+       in
+       Float.abs
+         (result.Engine.r_full_hits + result.Engine.r_partial_hits
+          + result.Engine.r_misses + result.Engine.r_native_tail
+          - Recorder.num_instances recorded
+          |> float_of_int)
+       < 0.5
+       && native_tail_cycles >= -1e-6
+       && result.Engine.r_cache_coverage_pct >= 0.0
+       && result.Engine.r_cache_coverage_pct <= 100.0
+       && result.Engine.r_native_cycles > 0.0)
+
+let prop_engine_native_cycles_exact =
+  QCheck.Test.make ~name:"engine native cycles equal executed instructions"
+    ~count:30 arb_workload
+    (fun w ->
+       let program, recorded = record_spec w in
+       Recorder.num_instances recorded = 0
+       ||
+       let cost = Cost_model.default in
+       let result =
+         Engine.run
+           (Engine.config ~cost
+              ~scheme:(module Net : Scheme.S)
+              ~scheme_costs:(Engine.net_costs cost) ~delay:10 ())
+           recorded
+       in
+       let expected =
+         Array.fold_left
+           (fun acc pid ->
+              acc
+              + Array.fold_left
+                  (fun a b -> a + (Cfg.block program b).Cfg.weight)
+                  0
+                  (Path_table.path recorded.Recorder.table pid).Path.blocks)
+           0 recorded.Recorder.instances
+       in
+       Float.abs (result.Engine.r_native_cycles -. float_of_int expected) < 0.5)
+
+let prop_ball_larus_on_generated_procs =
+  QCheck.Test.make ~name:"Ball-Larus numbering on generated procedures" ~count:30
+    arb_workload
+    (fun (spec, seed) ->
+       let program, _ = Generator.build spec ~seed in
+       Array.for_all
+         (fun (procedure : Cfg.proc) ->
+            let t = Ball_larus.analyze program ~proc:procedure.Cfg.pid in
+            let n = Ball_larus.num_paths t in
+            n >= 1
+            &&
+            if n <= 512 then
+              Array.for_all
+                (fun blocks ->
+                   Ball_larus.path_number t blocks >= 0)
+                (Ball_larus.enumerate t)
+            else true)
+         program.Cfg.procs)
+
+let prop_boa_phantoms_never_in_table =
+  QCheck.Test.make ~name:"Boa phantoms are genuinely absent from the trace"
+    ~count:30 arb_workload
+    (fun w ->
+       let _, recorded = record_spec w in
+       let o = Branch_profile.run ~delay:5 recorded in
+       List.for_all
+         (fun s -> Path_table.find recorded.Recorder.table s = None)
+         o.Branch_profile.phantoms)
+
+let prop_replay_capture_monotone_in_delay =
+  QCheck.Test.make ~name:"captured flow shrinks as delay grows" ~count:30
+    arb_workload
+    (fun w ->
+       let _, recorded = record_spec w in
+       let captured delay =
+         (Replay.run (module Path_profile) ~delay recorded).Replay.captured_instances
+       in
+       captured 2 >= captured 8 && captured 8 >= captured 64)
+
+let suites =
+  [
+    ( "properties",
+      [
+        QCheck_alcotest.to_alcotest prop_generated_programs_valid;
+        QCheck_alcotest.to_alcotest prop_recording_partitions_blocks;
+        QCheck_alcotest.to_alcotest prop_counter_space_ordering;
+        QCheck_alcotest.to_alcotest prop_hits_bounded_by_hot_flow;
+        QCheck_alcotest.to_alcotest prop_serialize_roundtrip;
+        QCheck_alcotest.to_alcotest prop_engine_invariants;
+        QCheck_alcotest.to_alcotest prop_engine_native_cycles_exact;
+        QCheck_alcotest.to_alcotest prop_ball_larus_on_generated_procs;
+        QCheck_alcotest.to_alcotest prop_boa_phantoms_never_in_table;
+        QCheck_alcotest.to_alcotest prop_replay_capture_monotone_in_delay;
+      ] );
+  ]

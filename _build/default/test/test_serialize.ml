@@ -1,0 +1,167 @@
+(* Tests for the versioned binary trace format. *)
+
+module Recorder = Hotpath_trace.Recorder
+module Serialize = Hotpath_trace.Serialize
+module Path_table = Hotpath_trace.Path_table
+module Path = Hotpath_trace.Path
+module Signature = Hotpath_trace.Signature
+module Vm = Hotpath_vm.Vm
+module Replay = Hotpath_prediction.Replay
+module Net = Hotpath_prediction.Net
+module Prng = Hotpath_util.Prng
+
+let record_fixture ?(seed = 7) () =
+  let program, behavior, _ = Fixtures.indirect_loop ~exit_prob:0.02 () in
+  Recorder.record ~max_steps:20_000 program behavior ~rng:(Prng.create ~seed)
+
+let record_calls () =
+  let program, behavior, _ = Fixtures.call_loop ~iterations:20 () in
+  Recorder.record program behavior ~rng:(Prng.create ~seed:3)
+
+let check_same_recording a b =
+  Alcotest.(check (array int)) "instances" a.Recorder.instances b.Recorder.instances;
+  Alcotest.(check bytes) "arrivals" a.Recorder.arrivals b.Recorder.arrivals;
+  Alcotest.(check int) "paths" (Recorder.num_paths a) (Recorder.num_paths b);
+  Path_table.iter
+    (fun p ->
+       let q = Path_table.path b.Recorder.table p.Path.id in
+       Alcotest.(check bool) "same signature" true
+         (Signature.equal p.Path.signature q.Path.signature);
+       Alcotest.(check (array int)) "same blocks" p.Path.blocks q.Path.blocks;
+       Alcotest.(check int) "same instrs" p.Path.n_instrs q.Path.n_instrs;
+       Alcotest.(check bool) "same end kind" true (p.Path.end_kind = q.Path.end_kind))
+    a.Recorder.table;
+  Alcotest.(check int) "stats blocks" a.Recorder.vm_stats.Vm.blocks
+    b.Recorder.vm_stats.Vm.blocks;
+  Alcotest.(check bool) "stats reason" true
+    (a.Recorder.vm_stats.Vm.reason = b.Recorder.vm_stats.Vm.reason)
+
+let roundtrip r =
+  match Serialize.of_string (Serialize.to_string r) with
+  | Ok r' -> r'
+  | Error e -> Alcotest.failf "roundtrip failed: %s" e
+
+let test_roundtrip_indirect () =
+  let r = record_fixture () in
+  check_same_recording r (roundtrip r)
+
+let test_roundtrip_calls () =
+  let r = record_calls () in
+  check_same_recording r (roundtrip r)
+
+let test_roundtrip_preserves_replay () =
+  (* The real invariant: analyses over the reloaded trace are identical. *)
+  let r = record_fixture () in
+  let r' = roundtrip r in
+  let o = Replay.run (module Net) ~delay:7 r in
+  let o' = Replay.run (module Net) ~delay:7 r' in
+  Alcotest.(check (array int)) "same predictions" o.Replay.predicted_at
+    o'.Replay.predicted_at;
+  Alcotest.(check int) "same counters" o.Replay.counter_space o'.Replay.counter_space
+
+let test_roundtrip_suite_benchmark () =
+  let bench = Hotpath_workloads.Suite.find_exn "deltablue" in
+  let r = Hotpath_workloads.Suite.record ~scale:0.01 bench in
+  check_same_recording r (roundtrip r)
+
+let test_file_roundtrip () =
+  let r = record_fixture () in
+  let path = Filename.temp_file "hotpath" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+       Serialize.save r ~path;
+       match Serialize.load ~path with
+       | Ok r' -> check_same_recording r r'
+       | Error e -> Alcotest.failf "load failed: %s" e)
+
+let test_load_missing_file () =
+  match Serialize.load ~path:"/nonexistent/hotpath.trace" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected error for missing file"
+
+let expect_error name s =
+  match Serialize.of_string s with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "%s: corrupt input accepted" name
+
+let test_rejects_bad_magic () =
+  let r = record_fixture () in
+  let s = Bytes.of_string (Serialize.to_string r) in
+  Bytes.set s 0 'X';
+  expect_error "bad magic" (Bytes.to_string s)
+
+let test_rejects_truncation () =
+  let r = record_fixture () in
+  let s = Serialize.to_string r in
+  List.iter
+    (fun keep -> expect_error "truncated" (String.sub s 0 keep))
+    [ 4; String.length s / 3; String.length s - 1 ]
+
+let test_rejects_trailing_garbage () =
+  let r = record_fixture () in
+  expect_error "trailing" (Serialize.to_string r ^ "junk")
+
+let test_rejects_bitflips () =
+  (* Flip bytes across the payload; every corruption must yield Error or a
+     recording that still satisfies the structural invariants (it must
+     never crash). *)
+  let r = record_fixture () in
+  let s = Serialize.to_string r in
+  let n = String.length s in
+  for i = 0 to 19 do
+    let pos = 8 + (i * (n - 9) / 19) in
+    let b = Bytes.of_string s in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0xFF));
+    match Serialize.of_string (Bytes.to_string b) with
+    | Ok _ | Error _ -> ()
+  done
+
+let test_read_at_offset () =
+  let r = record_fixture () in
+  let payload = Serialize.to_string r in
+  let s = "prefix__" ^ payload in
+  (match Serialize.read s ~pos:8 with
+   | Ok (r', finish) ->
+     Alcotest.(check int) "consumed to end" (String.length s) finish;
+     check_same_recording r r'
+   | Error e -> Alcotest.failf "offset read failed: %s" e)
+
+let test_of_parts_validation () =
+  let r = record_fixture () in
+  let bad_instances = Array.make (Recorder.num_instances r) 999_999 in
+  (match
+     Recorder.of_parts ~program:r.Recorder.program ~table:r.Recorder.table
+       ~instances:bad_instances ~arrivals:r.Recorder.arrivals
+       ~vm_stats:r.Recorder.vm_stats
+   with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "out-of-range instance accepted");
+  match
+    Recorder.of_parts ~program:r.Recorder.program ~table:r.Recorder.table
+      ~instances:r.Recorder.instances ~arrivals:(Bytes.create 1)
+      ~vm_stats:r.Recorder.vm_stats
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "arrival-length mismatch accepted"
+
+let suites =
+  [
+    ( "trace.serialize",
+      [
+        Alcotest.test_case "roundtrip indirect loop" `Quick test_roundtrip_indirect;
+        Alcotest.test_case "roundtrip call loop" `Quick test_roundtrip_calls;
+        Alcotest.test_case "roundtrip preserves replay" `Quick
+          test_roundtrip_preserves_replay;
+        Alcotest.test_case "roundtrip suite benchmark" `Quick
+          test_roundtrip_suite_benchmark;
+        Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+        Alcotest.test_case "missing file" `Quick test_load_missing_file;
+        Alcotest.test_case "bad magic" `Quick test_rejects_bad_magic;
+        Alcotest.test_case "truncation" `Quick test_rejects_truncation;
+        Alcotest.test_case "trailing garbage" `Quick test_rejects_trailing_garbage;
+        Alcotest.test_case "bitflips never crash" `Quick test_rejects_bitflips;
+        Alcotest.test_case "read at offset" `Quick test_read_at_offset;
+        Alcotest.test_case "of_parts validation" `Quick test_of_parts_validation;
+      ] );
+  ]
