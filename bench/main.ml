@@ -116,7 +116,22 @@ let experiment_tests () =
                    ~scheme_costs:(Engine.net_costs cost) ~delay:50 ())
                 recorded)))
   in
-  [ table1; table2; fig2; fig3; fig4; fig5 ]
+  (* The multiplexing payoff: a full default-delay sweep as one pass vs
+     one Replay.run per delay. *)
+  let sweep_delays = Sweep.default_delays in
+  let sweep_naive =
+    Bechamel.Test.make ~name:"sweep/naive-pass-per-delay"
+      (Bechamel.Staged.stage (fun () ->
+           List.iter
+             (fun delay -> ignore (Replay.run (module Net) ~delay recorded))
+             sweep_delays))
+  in
+  let sweep_multiplexed =
+    Bechamel.Test.make ~name:"sweep/multiplexed-single-pass"
+      (Bechamel.Staged.stage (fun () ->
+           ignore (Replay.run_many (module Net) ~delays:sweep_delays recorded)))
+  in
+  [ table1; table2; fig2; fig3; fig4; fig5; sweep_naive; sweep_multiplexed ]
 
 let run_bechamel tests =
   let ols =

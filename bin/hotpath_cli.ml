@@ -14,6 +14,26 @@ let scale_arg =
   in
   Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"S" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Fan experiment jobs over N work-pool domains (capped at the \
+     machine's recommended domain count).  Output is identical at every \
+     job count."
+  in
+  let pos_int =
+    let parse s =
+      match Arg.conv_parser Arg.int s with
+      | Ok n when n >= 1 -> Ok n
+      | Ok n -> Error (`Msg (Printf.sprintf "jobs must be >= 1, got %d" n))
+      | Error _ as e -> e
+    in
+    Arg.conv (parse, Arg.conv_printer Arg.int)
+  in
+  Arg.(
+    value
+    & opt pos_int (Hotpath_util.Pool.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let csv_arg =
   let doc = "Emit CSV instead of an aligned text table." in
   Arg.(value & flag & info [ "csv" ] ~doc)
@@ -70,11 +90,12 @@ let table2_cmd =
     Term.(const run $ scale_arg $ csv_arg)
 
 let fig_cmd ~name ~doc ~hit =
-  let run scale zoom csv =
-    let t = Hotpath_experiments.Figures23.compute ~scale () in
+  let run scale zoom csv jobs =
+    let t, stats = Hotpath_experiments.Figures23.compute_timed ~scale ~jobs () in
     emit ~csv (Hotpath_experiments.Figures23.to_table t ~hit ~zoom);
     if not csv then begin
       print_newline ();
+      Format.printf "%a@." Hotpath_experiments.Figures23.pp_sweep_stats stats;
       print_endline "Summary (average series):";
       List.iter
         (fun su ->
@@ -92,7 +113,8 @@ let fig_cmd ~name ~doc ~hit =
         (Hotpath_experiments.Figures23.summarize t)
     end
   in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ scale_arg $ zoom_arg $ csv_arg)
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const run $ scale_arg $ zoom_arg $ csv_arg $ jobs_arg)
 
 let fig2_cmd = fig_cmd ~name:"fig2" ~doc:"Hit rate vs profiled flow (both schemes)" ~hit:true
 
@@ -100,12 +122,14 @@ let fig3_cmd =
   fig_cmd ~name:"fig3" ~doc:"Noise rate vs profiled flow (both schemes)" ~hit:false
 
 let fig4_cmd =
-  let run scale csv =
-    emit ~csv (Hotpath_experiments.Fig4.to_table (Hotpath_experiments.Fig4.compute ~scale ()))
+  let run scale csv jobs =
+    emit ~csv
+      (Hotpath_experiments.Fig4.to_table
+         (Hotpath_experiments.Fig4.compute ~scale ~jobs ()))
   in
   Cmd.v
     (Cmd.info "fig4" ~doc:"NET counter space normalized to path-profile-based prediction")
-    Term.(const run $ scale_arg $ csv_arg)
+    Term.(const run $ scale_arg $ csv_arg $ jobs_arg)
 
 let fig5_cmd =
   let all_arg =
@@ -119,35 +143,35 @@ let fig5_cmd =
       & opt float Hotpath_experiments.Fig5.default_scale
       & info [ "scale" ] ~docv:"S" ~doc)
   in
-  let run scale all csv =
+  let run scale all csv jobs =
     let rows =
-      if all then Hotpath_experiments.Fig5.compute_all ~scale ()
-      else Hotpath_experiments.Fig5.compute ~scale ()
+      if all then Hotpath_experiments.Fig5.compute_all ~scale ~jobs ()
+      else Hotpath_experiments.Fig5.compute ~scale ~jobs ()
     in
     emit ~csv (Hotpath_experiments.Fig5.to_table rows)
   in
   Cmd.v
     (Cmd.info "fig5" ~doc:"Dynamo speedup over native execution (NET vs path-profile)")
-    Term.(const run $ fig5_scale_arg $ all_arg $ csv_arg)
+    Term.(const run $ fig5_scale_arg $ all_arg $ csv_arg $ jobs_arg)
 
 let ablations_cmd =
   let which_arg =
     let doc = "Study: net-variants | boa | thresholds | costs | cache | seeds | all." in
     Arg.(value & opt string "all" & info [ "which"; "w" ] ~docv:"STUDY" ~doc)
   in
-  let run scale which =
+  let run scale which jobs =
     let module A = Hotpath_experiments.Ablations in
     if which = "all" || which = "net-variants" then begin
       print_endline "== NET variants (re-arm vs once vs last-executed-tail) ==";
-      print_string (A.render_net_variants ~scale ())
+      print_string (A.render_net_variants ~scale ~jobs ())
     end;
     if which = "all" || which = "boa" then begin
       print_endline "== NET vs Boa branch-profile construction (Section 7) ==";
-      print_string (A.render_boa ~scale ())
+      print_string (A.render_boa ~scale ~jobs ())
     end;
     if which = "all" || which = "thresholds" then begin
       print_endline "== Hot-threshold sensitivity ==";
-      print_string (A.render_thresholds ~scale ())
+      print_string (A.render_thresholds ~scale ~jobs ())
     end;
     if which = "all" || which = "costs" then begin
       print_endline "== Cost-model sensitivity (Figure 5 at tau=50) ==";
@@ -159,13 +183,13 @@ let ablations_cmd =
     end;
     if which = "all" || which = "seeds" then begin
       print_endline "== Seed robustness (5 regenerated workloads per benchmark) ==";
-      print_string (A.render_seed_robustness ())
+      print_string (A.render_seed_robustness ~jobs ())
     end
   in
   Cmd.v
     (Cmd.info "ablations"
        ~doc:"Ablation studies: NET variants, Boa comparison, threshold sensitivity")
-    Term.(const run $ scale_arg $ which_arg)
+    Term.(const run $ scale_arg $ which_arg $ jobs_arg)
 
 let offline_cmd =
   let which_arg =
@@ -209,28 +233,32 @@ let phases_cmd =
 
 let sweep_cmd =
   let run scale bench =
-    let module F = Hotpath_experiments.Figures23 in
-    let t = F.compute ~scale () in
+    let module Sweep = Hotpath_metrics.Sweep in
+    let b = Hotpath_workloads.Suite.find_exn bench in
+    let r = Hotpath_experiments.Runs.load ~scale b in
     List.iter
-      (fun scheme ->
-         match F.series t ~scheme ~bench with
-         | None -> Printf.printf "unknown benchmark %s\n" bench
-         | Some s ->
-           Printf.printf "%s / %s:\n" s.F.s_scheme s.F.s_bench;
-           List.iter
-             (fun p ->
-                Printf.printf
-                  "  delay=%-8d profiled=%6.2f%% hit=%6.1f%% noise=%6.1f%% \
-                   preds=%-6d counters=%d\n"
-                  p.Hotpath_metrics.Sweep.delay p.Hotpath_metrics.Sweep.profiled_pct
-                  p.Hotpath_metrics.Sweep.hit_rate p.Hotpath_metrics.Sweep.noise_rate
-                  p.Hotpath_metrics.Sweep.predictions
-                  p.Hotpath_metrics.Sweep.counter_space)
-             s.F.s_points)
-      [ "path-profile"; "net" ]
+      (fun (scheme_name, scheme) ->
+         let points, timing =
+           Sweep.run_timed scheme r.Hotpath_experiments.Runs.recorded
+             ~hot:r.Hotpath_experiments.Runs.hot ~delays:Sweep.default_delays
+         in
+         Printf.printf "%s / %s:\n" scheme_name bench;
+         List.iter
+           (fun p ->
+              Printf.printf
+                "  delay=%-8d profiled=%6.2f%% hit=%6.1f%% noise=%6.1f%% \
+                 preds=%-6d counters=%d\n"
+                p.Sweep.delay p.Sweep.profiled_pct p.Sweep.hit_rate
+                p.Sweep.noise_rate p.Sweep.predictions p.Sweep.counter_space)
+           points;
+         Format.printf "  %a@." Sweep.pp_timing timing)
+      Hotpath_experiments.Figures23.schemes
   in
   Cmd.v
-    (Cmd.info "sweep" ~doc:"Delay sweep for one benchmark, both schemes")
+    (Cmd.info "sweep"
+       ~doc:
+         "Delay sweep for one benchmark, both schemes (all delays multiplexed \
+          through one trace pass)")
     Term.(const run $ scale_arg $ bench_arg)
 
 let dynamo_cmd =

@@ -121,6 +121,7 @@ module Stepper = struct
       n_branches:int ->
       n_blocks:int ->
       int option;
+    collect : n_blocks:int -> unit;
     cache : Fragment_cache.t;
     predicted : (int, unit) Hashtbl.t;
     mutable instances : int;
@@ -160,6 +161,7 @@ module Stepper = struct
       observe =
         (fun ~head ~arrival ~path_id ~n_branches ~n_blocks ->
            S.observe state ~head ~arrival ~path_id ~n_branches ~n_blocks);
+      collect = (fun ~n_blocks -> S.collect state ~n_blocks);
       cache =
         Fragment_cache.create ~capacity:cfg.cache_capacity
           ~eviction:cfg.cache_eviction ();
@@ -306,6 +308,7 @@ module Stepper = struct
         with
         | Some target when not (Hashtbl.mem st.predicted target) ->
           let tp = st.lookup target in
+          st.collect ~n_blocks:(Array.length tp.Path.blocks);
           st.cyc_overhead <-
             st.cyc_overhead
             +. st.cfg.scheme_costs.per_prediction

@@ -10,6 +10,7 @@ module Hot_set = Hotpath_metrics.Hot_set
 module Rates = Hotpath_metrics.Rates
 module Tablefmt = Hotpath_util.Tablefmt
 module Prng = Hotpath_util.Prng
+module Pool = Hotpath_util.Pool
 
 (* ------------------------------------------------------------------ *)
 (* NET variants                                                        *)
@@ -31,25 +32,28 @@ let variants : (string * Scheme.packed) list =
     ("let", (module Net.Last_executed_tail : Scheme.S));
   ]
 
-let net_variants ?scale ?(delay = 50) () =
-  List.concat_map
-    (fun (run : Runs.run) ->
-       List.map
-         (fun (scheme_name, scheme) ->
-            let o = Replay.run scheme ~delay run.Runs.recorded in
-            let rates = Rates.operational o run.Runs.hot in
-            {
-              v_bench = run.Runs.bench.Suite.b_name;
-              v_scheme = scheme_name;
-              v_hit = rates.Rates.hit_rate;
-              v_noise = rates.Rates.noise_rate;
-              v_predictions = Array.length o.Replay.predictions;
-              v_counters = o.Replay.counter_space;
-            })
-         variants)
-    (Runs.load_all ?scale ())
+let net_variants ?scale ?(delay = 50) ?(jobs = 1) () =
+  let tasks =
+    List.concat_map
+      (fun (run : Runs.run) ->
+         List.map (fun variant -> (run, variant)) variants)
+      (Runs.load_all ?scale ~jobs ())
+  in
+  Pool.map ~jobs
+    (fun ((run : Runs.run), (scheme_name, scheme)) ->
+       let o = Replay.run scheme ~delay run.Runs.recorded in
+       let rates = Rates.operational o run.Runs.hot in
+       {
+         v_bench = run.Runs.bench.Suite.b_name;
+         v_scheme = scheme_name;
+         v_hit = rates.Rates.hit_rate;
+         v_noise = rates.Rates.noise_rate;
+         v_predictions = Array.length o.Replay.predictions;
+         v_counters = o.Replay.counter_space;
+       })
+    tasks
 
-let render_net_variants ?scale ?delay () =
+let render_net_variants ?scale ?delay ?jobs () =
   let t =
     Tablefmt.create
       ~columns:
@@ -62,7 +66,7 @@ let render_net_variants ?scale ?delay () =
           ("Counters", Tablefmt.Right);
         ]
   in
-  let rows = net_variants ?scale ?delay () in
+  let rows = net_variants ?scale ?delay ?jobs () in
   List.iteri
     (fun i r ->
        if i > 0 && i mod List.length variants = 0 then Tablefmt.add_separator t;
@@ -119,18 +123,18 @@ let correlated_recording () =
   in
   (recorded, hot)
 
-let boa ?scale ?(delay = 50) () =
+let boa ?scale ?(delay = 50) ?(jobs = 1) () =
   let suite_rows =
-    List.map
+    Pool.map ~jobs
       (fun (run : Runs.run) ->
          boa_row_of ~name:run.Runs.bench.Suite.b_name ~recorded:run.Runs.recorded
            ~hot:run.Runs.hot ~delay)
-      (Runs.load_all ?scale ())
+      (Runs.load_all ?scale ~jobs ())
   in
   let recorded, hot = correlated_recording () in
   suite_rows @ [ boa_row_of ~name:"correlated" ~recorded ~hot ~delay ]
 
-let render_boa ?scale ?delay () =
+let render_boa ?scale ?delay ?jobs () =
   let t =
     Tablefmt.create
       ~columns:
@@ -154,7 +158,7 @@ let render_boa ?scale ?delay () =
            Tablefmt.cell_int r.b_net_ops;
            Tablefmt.cell_int r.b_boa_ops;
          ])
-    (boa ?scale ?delay ());
+    (boa ?scale ?delay ?jobs ());
   Tablefmt.render t
 
 (* ------------------------------------------------------------------ *)
@@ -168,29 +172,31 @@ type threshold_row = {
   t_pp_hit : float;
 }
 
-let thresholds ?scale ?(delay = 50) ?(values = [ 0.0001; 0.001; 0.01 ]) () =
-  List.concat_map
-    (fun (run : Runs.run) ->
-       let recorded = run.Runs.recorded in
-       let freq = run.Runs.freq in
-       let net = Replay.run (module Net) ~delay recorded in
-       let pp = Replay.run (module Path_profile) ~delay recorded in
-       List.map
-         (fun threshold ->
-            let hot =
-              Hot_set.compute ~freq ~total_flow:(Recorder.num_instances recorded)
-                ~threshold
-            in
-            {
-              t_bench = run.Runs.bench.Suite.b_name;
-              t_threshold = threshold;
-              t_net_hit = (Rates.operational net hot).Rates.hit_rate;
-              t_pp_hit = (Rates.operational pp hot).Rates.hit_rate;
-            })
-         values)
-    (Runs.load_all ?scale ())
+let thresholds ?scale ?(delay = 50) ?(values = [ 0.0001; 0.001; 0.01 ]) ?(jobs = 1)
+    () =
+  List.concat
+    (Pool.map ~jobs
+       (fun (run : Runs.run) ->
+          let recorded = run.Runs.recorded in
+          let freq = run.Runs.freq in
+          let net = Replay.run (module Net) ~delay recorded in
+          let pp = Replay.run (module Path_profile) ~delay recorded in
+          List.map
+            (fun threshold ->
+               let hot =
+                 Hot_set.compute ~freq ~total_flow:(Recorder.num_instances recorded)
+                   ~threshold
+               in
+               {
+                 t_bench = run.Runs.bench.Suite.b_name;
+                 t_threshold = threshold;
+                 t_net_hit = (Rates.operational net hot).Rates.hit_rate;
+                 t_pp_hit = (Rates.operational pp hot).Rates.hit_rate;
+               })
+            values)
+       (Runs.load_all ?scale ~jobs ()))
 
-let render_thresholds ?scale ?delay () =
+let render_thresholds ?scale ?delay ?jobs () =
   let t =
     Tablefmt.create
       ~columns:
@@ -201,7 +207,7 @@ let render_thresholds ?scale ?delay () =
           ("Path-profile hit", Tablefmt.Right);
         ]
   in
-  let rows = thresholds ?scale ?delay () in
+  let rows = thresholds ?scale ?delay ?jobs () in
   List.iteri
     (fun i r ->
        if i > 0 && i mod 3 = 0 then Tablefmt.add_separator t;
@@ -391,25 +397,43 @@ let hit_rate_for ~bench ~seed ~scale scheme =
   in
   (Rates.operational (Replay.run scheme ~delay:50 recorded) hot).Rates.hit_rate
 
-let seed_robustness ?(scale = 0.2) ?(seeds = [ 11; 22; 33; 44; 55 ]) () =
-  List.map
-    (fun bench ->
-       let rates scheme =
+(* Each (benchmark × scheme) job records its own per-seed traces, so no
+   shared state crosses the fan-out: the benchmark rows pair adjacent
+   NET / path-profile results back up afterwards. *)
+let seed_robustness ?(scale = 0.2) ?(seeds = [ 11; 22; 33; 44; 55 ]) ?(jobs = 1) () =
+  let tasks =
+    List.concat_map
+      (fun bench ->
+         [
+           (bench, (module Net : Scheme.S));
+           (bench, (module Path_profile : Scheme.S));
+         ])
+      Suite.all
+  in
+  let rates =
+    Pool.map ~jobs
+      (fun (bench, scheme) ->
          Array.of_list
-           (List.map (fun seed -> hit_rate_for ~bench ~seed ~scale scheme) seeds)
-       in
-       let net = rates (module Net : Scheme.S) in
-       let pp = rates (module Path_profile : Scheme.S) in
-       {
-         sr_bench = bench.Suite.b_name;
-         sr_net_mean = Hotpath_util.Stats.mean net;
-         sr_net_std = Hotpath_util.Stats.stddev net;
-         sr_pp_mean = Hotpath_util.Stats.mean pp;
-         sr_pp_std = Hotpath_util.Stats.stddev pp;
-       })
-    Suite.all
+           (List.map (fun seed -> hit_rate_for ~bench ~seed ~scale scheme) seeds))
+      tasks
+  in
+  let rec pair benches rates =
+    match (benches, rates) with
+    | [], [] -> []
+    | bench :: benches', net :: pp :: rates' ->
+      {
+        sr_bench = bench.Suite.b_name;
+        sr_net_mean = Hotpath_util.Stats.mean net;
+        sr_net_std = Hotpath_util.Stats.stddev net;
+        sr_pp_mean = Hotpath_util.Stats.mean pp;
+        sr_pp_std = Hotpath_util.Stats.stddev pp;
+      }
+      :: pair benches' rates'
+    | _ -> invalid_arg "Ablations.seed_robustness: task/result mismatch"
+  in
+  pair Suite.all rates
 
-let render_seed_robustness ?scale () =
+let render_seed_robustness ?scale ?jobs () =
   let t =
     Tablefmt.create
       ~columns:
@@ -427,5 +451,5 @@ let render_seed_robustness ?scale () =
            Printf.sprintf "%.1f%% +/- %.1f" r.sr_net_mean r.sr_net_std;
            Printf.sprintf "%.1f%% +/- %.1f" r.sr_pp_mean r.sr_pp_std;
          ])
-    (seed_robustness ?scale ());
+    (seed_robustness ?scale ?jobs ());
   Tablefmt.render t

@@ -26,10 +26,14 @@ type variant_row = {
   v_counters : int;
 }
 
-val net_variants : ?scale:float -> ?delay:int -> unit -> variant_row list
-(** net / net-once / let on every benchmark (default τ=50). *)
+val net_variants :
+  ?scale:float -> ?delay:int -> ?jobs:int -> unit -> variant_row list
+(** net / net-once / let on every benchmark (default τ=50).  [jobs] fans
+    the (benchmark × variant) replays over that many work-pool domains
+    (default 1); results are identical at every job count, here and in
+    the other [?jobs]-taking studies. *)
 
-val render_net_variants : ?scale:float -> ?delay:int -> unit -> string
+val render_net_variants : ?scale:float -> ?delay:int -> ?jobs:int -> unit -> string
 
 type boa_row = {
   b_bench : string;
@@ -40,11 +44,11 @@ type boa_row = {
   b_boa_ops : int;
 }
 
-val boa : ?scale:float -> ?delay:int -> unit -> boa_row list
+val boa : ?scale:float -> ?delay:int -> ?jobs:int -> unit -> boa_row list
 (** NET vs Boa per benchmark, plus a final ["correlated"] row on the
     synthetic correlation workload. *)
 
-val render_boa : ?scale:float -> ?delay:int -> unit -> string
+val render_boa : ?scale:float -> ?delay:int -> ?jobs:int -> unit -> string
 
 type threshold_row = {
   t_bench : string;
@@ -54,11 +58,16 @@ type threshold_row = {
 }
 
 val thresholds :
-  ?scale:float -> ?delay:int -> ?values:float list -> unit -> threshold_row list
+  ?scale:float ->
+  ?delay:int ->
+  ?values:float list ->
+  ?jobs:int ->
+  unit ->
+  threshold_row list
 (** Hit rates under hot thresholds 0.01%, 0.1% (the paper's), and 1% by
     default. *)
 
-val render_thresholds : ?scale:float -> ?delay:int -> unit -> string
+val render_thresholds : ?scale:float -> ?delay:int -> ?jobs:int -> unit -> string
 
 type cost_row = {
   c_interp : float;  (** Interpreter cycles per instruction. *)
@@ -106,9 +115,10 @@ type seed_row = {
   sr_pp_std : float;
 }
 
-val seed_robustness : ?scale:float -> ?seeds:int list -> unit -> seed_row list
+val seed_robustness :
+  ?scale:float -> ?seeds:int list -> ?jobs:int -> unit -> seed_row list
 (** Re-generate and re-record each benchmark under several seeds (default
     5) and report the spread of the τ=50 hit rates: the headline numbers
     are properties of the workload shapes, not of one random stream. *)
 
-val render_seed_robustness : ?scale:float -> unit -> string
+val render_seed_robustness : ?scale:float -> ?jobs:int -> unit -> string

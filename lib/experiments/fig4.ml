@@ -3,6 +3,7 @@ module Replay = Hotpath_prediction.Replay
 module Scheme = Hotpath_prediction.Scheme
 module Tablefmt = Hotpath_util.Tablefmt
 module Stats = Hotpath_util.Stats
+module Pool = Hotpath_util.Pool
 
 type row = {
   name : string;
@@ -12,26 +13,44 @@ type row = {
   paper_ratio : float;
 }
 
-let compute ?scale ?(delay = 50) () =
-  List.map
-    (fun (run : Runs.run) ->
-       let counter_space scheme =
-         (Replay.run scheme ~delay run.Runs.recorded).Replay.counter_space
-       in
-       let net = counter_space (module Hotpath_prediction.Net : Scheme.S) in
-       let pp = counter_space (module Hotpath_prediction.Path_profile : Scheme.S) in
-       let paper = run.Runs.bench.Suite.b_paper in
-       {
-         name = run.Runs.bench.Suite.b_name;
-         net_counters = net;
-         path_profile_counters = pp;
-         ratio = Stats.ratio (float_of_int net) (float_of_int pp);
-         paper_ratio =
-           Stats.ratio
-             (float_of_int paper.Suite.pr_unique_heads)
-             (float_of_int paper.Suite.pr_paths);
-       })
-    (Runs.load_all ?scale ())
+(* One fan-out job per (benchmark × scheme) replay; tasks are run-major
+   with the two schemes adjacent, so reassembly is a pairwise walk. *)
+let compute ?scale ?(delay = 50) ?(jobs = 1) () =
+  let runs = Runs.load_all ?scale ~jobs () in
+  let tasks =
+    List.concat_map
+      (fun (run : Runs.run) ->
+         [
+           (run, (module Hotpath_prediction.Net : Scheme.S));
+           (run, (module Hotpath_prediction.Path_profile : Scheme.S));
+         ])
+      runs
+  in
+  let counters =
+    Pool.map ~jobs
+      (fun ((run : Runs.run), scheme) ->
+         (Replay.run scheme ~delay run.Runs.recorded).Replay.counter_space)
+      tasks
+  in
+  let rec pair runs counters =
+    match (runs, counters) with
+    | [], [] -> []
+    | (run : Runs.run) :: runs', net :: pp :: counters' ->
+      let paper = run.Runs.bench.Suite.b_paper in
+      {
+        name = run.Runs.bench.Suite.b_name;
+        net_counters = net;
+        path_profile_counters = pp;
+        ratio = Stats.ratio (float_of_int net) (float_of_int pp);
+        paper_ratio =
+          Stats.ratio
+            (float_of_int paper.Suite.pr_unique_heads)
+            (float_of_int paper.Suite.pr_paths);
+      }
+      :: pair runs' counters'
+    | _ -> invalid_arg "Fig4.compute: task/result mismatch"
+  in
+  pair runs counters
 
 let average_ratio rows =
   Stats.mean (Array.of_list (List.map (fun r -> r.ratio) rows))
@@ -71,4 +90,5 @@ let to_table rows =
     ];
   t
 
-let render ?scale ?delay () = Tablefmt.render (to_table (compute ?scale ?delay ()))
+let render ?scale ?delay ?jobs () =
+  Tablefmt.render (to_table (compute ?scale ?delay ?jobs ()))

@@ -16,12 +16,14 @@ type row = {
   paper_ratio : float;  (** Table 2's unique-heads / paths. *)
 }
 
-val compute : ?scale:float -> ?delay:int -> unit -> row list
-(** Per benchmark, Table 1 order; default delay 50. *)
+val compute : ?scale:float -> ?delay:int -> ?jobs:int -> unit -> row list
+(** Per benchmark, Table 1 order; default delay 50.  [jobs] fans the
+    (benchmark × scheme) replays over that many work-pool domains
+    (default 1); results are identical at every job count. *)
 
 val average_ratio : row list -> float
 
 val to_table : row list -> Hotpath_util.Tablefmt.t
 (** Includes a final Average row. *)
 
-val render : ?scale:float -> ?delay:int -> unit -> string
+val render : ?scale:float -> ?delay:int -> ?jobs:int -> unit -> string

@@ -4,6 +4,7 @@ module Engine = Hotpath_dynamo.Engine
 module Cost_model = Hotpath_dynamo.Cost_model
 module Tablefmt = Hotpath_util.Tablefmt
 module Stats = Hotpath_util.Stats
+module Pool = Hotpath_util.Pool
 
 type cell = { speedup_pct : float; bailed : bool }
 
@@ -19,27 +20,43 @@ let schemes : (string * Scheme.packed * (Cost_model.t -> Engine.scheme_costs)) l
       Engine.path_profile_costs );
   ]
 
-let run_bench ?scale ~cost bench =
-  let run = Runs.load ?scale bench in
-  let cells =
-    List.concat_map
-      (fun (scheme_name, scheme, costs_of) ->
-         List.map
-           (fun delay ->
-              let config =
-                Engine.config ~cost ~scheme ~scheme_costs:(costs_of cost) ~delay ()
-              in
-              let result = Engine.run config run.Runs.recorded in
-              ( scheme_name,
-                delay,
-                {
-                  speedup_pct = result.Engine.r_speedup_pct;
-                  bailed = result.Engine.r_bailed;
-                } ))
-           delays)
-      schemes
+let scheme_cells ~cost (run : Runs.run) (scheme_name, scheme, costs_of) =
+  List.map
+    (fun delay ->
+       let config =
+         Engine.config ~cost ~scheme ~scheme_costs:(costs_of cost) ~delay ()
+       in
+       let result = Engine.run config run.Runs.recorded in
+       ( scheme_name,
+         delay,
+         {
+           speedup_pct = result.Engine.r_speedup_pct;
+           bailed = result.Engine.r_bailed;
+         } ))
+    delays
+
+(* One fan-out job per (benchmark × scheme); each job simulates the three
+   delays for its cell group.  Benchmarks are pre-recorded (also on the
+   pool), so the simulation jobs only replay. *)
+let run_benches ~scale ~cost ~jobs benches =
+  let runs = Pool.map ~jobs (fun b -> Runs.load ~scale b) benches in
+  let tasks =
+    List.concat_map (fun run -> List.map (fun s -> (run, s)) schemes) runs
   in
-  { name = bench.Suite.b_name; cells }
+  let cell_groups =
+    Pool.map ~jobs (fun (run, scheme) -> scheme_cells ~cost run scheme) tasks
+  in
+  let per_bench = List.length schemes in
+  List.mapi
+    (fun i (run : Runs.run) ->
+       let cells =
+         List.concat
+           (List.filteri
+              (fun j _ -> j >= i * per_bench && j < (i + 1) * per_bench)
+              cell_groups)
+       in
+       { name = run.Runs.bench.Suite.b_name; cells })
+    runs
 
 let average rows =
   let cells =
@@ -68,12 +85,12 @@ let average rows =
 
 let default_scale = 8.0
 
-let compute ?(scale = default_scale) ?(cost = Cost_model.default) () =
-  let rows = List.map (run_bench ~scale ~cost) Suite.dynamo_set in
+let compute ?(scale = default_scale) ?(cost = Cost_model.default) ?(jobs = 1) () =
+  let rows = run_benches ~scale ~cost ~jobs Suite.dynamo_set in
   rows @ [ average rows ]
 
-let compute_all ?(scale = default_scale) ?(cost = Cost_model.default) () =
-  List.map (run_bench ~scale ~cost) Suite.all
+let compute_all ?(scale = default_scale) ?(cost = Cost_model.default) ?(jobs = 1) () =
+  run_benches ~scale ~cost ~jobs Suite.all
 
 let to_table rows =
   let headers =
@@ -98,6 +115,6 @@ let to_table rows =
     rows;
   t
 
-let render ?scale ?(all = false) () =
-  let rows = if all then compute_all ?scale () else compute ?scale () in
+let render ?scale ?jobs ?(all = false) () =
+  let rows = if all then compute_all ?scale ?jobs () else compute ?scale ?jobs () in
   Tablefmt.render (to_table rows)

@@ -27,11 +27,15 @@ val default_scale : float
     lukewarm paths cross the Dynamo-relevant delays the way they do in the
     paper's full-length runs; see EXPERIMENTS.md. *)
 
-val compute : ?scale:float -> ?cost:Hotpath_dynamo.Cost_model.t -> unit -> row list
+val compute :
+  ?scale:float -> ?cost:Hotpath_dynamo.Cost_model.t -> ?jobs:int -> unit -> row list
 (** No-bail-out subset, plus a final Average row.  [scale] defaults to
-    {!default_scale}. *)
+    {!default_scale}.  [jobs] fans the (benchmark × scheme) simulations
+    over that many work-pool domains (default 1); results are identical
+    at every job count. *)
 
-val compute_all : ?scale:float -> ?cost:Hotpath_dynamo.Cost_model.t -> unit -> row list
+val compute_all :
+  ?scale:float -> ?cost:Hotpath_dynamo.Cost_model.t -> ?jobs:int -> unit -> row list
 (** Every benchmark (no Average row); gcc/go-class entries are expected to
     bail out. *)
 
@@ -40,4 +44,4 @@ val average : row list -> row
 
 val to_table : row list -> Hotpath_util.Tablefmt.t
 
-val render : ?scale:float -> ?all:bool -> unit -> string
+val render : ?scale:float -> ?jobs:int -> ?all:bool -> unit -> string

@@ -3,6 +3,7 @@ module Scheme = Hotpath_prediction.Scheme
 module Suite = Hotpath_workloads.Suite
 module Tablefmt = Hotpath_util.Tablefmt
 module Stats = Hotpath_util.Stats
+module Pool = Hotpath_util.Pool
 
 let schemes : (string * Scheme.packed) list =
   [
@@ -47,26 +48,87 @@ let average_series ~scheme ~delays per_bench =
   in
   { s_scheme = scheme; s_bench = "average"; s_points = points }
 
-let compute ?scale ?(delays = Sweep.default_delays) () =
-  let runs = Runs.load_all ?scale () in
-  let series =
+(* One fan-out job per (scheme × benchmark) sweep; each sweep multiplexes
+   all its delays through a single trace traversal (Sweep.run).  Results
+   come back in task order, so output is identical at every job count. *)
+let compute ?scale ?(delays = Sweep.default_delays) ?(jobs = 1) () =
+  let runs = Runs.load_all ?scale ~jobs () in
+  let tasks =
     List.concat_map
       (fun (scheme_name, scheme) ->
-         let per_bench =
-           List.map
-             (fun (run : Runs.run) ->
-                {
-                  s_scheme = scheme_name;
-                  s_bench = run.Runs.bench.Suite.b_name;
-                  s_points =
-                    Sweep.run scheme run.Runs.recorded ~hot:run.Runs.hot ~delays;
-                })
-             runs
-         in
-         per_bench @ [ average_series ~scheme:scheme_name ~delays per_bench ])
+         List.map (fun run -> (scheme_name, scheme, run)) runs)
       schemes
   in
+  let flat =
+    Pool.map ~jobs
+      (fun (scheme_name, scheme, (run : Runs.run)) ->
+         {
+           s_scheme = scheme_name;
+           s_bench = run.Runs.bench.Suite.b_name;
+           s_points = Sweep.run scheme run.Runs.recorded ~hot:run.Runs.hot ~delays;
+         })
+      tasks
+  in
+  let per_scheme = List.length runs in
+  let series =
+    List.concat
+      (List.mapi
+         (fun i (scheme_name, _) ->
+            let per_bench =
+              List.filteri
+                (fun j _ -> j >= i * per_scheme && j < (i + 1) * per_scheme)
+                flat
+            in
+            per_bench @ [ average_series ~scheme:scheme_name ~delays per_bench ])
+         schemes)
+  in
   { delays; series }
+
+type sweep_stats = {
+  st_sweeps : int;  (** (scheme × benchmark) sweeps computed. *)
+  st_delays : int;
+  st_instances : int;  (** Total instances traversed, one pass per sweep. *)
+  st_wall_s : float;
+  st_instances_per_s : float;
+}
+
+(* compute plus wall-clock accounting: the sweep engine's throughput is a
+   headline number, so the drivers print it next to the tables. *)
+let compute_timed ?scale ?delays ?jobs () =
+  let t0 = Unix.gettimeofday () in
+  let t = compute ?scale ?delays ?jobs () in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let per_bench = List.filter (fun s -> s.s_bench <> "average") t.series in
+  let runs = Runs.load_all ?scale () in
+  let instances =
+    (* Each sweep reads its benchmark's trace exactly once. *)
+    List.fold_left
+      (fun acc s ->
+         match
+           List.find_opt
+             (fun (r : Runs.run) -> r.Runs.bench.Suite.b_name = s.s_bench)
+             runs
+         with
+         | Some r ->
+           acc + Array.length r.Runs.recorded.Hotpath_trace.Recorder.instances
+         | None -> acc)
+      0 per_bench
+  in
+  ( t,
+    {
+      st_sweeps = List.length per_bench;
+      st_delays = List.length t.delays;
+      st_instances = instances;
+      st_wall_s = wall_s;
+      st_instances_per_s =
+        (if wall_s > 0.0 then float_of_int instances /. wall_s else 0.0);
+    } )
+
+let pp_sweep_stats ppf st =
+  Format.fprintf ppf
+    "@[<h>%d sweeps x %d delays, single-pass: %d instances in %.3fs (%.2e \
+     instances/s)@]"
+    st.st_sweeps st.st_delays st.st_instances st.st_wall_s st.st_instances_per_s
 
 let series t ~scheme ~bench =
   List.find_opt (fun s -> s.s_scheme = scheme && s.s_bench = bench) t.series
@@ -180,8 +242,8 @@ let to_table t ~hit ~zoom =
     t.series;
   tbl
 
-let render ?scale ?delays ~hit ~zoom () =
-  let t = compute ?scale ?delays () in
+let render ?scale ?delays ?jobs ~hit ~zoom () =
+  let t = compute ?scale ?delays ?jobs () in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf (Tablefmt.render (to_table t ~hit ~zoom));
   Buffer.add_string buf "\nSummary (average series):\n";

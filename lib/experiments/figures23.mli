@@ -24,9 +24,25 @@ type series = {
 
 type t = { delays : int list; series : series list }
 
-val compute : ?scale:float -> ?delays:int list -> unit -> t
+val compute : ?scale:float -> ?delays:int list -> ?jobs:int -> unit -> t
 (** Sweep every benchmark under both schemes (defaults:
-    {!Sweep.default_delays}, scale 1.0). *)
+    {!Sweep.default_delays}, scale 1.0).  Each (scheme × benchmark) sweep
+    is one fan-out job; [jobs] (default 1) spreads them over that many
+    work-pool domains.  The result is identical at every job count. *)
+
+type sweep_stats = {
+  st_sweeps : int;  (** (scheme × benchmark) sweeps computed. *)
+  st_delays : int;
+  st_instances : int;  (** Total instances traversed, one pass per sweep. *)
+  st_wall_s : float;
+  st_instances_per_s : float;
+}
+
+val compute_timed :
+  ?scale:float -> ?delays:int list -> ?jobs:int -> unit -> t * sweep_stats
+(** {!compute} plus wall-clock accounting for throughput reporting. *)
+
+val pp_sweep_stats : Format.formatter -> sweep_stats -> unit
 
 val series : t -> scheme:string -> bench:string -> series option
 
@@ -58,4 +74,5 @@ val to_table : t -> hit:bool -> zoom:bool -> Hotpath_util.Tablefmt.t
     (Figure 3) rate.  [zoom] restricts to points with ≤ 10% profiled flow
     (the right-hand panels). *)
 
-val render : ?scale:float -> ?delays:int list -> hit:bool -> zoom:bool -> unit -> string
+val render :
+  ?scale:float -> ?delays:int list -> ?jobs:int -> hit:bool -> zoom:bool -> unit -> string

@@ -1,6 +1,7 @@
 module Suite = Hotpath_workloads.Suite
 module Recorder = Hotpath_trace.Recorder
 module Hot_set = Hotpath_metrics.Hot_set
+module Pool = Hotpath_util.Pool
 
 type run = {
   bench : Suite.benchmark;
@@ -9,11 +10,23 @@ type run = {
   hot : Hot_set.t;
 }
 
+(* The cache is shared across the experiment fan-out domains; every access
+   goes through [lock].  Two domains racing to load the same key may both
+   record (duplicate work, deterministic result) — the fan-out layers
+   avoid that by loading distinct benchmarks per job. *)
 let cache : (string * float, run) Hashtbl.t = Hashtbl.create 16
+
+let lock = Mutex.create ()
+
+let find_cached key =
+  Mutex.lock lock;
+  let r = Hashtbl.find_opt cache key in
+  Mutex.unlock lock;
+  r
 
 let load ?(scale = 1.0) bench =
   let key = (bench.Suite.b_name, scale) in
-  match Hashtbl.find_opt cache key with
+  match find_cached key with
   | Some run -> run
   | None ->
     let recorded = Suite.record ~scale bench in
@@ -23,9 +36,22 @@ let load ?(scale = 1.0) bench =
         ~threshold:Suite.hot_threshold
     in
     let run = { bench; recorded; freq; hot } in
-    Hashtbl.add cache key run;
+    Mutex.lock lock;
+    (* Keep the first binding if another domain won the race. *)
+    let run =
+      match Hashtbl.find_opt cache key with
+      | Some existing -> existing
+      | None ->
+        Hashtbl.add cache key run;
+        run
+    in
+    Mutex.unlock lock;
     run
 
-let load_all ?(scale = 1.0) () = List.map (fun b -> load ~scale b) Suite.all
+let load_all ?(scale = 1.0) ?(jobs = 1) () =
+  Pool.map ~jobs (fun b -> load ~scale b) Suite.all
 
-let clear_cache () = Hashtbl.reset cache
+let clear_cache () =
+  Mutex.lock lock;
+  Hashtbl.reset cache;
+  Mutex.unlock lock

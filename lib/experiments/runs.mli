@@ -2,7 +2,9 @@
 
     Recording a benchmark trace is the expensive step (one VM
     interpretation); every table and figure replays the same recording, so
-    runs are memoized per (benchmark, scale) within the process. *)
+    runs are memoized per (benchmark, scale) within the process.  The
+    cache is mutex-guarded, so loads may be issued from the work-pool
+    domains ({!Hotpath_util.Pool}). *)
 
 module Suite = Hotpath_workloads.Suite
 module Recorder = Hotpath_trace.Recorder
@@ -19,7 +21,9 @@ val load : ?scale:float -> Suite.benchmark -> run
 (** Record (or fetch the memoized recording of) the benchmark at the given
     flow scale (default 1.0). *)
 
-val load_all : ?scale:float -> unit -> run list
-(** All nine benchmarks, Table 1 order. *)
+val load_all : ?scale:float -> ?jobs:int -> unit -> run list
+(** All nine benchmarks, Table 1 order.  [jobs] records benchmarks on that
+    many domains in parallel (default 1); the returned order and contents
+    are identical at every job count. *)
 
 val clear_cache : unit -> unit

@@ -155,6 +155,7 @@ let run scheme ~delay ~window ~retirement ~threshold (r : Recorder.t) =
           ~n_blocks:(Array.length p.Path.blocks)
       with
       | Some target when not (Hashtbl.mem predicted target) ->
+        S.collect state ~n_blocks:(Array.length paths.(target).Path.blocks);
         Hashtbl.replace predicted target ();
         last_use.(target) <- i;
         incr spike_preds

@@ -11,6 +11,8 @@ type point = {
   collection_ops : int;
 }
 
+type timing = { wall_s : float; instances : int; instances_per_s : float }
+
 (* The paper sweeps 10 .. 1,000,000 on runs with flow in the billions.  At
    this reproduction's scaled flow (~10^5), small delays map to the same
    freq(p)/tau regime the paper's 10..100 occupies, so the sweep starts at
@@ -19,22 +21,39 @@ let default_delays =
   [ 2; 3; 5; 10; 20; 50; 100; 200; 500; 1_000; 2_000; 5_000; 10_000; 20_000;
     50_000; 100_000; 200_000; 500_000; 1_000_000 ]
 
+let point_of_outcome (o : Replay.outcome) hot =
+  let rates = Rates.operational o hot in
+  {
+    delay = o.Replay.delay;
+    profiled_pct = rates.Rates.profiled_flow_pct;
+    hit_rate = rates.Rates.hit_rate;
+    noise_rate = rates.Rates.noise_rate;
+    predictions = Array.length o.Replay.predictions;
+    counter_space = o.Replay.counter_space;
+    profiling_ops = o.Replay.profiling_ops;
+    collection_ops = o.Replay.collection_ops;
+  }
+
+(* All delays are multiplexed through one traversal of the trace
+   (Replay.run_many); a sweep costs one replay, not one per delay. *)
 let run scheme r ~hot ~delays =
   List.map
-    (fun delay ->
-       let o = Replay.run scheme ~delay r in
-       let rates = Rates.operational o hot in
-       {
-         delay;
-         profiled_pct = rates.Rates.profiled_flow_pct;
-         hit_rate = rates.Rates.hit_rate;
-         noise_rate = rates.Rates.noise_rate;
-         predictions = Array.length o.Replay.predictions;
-         counter_space = o.Replay.counter_space;
-         profiling_ops = o.Replay.profiling_ops;
-         collection_ops = o.Replay.collection_ops;
-       })
-    delays
+    (fun o -> point_of_outcome o hot)
+    (Replay.run_many scheme ~delays r)
+
+let run_timed scheme r ~hot ~delays =
+  let t0 = Unix.gettimeofday () in
+  let points = run scheme r ~hot ~delays in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let instances = Array.length r.Hotpath_trace.Recorder.instances in
+  let instances_per_s =
+    if wall_s > 0.0 then float_of_int instances /. wall_s else 0.0
+  in
+  (points, { wall_s; instances; instances_per_s })
+
+let pp_timing ppf t =
+  Format.fprintf ppf "@[<h>%.3fs over %d instances (%.2e instances/s)@]"
+    t.wall_s t.instances t.instances_per_s
 
 let interpolate field points ~profiled_pct =
   (* Points ordered by increasing delay are increasing in profiled flow;
@@ -42,23 +61,28 @@ let interpolate field points ~profiled_pct =
   let pts =
     List.sort (fun a b -> Float.compare a.profiled_pct b.profiled_pct) points
   in
-  let rec scan = function
-    | [] | [ _ ] -> None
-    | a :: (b :: _ as rest) ->
-      if profiled_pct < a.profiled_pct then None
-      else if profiled_pct <= b.profiled_pct then begin
-        let span = b.profiled_pct -. a.profiled_pct in
-        if span <= 0.0 then Some (field a)
-        else
-          let w = (profiled_pct -. a.profiled_pct) /. span in
-          Some ((field a *. (1.0 -. w)) +. (field b *. w))
-      end
-      else scan rest
-  in
-  match pts with
-  | [ only ] when Float.abs (only.profiled_pct -. profiled_pct) < 1e-9 ->
-    Some (field only)
-  | _ -> scan pts
+  (* An exact query (within 1e-9) on any swept point returns that point's
+     value, duplicated or boundary points included; interpolation is only
+     for queries strictly between points. *)
+  match
+    List.find_opt (fun p -> Float.abs (p.profiled_pct -. profiled_pct) < 1e-9) pts
+  with
+  | Some p -> Some (field p)
+  | None ->
+    let rec scan = function
+      | [] | [ _ ] -> None
+      | a :: (b :: _ as rest) ->
+        if profiled_pct < a.profiled_pct then None
+        else if profiled_pct <= b.profiled_pct then begin
+          let span = b.profiled_pct -. a.profiled_pct in
+          if span <= 0.0 then Some (field a)
+          else
+            let w = (profiled_pct -. a.profiled_pct) /. span in
+            Some ((field a *. (1.0 -. w)) +. (field b *. w))
+        end
+        else scan rest
+    in
+    scan pts
 
 let interpolate_hit_at points ~profiled_pct =
   interpolate (fun p -> p.hit_rate) points ~profiled_pct

@@ -16,6 +16,12 @@ type point = {
   collection_ops : int;
 }
 
+type timing = {
+  wall_s : float;  (** Wall-clock seconds for the whole sweep. *)
+  instances : int;  (** Trace length (instances read once, not per delay). *)
+  instances_per_s : float;
+}
+
 val default_delays : int list
 (** The paper's range: 10 to 1,000,000, log-spaced. *)
 
@@ -25,7 +31,19 @@ val run :
   hot:Hot_set.t ->
   delays:int list ->
   point list
-(** One point per delay, in the given order. *)
+(** One point per delay, in the given order.  All delays are multiplexed
+    through a single traversal of the trace ({!Replay.run_many}), so a
+    full sweep costs one replay rather than one per delay. *)
+
+val run_timed :
+  Hotpath_prediction.Scheme.packed ->
+  Hotpath_trace.Recorder.t ->
+  hot:Hot_set.t ->
+  delays:int list ->
+  point list * timing
+(** {!run} plus wall-clock accounting for throughput reporting. *)
+
+val pp_timing : Format.formatter -> timing -> unit
 
 val interpolate_hit_at : point list -> profiled_pct:float -> float option
 (** Linear interpolation of the hit rate at a given profiled-flow

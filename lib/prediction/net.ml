@@ -17,6 +17,7 @@ type variant = Next_tail | Next_tail_once | Previous_tail
 
 let observe_variant variant t ~head ~arrival ~path_id ~n_branches ~n_blocks =
   ignore n_branches;
+  ignore n_blocks;
   match arrival with
   | Path.Entry | Path.Continuation ->
     (* NET profiles only targets of backward taken transfers. *)
@@ -35,23 +36,18 @@ let observe_variant variant t ~head ~arrival ~path_id ~n_branches ~n_blocks =
         (* Counter trips: re-arm and predict. *)
         Hashtbl.replace t.counters head 0;
         if variant = Next_tail_once then Hashtbl.replace t.retired head ();
-        let target =
-          match variant with
-          | Next_tail | Next_tail_once -> Some path_id
-          | Previous_tail ->
-            let prev = Hashtbl.find_opt t.last_tail head in
-            Hashtbl.replace t.last_tail head path_id;
-            (* Fall back to the current tail when the head has no history
-               (its earlier tails were all predicted already). *)
-            (match prev with Some p -> Some p | None -> Some path_id)
-        in
-        (match target with
-         | Some _ ->
-           (* Incremental instrumentation: one breakpoint per block of the
-              collected tail. *)
-           t.collection <- t.collection + n_blocks
-         | None -> ());
-        target
+        (* Collection is NOT charged here: offering a tail is free, and
+           the driver may drop the offer (target already predicted).  The
+           breakpoint cost lands via [collect] on accepted predictions
+           only. *)
+        match variant with
+        | Next_tail | Next_tail_once -> Some path_id
+        | Previous_tail ->
+          let prev = Hashtbl.find_opt t.last_tail head in
+          Hashtbl.replace t.last_tail head path_id;
+          (* Fall back to the current tail when the head has no history
+             (its earlier tails were all predicted already). *)
+          (match prev with Some p -> Some p | None -> Some path_id)
       end
     end
 
@@ -79,6 +75,11 @@ struct
 
   let observe t ~head ~arrival ~path_id ~n_branches ~n_blocks =
     observe_variant V.variant t ~head ~arrival ~path_id ~n_branches ~n_blocks
+
+  (* Incremental instrumentation: one breakpoint per block of the
+     collected tail, charged only when the driver accepts the
+     prediction. *)
+  let collect t ~n_blocks = t.collection <- t.collection + n_blocks
 
   (* Every observed loop head keeps an entry in [counters] (tripping resets
      it to zero), so the table size is the allocated counter space. *)

@@ -27,6 +27,10 @@ let observe t ~head ~arrival ~path_id ~n_branches ~n_blocks =
      be re-predicted immediately rather than never. *)
   if count >= t.delay then Some path_id else None
 
+(* Path-profile-based prediction already holds the predicted path in its
+   profile: materializing it is free. *)
+let collect _ ~n_blocks = ignore n_blocks
+
 let counter_space t = Hashtbl.length t.counters
 
 let profiling_ops t = t.ops

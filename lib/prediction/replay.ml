@@ -20,10 +20,20 @@ type outcome = {
   collection_ops : int;
 }
 
-let run (module S : Scheme.S) ~delay (r : Recorder.t) =
+(* Instance reads performed by [run]/[run_many], for the one-pass
+   guarantee: multiplexing k delays must read the trace once, not k
+   times.  Atomic because experiment fan-out replays from several
+   domains. *)
+let reads = Atomic.make 0
+
+let instance_reads () = Atomic.get reads
+
+let reset_instance_reads () = Atomic.set reads 0
+
+(* Per-path descriptors, cached once per traversal; the replay loop is
+   hot. *)
+let descriptors (r : Recorder.t) =
   let n_paths = Recorder.num_paths r in
-  let table = r.Recorder.table in
-  (* Cache per-path descriptors once; the replay loop is hot. *)
   let heads = Array.make n_paths 0
   and branches = Array.make n_paths 0
   and blocks = Array.make n_paths 0 in
@@ -32,7 +42,12 @@ let run (module S : Scheme.S) ~delay (r : Recorder.t) =
        heads.(p.Path.id) <- Path.head p;
        branches.(p.Path.id) <- p.Path.n_branches;
        blocks.(p.Path.id) <- Array.length p.Path.blocks)
-    table;
+    r.Recorder.table;
+  (heads, branches, blocks)
+
+let run (module S : Scheme.S) ~delay (r : Recorder.t) =
+  let n_paths = Recorder.num_paths r in
+  let heads, branches, blocks = descriptors r in
   let state = S.create ~delay ~program:r.Recorder.program in
   let predicted_at = Array.make n_paths max_int in
   let freq = Array.make n_paths 0 in
@@ -41,6 +56,7 @@ let run (module S : Scheme.S) ~delay (r : Recorder.t) =
   let profiled = ref 0 and captured_total = ref 0 in
   let instances = r.Recorder.instances in
   let n = Array.length instances in
+  ignore (Atomic.fetch_and_add reads n);
   for i = 0 to n - 1 do
     let pid = instances.(i) in
     freq.(pid) <- freq.(pid) + 1;
@@ -56,6 +72,7 @@ let run (module S : Scheme.S) ~delay (r : Recorder.t) =
       with
       | Some target when predicted_at.(target) = max_int ->
         predicted_at.(target) <- i;
+        S.collect state ~n_blocks:blocks.(target);
         Vec.push predictions { target; at_instance = i }
       | Some _ | None -> ()
     end
@@ -74,6 +91,71 @@ let run (module S : Scheme.S) ~delay (r : Recorder.t) =
     profiling_ops = S.profiling_ops state;
     collection_ops = S.collection_ops state;
   }
+
+(* One scheme state per delay, all driven through a single traversal of
+   the instance stream.  The states are independent (an instance captured
+   under one delay is still profiled under another), so each lane keeps
+   its own predicted_at/captured arrays; freq is delay-independent and
+   computed once. *)
+let run_many (module S : Scheme.S) ~delays (r : Recorder.t) =
+  match Array.of_list delays with
+  | [||] -> []
+  | lanes ->
+    let k = Array.length lanes in
+    let n_paths = Recorder.num_paths r in
+    let heads, branches, blocks = descriptors r in
+    let states = Array.map (fun delay -> S.create ~delay ~program:r.Recorder.program) lanes in
+    let predicted_at = Array.init k (fun _ -> Array.make n_paths max_int) in
+    let captured = Array.init k (fun _ -> Array.make n_paths 0) in
+    let predictions = Array.init k (fun _ -> Vec.create ()) in
+    let profiled = Array.make k 0 in
+    let captured_total = Array.make k 0 in
+    let freq = Array.make n_paths 0 in
+    let instances = r.Recorder.instances in
+    let n = Array.length instances in
+    ignore (Atomic.fetch_and_add reads n);
+    for i = 0 to n - 1 do
+      let pid = instances.(i) in
+      freq.(pid) <- freq.(pid) + 1;
+      let head = heads.(pid)
+      and n_branches = branches.(pid)
+      and n_blocks = blocks.(pid)
+      and arrival = Recorder.arrival r i in
+      for l = 0 to k - 1 do
+        let pa = predicted_at.(l) in
+        if pa.(pid) < i then begin
+          let cap = captured.(l) in
+          cap.(pid) <- cap.(pid) + 1;
+          captured_total.(l) <- captured_total.(l) + 1
+        end
+        else begin
+          profiled.(l) <- profiled.(l) + 1;
+          match
+            S.observe states.(l) ~head ~arrival ~path_id:pid ~n_branches ~n_blocks
+          with
+          | Some target when pa.(target) = max_int ->
+            pa.(target) <- i;
+            S.collect states.(l) ~n_blocks:blocks.(target);
+            Vec.push predictions.(l) { target; at_instance = i }
+          | Some _ | None -> ()
+        end
+      done
+    done;
+    List.init k (fun l ->
+        {
+          scheme_name = S.name;
+          delay = lanes.(l);
+          total_instances = n;
+          predictions = Vec.to_array predictions.(l);
+          predicted_at = predicted_at.(l);
+          freq = (if l = 0 then freq else Array.copy freq);
+          captured = captured.(l);
+          profiled_instances = profiled.(l);
+          captured_instances = captured_total.(l);
+          counter_space = S.counter_space states.(l);
+          profiling_ops = S.profiling_ops states.(l);
+          collection_ops = S.collection_ops states.(l);
+        })
 
 let predicted_paths o =
   Array.to_list o.predictions

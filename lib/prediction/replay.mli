@@ -35,6 +35,24 @@ type outcome = {
 val run : Scheme.packed -> delay:int -> Hotpath_trace.Recorder.t -> outcome
 (** @raise Invalid_argument when [delay < 1]. *)
 
+val run_many :
+  Scheme.packed -> delays:int list -> Hotpath_trace.Recorder.t -> outcome list
+(** Multiplexed replay: one scheme state per delay, all driven through a
+    {e single} traversal of the instance stream.  Returns one outcome per
+    delay, in the given order, each bit-identical to the corresponding
+    [run ~delay] — the scheme states are independent, so multiplexing is
+    purely an amortization of the trace walk (delay sweeps drop from
+    O(delays × trace) to O(trace) instance reads).
+    @raise Invalid_argument when any delay is [< 1]. *)
+
+val instance_reads : unit -> int
+(** Total instance-stream reads performed by {!run}/{!run_many} since the
+    last {!reset_instance_reads} — the observable backing the one-pass
+    guarantee of {!run_many} ([run_many ~delays] adds [length trace],
+    not [length delays * length trace]). *)
+
+val reset_instance_reads : unit -> unit
+
 val predicted_paths : outcome -> int list
 (** Path ids predicted, ascending. *)
 

@@ -17,6 +17,8 @@ module type S = sig
     n_blocks:int ->
     int option
 
+  val collect : t -> n_blocks:int -> unit
+
   val counter_space : t -> int
 
   val profiling_ops : t -> int

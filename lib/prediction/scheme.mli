@@ -35,7 +35,16 @@ module type S = sig
     n_blocks:int ->
     int option
   (** Feed one (not-yet-predicted) path instance; [Some p] predicts path
-      [p] as hot, effective for subsequent instances. *)
+      [p] as hot, effective for subsequent instances.  Offering a path is
+      free: collection work is charged via {!collect} only when the
+      driver {e accepts} the prediction (the target was not already in
+      the code cache) and actually materializes the path. *)
+
+  val collect : t -> n_blocks:int -> unit
+  (** Charge the one-time collection cost of materializing an accepted
+      prediction whose path spans [n_blocks] blocks.  Called by the
+      driver exactly once per accepted prediction; a dropped offer (the
+      target was already predicted) costs nothing. *)
 
   val counter_space : t -> int
 

@@ -1,7 +1,10 @@
 module Cfg = Hotpath_cfg.Cfg
 module Vm = Hotpath_vm.Vm
 
-let magic = "HOTPATH1"
+(* HOTPATH2: the unbounded count fields (block weights, per-path
+   instruction counts) moved from 32 to 64 bits, and 32-bit writes became
+   range-checked instead of silently truncating. *)
+let magic = "HOTPATH2"
 
 (* ------------------------------------------------------------------ *)
 (* Writer                                                              *)
@@ -9,7 +12,11 @@ let magic = "HOTPATH1"
 
 let add_u8 buf v = Buffer.add_uint8 buf v
 
-let add_i32 buf v = Buffer.add_int32_le buf (Int32.of_int v)
+let add_i32 buf v =
+  if v < Int32.to_int Int32.min_int || v > Int32.to_int Int32.max_int then
+    invalid_arg
+      (Printf.sprintf "Serialize.add_i32: %d does not fit in 32 bits" v);
+  Buffer.add_int32_le buf (Int32.of_int v)
 
 let add_i64 buf v = Buffer.add_int64_le buf (Int64.of_int v)
 
@@ -54,7 +61,7 @@ let add_program buf (p : Cfg.program) =
   Array.iter
     (fun (b : Cfg.block) ->
        add_i32 buf b.Cfg.proc;
-       add_i32 buf b.Cfg.weight;
+       add_i64 buf b.Cfg.weight;
        add_terminator buf b.Cfg.term)
     p.Cfg.blocks
 
@@ -71,7 +78,7 @@ let add_path buf (p : Path.t) =
   add_raw_i64 buf (Signature.history s);
   add_int_array buf (Array.of_list (Signature.indirect_targets s));
   add_int_array buf p.Path.blocks;
-  add_i32 buf p.Path.n_instrs;
+  add_i64 buf p.Path.n_instrs;
   add_u8 buf (end_kind_code p.Path.end_kind)
 
 let add_stats buf (s : Vm.run_stats) =
@@ -181,7 +188,7 @@ let get_program c =
   let blocks =
     Array.init n_blocks (fun id ->
         let proc = get_i32 c in
-        let weight = get_i32 c in
+        let weight = get_i64 c in
         let term = get_terminator c in
         { Cfg.id; proc; weight; term })
   in
@@ -209,7 +216,7 @@ let get_path c table expected_id =
   let signature = Signature.Builder.freeze sigb in
   let blocks = get_int_array c in
   if Array.length blocks = 0 then fail "path %d has no blocks" expected_id;
-  let n_instrs = get_i32 c in
+  let n_instrs = get_i64 c in
   let end_kind = end_kind_of_code (get_u8 c) in
   if Path_table.find table signature <> None then
     fail "duplicate path signature at id %d" expected_id;

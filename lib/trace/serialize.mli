@@ -4,18 +4,22 @@
     the result lets a trace be recorded once and replayed by any number of
     analysis processes — `hotpath record`/`--trace` style workflows.
 
-    The format is explicit and versioned (magic ["HOTPATH1"]), independent
+    The format is explicit and versioned (magic ["HOTPATH2"]), independent
     of the OCaml [Marshal] representation: program (blocks, terminators,
     procedures), interned path table (signatures, block sequences, sizes),
     the instance and arrival arrays, and the VM run statistics.  All
-    integers are little-endian; loading validates structure via
-    {!Recorder.of_parts} and fails with a message rather than crashing on
-    corrupt input. *)
+    integers are little-endian.  Bounded ids and lengths are 32-bit and
+    writing raises [Invalid_argument] if a value does not fit (no silent
+    truncation); unbounded counts (block weights, per-path instruction
+    counts, instance totals, VM statistics) are 64-bit.  Loading validates
+    structure via {!Recorder.of_parts} and fails with a message rather
+    than crashing on corrupt input. *)
 
 val magic : string
 
 val write : Recorder.t -> Buffer.t -> unit
-(** Append the serialized recording. *)
+(** Append the serialized recording.
+    @raise Invalid_argument if a 32-bit field (id, length) overflows. *)
 
 val read : string -> pos:int -> (Recorder.t * int, string) result
 (** [read s ~pos] parses a recording serialized at offset [pos] of [s];

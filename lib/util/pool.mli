@@ -1,0 +1,28 @@
+(** Domain-based work pool for experiment fan-out.
+
+    [map ~jobs f xs] applies [f] to every element of [xs], running up to
+    [jobs] domains concurrently (the calling domain included), and returns
+    the results {e in input order} — parallelism never changes what a
+    caller observes, only how fast it arrives.  The worker count is capped
+    at {!Domain.recommended_domain_count}, so over-asking on a small
+    machine degrades gracefully; [jobs = 1] runs inline with no domain
+    machinery at all.
+
+    If a job raises, the remaining queued jobs are abandoned, every worker
+    is drained, and the first exception is re-raised in the caller.
+
+    [f] runs on other domains: it must not touch domain-unsafe shared
+    mutable state.  The experiment layer's shared recording cache
+    ({!Hotpath_experiments.Runs}) is mutex-guarded for exactly this
+    caller. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], floored at 1 — a sensible
+    [--jobs] default for CPU-bound sweeps. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** @raise Invalid_argument when [jobs < 1]. *)
+
+val map_array : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+
+val iter : jobs:int -> ('a -> unit) -> 'a list -> unit

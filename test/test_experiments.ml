@@ -200,6 +200,43 @@ let test_fig5_gcc_bails () =
        Alcotest.(check bool) (name ^ " bails at some delay") true bails)
     [ "gcc"; "go" ]
 
+let test_jobs_invariance () =
+  (* The --jobs fan-out must never change what is rendered, only how fast:
+     byte-identical output at one domain and at many. *)
+  let delays = [ 2; 10; 100 ] in
+  Alcotest.(check string) "figures 2/3"
+    (Figures23.render ~scale ~delays ~jobs:1 ~hit:true ~zoom:false ())
+    (Figures23.render ~scale ~delays ~jobs:4 ~hit:true ~zoom:false ());
+  Alcotest.(check string) "fig4"
+    (Fig4.render ~scale ~jobs:1 ())
+    (Fig4.render ~scale ~jobs:4 ());
+  Alcotest.(check string) "fig5"
+    (Fig5.render ~scale:1.0 ~jobs:1 ())
+    (Fig5.render ~scale:1.0 ~jobs:4 ());
+  let module A = Hotpath_experiments.Ablations in
+  Alcotest.(check string) "net variants"
+    (A.render_net_variants ~scale ~jobs:1 ())
+    (A.render_net_variants ~scale ~jobs:4 ());
+  Alcotest.(check string) "thresholds"
+    (A.render_thresholds ~scale ~jobs:1 ())
+    (A.render_thresholds ~scale ~jobs:4 ())
+
+let test_runs_load_all_parallel () =
+  Runs.clear_cache ();
+  let sequential = Runs.load_all ~scale:0.02 () in
+  Runs.clear_cache ();
+  let parallel = Runs.load_all ~scale:0.02 ~jobs:4 () in
+  Alcotest.(check int) "same length" (List.length sequential) (List.length parallel);
+  List.iter2
+    (fun (a : Runs.run) (b : Runs.run) ->
+       Alcotest.(check string) "same bench order" a.Runs.bench.Suite.b_name
+         b.Runs.bench.Suite.b_name;
+       Alcotest.(check (array int)) "same instances"
+         a.Runs.recorded.Hotpath_trace.Recorder.instances
+         b.Runs.recorded.Hotpath_trace.Recorder.instances)
+    sequential parallel;
+  Runs.clear_cache ()
+
 let test_runs_cache () =
   let b = Suite.find_exn "compress" in
   let r1 = Runs.load ~scale:0.01 b and r2 = Runs.load ~scale:0.01 b in
@@ -240,5 +277,10 @@ let suites =
         Alcotest.test_case "gcc/go bail" `Slow test_fig5_gcc_bails;
       ] );
     ( "experiments.runs",
-      [ Alcotest.test_case "cache" `Quick test_runs_cache ] );
+      [
+        Alcotest.test_case "cache" `Quick test_runs_cache;
+        Alcotest.test_case "parallel load_all identical" `Quick
+          test_runs_load_all_parallel;
+        Alcotest.test_case "jobs invariance" `Slow test_jobs_invariance;
+      ] );
   ]

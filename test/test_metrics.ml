@@ -175,6 +175,49 @@ let test_sweep_interpolation () =
   Alcotest.(check (option (float 1e-6))) "out of range" None
     (Sweep.interpolate_hit_at points ~profiled_pct:30.0)
 
+let test_sweep_interpolation_boundaries () =
+  let mk delay profiled hit noise =
+    {
+      Sweep.delay;
+      profiled_pct = profiled;
+      hit_rate = hit;
+      noise_rate = noise;
+      predictions = 0;
+      counter_space = 0;
+      profiling_ops = 0;
+      collection_ops = 0;
+    }
+  in
+  let points = [ mk 1 2.0 100.0 50.0; mk 2 10.0 90.0 30.0; mk 3 20.0 50.0 0.0 ] in
+  (* Exact matches on the smallest and largest swept points return those
+     points' values — they are not "outside the range". *)
+  Alcotest.(check (option (float 1e-6))) "exact smallest point" (Some 100.0)
+    (Sweep.interpolate_hit_at points ~profiled_pct:2.0);
+  Alcotest.(check (option (float 1e-6))) "exact largest point" (Some 50.0)
+    (Sweep.interpolate_hit_at points ~profiled_pct:20.0);
+  Alcotest.(check (option (float 1e-6))) "exact within rounding noise" (Some 90.0)
+    (Sweep.interpolate_hit_at points ~profiled_pct:(10.0 +. 1e-12));
+  Alcotest.(check (option (float 1e-6))) "below range" None
+    (Sweep.interpolate_hit_at points ~profiled_pct:1.0);
+  Alcotest.(check (option (float 1e-6))) "above range" None
+    (Sweep.interpolate_noise_at points ~profiled_pct:20.5);
+  (* A saturated sweep can produce several points at the same profiled
+     flow; an exact query on the duplicated level must not divide by the
+     zero-width span. *)
+  let flat = [ mk 1 5.0 80.0 10.0; mk 2 5.0 70.0 20.0; mk 3 12.0 40.0 5.0 ] in
+  Alcotest.(check (option (float 1e-6))) "duplicated point" (Some 80.0)
+    (Sweep.interpolate_hit_at flat ~profiled_pct:5.0);
+  Alcotest.(check (option (float 1e-6))) "between duplicate and next"
+    (Some 55.0)
+    (Sweep.interpolate_hit_at flat ~profiled_pct:8.5);
+  (* Degenerate inputs. *)
+  Alcotest.(check (option (float 1e-6))) "singleton exact" (Some 80.0)
+    (Sweep.interpolate_hit_at [ mk 1 5.0 80.0 10.0 ] ~profiled_pct:5.0);
+  Alcotest.(check (option (float 1e-6))) "singleton off-point" None
+    (Sweep.interpolate_hit_at [ mk 1 5.0 80.0 10.0 ] ~profiled_pct:6.0);
+  Alcotest.(check (option (float 1e-6))) "empty" None
+    (Sweep.interpolate_hit_at [] ~profiled_pct:5.0)
+
 let test_sweep_default_delays () =
   let d = Sweep.default_delays in
   Alcotest.(check bool) "ascending" true (List.sort Int.compare d = d);
@@ -215,6 +258,8 @@ let suites =
       [
         Alcotest.test_case "monotone profiled flow" `Quick test_sweep_monotone_profiled;
         Alcotest.test_case "interpolation" `Quick test_sweep_interpolation;
+        Alcotest.test_case "interpolation boundaries" `Quick
+          test_sweep_interpolation_boundaries;
         Alcotest.test_case "default delays" `Quick test_sweep_default_delays;
         Alcotest.test_case "hit falls with delay" `Quick
           test_sweep_hit_decreases_with_delay;

@@ -107,7 +107,10 @@ let test_net_counter_space () =
 let test_net_collection_ops () =
   let t = Net.create ~delay:1 ~program:dummy_program in
   ignore (observe_net (module Net) t ~head:1 ~path_id:1 ~n_blocks:7 ());
-  (* One breakpoint per block of the collected tail. *)
+  (* Tripping only offers the prediction; the driver charges collection
+     when it accepts (one breakpoint per block of the collected tail). *)
+  Alcotest.(check int) "offer alone costs nothing" 0 (Net.collection_ops t);
+  Net.collect t ~n_blocks:7;
   Alcotest.(check int) "collection ops" 7 (Net.collection_ops t);
   Alcotest.(check int) "profiling ops" 1 (Net.profiling_ops t)
 
@@ -210,6 +213,53 @@ let test_replay_predicted_paths_sorted () =
   Alcotest.(check int) "matches prediction count" (Array.length o.Replay.predictions)
     (List.length ids)
 
+let test_net_dropped_offer_costs_nothing () =
+  let t = Net.create ~delay:1 ~program:dummy_program in
+  (* The head trips twice on the same tail; the driver accepts only the
+     first offer (the target is already predicted at the second), so only
+     the accepted one is collected. *)
+  Alcotest.(check (option int)) "first trip" (Some 9)
+    (observe_net (module Net) t ~head:1 ~path_id:9 ~n_blocks:4 ());
+  Net.collect t ~n_blocks:4;
+  Alcotest.(check (option int)) "second trip, same tail" (Some 9)
+    (observe_net (module Net) t ~head:1 ~path_id:9 ~n_blocks:4 ());
+  Alcotest.(check int) "charged once" 4 (Net.collection_ops t)
+
+let sum_predicted_blocks r (o : Replay.outcome) =
+  Array.fold_left
+    (fun acc (p : Replay.prediction) ->
+       acc
+       + Array.length
+           (Hotpath_trace.Path_table.path r.Recorder.table p.Replay.target).Path.blocks)
+    0 o.Replay.predictions
+
+let test_replay_collection_matches_predictions () =
+  (* Accounting invariant for every NET variant: collection ops are one
+     breakpoint per block of each *accepted* prediction, no matter how
+     often the heads re-trip on already-predicted tails. *)
+  let r, _ = record_simple ~iterations:12 () in
+  let program, behavior, _ = Fixtures.indirect_loop ~exit_prob:0.02 () in
+  let r2 =
+    Recorder.record ~max_steps:20_000 program behavior ~rng:(Prng.create ~seed:4)
+  in
+  List.iter
+    (fun recorded ->
+       List.iter
+         (fun delay ->
+            List.iter
+              (fun scheme ->
+                 let o = Replay.run scheme ~delay recorded in
+                 Alcotest.(check int) "collection = blocks of accepted predictions"
+                   (sum_predicted_blocks recorded o)
+                   o.Replay.collection_ops)
+              [
+                (module Net : Scheme.S);
+                (module Net.Net_once);
+                (module Net.Last_executed_tail);
+              ])
+         [ 1; 2; 5; 50 ])
+    [ r; r2 ]
+
 let prop_replay_invariants =
   QCheck.Test.make ~name:"replay invariants on random indirect loops" ~count:40
     QCheck.(pair (int_bound 1_000_000) (int_range 1 40))
@@ -251,6 +301,8 @@ let suites =
         Alcotest.test_case "re-arms" `Quick test_net_rearms;
         Alcotest.test_case "counter space" `Quick test_net_counter_space;
         Alcotest.test_case "collection ops" `Quick test_net_collection_ops;
+        Alcotest.test_case "dropped offer costs nothing" `Quick
+          test_net_dropped_offer_costs_nothing;
         Alcotest.test_case "net-once retires" `Quick test_net_once_retires_head;
         Alcotest.test_case "LET previous tail" `Quick test_let_predicts_previous_tail;
         Alcotest.test_case "LET fallback" `Quick test_let_falls_back_to_current;
@@ -264,6 +316,8 @@ let suites =
         Alcotest.test_case "conservation" `Quick test_replay_conservation;
         Alcotest.test_case "counter-space bounds" `Quick test_replay_counter_space_bounds;
         Alcotest.test_case "determinism" `Quick test_replay_determinism;
+        Alcotest.test_case "collection matches predictions" `Quick
+          test_replay_collection_matches_predictions;
         Alcotest.test_case "predicted paths sorted" `Quick
           test_replay_predicted_paths_sorted;
         QCheck_alcotest.to_alcotest prop_replay_invariants;

@@ -233,6 +233,51 @@ let prop_boa_phantoms_never_in_table =
          (fun s -> Path_table.find recorded.Recorder.table s = None)
          o.Branch_profile.phantoms)
 
+let outcome_equal (a : Replay.outcome) (b : Replay.outcome) =
+  a.Replay.scheme_name = b.Replay.scheme_name
+  && a.Replay.delay = b.Replay.delay
+  && a.Replay.total_instances = b.Replay.total_instances
+  && a.Replay.predictions = b.Replay.predictions
+  && a.Replay.predicted_at = b.Replay.predicted_at
+  && a.Replay.freq = b.Replay.freq
+  && a.Replay.captured = b.Replay.captured
+  && a.Replay.profiled_instances = b.Replay.profiled_instances
+  && a.Replay.captured_instances = b.Replay.captured_instances
+  && a.Replay.counter_space = b.Replay.counter_space
+  && a.Replay.profiling_ops = b.Replay.profiling_ops
+  && a.Replay.collection_ops = b.Replay.collection_ops
+
+let prop_run_many_equals_per_delay_runs =
+  QCheck.Test.make
+    ~name:"run_many is bit-identical to per-delay runs (all schemes)" ~count:30
+    arb_workload
+    (fun w ->
+       let _, recorded = record_spec w in
+       let delays = [ 1; 3; 7; 20; 100; 5_000 ] in
+       List.for_all
+         (fun scheme ->
+            let multiplexed = Replay.run_many scheme ~delays recorded in
+            List.length multiplexed = List.length delays
+            && List.for_all2
+                 (fun delay o -> outcome_equal (Replay.run scheme ~delay recorded) o)
+                 delays multiplexed)
+         [
+           (module Net : Scheme.S);
+           (module Net.Net_once);
+           (module Net.Last_executed_tail);
+           (module Path_profile);
+         ])
+
+let prop_run_many_single_pass =
+  QCheck.Test.make ~name:"run_many reads the trace exactly once" ~count:20
+    arb_workload
+    (fun w ->
+       let _, recorded = record_spec w in
+       let n = Recorder.num_instances recorded in
+       let before = Replay.instance_reads () in
+       ignore (Replay.run_many (module Net) ~delays:[ 1; 5; 25; 125; 625 ] recorded);
+       Replay.instance_reads () - before = n)
+
 let prop_replay_capture_monotone_in_delay =
   QCheck.Test.make ~name:"captured flow shrinks as delay grows" ~count:30
     arb_workload
@@ -257,5 +302,7 @@ let suites =
         QCheck_alcotest.to_alcotest prop_ball_larus_on_generated_procs;
         QCheck_alcotest.to_alcotest prop_boa_phantoms_never_in_table;
         QCheck_alcotest.to_alcotest prop_replay_capture_monotone_in_delay;
+        QCheck_alcotest.to_alcotest prop_run_many_equals_per_delay_runs;
+        QCheck_alcotest.to_alcotest prop_run_many_single_pass;
       ] );
   ]

@@ -1,5 +1,6 @@
 (* Tests for the versioned binary trace format. *)
 
+module Cfg = Hotpath_cfg.Cfg
 module Recorder = Hotpath_trace.Recorder
 module Serialize = Hotpath_trace.Serialize
 module Path_table = Hotpath_trace.Path_table
@@ -127,6 +128,75 @@ let test_read_at_offset () =
      check_same_recording r r'
    | Error e -> Alcotest.failf "offset read failed: %s" e)
 
+let test_large_counts_roundtrip () =
+  (* HOTPATH2 widened the unbounded counts (block weights, per-path
+     instruction counts) to 64 bits: values past 2^31 must survive a round
+     trip instead of being silently truncated. *)
+  let r = record_fixture () in
+  let big = (1 lsl 31) + 7 in
+  let program =
+    {
+      r.Recorder.program with
+      Cfg.blocks =
+        Array.map
+          (fun b -> { b with Cfg.weight = b.Cfg.weight + big })
+          r.Recorder.program.Cfg.blocks;
+    }
+  in
+  let table = Path_table.create () in
+  Path_table.iter
+    (fun p ->
+       ignore
+         (Path_table.intern table p.Path.signature ~blocks:p.Path.blocks
+            ~n_instrs:(p.Path.n_instrs + big) ~n_branches:p.Path.n_branches
+            ~end_kind:p.Path.end_kind))
+    r.Recorder.table;
+  match
+    Recorder.of_parts ~program ~table ~instances:r.Recorder.instances
+      ~arrivals:r.Recorder.arrivals ~vm_stats:r.Recorder.vm_stats
+  with
+  | Error e -> Alcotest.failf "fixture rebuild failed: %s" e
+  | Ok big_r ->
+    let r' = roundtrip big_r in
+    Array.iteri
+      (fun i (b : Cfg.block) ->
+         Alcotest.(check int) "weight past 2^31" b.Cfg.weight
+           r'.Recorder.program.Cfg.blocks.(i).Cfg.weight)
+      program.Cfg.blocks;
+    Path_table.iter
+      (fun p ->
+         Alcotest.(check int) "n_instrs past 2^31" p.Path.n_instrs
+           (Path_table.path r'.Recorder.table p.Path.id).Path.n_instrs)
+      big_r.Recorder.table
+
+let test_oversized_i32_raises () =
+  (* A 32-bit field that cannot represent its value must raise on write,
+     never truncate. *)
+  let b = Cfg.Builder.create ~name:"overflow" in
+  let p = Cfg.Builder.add_proc b ~name:"main" in
+  let b0 = Cfg.Builder.add_block b ~proc:p ~weight:1 in
+  Cfg.Builder.set_term b b0 Cfg.Exit;
+  let program = Cfg.Builder.finish b in
+  let table = Path_table.create () in
+  let sigb = Signature.Builder.create ~head:0 in
+  (* Indirect targets are interned verbatim in the signature and stored as
+     32-bit ids on disk. *)
+  Signature.Builder.add_indirect sigb ~target:(1 lsl 32);
+  ignore
+    (Path_table.intern table
+       (Signature.Builder.freeze sigb)
+       ~blocks:[| 0 |] ~n_instrs:1 ~n_branches:0 ~end_kind:Path.Program_end);
+  match
+    Recorder.of_parts ~program ~table ~instances:[| 0 |]
+      ~arrivals:(Bytes.make 1 '\000')
+      ~vm_stats:(record_fixture ()).Recorder.vm_stats
+  with
+  | Error e -> Alcotest.failf "fixture rebuild failed: %s" e
+  | Ok r -> (
+      match Serialize.to_string r with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "oversized 32-bit field silently accepted")
+
 let test_of_parts_validation () =
   let r = record_fixture () in
   let bad_instances = Array.make (Recorder.num_instances r) 999_999 in
@@ -162,6 +232,10 @@ let suites =
         Alcotest.test_case "trailing garbage" `Quick test_rejects_trailing_garbage;
         Alcotest.test_case "bitflips never crash" `Quick test_rejects_bitflips;
         Alcotest.test_case "read at offset" `Quick test_read_at_offset;
+        Alcotest.test_case "counts past 2^31 roundtrip" `Quick
+          test_large_counts_roundtrip;
+        Alcotest.test_case "oversized 32-bit field raises" `Quick
+          test_oversized_i32_raises;
         Alcotest.test_case "of_parts validation" `Quick test_of_parts_validation;
       ] );
   ]

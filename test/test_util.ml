@@ -4,6 +4,7 @@ module Prng = Hotpath_util.Prng
 module Vec = Hotpath_util.Vec
 module Stats = Hotpath_util.Stats
 module Tablefmt = Hotpath_util.Tablefmt
+module Pool = Hotpath_util.Pool
 
 let check_float = Alcotest.(check (float 1e-9))
 
@@ -261,6 +262,56 @@ let test_table_cells () =
   Alcotest.(check string) "float" "3.1" (Tablefmt.cell_float 3.14);
   Alcotest.(check string) "pct" "97.53%" (Tablefmt.cell_pct ~digits:2 97.531)
 
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_preserves_order () =
+  let items = List.init 100 Fun.id in
+  List.iter
+    (fun jobs ->
+       Alcotest.(check (list int)) "input order"
+         (List.map (fun x -> x * x) items)
+         (Pool.map ~jobs (fun x -> x * x) items))
+    [ 1; 2; 4; 64 ]
+
+let test_pool_map_array () =
+  let items = Array.init 17 Fun.id in
+  Alcotest.(check (array int)) "array map"
+    (Array.map succ items)
+    (Pool.map_array ~jobs:4 succ items)
+
+let test_pool_iter_runs_everything () =
+  let hits = Array.make 50 0 in
+  (* Each index is touched by exactly one job, so no two domains write the
+     same cell. *)
+  Pool.iter ~jobs:4 (fun i -> hits.(i) <- hits.(i) + 1) (List.init 50 Fun.id);
+  Alcotest.(check bool) "every item once" true (Array.for_all (( = ) 1) hits)
+
+let test_pool_empty_and_singleton () =
+  Alcotest.(check (list int)) "empty" [] (Pool.map ~jobs:8 succ []);
+  Alcotest.(check (list int)) "singleton" [ 2 ] (Pool.map ~jobs:8 succ [ 1 ])
+
+let test_pool_invalid_jobs () =
+  Alcotest.check_raises "jobs 0" (Invalid_argument "Pool: jobs must be >= 1")
+    (fun () -> ignore (Pool.map ~jobs:0 succ [ 1 ]))
+
+exception Boom of int
+
+let test_pool_propagates_exception () =
+  List.iter
+    (fun jobs ->
+       match Pool.map ~jobs (fun x -> if x = 13 then raise (Boom x) else x)
+               (List.init 40 Fun.id)
+       with
+       | exception Boom 13 -> ()
+       | exception e -> Alcotest.failf "unexpected exception %s" (Printexc.to_string e)
+       | _ -> Alcotest.fail "exception swallowed")
+    [ 1; 4 ]
+
+let test_pool_default_jobs_positive () =
+  Alcotest.(check bool) "at least one" true (Pool.default_jobs () >= 1)
+
 let suites =
   [
     ( "util.prng",
@@ -304,5 +355,16 @@ let suites =
         Alcotest.test_case "width mismatch" `Quick test_table_width_mismatch;
         Alcotest.test_case "csv" `Quick test_table_csv;
         Alcotest.test_case "cells" `Quick test_table_cells;
+      ] );
+    ( "util.pool",
+      [
+        Alcotest.test_case "preserves order" `Quick test_pool_preserves_order;
+        Alcotest.test_case "map_array" `Quick test_pool_map_array;
+        Alcotest.test_case "iter covers all" `Quick test_pool_iter_runs_everything;
+        Alcotest.test_case "empty and singleton" `Quick test_pool_empty_and_singleton;
+        Alcotest.test_case "invalid jobs" `Quick test_pool_invalid_jobs;
+        Alcotest.test_case "propagates exception" `Quick
+          test_pool_propagates_exception;
+        Alcotest.test_case "default jobs" `Quick test_pool_default_jobs_positive;
       ] );
   ]
