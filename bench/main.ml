@@ -131,7 +131,27 @@ let experiment_tests () =
       (Bechamel.Staged.stage (fun () ->
            ignore (Replay.run_many (module Net) ~delays:sweep_delays recorded)))
   in
-  [ table1; table2; fig2; fig3; fig4; fig5; sweep_naive; sweep_multiplexed ]
+  (* Streamed vs materialized replay over the same trace: the HOTPATH3
+     stream is framed and CRC-checked, so this prices the decode overhead
+     the constant-memory path pays. *)
+  let blob = Serialize.Stream.to_string recorded in
+  let replay_materialized =
+    Bechamel.Test.make ~name:"stream/replay-materialized"
+      (Bechamel.Staged.stage (fun () ->
+           ignore (Replay.run (module Net) ~delay:50 recorded)))
+  in
+  let replay_streamed =
+    Bechamel.Test.make ~name:"stream/replay-streamed"
+      (Bechamel.Staged.stage (fun () ->
+           match Serialize.Stream.open_string blob with
+           | Error e -> failwith e
+           | Ok rd ->
+             (match Replay.run_stream (module Net) ~delay:50 rd with
+              | Error e -> failwith e
+              | Ok o -> ignore o)))
+  in
+  [ table1; table2; fig2; fig3; fig4; fig5; sweep_naive; sweep_multiplexed;
+    replay_materialized; replay_streamed ]
 
 let run_bechamel tests =
   let ols =
@@ -165,6 +185,100 @@ let run_bechamel tests =
             | Some _ | None -> Format.printf "  %-40s (no estimate)@." name)
          rows)
     results
+
+(* ------------------------------------------------------------------ *)
+(* Streaming demonstration: constant-memory record + replay            *)
+(* ------------------------------------------------------------------ *)
+
+(* Peak resident set (VmHWM, kB) from /proc/self/status; -1 where the
+   proc filesystem is unavailable.  The watermark is monotonic for the
+   life of the process, so the streamed phase must run first — whatever
+   the materialized phase adds on top is attributable to holding the
+   whole trace. *)
+let vm_hwm_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> -1
+  | ic ->
+    let rec scan () =
+      match input_line ic with
+      | exception End_of_file -> -1
+      | line ->
+        (try Scanf.sscanf line "VmHWM: %d kB" (fun v -> v)
+         with Scanf.Scan_failure _ | Failure _ | End_of_file -> scan ())
+    in
+    let v = scan () in
+    close_in ic;
+    v
+
+let pp_hwm label =
+  match vm_hwm_kb () with
+  | -1 -> Format.printf "  peak RSS %s: unavailable@." label
+  | kb -> Format.printf "  peak RSS %s: %.1f MB@." label (float_of_int kb /. 1024.0)
+
+let streaming_demo ~scale =
+  heading
+    (Printf.sprintf
+       "Streaming vs materialized — deltablue at scale %.1f%s" scale
+       (if scale = 8.0 then " (Figure-5-sized)" else ""));
+  let bench = Suite.find_exn "deltablue" in
+  let path = Filename.temp_file "hotpath_stream" ".trace" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  (* Phase 1: record straight to disk, no materialized instance stream. *)
+  let t0 = Unix.gettimeofday () in
+  let oc = open_out_bin path in
+  let summary =
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> Suite.record_stream ~scale bench ~sink:(output_string oc))
+  in
+  let record_s = Unix.gettimeofday () -. t0 in
+  Format.printf "  streamed record: %d instances, %d paths, %d bytes in %.2fs@."
+    summary.Recorder.cs_instances summary.Recorder.cs_paths
+    (try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> -1)
+    record_s;
+  pp_hwm "after streamed record";
+  (* Phase 2: streamed replay — one chunk in memory at a time. *)
+  Gc.compact ();
+  let t0 = Unix.gettimeofday () in
+  let streamed =
+    match Serialize.Stream.open_file ~path with
+    | Error e -> failwith e
+    | Ok rd ->
+      let result = Replay.run_stream (module Net) ~delay:50 rd in
+      Serialize.Stream.close rd;
+      (match result with Error e -> failwith e | Ok o -> o)
+  in
+  let streamed_s = Unix.gettimeofday () -. t0 in
+  Format.printf "  streamed replay: %.2fs (%.2e instances/s)@." streamed_s
+    (float_of_int streamed.Replay.total_instances /. streamed_s);
+  pp_hwm "after streamed replay";
+  (* Phase 3: materialized load + replay of the same file. *)
+  Gc.compact ();
+  let t0 = Unix.gettimeofday () in
+  let recorded =
+    match Serialize.load ~path with Error e -> failwith e | Ok r -> r
+  in
+  let materialized = Replay.run (module Net) ~delay:50 recorded in
+  let materialized_s = Unix.gettimeofday () -. t0 in
+  Format.printf "  materialized load+replay: %.2fs (%.2e instances/s)@."
+    materialized_s
+    (float_of_int materialized.Replay.total_instances /. materialized_s);
+  pp_hwm "after materialized replay";
+  let identical =
+    streamed.Replay.total_instances = materialized.Replay.total_instances
+    && streamed.Replay.predictions = materialized.Replay.predictions
+    && streamed.Replay.predicted_at = materialized.Replay.predicted_at
+    && streamed.Replay.freq = materialized.Replay.freq
+    && streamed.Replay.captured = materialized.Replay.captured
+    && streamed.Replay.profiled_instances = materialized.Replay.profiled_instances
+    && streamed.Replay.captured_instances = materialized.Replay.captured_instances
+    && streamed.Replay.counter_space = materialized.Replay.counter_space
+    && streamed.Replay.profiling_ops = materialized.Replay.profiling_ops
+    && streamed.Replay.collection_ops = materialized.Replay.collection_ops
+  in
+  Format.printf "  outcomes bit-identical: %b@." identical;
+  if not identical then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Full reproductions                                                  *)
@@ -236,4 +350,10 @@ let () =
     heading "Bechamel microbenchmarks — per-experiment kernels";
     run_bechamel (experiment_tests ())
   end;
+  if mode = "streaming" then
+    (* Its own mode, not part of "all": VmHWM is a process-lifetime
+       watermark, so the demonstration needs a process that has not
+       already materialized the reproduction caches. *)
+    streaming_demo
+      ~scale:(if Array.length Sys.argv > 2 then float_of_string Sys.argv.(2) else 8.0);
   if mode = "all" || mode = "tables" then reproductions ()

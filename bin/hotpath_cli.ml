@@ -386,29 +386,47 @@ let trace_arg =
   let doc = "Trace file path." in
   Arg.(required & opt (some string) None & info [ "trace"; "t" ] ~docv:"FILE" ~doc)
 
+let stream_arg =
+  let doc =
+    "Stream the trace (HOTPATH3 framed format): record flushes chunks as \
+     they are produced and replay pulls them one at a time, so memory \
+     stays constant in the trace length."
+  in
+  Arg.(value & flag & info [ "stream" ] ~doc)
+
 let record_cmd =
-  let run scale bench trace =
+  let run scale bench trace stream =
     let b = Hotpath_workloads.Suite.find_exn bench in
-    let recorded = Hotpath_workloads.Suite.record ~scale b in
-    Hotpath_trace.Serialize.save recorded ~path:trace;
-    Printf.printf "recorded %d instances (%d paths) of %s into %s\n"
-      (Hotpath_trace.Recorder.num_instances recorded)
-      (Hotpath_trace.Recorder.num_paths recorded)
-      bench trace
+    if stream then begin
+      let oc = open_out_bin trace in
+      let summary =
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+             Hotpath_workloads.Suite.record_stream ~scale b
+               ~sink:(output_string oc))
+      in
+      Printf.printf "streamed %d instances (%d paths) of %s into %s\n"
+        summary.Hotpath_trace.Recorder.cs_instances
+        summary.Hotpath_trace.Recorder.cs_paths bench trace
+    end
+    else begin
+      let recorded = Hotpath_workloads.Suite.record ~scale b in
+      Hotpath_trace.Serialize.save recorded ~path:trace;
+      Printf.printf "recorded %d instances (%d paths) of %s into %s\n"
+        (Hotpath_trace.Recorder.num_instances recorded)
+        (Hotpath_trace.Recorder.num_paths recorded)
+        bench trace
+    end
   in
   Cmd.v
     (Cmd.info "record" ~doc:"Record a benchmark's trace into a file")
-    Term.(const run $ scale_arg $ bench_arg $ trace_arg)
+    Term.(const run $ scale_arg $ bench_arg $ trace_arg $ stream_arg)
 
 let replay_cmd =
-  let run trace scheme delay =
-    match Hotpath_trace.Serialize.load ~path:trace with
-    | Error e ->
-      Printf.eprintf "cannot load %s: %s\n" trace e;
-      exit 1
-    | Ok recorded ->
-      let module Replay = Hotpath_prediction.Replay in
-      let outcome = Replay.run (scheme_of_string scheme) ~delay recorded in
+  let run trace scheme delay stream =
+    let module Replay = Hotpath_prediction.Replay in
+    let report outcome =
       let hot =
         Hotpath_metrics.Hot_set.of_outcome outcome
           ~threshold:Hotpath_workloads.Suite.hot_threshold
@@ -416,10 +434,27 @@ let replay_cmd =
       let rates = Hotpath_metrics.Rates.operational outcome hot in
       Format.printf "%a@." Replay.pp_summary outcome;
       Format.printf "%a@." Hotpath_metrics.Rates.pp rates
+    in
+    let fail e =
+      Printf.eprintf "cannot load %s: %s\n" trace e;
+      exit 1
+    in
+    if stream then
+      match Hotpath_trace.Serialize.Stream.open_file ~path:trace with
+      | Error e -> fail e
+      | Ok rd ->
+        let result = Replay.run_stream (scheme_of_string scheme) ~delay rd in
+        Hotpath_trace.Serialize.Stream.close rd;
+        (match result with Error e -> fail e | Ok outcome -> report outcome)
+    else
+      match Hotpath_trace.Serialize.load ~path:trace with
+      | Error e -> fail e
+      | Ok recorded ->
+        report (Replay.run (scheme_of_string scheme) ~delay recorded)
   in
   Cmd.v
     (Cmd.info "replay" ~doc:"Replay a recorded trace file under a prediction scheme")
-    Term.(const run $ trace_arg $ scheme_arg $ delay_arg)
+    Term.(const run $ trace_arg $ scheme_arg $ delay_arg $ stream_arg)
 
 let bench_list_cmd =
   let run () =

@@ -51,6 +51,30 @@ let run_timed scheme r ~hot ~delays =
   in
   (points, { wall_s; instances; instances_per_s })
 
+(* Streamed sweep: the hot set is ground truth derived from full-run
+   frequencies, so it cannot exist before the trace has been walked; it
+   is computed from the first outcome's [freq] (identical across lanes)
+   after the single streamed traversal. *)
+let run_stream scheme rd ~threshold ~delays =
+  match Replay.run_many_stream scheme ~delays rd with
+  | Error _ as e -> e
+  | Ok [] -> Ok []
+  | Ok (o :: _ as outcomes) ->
+    let hot = Hot_set.of_outcome o ~threshold in
+    Ok (List.map (fun o -> point_of_outcome o hot) outcomes)
+
+let run_stream_timed scheme rd ~threshold ~delays =
+  let t0 = Unix.gettimeofday () in
+  match run_stream scheme rd ~threshold ~delays with
+  | Error _ as e -> e
+  | Ok points ->
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let instances = Hotpath_trace.Serialize.Stream.instances_read rd in
+    let instances_per_s =
+      if wall_s > 0.0 then float_of_int instances /. wall_s else 0.0
+    in
+    Ok (points, { wall_s; instances; instances_per_s })
+
 let pp_timing ppf t =
   Format.fprintf ppf "@[<h>%.3fs over %d instances (%.2e instances/s)@]"
     t.wall_s t.instances t.instances_per_s

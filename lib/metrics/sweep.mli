@@ -43,6 +43,27 @@ val run_timed :
   point list * timing
 (** {!run} plus wall-clock accounting for throughput reporting. *)
 
+val run_stream :
+  Hotpath_prediction.Scheme.packed ->
+  Hotpath_trace.Serialize.Stream.reader ->
+  threshold:float ->
+  delays:int list ->
+  (point list, string) result
+(** {!run} over an HOTPATH3 stream ({!Replay.run_many_stream}): one
+    traversal of the chunk stream, constant memory in the trace length.
+    The hot set is ground truth from full-run frequencies, so it cannot
+    pre-exist the walk; it is computed at [threshold] from the streamed
+    outcome's frequencies — [run_stream ~threshold] equals [run] with
+    [hot = Hot_set.compute ... ~threshold] on the materialized trace.
+    Stream decode errors surface as [Error]. *)
+
+val run_stream_timed :
+  Hotpath_prediction.Scheme.packed ->
+  Hotpath_trace.Serialize.Stream.reader ->
+  threshold:float ->
+  delays:int list ->
+  (point list * timing, string) result
+
 val pp_timing : Format.formatter -> timing -> unit
 
 val interpolate_hit_at : point list -> profiled_pct:float -> float option

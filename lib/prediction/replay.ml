@@ -157,6 +157,137 @@ let run_many (module S : Scheme.S) ~delays (r : Recorder.t) =
           collection_ops = S.collection_ops states.(l);
         })
 
+(* Streamed replay: the same per-instance body as [run_many], driven by a
+   chunk iterator instead of the materialized arrays.  Per-path state
+   (descriptors, freq, predicted_at, captured) grows with the path table
+   as the stream declares paths; nothing is ever O(trace).  Schemes only
+   predict path ids they have observed, so every target is already
+   declared by the time it is predicted. *)
+module Stream = Hotpath_trace.Serialize.Stream
+
+let run_many_stream (module S : Scheme.S) ~delays rd =
+  match Array.of_list delays with
+  | [||] -> Ok []
+  | lanes ->
+    let k = Array.length lanes in
+    let program = Stream.program rd in
+    let table = Stream.table rd in
+    let states = Array.map (fun delay -> S.create ~delay ~program) lanes in
+    let capacity = ref 0 in
+    let heads = ref [||]
+    and branches = ref [||]
+    and blocks = ref [||]
+    and freq = ref [||] in
+    let predicted_at = Array.init k (fun _ -> ref [||]) in
+    let captured = Array.init k (fun _ -> ref [||]) in
+    let predictions = Array.init k (fun _ -> Vec.create ()) in
+    let profiled = Array.make k 0 in
+    let captured_total = Array.make k 0 in
+    let synced = ref 0 in
+    let grow arr n default =
+      let old = !arr in
+      let a = Array.make n default in
+      Array.blit old 0 a 0 (Array.length old);
+      arr := a
+    in
+    (* Extend per-path state to cover every path declared so far. *)
+    let sync () =
+      let np = Path_table.size table in
+      if np > !synced then begin
+        if np > !capacity then begin
+          let n = max np (max 64 (2 * !capacity)) in
+          grow heads n 0;
+          grow branches n 0;
+          grow blocks n 0;
+          grow freq n 0;
+          Array.iter (fun r -> grow r n max_int) predicted_at;
+          Array.iter (fun r -> grow r n 0) captured;
+          capacity := n
+        end;
+        for id = !synced to np - 1 do
+          let p = Path_table.path table id in
+          !heads.(id) <- Path.head p;
+          !branches.(id) <- p.Path.n_branches;
+          !blocks.(id) <- Array.length p.Path.blocks
+        done;
+        synced := np
+      end
+    in
+    let total = ref 0 in
+    let rec consume () =
+      match Stream.next rd with
+      | Error _ as e -> e
+      | Ok None -> Ok ()
+      | Ok (Some chunk) ->
+        sync ();
+        let ids = chunk.Stream.ids in
+        let arrs = chunk.Stream.arrivals in
+        let n = Array.length ids in
+        ignore (Atomic.fetch_and_add reads n);
+        let heads = !heads
+        and branches = !branches
+        and blocks = !blocks
+        and freq = !freq in
+        for j = 0 to n - 1 do
+          let pid = ids.(j) in
+          let i = !total + j in
+          freq.(pid) <- freq.(pid) + 1;
+          let head = heads.(pid)
+          and n_branches = branches.(pid)
+          and n_blocks = blocks.(pid)
+          and arrival = Recorder.arrival_of_code (Bytes.get arrs j) in
+          for l = 0 to k - 1 do
+            let pa = !(predicted_at.(l)) in
+            if pa.(pid) < i then begin
+              let cap = !(captured.(l)) in
+              cap.(pid) <- cap.(pid) + 1;
+              captured_total.(l) <- captured_total.(l) + 1
+            end
+            else begin
+              profiled.(l) <- profiled.(l) + 1;
+              match
+                S.observe states.(l) ~head ~arrival ~path_id:pid ~n_branches
+                  ~n_blocks
+              with
+              | Some target when pa.(target) = max_int ->
+                pa.(target) <- i;
+                S.collect states.(l) ~n_blocks:blocks.(target);
+                Vec.push predictions.(l) { target; at_instance = i }
+              | Some _ | None -> ()
+            end
+          done
+        done;
+        total := !total + n;
+        consume ()
+    in
+    (match consume () with
+     | Error _ as e -> e
+     | Ok () ->
+       sync ();
+       let np = Path_table.size table in
+       Ok
+         (List.init k (fun l ->
+              {
+                scheme_name = S.name;
+                delay = lanes.(l);
+                total_instances = !total;
+                predictions = Vec.to_array predictions.(l);
+                predicted_at = Array.sub !(predicted_at.(l)) 0 np;
+                freq = Array.sub !freq 0 np;
+                captured = Array.sub !(captured.(l)) 0 np;
+                profiled_instances = profiled.(l);
+                captured_instances = captured_total.(l);
+                counter_space = S.counter_space states.(l);
+                profiling_ops = S.profiling_ops states.(l);
+                collection_ops = S.collection_ops states.(l);
+              })))
+
+let run_stream scheme ~delay rd =
+  match run_many_stream scheme ~delays:[ delay ] rd with
+  | Error _ as e -> e
+  | Ok [ o ] -> Ok o
+  | Ok _ -> assert false
+
 let predicted_paths o =
   Array.to_list o.predictions
   |> List.map (fun p -> p.target)

@@ -45,6 +45,30 @@ val run_many :
     O(delays × trace) to O(trace) instance reads).
     @raise Invalid_argument when any delay is [< 1]. *)
 
+val run_stream :
+  Scheme.packed ->
+  delay:int ->
+  Hotpath_trace.Serialize.Stream.reader ->
+  (outcome, string) result
+(** Streamed replay: drive the scheme from an HOTPATH3 chunk iterator
+    instead of a materialized recording.  Field-by-field identical to
+    [run ~delay] on the recording the stream serializes, but peak memory
+    is O(paths + chunk) — the instance stream is never held.  Decode
+    errors from the stream surface as [Error]; the reader is left
+    positioned at the failure (poisoned).
+    @raise Invalid_argument when [delay < 1]. *)
+
+val run_many_stream :
+  Scheme.packed ->
+  delays:int list ->
+  Hotpath_trace.Serialize.Stream.reader ->
+  (outcome list, string) result
+(** Multiplexed streamed replay; single traversal of the chunk stream,
+    one outcome per delay, each identical to the materialized
+    [run ~delay].  An empty [delays] returns [Ok []] without touching
+    the reader.
+    @raise Invalid_argument when any delay is [< 1]. *)
+
 val instance_reads : unit -> int
 (** Total instance-stream reads performed by {!run}/{!run_many} since the
     last {!reset_instance_reads} — the observable backing the one-pass

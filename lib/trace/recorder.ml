@@ -22,13 +22,33 @@ let arrival_of_code = function
   | '\002' -> Path.Continuation
   | c -> invalid_arg (Printf.sprintf "Recorder: bad arrival code %d" (Char.code c))
 
-let record ?(max_steps = max_int) ?(max_paths = max_int) ?max_stack program behavior
-    ~rng =
+type chunked_summary = {
+  cs_instances : int;
+  cs_paths : int;
+  cs_vm_stats : Vm.run_stats;
+}
+
+let default_chunk_instances = 65_536
+
+let record_chunked ?(max_steps = max_int) ?(max_paths = max_int) ?max_stack
+    ?(chunk_instances = default_chunk_instances) program behavior ~rng ~flush
+    ~finish =
+  if chunk_instances < 1 then
+    invalid_arg "Recorder.record_chunked: chunk_instances must be >= 1";
   let vm = Vm.create ?max_stack program behavior ~rng in
   let seg = Segmenter.create program in
   let table = Path_table.create () in
-  let instances = Vec.create () in
-  let arrivals = Buffer.create 4096 in
+  let chunk_ids = Vec.create ~capacity:(min chunk_instances 65_536) () in
+  let chunk_arrivals = Buffer.create (min chunk_instances 65_536) in
+  let total = ref 0 in
+  let flush_chunk () =
+    if not (Vec.is_empty chunk_ids) then begin
+      flush ~table ~ids:(Vec.to_array chunk_ids)
+        ~arrivals:(Buffer.to_bytes chunk_arrivals);
+      Vec.clear chunk_ids;
+      Buffer.clear chunk_arrivals
+    end
+  in
   let branches = ref 0
   and calls = ref 0
   and returns = ref 0
@@ -36,7 +56,7 @@ let record ?(max_steps = max_int) ?(max_paths = max_int) ?max_stack program beha
   and backward = ref 0
   and max_stack_seen = ref 0 in
   let rec loop () =
-    if Vec.length instances >= max_paths then `Max_paths
+    if !total >= max_paths then `Max_paths
     else if Vm.blocks_executed vm >= max_steps then `Fuel
     else
       match Vm.step vm with
@@ -57,8 +77,10 @@ let record ?(max_steps = max_int) ?(max_paths = max_int) ?max_stack program beha
                ~blocks:c.Segmenter.c_blocks ~n_instrs:c.Segmenter.c_n_instrs
                ~n_branches:c.Segmenter.c_n_branches ~end_kind:c.Segmenter.c_end_kind
            in
-           Vec.push instances id;
-           Buffer.add_char arrivals (arrival_code c.Segmenter.c_arrival)
+           Vec.push chunk_ids id;
+           Buffer.add_char chunk_arrivals (arrival_code c.Segmenter.c_arrival);
+           incr total;
+           if Vec.length chunk_ids >= chunk_instances then flush_chunk ()
          | None -> ());
         if tr.Vm.kind = Vm.T_exit then `Exited else loop ()
   in
@@ -80,13 +102,30 @@ let record ?(max_steps = max_int) ?(max_paths = max_int) ?max_stack program beha
       max_stack = !max_stack_seen;
     }
   in
-  {
-    program;
-    table;
-    instances = Vec.to_array instances;
-    arrivals = Buffer.to_bytes arrivals;
-    vm_stats;
-  }
+  flush_chunk ();
+  finish ~table ~vm_stats;
+  { cs_instances = !total; cs_paths = Path_table.size table; cs_vm_stats = vm_stats }
+
+let record ?max_steps ?max_paths ?max_stack program behavior ~rng =
+  let instances = Vec.create () in
+  let arrivals = Buffer.create 4096 in
+  let result = ref None in
+  ignore
+    (record_chunked ?max_steps ?max_paths ?max_stack program behavior ~rng
+       ~flush:(fun ~table:_ ~ids ~arrivals:arr ->
+           Array.iter (Vec.push instances) ids;
+           Buffer.add_bytes arrivals arr)
+       ~finish:(fun ~table ~vm_stats -> result := Some (table, vm_stats)));
+  match !result with
+  | None -> assert false
+  | Some (table, vm_stats) ->
+    {
+      program;
+      table;
+      instances = Vec.to_array instances;
+      arrivals = Buffer.to_bytes arrivals;
+      vm_stats;
+    }
 
 let of_parts ~program ~table ~instances ~arrivals ~vm_stats =
   let err fmt = Printf.ksprintf (fun s -> Error s) fmt in

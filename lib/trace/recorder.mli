@@ -38,6 +38,46 @@ val record :
     the recorded paths' blocks reproduces the executed block sequence
     exactly. *)
 
+type chunked_summary = {
+  cs_instances : int;  (** Completed path instances recorded. *)
+  cs_paths : int;  (** Distinct paths interned. *)
+  cs_vm_stats : Hotpath_vm.Vm.run_stats;
+}
+
+val default_chunk_instances : int
+(** Instances per flushed chunk when none is given (65,536). *)
+
+val record_chunked :
+  ?max_steps:int ->
+  ?max_paths:int ->
+  ?max_stack:int ->
+  ?chunk_instances:int ->
+  Cfg.program ->
+  Hotpath_vm.Behavior.t ->
+  rng:Hotpath_util.Prng.t ->
+  flush:(table:Path_table.t -> ids:int array -> arrivals:Bytes.t -> unit) ->
+  finish:(table:Path_table.t -> vm_stats:Hotpath_vm.Vm.run_stats -> unit) ->
+  chunked_summary
+(** Incremental-flush recording: interpret the program exactly as
+    {!record} does, but hand completed instances to [flush] in chunks of
+    [chunk_instances] instead of materializing the whole stream.  [flush]
+    receives the (shared, still-growing) path table plus the chunk's
+    instance ids and arrival codes — each id references a path already in
+    the table at flush time.  [flush] is called only with non-empty
+    chunks, in trace order; [finish] is called exactly once, after the
+    final flush, with the complete table and the VM statistics (also for
+    an empty trace).  Peak memory is O(paths + chunk), not O(trace):
+    together with {!Serialize.Stream} this is what lets paper-scale runs
+    be recorded and replayed without ever holding the instance stream.
+    The interning order, ids, and statistics are identical to {!record}'s
+    at every chunk size.
+    @raise Invalid_argument when [chunk_instances < 1]. *)
+
+val arrival_of_code : char -> Path.head_kind
+(** Decode an arrival byte (the encoding of the [arrivals] field and of
+    streamed chunks): 0 = loop head, 1 = entry, 2 = continuation.
+    @raise Invalid_argument on any other byte. *)
+
 val of_parts :
   program:Cfg.program ->
   table:Path_table.t ->

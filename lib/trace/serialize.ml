@@ -1,9 +1,12 @@
 module Cfg = Hotpath_cfg.Cfg
 module Vm = Hotpath_vm.Vm
+module Vec = Hotpath_util.Vec
+module Crc32 = Hotpath_util.Crc32
 
 (* HOTPATH2: the unbounded count fields (block weights, per-path
    instruction counts) moved from 32 to 64 bits, and 32-bit writes became
-   range-checked instead of silently truncating. *)
+   range-checked instead of silently truncating.  HOTPATH3 (the [Stream]
+   module below) is the framed, CRC-protected chunk format. *)
 let magic = "HOTPATH2"
 
 (* ------------------------------------------------------------------ *)
@@ -112,9 +115,13 @@ type cursor = { s : string; mutable pos : int }
 
 let fail fmt = Printf.ksprintf (fun m -> raise (Parse m)) fmt
 
+(* Overflow-safe: [n] may be any 64-bit count from a corrupt input, so the
+   bound is checked by subtraction, never by [pos + n]. *)
 let need c n =
-  if c.pos + n > String.length c.s then
+  if n < 0 || c.pos > String.length c.s - n then
     fail "truncated input at offset %d (need %d bytes)" c.pos n
+
+let remaining c = String.length c.s - c.pos
 
 let get_u8 c =
   need c 1;
@@ -170,11 +177,16 @@ let get_terminator c =
   | 5 -> Cfg.Exit
   | tag -> fail "unknown terminator tag %d" tag
 
+(* Count plausibility is bounded against the bytes actually present: every
+   procedure record is at least 8 bytes, every block at least 13, every
+   path at least 30.  This rejects corrupt counts before [Array.init]
+   would allocate gigabytes (or raise an uncaught [Invalid_argument]). *)
 let get_program c =
   let pname = get_str c in
   let main = get_i32 c in
   let n_procs = get_i32 c in
-  if n_procs < 0 || n_procs > 1_000_000 then fail "implausible proc count %d" n_procs;
+  if n_procs < 0 || n_procs > 1_000_000 || n_procs > remaining c / 8 then
+    fail "implausible proc count %d" n_procs;
   let procs =
     Array.init n_procs (fun pid ->
         let name = get_str c in
@@ -183,7 +195,7 @@ let get_program c =
         { Cfg.pid; name; entry = blocks.(0); blocks })
   in
   let n_blocks = get_i32 c in
-  if n_blocks < 0 || n_blocks > 100_000_000 then
+  if n_blocks < 0 || n_blocks > 100_000_000 || n_blocks > remaining c / 13 then
     fail "implausible block count %d" n_blocks;
   let blocks =
     Array.init n_blocks (fun id ->
@@ -201,7 +213,7 @@ let end_kind_of_code = function
   | 3 -> Path.Program_end
   | tag -> fail "unknown end-kind tag %d" tag
 
-let get_path c table expected_id =
+let get_path c table expected_id ~n_blocks =
   let head = get_i32 c in
   let len = get_u8 c in
   if len > Signature.max_branches then fail "signature length %d over cap" len;
@@ -216,6 +228,11 @@ let get_path c table expected_id =
   let signature = Signature.Builder.freeze sigb in
   let blocks = get_int_array c in
   if Array.length blocks = 0 then fail "path %d has no blocks" expected_id;
+  Array.iter
+    (fun b ->
+       if b < 0 || b >= n_blocks then
+         fail "path %d references block %d outside the program" expected_id b)
+    blocks;
   let n_instrs = get_i64 c in
   let end_kind = end_kind_of_code (get_u8 c) in
   if Path_table.find table signature <> None then
@@ -245,15 +262,18 @@ let read s ~pos =
     if m <> magic then raise (Parse (Printf.sprintf "bad magic %S" m));
     c.pos <- c.pos + String.length magic;
     let program = get_program c in
+    let n_blocks = Array.length program.Cfg.blocks in
     let n_paths = get_i32 c in
-    if n_paths < 0 || n_paths > 100_000_000 then fail "implausible path count %d" n_paths;
+    if n_paths < 0 || n_paths > 100_000_000 || n_paths > remaining c / 30 then
+      fail "implausible path count %d" n_paths;
     let table = Path_table.create () in
     for id = 0 to n_paths - 1 do
-      get_path c table id
+      get_path c table id ~n_blocks
     done;
     let n_instances = get_i64 c in
-    if n_instances < 0 then fail "negative instance count";
-    need c (n_instances * 4);
+    (* Each instance is 4 id bytes plus 1 arrival byte. *)
+    if n_instances < 0 || n_instances > remaining c / 5 then
+      fail "implausible instance count %d" n_instances;
     let instances = Array.init n_instances (fun _ -> get_i32 c) in
     need c n_instances;
     let arrivals = Bytes.of_string (String.sub c.s c.pos n_instances) in
@@ -264,13 +284,391 @@ let read s ~pos =
      | Error e -> Error ("invalid recording: " ^ e))
   with Parse msg -> Error msg
 
+(* ------------------------------------------------------------------ *)
+(* HOTPATH3: framed, CRC-protected streaming format                    *)
+(* ------------------------------------------------------------------ *)
+
+module Stream = struct
+  let legacy_magic = magic
+
+  let magic = "HOTPATH3"
+
+  let default_chunk_instances = Recorder.default_chunk_instances
+
+  (* A frame is [kind:u8 | payload_len:i32le | payload | crc32:u32le],
+     with the CRC covering the 5 header bytes and the payload, so a
+     corrupted kind, length field, or payload byte is always detected. *)
+  let max_frame_payload = 1 lsl 26
+
+  let k_program = 0
+
+  let k_paths = 1
+
+  let k_instances = 2
+
+  let k_end = 3
+
+  (* Frame-splitting granularities, both comfortably under
+     [max_frame_payload]: paths are ~30-200 bytes each, instances 5. *)
+  let paths_per_frame = 16_384
+
+  let instances_per_frame = 8_000_000
+
+  (* ---------------- Writer ---------------- *)
+
+  type writer = {
+    w_sink : string -> unit;
+    mutable w_paths_written : int;
+    mutable w_instances_written : int;
+    mutable w_finished : bool;
+    w_payload : Buffer.t;
+  }
+
+  let write_frame w ~kind =
+    let payload = Buffer.contents w.w_payload in
+    Buffer.clear w.w_payload;
+    let len = String.length payload in
+    if len > max_frame_payload then
+      invalid_arg
+        (Printf.sprintf "Serialize.Stream: frame payload %d exceeds %d bytes"
+           len max_frame_payload);
+    let hdr = Bytes.create 5 in
+    Bytes.set_uint8 hdr 0 kind;
+    Bytes.set_int32_le hdr 1 (Int32.of_int len);
+    let crc = Crc32.update_bytes Crc32.empty hdr ~pos:0 ~len:5 in
+    let crc = Crc32.update_string crc payload ~pos:0 ~len in
+    let tl = Bytes.create 4 in
+    Bytes.set_int32_le tl 0 crc;
+    w.w_sink (Bytes.to_string hdr);
+    w.w_sink payload;
+    w.w_sink (Bytes.to_string tl)
+
+  let writer sink ~program =
+    (match Cfg.validate program with
+     | Ok () -> ()
+     | Error e -> invalid_arg ("Serialize.Stream.writer: invalid program: " ^ e));
+    let w =
+      { w_sink = sink; w_paths_written = 0; w_instances_written = 0;
+        w_finished = false; w_payload = Buffer.create (1 lsl 16) }
+    in
+    sink magic;
+    add_program w.w_payload program;
+    write_frame w ~kind:k_program;
+    w
+
+  let sync_paths w ~table =
+    let np = Path_table.size table in
+    while w.w_paths_written < np do
+      let stop = min np (w.w_paths_written + paths_per_frame) in
+      add_i32 w.w_payload (stop - w.w_paths_written);
+      for id = w.w_paths_written to stop - 1 do
+        add_path w.w_payload (Path_table.path table id)
+      done;
+      write_frame w ~kind:k_paths;
+      w.w_paths_written <- stop
+    done
+
+  let write_chunk w ~table ~ids ~arrivals =
+    if w.w_finished then
+      invalid_arg "Serialize.Stream.write_chunk: writer already finished";
+    let n = Array.length ids in
+    if Bytes.length arrivals <> n then
+      invalid_arg
+        (Printf.sprintf
+           "Serialize.Stream.write_chunk: %d arrivals for %d instances"
+           (Bytes.length arrivals) n);
+    sync_paths w ~table;
+    let off = ref 0 in
+    while !off < n do
+      let len = min instances_per_frame (n - !off) in
+      add_i32 w.w_payload len;
+      for j = !off to !off + len - 1 do
+        add_i32 w.w_payload ids.(j)
+      done;
+      Buffer.add_subbytes w.w_payload arrivals !off len;
+      write_frame w ~kind:k_instances;
+      w.w_instances_written <- w.w_instances_written + len;
+      off := !off + len
+    done
+
+  let finish w ~table ~vm_stats =
+    if w.w_finished then
+      invalid_arg "Serialize.Stream.finish: writer already finished";
+    sync_paths w ~table;
+    add_stats w.w_payload vm_stats;
+    add_i64 w.w_payload w.w_instances_written;
+    add_i32 w.w_payload w.w_paths_written;
+    write_frame w ~kind:k_end;
+    w.w_finished <- true
+
+  let write ?(chunk_instances = default_chunk_instances) (r : Recorder.t) sink =
+    if chunk_instances < 1 then
+      invalid_arg "Serialize.Stream.write: chunk_instances must be >= 1";
+    let w = writer sink ~program:r.Recorder.program in
+    let n = Array.length r.Recorder.instances in
+    let off = ref 0 in
+    while !off < n do
+      let len = min chunk_instances (n - !off) in
+      write_chunk w ~table:r.Recorder.table
+        ~ids:(Array.sub r.Recorder.instances !off len)
+        ~arrivals:(Bytes.sub r.Recorder.arrivals !off len);
+      off := !off + len
+    done;
+    finish w ~table:r.Recorder.table ~vm_stats:r.Recorder.vm_stats
+
+  let to_string ?chunk_instances r =
+    let buf = Buffer.create (1 lsl 16) in
+    write ?chunk_instances r (Buffer.add_string buf);
+    Buffer.contents buf
+
+  let save ?chunk_instances r ~path =
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> write ?chunk_instances r (output_string oc))
+
+  let record ?max_steps ?max_paths ?max_stack ?chunk_instances program behavior
+      ~rng ~sink =
+    let w = writer sink ~program in
+    Recorder.record_chunked ?max_steps ?max_paths ?max_stack ?chunk_instances
+      program behavior ~rng
+      ~flush:(fun ~table ~ids ~arrivals -> write_chunk w ~table ~ids ~arrivals)
+      ~finish:(fun ~table ~vm_stats -> finish w ~table ~vm_stats)
+
+  (* ---------------- Reader ---------------- *)
+
+  type chunk = { ids : int array; arrivals : Bytes.t }
+
+  type input = {
+    in_read : Bytes.t -> int -> int -> int;
+    in_close : unit -> unit;
+  }
+
+  type reader = {
+    r_input : input;
+    r_program : Cfg.program;
+    r_table : Path_table.t;
+    mutable r_instances : int;
+    mutable r_vm_stats : Vm.run_stats option;
+    mutable r_error : string option;
+    mutable r_closed : bool;
+  }
+
+  let input_of_string s =
+    let pos = ref 0 in
+    {
+      in_read =
+        (fun b off len ->
+           let n = min len (String.length s - !pos) in
+           Bytes.blit_string s !pos b off n;
+           pos := !pos + n;
+           n);
+      in_close = (fun () -> ());
+    }
+
+  let input_of_channel ic =
+    {
+      in_read =
+        (fun b off len ->
+           try Stdlib.input ic b off len
+           with Sys_error e -> raise (Parse ("I/O error: " ^ e)));
+      in_close = (fun () -> close_in_noerr ic);
+    }
+
+  let read_exactly inp buf ~len ~what =
+    let off = ref 0 in
+    while !off < len do
+      let n = inp.in_read buf !off (len - !off) in
+      if n = 0 then fail "truncated stream: EOF while reading %s" what;
+      off := !off + n
+    done
+
+  let expect_eof inp =
+    let b = Bytes.create 1 in
+    if inp.in_read b 0 1 <> 0 then fail "trailing garbage after end frame"
+
+  let read_frame inp =
+    let hdr = Bytes.create 5 in
+    read_exactly inp hdr ~len:5 ~what:"frame header";
+    let kind = Bytes.get_uint8 hdr 0 in
+    let len = Int32.to_int (Bytes.get_int32_le hdr 1) in
+    if len < 0 || len > max_frame_payload then
+      fail "implausible frame payload length %d" len;
+    let payload = Bytes.create len in
+    read_exactly inp payload ~len ~what:"frame payload";
+    let tl = Bytes.create 4 in
+    read_exactly inp tl ~len:4 ~what:"frame checksum";
+    let expect = Bytes.get_int32_le tl 0 in
+    let crc = Crc32.update_bytes Crc32.empty hdr ~pos:0 ~len:5 in
+    let crc = Crc32.update_bytes crc payload ~pos:0 ~len in
+    if crc <> expect then fail "frame checksum mismatch (kind %d)" kind;
+    (kind, Bytes.unsafe_to_string payload)
+
+  let check_consumed c =
+    if c.pos <> String.length c.s then
+      fail "frame has %d trailing bytes" (String.length c.s - c.pos)
+
+  let open_input inp =
+    try
+      let m = Bytes.create (String.length magic) in
+      read_exactly inp m ~len:(String.length magic) ~what:"magic";
+      let ms = Bytes.to_string m in
+      if ms <> magic then
+        if ms = legacy_magic then
+          fail "HOTPATH2 blob, not a stream (use Serialize.of_string/load)"
+        else fail "bad magic %S" ms;
+      let kind, payload = read_frame inp in
+      if kind <> k_program then fail "expected program frame, got kind %d" kind;
+      let c = { s = payload; pos = 0 } in
+      let program = get_program c in
+      check_consumed c;
+      (match Cfg.validate program with
+       | Ok () -> ()
+       | Error e -> fail "invalid program: %s" e);
+      Ok
+        { r_input = inp; r_program = program; r_table = Path_table.create ();
+          r_instances = 0; r_vm_stats = None; r_error = None; r_closed = false }
+    with Parse msg ->
+      inp.in_close ();
+      Error msg
+
+  let open_string s = open_input (input_of_string s)
+
+  let open_file ~path =
+    match open_in_bin path with
+    | exception Sys_error e -> Error e
+    | ic -> open_input (input_of_channel ic)
+
+  let program rd = rd.r_program
+
+  let table rd = rd.r_table
+
+  let instances_read rd = rd.r_instances
+
+  let vm_stats rd = rd.r_vm_stats
+
+  let close rd =
+    if not rd.r_closed then begin
+      rd.r_closed <- true;
+      rd.r_input.in_close ()
+    end
+
+  let rec next rd =
+    match rd.r_error with
+    | Some e -> Error e
+    | None ->
+      if rd.r_vm_stats <> None then Ok None
+      else begin
+        try
+          let kind, payload = read_frame rd.r_input in
+          let c = { s = payload; pos = 0 } in
+          if kind = k_paths then begin
+            let count = get_i32 c in
+            if count < 0 || count > remaining c / 30 then
+              fail "implausible path count %d" count;
+            let n_blocks = Array.length rd.r_program.Cfg.blocks in
+            for _ = 1 to count do
+              get_path c rd.r_table (Path_table.size rd.r_table) ~n_blocks
+            done;
+            check_consumed c;
+            next rd
+          end
+          else if kind = k_instances then begin
+            let n = get_i32 c in
+            if n < 0 || n > remaining c / 5 then
+              fail "implausible instance count %d" n;
+            let np = Path_table.size rd.r_table in
+            let ids =
+              Array.init n (fun _ ->
+                  let id = get_i32 c in
+                  if id < 0 || id >= np then
+                    fail "instance path id %d out of range (%d paths)" id np;
+                  id)
+            in
+            need c n;
+            let arrivals = Bytes.create n in
+            Bytes.blit_string c.s c.pos arrivals 0 n;
+            c.pos <- c.pos + n;
+            Bytes.iter
+              (fun ch ->
+                 if Char.code ch > 2 then
+                   fail "invalid arrival code %d" (Char.code ch))
+              arrivals;
+            check_consumed c;
+            rd.r_instances <- rd.r_instances + n;
+            Ok (Some { ids; arrivals })
+          end
+          else if kind = k_end then begin
+            let stats = get_stats c in
+            let total_instances = get_i64 c in
+            let total_paths = get_i32 c in
+            check_consumed c;
+            if total_instances <> rd.r_instances then
+              fail "end frame declares %d instances, stream carried %d"
+                total_instances rd.r_instances;
+            if total_paths <> Path_table.size rd.r_table then
+              fail "end frame declares %d paths, stream carried %d" total_paths
+                (Path_table.size rd.r_table);
+            expect_eof rd.r_input;
+            rd.r_vm_stats <- Some stats;
+            Ok None
+          end
+          else fail "unknown frame kind %d" kind
+        with Parse msg ->
+          rd.r_error <- Some msg;
+          Error msg
+      end
+
+  let of_recorder ?chunk_instances r =
+    match open_string (to_string ?chunk_instances r) with
+    | Ok rd -> rd
+    | Error e -> invalid_arg ("Serialize.Stream.of_recorder: " ^ e)
+
+  let to_recorder rd =
+    let ids = Vec.create () in
+    let arrivals = Buffer.create 4096 in
+    let rec drain () =
+      match next rd with
+      | Error e -> Error e
+      | Ok (Some c) ->
+        Array.iter (Vec.push ids) c.ids;
+        Buffer.add_bytes arrivals c.arrivals;
+        drain ()
+      | Ok None -> (
+          match rd.r_vm_stats with
+          | None -> Error "stream ended without statistics"
+          | Some vm_stats -> (
+              match
+                Recorder.of_parts ~program:rd.r_program ~table:rd.r_table
+                  ~instances:(Vec.to_array ids)
+                  ~arrivals:(Buffer.to_bytes arrivals) ~vm_stats
+              with
+              | Ok r -> Ok r
+              | Error e -> Error ("invalid recording: " ^ e)))
+    in
+    let result = drain () in
+    close rd;
+    result
+end
+
+(* ------------------------------------------------------------------ *)
+(* Whole-recording entry points (both formats)                         *)
+(* ------------------------------------------------------------------ *)
+
 let of_string s =
-  match read s ~pos:0 with
-  | Error _ as e -> e
-  | Ok (r, finish) ->
-    if finish <> String.length s then
-      Error (Printf.sprintf "trailing garbage after offset %d" finish)
-    else Ok r
+  if String.length s >= String.length Stream.magic
+     && String.sub s 0 (String.length Stream.magic) = Stream.magic
+  then
+    match Stream.open_string s with
+    | Error _ as e -> e
+    | Ok rd -> Stream.to_recorder rd
+  else
+    match read s ~pos:0 with
+    | Error _ as e -> e
+    | Ok (r, finish) ->
+      if finish <> String.length s then
+        Error (Printf.sprintf "trailing garbage after offset %d" finish)
+      else Ok r
 
 let save r ~path =
   let oc = open_out_bin path in
@@ -281,13 +679,31 @@ let save r ~path =
        write r buf;
        Buffer.output_buffer oc buf)
 
+(* HOTPATH3 files are read frame-by-frame (peak memory O(frame), plus the
+   materialized result); HOTPATH2 blobs fall back to the whole-file
+   parser. *)
 let load ~path =
   match open_in_bin path with
   | exception Sys_error e -> Error e
   | ic ->
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () ->
-         let n = in_channel_length ic in
-         let s = really_input_string ic n in
-         of_string s)
+    let sniff =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+           let n = in_channel_length ic in
+           if n >= String.length Stream.magic then begin
+             let m = really_input_string ic (String.length Stream.magic) in
+             if m = Stream.magic then `Stream
+             else begin
+               seek_in ic 0;
+               `Legacy (really_input_string ic n)
+             end
+           end
+           else `Legacy (really_input_string ic n))
+    in
+    (match sniff with
+     | `Stream -> (
+         match Stream.open_file ~path with
+         | Error _ as e -> e
+         | Ok rd -> Stream.to_recorder rd)
+     | `Legacy s -> of_string s)

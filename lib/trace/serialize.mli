@@ -4,34 +4,190 @@
     the result lets a trace be recorded once and replayed by any number of
     analysis processes — `hotpath record`/`--trace` style workflows.
 
-    The format is explicit and versioned (magic ["HOTPATH2"]), independent
-    of the OCaml [Marshal] representation: program (blocks, terminators,
-    procedures), interned path table (signatures, block sequences, sizes),
-    the instance and arrival arrays, and the VM run statistics.  All
-    integers are little-endian.  Bounded ids and lengths are 32-bit and
-    writing raises [Invalid_argument] if a value does not fit (no silent
-    truncation); unbounded counts (block weights, per-path instruction
-    counts, instance totals, VM statistics) are 64-bit.  Loading validates
-    structure via {!Recorder.of_parts} and fails with a message rather
-    than crashing on corrupt input. *)
+    Two on-disk formats coexist:
+
+    - {b HOTPATH2} — the legacy single-blob format: program (blocks,
+      terminators, procedures), interned path table, the instance and
+      arrival arrays, and the VM run statistics, parsed from one
+      contiguous string.
+    - {b HOTPATH3} — the {!Stream} format: the same field encodings, but
+      framed into length-prefixed, CRC-32-protected chunks (program
+      header, incremental path-table frames, instance/arrival chunks of
+      {!Stream.default_chunk_instances} instances, and an end frame with
+      the VM statistics and totals).  Both ends are constant-memory: the
+      writer flushes as it goes, the reader holds one frame at a time, so
+      traces far larger than RAM can be recorded and replayed.
+
+    All integers are little-endian.  Bounded ids and lengths are 32-bit
+    and writing raises [Invalid_argument] if a value does not fit (no
+    silent truncation); unbounded counts (block weights, per-path
+    instruction counts, instance totals, VM statistics) are 64-bit.
+    Loading validates structure (via {!Recorder.of_parts} or the streaming
+    reader's incremental checks) and fails with a message rather than
+    crashing on corrupt input — the serializer fuzz suite holds both
+    parsers to that. *)
+
+module Cfg = Hotpath_cfg.Cfg
 
 val magic : string
+(** The legacy single-blob magic, ["HOTPATH2"]. *)
 
 val write : Recorder.t -> Buffer.t -> unit
-(** Append the serialized recording.
+(** Append the serialized recording (HOTPATH2).
     @raise Invalid_argument if a 32-bit field (id, length) overflows. *)
 
 val read : string -> pos:int -> (Recorder.t * int, string) result
-(** [read s ~pos] parses a recording serialized at offset [pos] of [s];
-    returns the recording and the offset just past it. *)
+(** [read s ~pos] parses a HOTPATH2 recording serialized at offset [pos]
+    of [s]; returns the recording and the offset just past it. *)
 
 val to_string : Recorder.t -> string
+(** HOTPATH2 blob. *)
 
 val of_string : string -> (Recorder.t, string) result
-(** Requires the whole string to be exactly one recording. *)
+(** Requires the whole string to be exactly one recording, in either
+    format (dispatched on the magic). *)
 
 val save : Recorder.t -> path:string -> unit
-(** Write to a file.  @raise Sys_error on I/O failure. *)
+(** Write an HOTPATH2 file.  @raise Sys_error on I/O failure.  Prefer
+    {!Stream.save} for new traces. *)
 
 val load : path:string -> (Recorder.t, string) result
-(** Read back from a file; I/O errors are returned as [Error]. *)
+(** Read back from a file in either format; I/O errors are returned as
+    [Error].  HOTPATH3 files are read frame-by-frame — peak memory is
+    O(frame) beyond the materialized result — while HOTPATH2 falls back
+    to the whole-file parser. *)
+
+(** The HOTPATH3 framed stream format.
+
+    Layout: the magic ["HOTPATH3"], then frames of
+    [kind:u8 | payload_len:i32le | payload | crc32:u32le], the CRC-32
+    (IEEE) covering the five header bytes and the payload.  Frame kinds:
+
+    - {e 0, program} — exactly one, first: the {!Cfg.program}.
+    - {e 1, paths} — path-table records in dense id order; may appear
+      repeatedly, each frame extending the table.  Written incrementally,
+      so a recording being flushed mid-run only ships the paths that are
+      new since the previous flush.
+    - {e 2, instances} — a chunk: instance count [n], [n] path ids
+      (each already declared by a preceding paths frame), [n] arrival
+      bytes.
+    - {e 3, end} — exactly one, last: VM statistics plus total instance
+      and path counts, cross-checked against what the stream carried.
+
+    A reader never holds more than one frame; a writer never buffers more
+    than one frame.  Any torn write, bit flip, corrupted length field, or
+    truncation surfaces as [Error] at read time — the CRC makes every
+    single-byte corruption of a valid stream detectable, which the fuzz
+    suite exercises. *)
+module Stream : sig
+  val magic : string
+  (** ["HOTPATH3"]. *)
+
+  val default_chunk_instances : int
+  (** Instances per chunk when none is given (65,536 — a few hundred KB
+      per frame). *)
+
+  val max_frame_payload : int
+  (** Upper bound on a single frame's payload (64 MiB); larger path
+      tables and chunks are split across frames by the writer, and a
+      corrupt length field past the bound is rejected without
+      allocation. *)
+
+  (** {1 Writing} *)
+
+  type writer
+
+  val writer : (string -> unit) -> program:Cfg.program -> writer
+  (** [writer sink ~program] emits the magic and the program frame to
+      [sink] and returns a writer for incremental flushing.  [sink] is
+      called with consecutive byte slices (e.g. [output_string oc].)
+      @raise Invalid_argument if the program fails {!Cfg.validate}. *)
+
+  val write_chunk :
+    writer -> table:Path_table.t -> ids:int array -> arrivals:Bytes.t -> unit
+  (** Flush one chunk: any table paths not yet on the wire are emitted
+      first (as paths frames), then the instances.  Matches the contract
+      of {!Recorder.record_chunked}'s [flush] callback.  Ids are not
+      re-validated here — the reader enforces that every id is declared.
+      @raise Invalid_argument on arrival/id length mismatch or after
+      [finish]. *)
+
+  val finish :
+    writer -> table:Path_table.t -> vm_stats:Hotpath_vm.Vm.run_stats -> unit
+  (** Emit any remaining paths and the end frame.  Must be called exactly
+      once; the stream is invalid without it (a crash mid-write is
+      detected as a truncated stream at read time).
+      @raise Invalid_argument if already finished. *)
+
+  val write : ?chunk_instances:int -> Recorder.t -> (string -> unit) -> unit
+  (** Serialize a whole materialized recording to a sink in chunks. *)
+
+  val to_string : ?chunk_instances:int -> Recorder.t -> string
+
+  val save : ?chunk_instances:int -> Recorder.t -> path:string -> unit
+  (** @raise Sys_error on I/O failure. *)
+
+  val record :
+    ?max_steps:int ->
+    ?max_paths:int ->
+    ?max_stack:int ->
+    ?chunk_instances:int ->
+    Cfg.program ->
+    Hotpath_vm.Behavior.t ->
+    rng:Hotpath_util.Prng.t ->
+    sink:(string -> unit) ->
+    Recorder.chunked_summary
+  (** Record straight to a sink: {!Recorder.record_chunked} wired to a
+      {!writer}.  The instance stream is never materialized — peak memory
+      is O(paths + chunk) however long the run — and the resulting stream
+      is byte-identical to [write (Recorder.record ...)] at the same
+      chunk size. *)
+
+  (** {1 Reading} *)
+
+  type chunk = {
+    ids : int array;  (** Path ids, trace order. *)
+    arrivals : Bytes.t;  (** One arrival code per id (decode with
+        {!Recorder.arrival_of_code}). *)
+  }
+
+  type reader
+
+  val open_string : string -> (reader, string) result
+  (** Validate the magic and program frame of an in-memory stream. *)
+
+  val open_file : path:string -> (reader, string) result
+  (** Same over a file, reading frame-by-frame. *)
+
+  val of_recorder : ?chunk_instances:int -> Recorder.t -> reader
+  (** Reader over an in-memory recording (serialized through the full
+      format), mainly for differential tests and benchmarks. *)
+
+  val next : reader -> (chunk option, string) result
+  (** Pull the next instance chunk.  Paths frames are consumed silently,
+      growing {!table}; [Ok None] is returned once the end frame has been
+      validated (totals, statistics, no trailing bytes) and on every call
+      thereafter.  After an [Error] the reader is poisoned and repeats
+      the same error. *)
+
+  val program : reader -> Cfg.program
+
+  val table : reader -> Path_table.t
+  (** The path table as declared so far; grows as chunks are pulled.
+      Every id in a returned chunk is already present. *)
+
+  val instances_read : reader -> int
+  (** Cumulative instances across the chunks returned so far. *)
+
+  val vm_stats : reader -> Hotpath_vm.Vm.run_stats option
+  (** [Some] once the end frame has been read (i.e. after {!next}
+      returned [Ok None]). *)
+
+  val close : reader -> unit
+  (** Release the underlying channel (idempotent; no-op for string
+      readers). *)
+
+  val to_recorder : reader -> (Recorder.t, string) result
+  (** Drain the stream into a materialized {!Recorder.t} (validated via
+      {!Recorder.of_parts}) and close the reader. *)
+end

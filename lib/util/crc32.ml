@@ -1,0 +1,40 @@
+type t = int32
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let empty = 0l
+
+(* Standard composable form: invert on entry and exit, so the state
+   between updates is the plain (finalized) checksum. *)
+let update_gen get crc buf ~pos ~len =
+  let table = Lazy.force table in
+  let c = ref (Int32.lognot crc) in
+  for i = pos to pos + len - 1 do
+    let idx = Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (get buf i))) 0xFFl) in
+    c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.lognot !c
+
+let update_string crc s ~pos ~len =
+  if pos < 0 || len < 0 || pos > String.length s - len then
+    invalid_arg "Crc32.update_string: slice out of bounds";
+  update_gen (fun s i -> Char.code (String.unsafe_get s i)) crc s ~pos ~len
+
+let update_bytes crc b ~pos ~len =
+  if pos < 0 || len < 0 || pos > Bytes.length b - len then
+    invalid_arg "Crc32.update_bytes: slice out of bounds";
+  update_gen (fun b i -> Char.code (Bytes.unsafe_get b i)) crc b ~pos ~len
+
+let update_char crc ch = update_gen (fun c _ -> Char.code c) crc ch ~pos:0 ~len:1
+
+let digest_string s = update_string empty s ~pos:0 ~len:(String.length s)

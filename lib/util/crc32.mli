@@ -1,0 +1,26 @@
+(** CRC-32 (IEEE 802.3, the zlib polynomial 0xEDB88320).
+
+    The streaming trace format frames every chunk with a CRC so that a
+    torn write, a flipped bit, or a corrupted length field is detected at
+    read time instead of producing a silently wrong replay.  The digest is
+    incremental: feed slices in any granularity; equal byte sequences give
+    equal digests regardless of how they were sliced. *)
+
+type t = int32
+(** Running digest state.  Also the final digest value: the state after
+    the last update {e is} the checksum (zlib-style pre/post conditioning
+    is applied inside every update). *)
+
+val empty : t
+(** Digest of the empty byte sequence (0l). *)
+
+val update_string : t -> string -> pos:int -> len:int -> t
+(** Extend the digest with [len] bytes of [s] starting at [pos].
+    @raise Invalid_argument when the slice is out of bounds. *)
+
+val update_bytes : t -> Bytes.t -> pos:int -> len:int -> t
+
+val update_char : t -> char -> t
+
+val digest_string : string -> t
+(** One-shot digest of a whole string. *)

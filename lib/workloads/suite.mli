@@ -53,6 +53,19 @@ val record : ?scale:float -> benchmark -> Recorder.t
     (default scale 1.0, minimum 1000 instances).  Deterministic in
     [b_seed]. *)
 
+val record_stream :
+  ?scale:float ->
+  ?chunk_instances:int ->
+  benchmark ->
+  sink:(string -> unit) ->
+  Recorder.chunked_summary
+(** {!record} straight to an HOTPATH3 sink
+    ({!Hotpath_trace.Serialize.Stream.record}): the instance stream is
+    flushed as it is produced and never materialized.  Same budgets and
+    seeds as {!record}, so the emitted bytes are exactly
+    [Serialize.Stream.to_string (record ~scale b)] at the same chunk
+    size. *)
+
 val hot_threshold : float
 (** The paper's hot threshold: 0.001 (0.1% of total flow). *)
 

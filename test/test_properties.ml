@@ -268,6 +268,78 @@ let prop_run_many_equals_per_delay_runs =
            (module Path_profile);
          ])
 
+(* Streamed replay is driven from an HOTPATH3 chunk iterator; the chunk
+   size is drawn from the workload seed so the split points vary. *)
+let stream_reader ~seed recorded =
+  Serialize.Stream.of_recorder ~chunk_instances:(1 + (seed mod 97)) recorded
+
+let prop_stream_roundtrip =
+  QCheck.Test.make
+    ~name:"HOTPATH3 streams round-trip generated recordings" ~count:30
+    arb_workload
+    (fun ((_, seed) as w) ->
+       let _, recorded = record_spec w in
+       match
+         Serialize.of_string
+           (Serialize.Stream.to_string ~chunk_instances:(1 + (seed mod 97))
+              recorded)
+       with
+       | Error _ -> false
+       | Ok r ->
+         r.Recorder.instances = recorded.Recorder.instances
+         && r.Recorder.arrivals = recorded.Recorder.arrivals
+         && Recorder.num_paths r = Recorder.num_paths recorded
+         && r.Recorder.vm_stats = recorded.Recorder.vm_stats)
+
+let prop_run_stream_equals_run =
+  QCheck.Test.make
+    ~name:"run_stream is bit-identical to run (all schemes)" ~count:25
+    arb_workload
+    (fun ((_, seed) as w) ->
+       let _, recorded = record_spec w in
+       List.for_all
+         (fun scheme ->
+            List.for_all
+              (fun delay ->
+                 match
+                   Replay.run_stream scheme ~delay (stream_reader ~seed recorded)
+                 with
+                 | Error _ -> false
+                 | Ok streamed ->
+                   outcome_equal (Replay.run scheme ~delay recorded) streamed)
+              [ 2; 11; 400 ])
+         [
+           (module Net : Scheme.S);
+           (module Net.Net_once);
+           (module Net.Last_executed_tail);
+           (module Path_profile);
+         ])
+
+let prop_run_many_stream_equals_run_many =
+  QCheck.Test.make
+    ~name:"run_many_stream is bit-identical to run_many (all schemes)"
+    ~count:25 arb_workload
+    (fun ((_, seed) as w) ->
+       let _, recorded = record_spec w in
+       let delays = [ 1; 3; 7; 20; 100; 5_000 ] in
+       List.for_all
+         (fun scheme ->
+            match
+              Replay.run_many_stream scheme ~delays (stream_reader ~seed recorded)
+            with
+            | Error _ -> false
+            | Ok streamed ->
+              List.length streamed = List.length delays
+              && List.for_all2 outcome_equal
+                   (Replay.run_many scheme ~delays recorded)
+                   streamed)
+         [
+           (module Net : Scheme.S);
+           (module Net.Net_once);
+           (module Net.Last_executed_tail);
+           (module Path_profile);
+         ])
+
 let prop_run_many_single_pass =
   QCheck.Test.make ~name:"run_many reads the trace exactly once" ~count:20
     arb_workload
@@ -304,5 +376,8 @@ let suites =
         QCheck_alcotest.to_alcotest prop_replay_capture_monotone_in_delay;
         QCheck_alcotest.to_alcotest prop_run_many_equals_per_delay_runs;
         QCheck_alcotest.to_alcotest prop_run_many_single_pass;
+        QCheck_alcotest.to_alcotest prop_stream_roundtrip;
+        QCheck_alcotest.to_alcotest prop_run_stream_equals_run;
+        QCheck_alcotest.to_alcotest prop_run_many_stream_equals_run_many;
       ] );
   ]

@@ -1,0 +1,490 @@
+(* HOTPATH3 streaming format: round trips, constant-memory contracts,
+   the serializer fuzz suite, and the on-disk regression corpus.
+
+   The fuzz suite's contract is strict for HOTPATH3: the per-frame CRC
+   makes *every* byte-level corruption of a valid stream detectable, so
+   each mutated blob must come back [Error _] — never [Ok], never an
+   exception, never a hang.  HOTPATH2 has no checksum, so its byte-flip
+   cases only demand no-crash ([Ok] or [Error]), while truncations and
+   count-field corruptions are still strict. *)
+
+module Cfg = Hotpath_cfg.Cfg
+module Recorder = Hotpath_trace.Recorder
+module Serialize = Hotpath_trace.Serialize
+module Stream = Hotpath_trace.Serialize.Stream
+module Path_table = Hotpath_trace.Path_table
+module Replay = Hotpath_prediction.Replay
+module Scheme = Hotpath_prediction.Scheme
+module Net = Hotpath_prediction.Net
+module Path_profile = Hotpath_prediction.Path_profile
+module Sweep = Hotpath_metrics.Sweep
+module Hot_set = Hotpath_metrics.Hot_set
+module Suite = Hotpath_workloads.Suite
+module Generator = Hotpath_workloads.Generator
+module Prng = Hotpath_util.Prng
+
+let record_fixture = Test_serialize.record_fixture
+
+let check_same_recording = Test_serialize.check_same_recording
+
+let fixture_program () =
+  let program, behavior, _ = Fixtures.indirect_loop ~exit_prob:0.02 () in
+  (program, behavior)
+
+let stream_of_recorder ?chunk_instances r =
+  match Stream.open_string (Stream.to_string ?chunk_instances r) with
+  | Ok rd -> rd
+  | Error e -> Alcotest.failf "open_string on valid stream failed: %s" e
+
+let drain rd =
+  match Stream.to_recorder rd with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "to_recorder on valid stream failed: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Round trips and boundaries                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_stream_roundtrip () =
+  let r = record_fixture () in
+  List.iter
+    (fun chunk_instances ->
+       check_same_recording r (drain (stream_of_recorder ~chunk_instances r)))
+    [ 1; 7; 256; Stream.default_chunk_instances ]
+
+let test_chunk_boundaries () =
+  (* Chunk sizes straddling the trace length: exactly one chunk, one
+     short, one over. *)
+  let r = record_fixture () in
+  let n = Recorder.num_instances r in
+  Alcotest.(check bool) "fixture is non-trivial" true (n > 2);
+  List.iter
+    (fun chunk_instances ->
+       check_same_recording r (drain (stream_of_recorder ~chunk_instances r)))
+    [ n - 1; n; n + 1 ]
+
+let test_empty_trace_roundtrip () =
+  let program, behavior = fixture_program () in
+  let empty =
+    Recorder.record ~max_paths:0 program behavior ~rng:(Prng.create ~seed:7)
+  in
+  Alcotest.(check int) "empty trace" 0 (Recorder.num_instances empty);
+  let r' = drain (stream_of_recorder empty) in
+  check_same_recording empty r'
+
+let test_streamed_record_matches_materialized_bytes () =
+  (* Recording straight to a sink must emit the same bytes as
+     serializing the materialized recording at the same chunk size. *)
+  let program, behavior = fixture_program () in
+  let buf = Buffer.create 4096 in
+  let summary =
+    Stream.record ~max_steps:20_000 ~chunk_instances:128 program behavior
+      ~rng:(Prng.create ~seed:7) ~sink:(Buffer.add_string buf)
+  in
+  let r =
+    Recorder.record ~max_steps:20_000 program behavior
+      ~rng:(Prng.create ~seed:7)
+  in
+  Alcotest.(check int) "summary instances" (Recorder.num_instances r)
+    summary.Recorder.cs_instances;
+  Alcotest.(check int) "summary paths" (Recorder.num_paths r)
+    summary.Recorder.cs_paths;
+  Alcotest.(check string) "byte-identical stream"
+    (Stream.to_string ~chunk_instances:128 r)
+    (Buffer.contents buf)
+
+let test_record_chunked_invariant_under_chunk_size () =
+  let program, behavior = fixture_program () in
+  let at chunk_instances =
+    let buf = Buffer.create 4096 in
+    ignore
+      (Stream.record ~max_steps:20_000 ~chunk_instances program behavior
+         ~rng:(Prng.create ~seed:7) ~sink:(Buffer.add_string buf));
+    match Serialize.of_string (Buffer.contents buf) with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "chunked stream unreadable: %s" e
+  in
+  let reference = at 1 in
+  List.iter
+    (fun c -> check_same_recording reference (at c))
+    [ 2; 63; 4096 ]
+
+let test_file_roundtrip_and_load_dispatch () =
+  let r = record_fixture () in
+  let path = Filename.temp_file "hotpath_stream" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+       Stream.save ~chunk_instances:100 r ~path;
+       (* Serialize.load sniffs the magic and chunk-reads HOTPATH3. *)
+       (match Serialize.load ~path with
+        | Ok r' -> check_same_recording r r'
+        | Error e -> Alcotest.failf "load of streamed file failed: %s" e);
+       match Stream.open_file ~path with
+       | Error e -> Alcotest.failf "open_file failed: %s" e
+       | Ok rd -> check_same_recording r (drain rd))
+
+let test_legacy_file_still_loads () =
+  (* The HOTPATH2 fallback: files written by the legacy writer keep
+     loading through the same entry point. *)
+  let r = record_fixture () in
+  let path = Filename.temp_file "hotpath_legacy" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+       Serialize.save r ~path;
+       match Serialize.load ~path with
+       | Ok r' -> check_same_recording r r'
+       | Error e -> Alcotest.failf "legacy load failed: %s" e)
+
+let test_reader_accessors () =
+  let r = record_fixture () in
+  let rd = stream_of_recorder ~chunk_instances:50 r in
+  Alcotest.(check bool) "no stats before end" true (Stream.vm_stats rd = None);
+  let rec pull () =
+    match Stream.next rd with
+    | Error e -> Alcotest.failf "next failed: %s" e
+    | Ok (Some chunk) ->
+      Alcotest.(check int) "arrivals per id"
+        (Array.length chunk.Stream.ids)
+        (Bytes.length chunk.Stream.arrivals);
+      let np = Path_table.size (Stream.table rd) in
+      Array.iter
+        (fun id ->
+           Alcotest.(check bool) "id already declared" true (id >= 0 && id < np))
+        chunk.Stream.ids;
+      pull ()
+    | Ok None -> ()
+  in
+  pull ();
+  Alcotest.(check int) "instances_read" (Recorder.num_instances r)
+    (Stream.instances_read rd);
+  Alcotest.(check bool) "stats after end" true (Stream.vm_stats rd <> None);
+  (match Stream.next rd with
+   | Ok None -> ()
+   | _ -> Alcotest.fail "next after end must keep returning Ok None");
+  Stream.close rd;
+  Stream.close rd
+
+(* ------------------------------------------------------------------ *)
+(* Streamed replay differential                                        *)
+(* ------------------------------------------------------------------ *)
+
+let schemes : (string * (module Scheme.S)) list =
+  [
+    ("net", (module Net));
+    ("net-once", (module Net.Net_once));
+    ("let", (module Net.Last_executed_tail));
+    ("path-profile", (module Path_profile));
+  ]
+
+let test_run_stream_matches_run () =
+  let r = record_fixture () in
+  List.iter
+    (fun (name, scheme) ->
+       List.iter
+         (fun delay ->
+            let materialized = Replay.run scheme ~delay r in
+            match
+              Replay.run_stream scheme ~delay (stream_of_recorder ~chunk_instances:33 r)
+            with
+            | Error e -> Alcotest.failf "%s: run_stream failed: %s" name e
+            | Ok streamed ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s delay=%d identical" name delay)
+                true
+                (Test_properties.outcome_equal materialized streamed))
+         [ 1; 7; 50; 100_000 ])
+    schemes
+
+let test_run_many_stream_matches_run_many () =
+  let r = record_fixture () in
+  let delays = [ 1; 3; 7; 20; 100; 5_000 ] in
+  List.iter
+    (fun (name, scheme) ->
+       let materialized = Replay.run_many scheme ~delays r in
+       match
+         Replay.run_many_stream scheme ~delays (stream_of_recorder ~chunk_instances:61 r)
+       with
+       | Error e -> Alcotest.failf "%s: run_many_stream failed: %s" name e
+       | Ok streamed ->
+         Alcotest.(check int) "one outcome per delay" (List.length delays)
+           (List.length streamed);
+         List.iter2
+           (fun a b ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s lane identical" name)
+                true
+                (Test_properties.outcome_equal a b))
+           materialized streamed)
+    schemes
+
+let test_run_many_stream_single_pass () =
+  let r = record_fixture () in
+  let n = Recorder.num_instances r in
+  let before = Replay.instance_reads () in
+  (match
+     Replay.run_many_stream (module Net) ~delays:[ 1; 5; 25; 125 ]
+       (stream_of_recorder r)
+   with
+   | Ok _ -> ()
+   | Error e -> Alcotest.failf "run_many_stream failed: %s" e);
+  Alcotest.(check int) "stream read once" n (Replay.instance_reads () - before)
+
+let test_sweep_stream_matches_sweep () =
+  let r = record_fixture () in
+  let threshold = Suite.hot_threshold in
+  let hot =
+    Hot_set.compute
+      ~freq:(Recorder.frequencies r)
+      ~total_flow:(Recorder.num_instances r)
+      ~threshold
+  in
+  let delays = [ 2; 10; 100; 1_000 ] in
+  let materialized = Sweep.run (module Net) r ~hot ~delays in
+  match Sweep.run_stream (module Net) (stream_of_recorder r) ~threshold ~delays with
+  | Error e -> Alcotest.failf "run_stream sweep failed: %s" e
+  | Ok streamed ->
+    Alcotest.(check bool) "sweep points identical" true (materialized = streamed)
+
+let test_run_stream_surfaces_decode_errors () =
+  (* A stream corrupted past the program frame fails inside the replay
+     loop; the error must surface as Error, not an exception, and the
+     reader must stay poisoned. *)
+  let r = record_fixture () in
+  let s = Stream.to_string ~chunk_instances:40 r in
+  let b = Bytes.of_string s in
+  let mid = String.length s / 2 in
+  Bytes.set b mid (Char.chr (Char.code (Bytes.get b mid) lxor 0x40));
+  match Stream.open_string (Bytes.to_string b) with
+  | Error _ -> () (* corruption already hit the program frame: fine *)
+  | Ok rd -> (
+      match Replay.run_stream (module Net) ~delay:7 rd with
+      | Ok _ -> Alcotest.fail "corrupt stream replayed to Ok"
+      | Error first -> (
+          match Stream.next rd with
+          | Error second ->
+            Alcotest.(check string) "reader stays poisoned" first second
+          | Ok _ -> Alcotest.fail "poisoned reader yielded a chunk"))
+
+(* ------------------------------------------------------------------ *)
+(* Fuzz suite                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let expect_error name s =
+  match Serialize.of_string s with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "%s: corrupt input accepted" name
+
+let flip_bit s ~pos ~bit =
+  let b = Bytes.of_string s in
+  Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+  Bytes.to_string b
+
+let test_fuzz_h3_bitflips () =
+  (* 400 random single-bit flips over a valid HOTPATH3 blob: the CRC
+     guarantees every one is detected. *)
+  let r = record_fixture () in
+  let s = Stream.to_string ~chunk_instances:64 r in
+  let rng = Prng.create ~seed:0xF1255 in
+  for case = 1 to 400 do
+    let pos = Prng.int rng ~bound:(String.length s) in
+    let bit = Prng.int rng ~bound:8 in
+    expect_error
+      (Printf.sprintf "h3 bitflip %d (pos=%d bit=%d)" case pos bit)
+      (flip_bit s ~pos ~bit)
+  done
+
+let test_fuzz_h3_truncations () =
+  (* Every strict prefix is a torn write; 120 spread across the blob. *)
+  let r = record_fixture () in
+  let s = Stream.to_string ~chunk_instances:64 r in
+  let n = String.length s in
+  for i = 0 to 119 do
+    let keep = i * (n - 1) / 119 in
+    expect_error (Printf.sprintf "h3 truncated to %d" keep) (String.sub s 0 keep)
+  done
+
+let frame_offsets s =
+  let rec go off acc =
+    if off >= String.length s then List.rev acc
+    else
+      let len = Int32.to_int (String.get_int32_le s (off + 1)) in
+      go (off + 5 + len + 4) ((off, len) :: acc)
+  in
+  go (String.length Stream.magic) []
+
+let test_fuzz_h3_length_fields () =
+  (* Every frame's payload-length field, mutated five ways.  Plausible
+     lengths are caught by the CRC (the header is covered), implausible
+     ones by the bound check before any allocation. *)
+  let r = record_fixture () in
+  let s = Stream.to_string ~chunk_instances:4 r in
+  let offsets = frame_offsets s in
+  (* program + >=1 paths + >=2 instances + end *)
+  Alcotest.(check bool) "multi-frame stream" true (List.length offsets >= 5);
+  List.iter
+    (fun (off, len) ->
+       List.iter
+         (fun v ->
+            if v <> len then begin
+              let b = Bytes.of_string s in
+              Bytes.set_int32_le b (off + 1) (Int32.of_int v);
+              expect_error
+                (Printf.sprintf "h3 frame@%d len %d->%d" off len v)
+                (Bytes.to_string b)
+            end)
+         [ -1; 0; len - 1; len + 1; Stream.max_frame_payload + 1 ])
+    offsets
+
+let test_fuzz_h3_trailing_garbage () =
+  let r = record_fixture () in
+  let s = Stream.to_string r in
+  expect_error "h3 trailing garbage" (s ^ "x");
+  expect_error "h3 trailing frame"
+    (s ^ String.sub s (String.length Stream.magic) 32)
+
+let test_fuzz_h2_bitflips_never_crash () =
+  (* No checksum in HOTPATH2: a flip may legitimately decode, but it
+     must never escape as an exception. *)
+  let r = record_fixture () in
+  let s = Serialize.to_string r in
+  let rng = Prng.create ~seed:0xBEE5 in
+  for _ = 1 to 300 do
+    let pos = Prng.int rng ~bound:(String.length s) in
+    let bit = Prng.int rng ~bound:8 in
+    match Serialize.of_string (flip_bit s ~pos ~bit) with
+    | Ok _ | Error _ -> ()
+  done
+
+let test_fuzz_h2_truncations () =
+  let r = record_fixture () in
+  let s = Serialize.to_string r in
+  let n = String.length s in
+  for i = 0 to 59 do
+    let keep = i * (n - 1) / 59 in
+    expect_error (Printf.sprintf "h2 truncated to %d" keep) (String.sub s 0 keep)
+  done
+
+let test_fuzz_h2_count_fields () =
+  (* The count fields that once drove unchecked allocations (or, for the
+     64-bit instance count, an overflow that escaped as an uncaught
+     exception): extreme values must come back Error. *)
+  let r = record_fixture () in
+  let s = Serialize.to_string r in
+  let n = Recorder.num_instances r in
+  let count_off = String.length s - 57 - (5 * n) - 8 in
+  List.iter
+    (fun shift ->
+       let b = Bytes.of_string s in
+       Bytes.set_int64_le b count_off (Int64.shift_left 1L shift);
+       expect_error
+         (Printf.sprintf "h2 instance count 2^%d" shift)
+         (Bytes.to_string b))
+    [ 20; 31; 61; 62; 63 ]
+
+(* ------------------------------------------------------------------ *)
+(* Regression corpus                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let corpus_files () =
+  match Sys.readdir "fixtures" with
+  | exception Sys_error e -> Alcotest.failf "corpus missing: %s" e
+  | files ->
+    let files = Array.to_list files |> List.sort String.compare in
+    Alcotest.(check bool) "corpus populated" true (List.length files >= 10);
+    files
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_corpus () =
+  List.iter
+    (fun name ->
+       let path = Filename.concat "fixtures" name in
+       let contents = read_file path in
+       let from_string = Serialize.of_string contents in
+       let from_file = Serialize.load ~path in
+       if String.length name >= 6 && String.sub name 0 6 = "valid_" then begin
+         (match from_string with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "%s: of_string rejected: %s" name e);
+         match from_file with
+         | Ok _ -> ()
+         | Error e -> Alcotest.failf "%s: load rejected: %s" name e
+       end
+       else begin
+         (match from_string with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.failf "%s: of_string accepted corrupt input" name);
+         match from_file with
+         | Error _ -> ()
+         | Ok _ -> Alcotest.failf "%s: load accepted corrupt input" name
+       end)
+    (corpus_files ())
+
+let test_corpus_valid_members_agree () =
+  (* The two valid encodings of the same recording must load to the same
+     recording. *)
+  let load name =
+    match Serialize.load ~path:(Filename.concat "fixtures" name) with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "%s: %s" name e
+  in
+  check_same_recording (load "valid_hotpath2.trace") (load "valid_hotpath3.trace");
+  let empty = load "valid_hotpath3_empty.trace" in
+  Alcotest.(check int) "empty corpus member" 0 (Recorder.num_instances empty)
+
+let suites =
+  [
+    ( "trace.stream",
+      [
+        Alcotest.test_case "roundtrip at several chunk sizes" `Quick
+          test_stream_roundtrip;
+        Alcotest.test_case "chunk boundary sizes" `Quick test_chunk_boundaries;
+        Alcotest.test_case "empty trace roundtrip" `Quick
+          test_empty_trace_roundtrip;
+        Alcotest.test_case "streamed record = materialized bytes" `Quick
+          test_streamed_record_matches_materialized_bytes;
+        Alcotest.test_case "record_chunked invariant in chunk size" `Quick
+          test_record_chunked_invariant_under_chunk_size;
+        Alcotest.test_case "file roundtrip + load dispatch" `Quick
+          test_file_roundtrip_and_load_dispatch;
+        Alcotest.test_case "legacy HOTPATH2 file still loads" `Quick
+          test_legacy_file_still_loads;
+        Alcotest.test_case "reader accessors" `Quick test_reader_accessors;
+        Alcotest.test_case "run_stream = run (all schemes)" `Quick
+          test_run_stream_matches_run;
+        Alcotest.test_case "run_many_stream = run_many (all schemes)" `Quick
+          test_run_many_stream_matches_run_many;
+        Alcotest.test_case "run_many_stream reads stream once" `Quick
+          test_run_many_stream_single_pass;
+        Alcotest.test_case "sweep over stream = materialized sweep" `Quick
+          test_sweep_stream_matches_sweep;
+        Alcotest.test_case "replay surfaces decode errors" `Quick
+          test_run_stream_surfaces_decode_errors;
+      ] );
+    ( "trace.stream.fuzz",
+      [
+        Alcotest.test_case "400 h3 bitflips all rejected" `Quick
+          test_fuzz_h3_bitflips;
+        Alcotest.test_case "120 h3 truncations all rejected" `Quick
+          test_fuzz_h3_truncations;
+        Alcotest.test_case "h3 length-field mutations all rejected" `Quick
+          test_fuzz_h3_length_fields;
+        Alcotest.test_case "h3 trailing garbage rejected" `Quick
+          test_fuzz_h3_trailing_garbage;
+        Alcotest.test_case "300 h2 bitflips never crash" `Quick
+          test_fuzz_h2_bitflips_never_crash;
+        Alcotest.test_case "60 h2 truncations all rejected" `Quick
+          test_fuzz_h2_truncations;
+        Alcotest.test_case "h2 count-field corruption rejected" `Quick
+          test_fuzz_h2_count_fields;
+        Alcotest.test_case "regression corpus" `Quick test_corpus;
+        Alcotest.test_case "corpus valid members agree" `Quick
+          test_corpus_valid_members_agree;
+      ] );
+  ]
