@@ -1,0 +1,36 @@
+(* Craft a HOTPATH3 stream with many empty k_paths frames *)
+module S = Hotpath_trace.Serialize
+module Cfg = Hotpath_cfg.Cfg
+
+let frame buf ~kind payload =
+  let hdr = Bytes.create 5 in
+  Bytes.set_uint8 hdr 0 kind;
+  Bytes.set_int32_le hdr 1 (Int32.of_int (String.length payload));
+  let crc = Hotpath_util.Crc32.update_bytes Hotpath_util.Crc32.empty hdr ~pos:0 ~len:5 in
+  let crc = Hotpath_util.Crc32.update_string crc payload ~pos:0 ~len:(String.length payload) in
+  Buffer.add_bytes buf hdr;
+  Buffer.add_string buf payload;
+  let tl = Bytes.create 4 in
+  Bytes.set_int32_le tl 0 crc;
+  Buffer.add_bytes buf tl
+
+let () =
+  (* take the program frame from a real tiny stream *)
+  let b = Hotpath_workloads.Suite.find_exn "fig5_compress" in
+  let real = Buffer.create 4096 in
+  ignore (Hotpath_workloads.Suite.record_stream ~scale:0.001 b ~sink:(Buffer.add_string real));
+  let real = Buffer.contents real in
+  (* parse out magic + program frame: magic(8) + 5 + plen + 4 *)
+  let plen = Int32.to_int (String.get_int32_le real 9) in
+  let prefix = String.sub real 0 (8 + 5 + plen + 4) in
+  let buf = Buffer.create (1 lsl 22) in
+  Buffer.add_string buf prefix;
+  let empty_paths = let p = Buffer.create 4 in Buffer.add_int32_le p 0l; Buffer.contents p in
+  for _ = 1 to 2_000_000 do frame buf ~kind:1 empty_paths done;
+  match S.Stream.open_string (Buffer.contents buf) with
+  | Error e -> Printf.printf "open error: %s\n" e
+  | Ok rd ->
+    (match S.Stream.next rd with
+     | Ok _ -> print_endline "ok"
+     | Error e -> Printf.printf "Error: %s\n" e
+     | exception e -> Printf.printf "UNCAUGHT EXCEPTION: %s\n" (Printexc.to_string e))
