@@ -59,6 +59,33 @@ let emit ~csv tbl =
     (if csv then Hotpath_util.Tablefmt.render_csv tbl
      else Hotpath_util.Tablefmt.render tbl)
 
+let events_arg =
+  let doc =
+    "Write a structured JSON-Lines event stream to $(docv) (per-window \
+     replay samples, sweep progress, Dynamo flush/bail incidents; see the \
+     README's Observability section).  Emission never changes computed \
+     results."
+  in
+  Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE" ~doc)
+
+let events_window_arg =
+  let doc = "Event sample window, in path instances." in
+  Arg.(
+    value
+    & opt int Hotpath_prediction.Replay.default_events_window
+    & info [ "events-window" ] ~docv:"N" ~doc)
+
+(* [--events FILE] opens a sink around [f]; no flag means the null sink,
+   which every producer treats as "disabled". *)
+let with_events_sink events f =
+  match events with
+  | None -> f Hotpath_util.Events.null
+  | Some path ->
+    let sink = Hotpath_util.Events.open_file path in
+    Fun.protect
+      ~finally:(fun () -> Hotpath_util.Events.close sink)
+      (fun () -> f sink)
+
 let scheme_of_string = function
   | "net" -> (module Hotpath_prediction.Net : Hotpath_prediction.Scheme.S)
   | "net-once" -> (module Hotpath_prediction.Net.Net_once)
@@ -232,52 +259,74 @@ let phases_cmd =
 (* ------------------------------------------------------------------ *)
 
 let sweep_cmd =
-  let run scale bench =
+  let run scale bench events events_window =
     let module Sweep = Hotpath_metrics.Sweep in
     let b = Hotpath_workloads.Suite.find_exn bench in
     let r = Hotpath_experiments.Runs.load ~scale b in
-    List.iter
-      (fun (scheme_name, scheme) ->
-         let points, timing =
-           Sweep.run_timed scheme r.Hotpath_experiments.Runs.recorded
-             ~hot:r.Hotpath_experiments.Runs.hot ~delays:Sweep.default_delays
-         in
-         Printf.printf "%s / %s:\n" scheme_name bench;
-         List.iter
-           (fun p ->
-              Printf.printf
-                "  delay=%-8d profiled=%6.2f%% hit=%6.1f%% noise=%6.1f%% \
-                 preds=%-6d counters=%d\n"
-                p.Sweep.delay p.Sweep.profiled_pct p.Sweep.hit_rate
-                p.Sweep.noise_rate p.Sweep.predictions p.Sweep.counter_space)
-           points;
-         Format.printf "  %a@." Sweep.pp_timing timing)
-      Hotpath_experiments.Figures23.schemes
+    with_events_sink events (fun sink ->
+      List.iter
+        (fun (scheme_name, scheme) ->
+           let points, timing =
+             Sweep.run_timed ~events:sink ~events_window scheme
+               r.Hotpath_experiments.Runs.recorded
+               ~hot:r.Hotpath_experiments.Runs.hot ~delays:Sweep.default_delays
+           in
+           Printf.printf "%s / %s:\n" scheme_name bench;
+           List.iter
+             (fun p ->
+                Printf.printf
+                  "  delay=%-8d profiled=%6.2f%% hit=%6.1f%% noise=%6.1f%% \
+                   preds=%-6d counters=%d\n"
+                  p.Sweep.delay p.Sweep.profiled_pct p.Sweep.hit_rate
+                  p.Sweep.noise_rate p.Sweep.predictions p.Sweep.counter_space)
+             points;
+           Format.printf "  %a@." Sweep.pp_timing timing)
+        Hotpath_experiments.Figures23.schemes;
+      Hotpath_util.Events.registry_snapshot sink)
   in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:
          "Delay sweep for one benchmark, both schemes (all delays multiplexed \
           through one trace pass)")
-    Term.(const run $ scale_arg $ bench_arg)
+    Term.(const run $ scale_arg $ bench_arg $ events_arg $ events_window_arg)
 
 let dynamo_cmd =
-  let run scale bench scheme delay =
+  let run scale bench scheme delay events events_window =
     let module E = Hotpath_dynamo.Engine in
-    let b = Hotpath_workloads.Suite.find_exn bench in
-    let r = Hotpath_experiments.Runs.load ~scale b in
+    (* "phases" is not a Table 1 benchmark: it is the deterministic
+       phase-change workload of Section 6.1, exposed here so the flush
+       heuristic can be watched through --events. *)
+    let recorded =
+      if bench = "phases" then
+        Hotpath_workloads.Suite.record_phased
+          ~max_paths:(max 1000 (int_of_float (scale *. 120_000.0)))
+          ()
+      else
+        let b = Hotpath_workloads.Suite.find_exn bench in
+        (Hotpath_experiments.Runs.load ~scale b).Hotpath_experiments.Runs.recorded
+    in
     let cost = Hotpath_dynamo.Cost_model.default in
     let packed = scheme_of_string scheme in
     let costs =
       if scheme = "path-profile" then E.path_profile_costs cost else E.net_costs cost
     in
-    let config = E.config ~cost ~scheme:packed ~scheme_costs:costs ~delay () in
-    let result = E.run config r.Hotpath_experiments.Runs.recorded in
-    Format.printf "%a@." E.pp_result result
+    with_events_sink events (fun sink ->
+      let config =
+        E.config ~cost ~scheme:packed ~scheme_costs:costs ~delay ~events:sink
+          ~events_window ()
+      in
+      let result = E.run config recorded in
+      Format.printf "%a@." E.pp_result result)
   in
   Cmd.v
-    (Cmd.info "dynamo" ~doc:"Run the Dynamo simulator on one benchmark")
-    Term.(const run $ scale_arg $ bench_arg $ scheme_arg $ delay_arg)
+    (Cmd.info "dynamo"
+       ~doc:
+         "Run the Dynamo simulator on one benchmark (or the 'phases' \
+          phase-change workload)")
+    Term.(
+      const run $ scale_arg $ bench_arg $ scheme_arg $ delay_arg $ events_arg
+      $ events_window_arg)
 
 let online_cmd =
   let run scale bench scheme delay =
@@ -395,36 +444,44 @@ let stream_arg =
   Arg.(value & flag & info [ "stream" ] ~doc)
 
 let record_cmd =
-  let run scale bench trace stream =
+  let run scale bench trace stream events =
     let b = Hotpath_workloads.Suite.find_exn bench in
-    if stream then begin
-      let oc = open_out_bin trace in
-      let summary =
-        Fun.protect
-          ~finally:(fun () -> close_out oc)
-          (fun () ->
-             Hotpath_workloads.Suite.record_stream ~scale b
-               ~sink:(output_string oc))
-      in
-      Printf.printf "streamed %d instances (%d paths) of %s into %s\n"
-        summary.Hotpath_trace.Recorder.cs_instances
-        summary.Hotpath_trace.Recorder.cs_paths bench trace
-    end
-    else begin
-      let recorded = Hotpath_workloads.Suite.record ~scale b in
-      Hotpath_trace.Serialize.save recorded ~path:trace;
-      Printf.printf "recorded %d instances (%d paths) of %s into %s\n"
-        (Hotpath_trace.Recorder.num_instances recorded)
-        (Hotpath_trace.Recorder.num_paths recorded)
-        bench trace
-    end
+    with_events_sink events (fun sink ->
+      if stream then begin
+        let oc = open_out_bin trace in
+        let summary =
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () ->
+               Hotpath_workloads.Suite.record_stream ~scale ~events:sink b
+                 ~sink:(output_string oc))
+        in
+        Printf.printf "streamed %d instances (%d paths) of %s into %s\n"
+          summary.Hotpath_trace.Recorder.cs_instances
+          summary.Hotpath_trace.Recorder.cs_paths bench trace
+      end
+      else begin
+        let recorded = Hotpath_workloads.Suite.record ~scale b in
+        Hotpath_trace.Serialize.save recorded ~path:trace;
+        Hotpath_util.Events.record_done sink
+          ~instances:(Hotpath_trace.Recorder.num_instances recorded)
+          ~paths:(Hotpath_trace.Recorder.num_paths recorded)
+          ~bytes_out:
+            (Int64.to_int
+               (In_channel.with_open_bin trace In_channel.length));
+        Printf.printf "recorded %d instances (%d paths) of %s into %s\n"
+          (Hotpath_trace.Recorder.num_instances recorded)
+          (Hotpath_trace.Recorder.num_paths recorded)
+          bench trace
+      end)
   in
   Cmd.v
     (Cmd.info "record" ~doc:"Record a benchmark's trace into a file")
-    Term.(const run $ scale_arg $ bench_arg $ trace_arg $ stream_arg)
+    Term.(
+      const run $ scale_arg $ bench_arg $ trace_arg $ stream_arg $ events_arg)
 
 let replay_cmd =
-  let run trace scheme delay stream =
+  let run trace scheme delay stream events events_window =
     let module Replay = Hotpath_prediction.Replay in
     let report outcome =
       let hot =
@@ -439,22 +496,62 @@ let replay_cmd =
       Printf.eprintf "cannot load %s: %s\n" trace e;
       exit 1
     in
-    if stream then
-      match Hotpath_trace.Serialize.Stream.open_file ~path:trace with
-      | Error e -> fail e
-      | Ok rd ->
-        let result = Replay.run_stream (scheme_of_string scheme) ~delay rd in
-        Hotpath_trace.Serialize.Stream.close rd;
-        (match result with Error e -> fail e | Ok outcome -> report outcome)
-    else
-      match Hotpath_trace.Serialize.load ~path:trace with
-      | Error e -> fail e
-      | Ok recorded ->
-        report (Replay.run (scheme_of_string scheme) ~delay recorded)
+    with_events_sink events (fun sink ->
+      (if stream then
+         (* Single pass: the hot set cannot be known mid-stream, so the
+            window samples carry no hits/noise fields. *)
+         let ev = Replay.events ~window:events_window sink in
+         match Hotpath_trace.Serialize.Stream.open_file ~path:trace with
+         | Error e -> fail e
+         | Ok rd ->
+           let result =
+             Replay.run_stream ~events:ev (scheme_of_string scheme) ~delay rd
+           in
+           Hotpath_trace.Serialize.Stream.close rd;
+           (match result with Error e -> fail e | Ok outcome -> report outcome)
+       else
+         match Hotpath_trace.Serialize.load ~path:trace with
+         | Error e -> fail e
+         | Ok recorded ->
+           (* Materialized replay knows the full-run frequencies up front,
+              so the samples can carry ground-truth hits/noise. *)
+           let hot =
+             Hotpath_metrics.Hot_set.compute
+               ~freq:(Hotpath_trace.Recorder.frequencies recorded)
+               ~total_flow:(Hotpath_trace.Recorder.num_instances recorded)
+               ~threshold:Hotpath_workloads.Suite.hot_threshold
+           in
+           let ev =
+             Replay.events ~window:events_window
+               ~is_hot:(Hotpath_metrics.Hot_set.is_hot hot) sink
+           in
+           report (Replay.run ~events:ev (scheme_of_string scheme) ~delay recorded));
+      Hotpath_util.Events.registry_snapshot sink)
   in
   Cmd.v
     (Cmd.info "replay" ~doc:"Replay a recorded trace file under a prediction scheme")
-    Term.(const run $ trace_arg $ scheme_arg $ delay_arg $ stream_arg)
+    Term.(
+      const run $ trace_arg $ scheme_arg $ delay_arg $ stream_arg $ events_arg
+      $ events_window_arg)
+
+let events_summary_cmd =
+  let file_arg =
+    let doc = "Event stream file (JSON lines, as written by --events)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run file =
+    match Hotpath_experiments.Events_summary.of_file file with
+    | Error e ->
+      Printf.eprintf "cannot summarize %s: %s\n" file e;
+      exit 1
+    | Ok t -> print_string (Hotpath_experiments.Events_summary.render t)
+  in
+  Cmd.v
+    (Cmd.info "events-summary"
+       ~doc:
+         "Render an --events stream as per-window tables, flagging \
+          phase-change windows")
+    Term.(const run $ file_arg)
 
 let bench_list_cmd =
   let run () =
@@ -475,7 +572,7 @@ let main_cmd =
     [
       table1_cmd; table2_cmd; fig2_cmd; fig3_cmd; fig4_cmd; fig5_cmd; ablations_cmd; offline_cmd; phases_cmd;
       sweep_cmd; dynamo_cmd; online_cmd; paths_cmd; dot_cmd; record_cmd; replay_cmd;
-      bench_list_cmd;
+      events_summary_cmd; bench_list_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

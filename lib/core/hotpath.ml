@@ -34,6 +34,7 @@
     ]} *)
 
 module Prng = Hotpath_util.Prng
+module Events = Hotpath_util.Events
 module Vec = Hotpath_util.Vec
 module Stats = Hotpath_util.Stats
 module Tablefmt = Hotpath_util.Tablefmt
@@ -78,4 +79,5 @@ module Experiments = struct
   module Ablations = Hotpath_experiments.Ablations
   module Offline = Hotpath_experiments.Offline
   module Phases = Hotpath_experiments.Phases
+  module Events_summary = Hotpath_experiments.Events_summary
 end

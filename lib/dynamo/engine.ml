@@ -3,6 +3,7 @@ module Recorder = Hotpath_trace.Recorder
 module Path_table = Hotpath_trace.Path_table
 module Path = Hotpath_trace.Path
 module Cfg = Hotpath_cfg.Cfg
+module Events = Hotpath_util.Events
 
 type scheme_costs = {
   per_instance : n_branches:int -> arrival:Path.head_kind -> float;
@@ -59,18 +60,23 @@ type config = {
   cache_eviction : Fragment_cache.eviction;
   flush_policy : flush_policy option;
   bail_policy : bail_policy option;
+  events : Events.sink;
+  events_window : int;
 }
 
 let config ?(cost = Cost_model.default) ?(cache_capacity = 16_384)
     ?(cache_eviction = Fragment_cache.Reject_when_full)
     ?(flush_policy = Some default_flush_policy)
-    ?(bail_policy = Some default_bail_policy) ~scheme ~scheme_costs ~delay () =
+    ?(bail_policy = Some default_bail_policy) ?(events = Events.null)
+    ?(events_window = 8_192) ~scheme ~scheme_costs ~delay () =
   (match Cost_model.validate cost with
    | Ok () -> ()
    | Error e -> invalid_arg ("Engine.config: " ^ e));
   if delay < 1 then invalid_arg "Engine.config: delay must be >= 1";
+  if events_window < 1 then
+    invalid_arg "Engine.config: events_window must be >= 1";
   { scheme; scheme_costs; delay; cost; cache_capacity; cache_eviction; flush_policy;
-    bail_policy }
+    bail_policy; events; events_window }
 
 type result = {
   r_scheme : string;
@@ -148,6 +154,11 @@ module Stepper = struct
     mutable bail_prev_ovh : float;
     mutable bail_prev_interp : float;
     mutable bail_prev_native : float;
+    (* Event sampling.  [ev_next] is [max_int] when the sink is null, so
+       the disabled cost in [step] is one integer comparison. *)
+    mutable ev_next : int;
+    mutable ev_seq : int;
+    mutable ev_last_upto : int;
   }
 
   let create cfg ~program ~lookup =
@@ -188,12 +199,30 @@ module Stepper = struct
       bail_prev_ovh = 0.0;
       bail_prev_interp = 0.0;
       bail_prev_native = 0.0;
+      ev_next = (if Events.is_null cfg.events then max_int else cfg.events_window);
+      ev_seq = 0;
+      ev_last_upto = 0;
     }
 
-  let do_flush st =
+  let emit_window st =
+    Events.dynamo_window st.cfg.events ~scheme:st.scheme_name
+      ~delay:st.cfg.delay ~seq:st.ev_seq ~upto:st.instances
+      ~full_hits:st.full_hits ~partial_hits:st.partial_hits ~misses:st.misses
+      ~fragments:(Fragment_cache.inserted_total st.cache)
+      ~flushes:(Fragment_cache.flush_count st.cache)
+      ~cycles_fragment:st.cyc_fragment ~cycles_interp:st.cyc_interp
+      ~cycles_profile:st.cyc_profile ~cycles_overhead:st.cyc_overhead
+      ~cycles_flush:st.cyc_flush ~cycles_native:st.native;
+    st.ev_seq <- st.ev_seq + 1;
+    st.ev_last_upto <- st.instances
+
+  let do_flush st ~reason ~window_preds ~baseline =
     Fragment_cache.flush st.cache;
     Hashtbl.reset st.predicted;
-    st.cyc_flush <- st.cyc_flush +. st.cfg.cost.Cost_model.flush_cycles
+    st.cyc_flush <- st.cyc_flush +. st.cfg.cost.Cost_model.flush_cycles;
+    Events.dynamo_flush st.cfg.events ~at:st.instances ~reason ~window_preds
+      ~baseline ~flushes:(Fragment_cache.flush_count st.cache)
+      ~cycles_flush:st.cyc_flush
 
   let window_boundary st fp =
     let count = st.window_preds in
@@ -206,7 +235,7 @@ module Stepper = struct
       | None -> st.baseline <- Some (float_of_int count)
       | Some b ->
         if count >= fp.fp_min && float_of_int count > fp.fp_factor *. (b +. 1.0) then
-          do_flush st;
+          do_flush st ~reason:"spike" ~window_preds:count ~baseline:b;
         st.baseline <- Some ((0.7 *. b) +. (0.3 *. float_of_int count))
 
   let bail_boundary st bp =
@@ -224,25 +253,33 @@ module Stepper = struct
           || interp_delta > bp.bp_interp_frac *. native_delta)
     then st.bail_streak <- st.bail_streak + 1
     else st.bail_streak <- 0;
-    if st.bail_streak >= bp.bp_streak then st.bailed <- true
+    if st.bail_streak >= bp.bp_streak then begin
+      st.bailed <- true;
+      Events.dynamo_bail st.cfg.events ~at:st.instances ~streak:st.bail_streak
+        ~overhead_delta:ovh_delta ~interp_delta ~native_delta
+    end
 
   let install st target_path =
     let p = st.lookup target_path in
     Hashtbl.replace st.predicted target_path ();
     let fr = Fragment_cache.fragment_of_path p in
-    match Fragment_cache.insert st.cache fr with
-    | `Inserted | `Duplicate -> ()
-    | `Evicted victim ->
-      (* LRU made room; the victim's path must be re-predictable. *)
-      Hashtbl.remove st.predicted victim.Fragment_cache.fr_path
-    | `Full ->
-      (* Cache pressure under the reject policy: flush and retry, as
-         Dynamo does. *)
-      do_flush st;
-      Hashtbl.replace st.predicted target_path ();
-      (match Fragment_cache.insert st.cache fr with
-       | `Inserted | `Duplicate -> ()
-       | `Evicted _ | `Full -> assert false)
+    (match Fragment_cache.insert st.cache fr with
+     | `Inserted | `Duplicate -> ()
+     | `Evicted victim ->
+       (* LRU made room; the victim's path must be re-predictable. *)
+       Hashtbl.remove st.predicted victim.Fragment_cache.fr_path
+     | `Full ->
+       (* Cache pressure under the reject policy: flush and retry, as
+          Dynamo does. *)
+       do_flush st ~reason:"pressure" ~window_preds:st.window_preds
+         ~baseline:0.0;
+       Hashtbl.replace st.predicted target_path ();
+       (match Fragment_cache.insert st.cache fr with
+        | `Inserted | `Duplicate -> ()
+        | `Evicted _ | `Full -> assert false));
+    Events.dynamo_install st.cfg.events ~at:st.instances ~path:target_path
+      ~blocks:(Array.length p.Path.blocks) ~instrs:p.Path.n_instrs
+      ~fragments:(Fragment_cache.inserted_total st.cache)
 
   let step st ~path:(p : Path.t) ~arrival =
     let c = st.cfg.cost in
@@ -319,6 +356,10 @@ module Stepper = struct
         | Some _ | None -> ()
       end
     end;
+    if st.instances >= st.ev_next then begin
+      emit_window st;
+      st.ev_next <- st.ev_next + st.cfg.events_window
+    end;
     (match st.cfg.flush_policy with
      | Some fp -> if st.instances mod fp.fp_window = 0 then window_boundary st fp
      | None -> ());
@@ -328,6 +369,12 @@ module Stepper = struct
     | Some _ | None -> ()
 
   let finalize st =
+    (* The last (possibly short) window always gets a sample, so a
+       consumer summing the final event matches the result record. *)
+    if
+      (not (Events.is_null st.cfg.events))
+      && (st.ev_last_upto < st.instances || st.ev_seq = 0)
+    then emit_window st;
     let dynamo =
       st.cyc_fragment +. st.cyc_interp +. st.cyc_profile +. st.cyc_overhead
       +. st.cyc_flush +. st.cyc_native_tail

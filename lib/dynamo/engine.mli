@@ -75,6 +75,14 @@ type config = {
   cache_eviction : Fragment_cache.eviction;
   flush_policy : flush_policy option;
   bail_policy : bail_policy option;
+  events : Hotpath_util.Events.sink;
+      (** Receives [dynamo_install] / [dynamo_flush] / [dynamo_bail]
+          events as they happen plus one cumulative [dynamo_window]
+          cycle-accounting sample every [events_window] instances (final
+          short window included).  {!Hotpath_util.Events.null} — the
+          default — disables all of it; emission never changes the
+          {!result}. *)
+  events_window : int;
 }
 
 val config :
@@ -83,6 +91,8 @@ val config :
   ?cache_eviction:Fragment_cache.eviction ->
   ?flush_policy:flush_policy option ->
   ?bail_policy:bail_policy option ->
+  ?events:Hotpath_util.Events.sink ->
+  ?events_window:int ->
   scheme:Scheme.packed ->
   scheme_costs:scheme_costs ->
   delay:int ->
@@ -90,7 +100,9 @@ val config :
   config
 (** Defaults: {!Cost_model.default}, capacity 16384 with
     [Reject_when_full] (flush on pressure), {!default_flush_policy},
-    {!default_bail_policy}. *)
+    {!default_bail_policy}, events disabled ([events_window] 8192).
+    @raise Invalid_argument when [delay < 1], [events_window < 1], or the
+    cost model fails validation. *)
 
 type result = {
   r_scheme : string;

@@ -1,0 +1,302 @@
+module Events = Hotpath_util.Events
+module Tablefmt = Hotpath_util.Tablefmt
+
+type fields = (string * Events.value) list
+
+type t = {
+  all : fields list;  (* stream order *)
+  kinds : (string * int) list;  (* first-seen order *)
+}
+
+let of_string s =
+  let exception Fail of string in
+  try
+    let all = ref [] and kinds = ref [] and lineno = ref 0 in
+    String.split_on_char '\n' s
+    |> List.iter (fun line ->
+      incr lineno;
+      let trimmed = String.trim line in
+      if trimmed <> "" then
+        match Events.parse_line trimmed with
+        | Error e -> raise (Fail (Printf.sprintf "line %d: %s" !lineno e))
+        | Ok fields ->
+          let k = Option.value (Events.kind fields) ~default:"?" in
+          (match List.assoc_opt k !kinds with
+           | Some n ->
+             kinds := List.map (fun (k', n') -> if k' = k then (k', n + 1) else (k', n')) !kinds
+           | None -> kinds := !kinds @ [ (k, 1) ]);
+          all := fields :: !all);
+    Ok { all = List.rev !all; kinds = !kinds }
+  with Fail e -> Error e
+
+let of_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | s -> of_string s
+  | exception Sys_error e -> Error e
+
+let events t = List.length t.all
+
+let of_kind t k = List.filter (fun f -> Events.kind f = Some k) t.all
+
+let int_exn f name =
+  match Events.find_int f name with
+  | Some v -> v
+  | None -> invalid_arg ("events-summary: missing field " ^ name)
+
+let float_exn f name =
+  match Events.find_float f name with
+  | Some v -> v
+  | None -> invalid_arg ("events-summary: missing field " ^ name)
+
+let str_exn f name =
+  match Events.find_str f name with
+  | Some v -> v
+  | None -> invalid_arg ("events-summary: missing field " ^ name)
+
+(* Windows of one event kind grouped into (scheme, delay) lanes,
+   first-seen order, each lane's samples in stream (= seq) order. *)
+let lanes t kind =
+  let tbl = ref [] in
+  List.iter
+    (fun f ->
+      let key = (str_exn f "scheme", int_exn f "delay") in
+      match List.assoc_opt key !tbl with
+      | Some r -> r := f :: !r
+      | None -> tbl := !tbl @ [ (key, ref [ f ]) ])
+    (of_kind t kind);
+  List.map (fun (key, r) -> (key, List.rev !r)) !tbl
+
+(* Phase-change detector over a lane's per-window burst counts: the same
+   spike-vs-EWMA shape the engine's flush policy uses.  The first window
+   is the startup burst and seeds the baseline. *)
+let phase_factor = 2.5
+let phase_min = 8
+
+let flag_phases bursts =
+  let flags = ref [] and baseline = ref None in
+  List.iteri
+    (fun i burst ->
+      (match !baseline with
+       | None -> ()
+       | Some b ->
+         if burst >= phase_min && float_of_int burst > phase_factor *. (b +. 1.0)
+         then flags := i :: !flags);
+      baseline :=
+        Some
+          (match !baseline with
+           | None -> float_of_int burst
+           | Some b -> (0.7 *. b) +. (0.3 *. float_of_int burst)))
+    bursts;
+  List.rev !flags
+
+(* Per-window burst = delta of a cumulative field between samples. *)
+let deltas field samples =
+  let prev = ref 0 in
+  List.map
+    (fun f ->
+      let v = int_exn f field in
+      let d = v - !prev in
+      prev := v;
+      d)
+    samples
+
+let replay_lane_flags (_, samples) = flag_phases (deltas "predictions" samples)
+let dynamo_lane_flags (_, samples) = flag_phases (deltas "fragments" samples)
+
+let phase_flags t =
+  let collect kind lane_flags =
+    List.concat_map
+      (fun ((scheme, delay), samples) ->
+        List.map
+          (fun i -> (scheme, delay, int_exn (List.nth samples i) "seq"))
+          (lane_flags ((scheme, delay), samples)))
+      (lanes t kind)
+  in
+  collect "replay.window" replay_lane_flags
+  @ collect "dynamo.window" dynamo_lane_flags
+
+let buf_table b tbl = Buffer.add_string b (Tablefmt.render tbl)
+
+let section b title = Buffer.add_string b (Printf.sprintf "\n%s\n" title)
+
+let render_overview b t =
+  Buffer.add_string b (Printf.sprintf "Event stream: %d events\n" (events t));
+  let tbl =
+    Tablefmt.create ~columns:[ ("kind", Tablefmt.Left); ("count", Tablefmt.Right) ]
+  in
+  List.iter (fun (k, n) -> Tablefmt.add_row tbl [ k; Tablefmt.cell_int n ]) t.kinds;
+  buf_table b tbl
+
+let render_replay_lanes b t =
+  List.iter
+    (fun (((scheme, delay), samples) as lane) ->
+      section b (Printf.sprintf "Replay windows — %s delay=%d" scheme delay);
+      let flags = replay_lane_flags lane in
+      let with_hits = List.exists (fun f -> Events.find_int f "hits" <> None) samples in
+      let columns =
+        [ ("win", Tablefmt.Right); ("upto", Tablefmt.Right);
+          ("d.inst", Tablefmt.Right); ("d.pred", Tablefmt.Right);
+          ("d.prof", Tablefmt.Right); ("d.capt", Tablefmt.Right);
+          ("ctr", Tablefmt.Right); ("ctr.hw", Tablefmt.Right) ]
+        @ (if with_hits then
+             [ ("hits", Tablefmt.Right); ("noise", Tablefmt.Right) ]
+           else [])
+        @ [ ("phase", Tablefmt.Left) ]
+      in
+      let tbl = Tablefmt.create ~columns in
+      let dp = deltas "predictions" samples
+      and dprof = deltas "profiled" samples
+      and dcapt = deltas "captured" samples in
+      List.iteri
+        (fun i f ->
+          let cell name = Tablefmt.cell_int (int_exn f name) in
+          Tablefmt.add_row tbl
+            ([ string_of_int (int_exn f "seq"); cell "upto";
+               Tablefmt.cell_int (int_exn f "instances");
+               Tablefmt.cell_int (List.nth dp i);
+               Tablefmt.cell_int (List.nth dprof i);
+               Tablefmt.cell_int (List.nth dcapt i);
+               cell "counter_space"; cell "counter_space_hw" ]
+             @ (if with_hits then [ cell "hits"; cell "noise" ] else [])
+             @ [ (if List.mem i flags then "*" else "") ]))
+        samples;
+      buf_table b tbl)
+    (lanes t "replay.window")
+
+let render_dynamo_lanes b t =
+  List.iter
+    (fun (((scheme, delay), samples) as lane) ->
+      section b (Printf.sprintf "Dynamo windows — %s delay=%d" scheme delay);
+      let flags = dynamo_lane_flags lane in
+      let tbl =
+        Tablefmt.create
+          ~columns:
+            [ ("win", Tablefmt.Right); ("upto", Tablefmt.Right);
+              ("d.full", Tablefmt.Right); ("d.part", Tablefmt.Right);
+              ("d.miss", Tablefmt.Right); ("frags", Tablefmt.Right);
+              ("flushes", Tablefmt.Right); ("speedup", Tablefmt.Right);
+              ("phase", Tablefmt.Left) ]
+      in
+      let dfull = deltas "full_hits" samples
+      and dpart = deltas "partial_hits" samples
+      and dmiss = deltas "misses" samples in
+      List.iteri
+        (fun i f ->
+          let dynamo =
+            float_exn f "cycles_fragment" +. float_exn f "cycles_interp"
+            +. float_exn f "cycles_profile" +. float_exn f "cycles_overhead"
+            +. float_exn f "cycles_flush"
+          in
+          let native = float_exn f "cycles_native" in
+          let speedup =
+            if dynamo > 0.0 then ((native /. dynamo) -. 1.0) *. 100.0 else 0.0
+          in
+          Tablefmt.add_row tbl
+            [ string_of_int (int_exn f "seq");
+              Tablefmt.cell_int (int_exn f "upto");
+              Tablefmt.cell_int (List.nth dfull i);
+              Tablefmt.cell_int (List.nth dpart i);
+              Tablefmt.cell_int (List.nth dmiss i);
+              Tablefmt.cell_int (int_exn f "fragments");
+              Tablefmt.cell_int (int_exn f "flushes");
+              Tablefmt.cell_pct speedup;
+              (if List.mem i flags then "*" else "") ])
+        samples;
+      buf_table b tbl)
+    (lanes t "dynamo.window")
+
+let render_incidents b t =
+  let flushes = of_kind t "dynamo.flush" and bails = of_kind t "dynamo.bail" in
+  if flushes <> [] then begin
+    section b "Cache flushes";
+    List.iter
+      (fun f ->
+        Buffer.add_string b
+          (Printf.sprintf "  at=%s reason=%s window_preds=%d baseline=%.1f\n"
+             (Tablefmt.cell_int (int_exn f "at"))
+             (str_exn f "reason") (int_exn f "window_preds")
+             (float_exn f "baseline")))
+      flushes
+  end;
+  if bails <> [] then begin
+    section b "Bail-outs";
+    List.iter
+      (fun f ->
+        Buffer.add_string b
+          (Printf.sprintf "  at=%s streak=%d\n"
+             (Tablefmt.cell_int (int_exn f "at"))
+             (int_exn f "streak")))
+      bails
+  end
+
+let render_sweeps b t =
+  let points = of_kind t "sweep.point" in
+  if points <> [] then begin
+    section b "Sweep points";
+    let tbl =
+      Tablefmt.create
+        ~columns:
+          [ ("scheme", Tablefmt.Left); ("delay", Tablefmt.Right);
+            ("profiled", Tablefmt.Right); ("hit", Tablefmt.Right);
+            ("noise", Tablefmt.Right); ("preds", Tablefmt.Right);
+            ("counters", Tablefmt.Right) ]
+    in
+    List.iter
+      (fun f ->
+        Tablefmt.add_row tbl
+          [ str_exn f "scheme"; Tablefmt.cell_int (int_exn f "delay");
+            Tablefmt.cell_pct ~digits:2 (float_exn f "profiled_pct");
+            Tablefmt.cell_pct (float_exn f "hit_rate");
+            Tablefmt.cell_pct (float_exn f "noise_rate");
+            Tablefmt.cell_int (int_exn f "predictions");
+            Tablefmt.cell_int (int_exn f "counter_space") ])
+      points;
+    buf_table b tbl
+  end;
+  List.iter
+    (fun f ->
+      Buffer.add_string b
+        (Printf.sprintf "Sweep done: %s, %d delays over %s instances\n"
+           (str_exn f "scheme") (int_exn f "delays")
+           (Tablefmt.cell_int (int_exn f "instances"))))
+    (of_kind t "sweep.done")
+
+let render_recording b t =
+  let chunks = of_kind t "record.chunk" in
+  List.iter
+    (fun f ->
+      section b "Recording";
+      Buffer.add_string b
+        (Printf.sprintf "  %d chunks, %s instances, %s paths, %s bytes\n"
+           (List.length chunks)
+           (Tablefmt.cell_int (int_exn f "instances"))
+           (Tablefmt.cell_int (int_exn f "paths"))
+           (Tablefmt.cell_int (int_exn f "bytes_out"))))
+    (of_kind t "record.done")
+
+let render_registry b t =
+  match List.rev (of_kind t "registry") with
+  | [] -> ()
+  | last :: _ ->
+    section b "Registry";
+    List.iter
+      (fun (name, v) ->
+        match v with
+        | Events.Int n when name <> "ev" && not (String.length name > 3 && String.sub name (String.length name - 3) 3 = ".hw") ->
+          let hw = Option.value (Events.find_int last (name ^ ".hw")) ~default:n in
+          Buffer.add_string b
+            (Printf.sprintf "  %s = %s (high water %s)\n" name
+               (Tablefmt.cell_int n) (Tablefmt.cell_int hw))
+        | _ -> ())
+      last
+
+let render t =
+  let b = Buffer.create 4096 in
+  render_overview b t;
+  render_replay_lanes b t;
+  render_dynamo_lanes b t;
+  render_incidents b t;
+  render_sweeps b t;
+  render_recording b t;
+  render_registry b t;
+  Buffer.contents b

@@ -1,0 +1,32 @@
+(** Render a structured event stream ([--events] output) back into
+    per-window tables — the consumer side of {!Hotpath_util.Events}.
+
+    The summary groups [replay_window] and [dynamo_window] samples into
+    one table per (scheme, delay) lane showing per-window deltas, lists
+    flush/bail incidents, and flags {e phase changes}: windows whose
+    prediction burst spikes against an EWMA baseline of earlier windows,
+    the same shape of heuristic the Dynamo engine uses to trigger cache
+    flushes (Section 6.1 of the paper). *)
+
+type t
+(** A parsed event stream, ready to render. *)
+
+val of_string : string -> (t, string) result
+(** Parse a whole JSON-Lines stream.  Blank lines are skipped; a
+    malformed line fails the parse with its 1-based line number. *)
+
+val of_file : string -> (t, string) result
+(** {!of_string} over a file's contents; I/O errors surface as [Error]. *)
+
+val events : t -> int
+(** Total events parsed. *)
+
+val phase_flags : t -> (string * int * int) list
+(** Flagged phase-change windows as [(scheme, delay, window_seq)], in
+    stream order — the windows {!render} marks with [*]. *)
+
+val render : t -> string
+(** The full plain-text report: stream overview, per-lane replay and
+    Dynamo window tables (with [*] phase flags), flush/bail incident
+    lists, sweep points, and recording progress — sections present only
+    when the stream holds their events. *)

@@ -32,8 +32,14 @@ type t = {
 val operational : Hotpath_prediction.Replay.outcome -> Hot_set.t -> t
 
 val closed_form : Hotpath_prediction.Replay.outcome -> Hot_set.t -> t
-(** The paper's formulas evaluated with τ = the outcome's delay.  Note the
-    aggregate subtraction can undershoot the operational value for NET,
-    whose predicted tails may have executed fewer than τ times. *)
+(** The paper's formulas evaluated with τ = the outcome's delay.  For
+    NET-style prediction the per-path subtraction of a full τ is an
+    approximation.  Under the non-re-arming variant ([Net_once]) a
+    predicted tail has executed at most τ times, so the closed form can
+    only {e undershoot} the operational hits and noise (and overshoot
+    MOC) — property-tested.  Under re-arming NET a tail can sit out
+    several firings and exceed τ pre-prediction executions, so the error
+    runs in either direction; what always holds is the conservation
+    [hits + moc = predicted hot flow], identical in both views. *)
 
 val pp : Format.formatter -> t -> unit

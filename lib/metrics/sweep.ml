@@ -1,4 +1,5 @@
 module Replay = Hotpath_prediction.Replay
+module Events = Hotpath_util.Events
 
 type point = {
   delay : int;
@@ -34,38 +35,85 @@ let point_of_outcome (o : Replay.outcome) hot =
     collection_ops = o.Replay.collection_ops;
   }
 
+let scheme_name = Hotpath_prediction.Scheme.name
+
+(* Sweep-level emission: one [sweep_point] per delay (after the shared
+   traversal finishes — points exist only then) and, on the timed
+   variants, a [sweep_done] with the wall clock.  The same sink is also
+   handed down to Replay so the per-window time series and the per-delay
+   summary land interleaved in one stream. *)
+let emit_points sink scheme points =
+  if not (Events.is_null sink) then begin
+    let name = scheme_name scheme in
+    let total = List.length points in
+    List.iteri
+      (fun idx p ->
+        Events.sweep_point sink ~scheme:name ~delay:p.delay ~idx ~total
+          ~profiled_pct:p.profiled_pct ~hit_rate:p.hit_rate
+          ~noise_rate:p.noise_rate ~predictions:p.predictions
+          ~counter_space:p.counter_space ~profiling_ops:p.profiling_ops
+          ~collection_ops:p.collection_ops)
+      points
+  end
+
+let emit_done sink scheme ~delays t =
+  if not (Events.is_null sink) then
+    Events.sweep_done sink ~scheme:(scheme_name scheme)
+      ~delays:(List.length delays) ~wall_s:t.wall_s ~instances:t.instances
+      ~instances_per_s:t.instances_per_s
+
+let replay_events ?events ?is_hot ?events_window () =
+  match events with
+  | Some sink when not (Events.is_null sink) ->
+    Some (Replay.events ?window:events_window ?is_hot sink)
+  | _ -> None
+
 (* All delays are multiplexed through one traversal of the trace
    (Replay.run_many); a sweep costs one replay, not one per delay. *)
-let run scheme r ~hot ~delays =
-  List.map
-    (fun o -> point_of_outcome o hot)
-    (Replay.run_many scheme ~delays r)
+let run ?events ?events_window scheme r ~hot ~delays =
+  let ev =
+    replay_events ?events ~is_hot:(Hot_set.is_hot hot) ?events_window ()
+  in
+  let points =
+    List.map
+      (fun o -> point_of_outcome o hot)
+      (Replay.run_many ?events:ev scheme ~delays r)
+  in
+  Option.iter (fun sink -> emit_points sink scheme points) events;
+  points
 
-let run_timed scheme r ~hot ~delays =
+let run_timed ?events ?events_window scheme r ~hot ~delays =
   let t0 = Unix.gettimeofday () in
-  let points = run scheme r ~hot ~delays in
+  let points = run ?events ?events_window scheme r ~hot ~delays in
   let wall_s = Unix.gettimeofday () -. t0 in
   let instances = Array.length r.Hotpath_trace.Recorder.instances in
   let instances_per_s =
     if wall_s > 0.0 then float_of_int instances /. wall_s else 0.0
   in
-  (points, { wall_s; instances; instances_per_s })
+  let t = { wall_s; instances; instances_per_s } in
+  Option.iter (fun sink -> emit_done sink scheme ~delays t) events;
+  (points, t)
 
 (* Streamed sweep: the hot set is ground truth derived from full-run
    frequencies, so it cannot exist before the trace has been walked; it
    is computed from the first outcome's [freq] (identical across lanes)
    after the single streamed traversal. *)
-let run_stream scheme rd ~threshold ~delays =
-  match Replay.run_many_stream scheme ~delays rd with
+let run_stream ?events ?events_window scheme rd ~threshold ~delays =
+  (* A single pass cannot know the hot set while it runs, so the streamed
+     replay_window samples carry no hits/noise fields. *)
+  let ev = replay_events ?events ?events_window () in
+  match Replay.run_many_stream ?events:ev scheme ~delays rd with
   | Error _ as e -> e
   | Ok [] -> Ok []
   | Ok (o :: _ as outcomes) ->
     let hot = Hot_set.of_outcome o ~threshold in
-    Ok (List.map (fun o -> point_of_outcome o hot) outcomes)
+    let points = List.map (fun o -> point_of_outcome o hot) outcomes in
+    Option.iter (fun sink -> emit_points sink scheme points) events;
+    Ok points
 
-let run_stream_timed scheme rd ~threshold ~delays =
+let run_stream_timed ?events ?events_window scheme rd ~threshold ~delays =
   let t0 = Unix.gettimeofday () in
-  match run_stream scheme rd ~threshold ~delays with
+  match run_stream ?events ?events_window scheme rd ~threshold ~delays with
   | Error _ as e -> e
   | Ok points ->
     let wall_s = Unix.gettimeofday () -. t0 in
@@ -73,7 +121,9 @@ let run_stream_timed scheme rd ~threshold ~delays =
     let instances_per_s =
       if wall_s > 0.0 then float_of_int instances /. wall_s else 0.0
     in
-    Ok (points, { wall_s; instances; instances_per_s })
+    let t = { wall_s; instances; instances_per_s } in
+    Option.iter (fun sink -> emit_done sink scheme ~delays t) events;
+    Ok (points, t)
 
 let pp_timing ppf t =
   Format.fprintf ppf "@[<h>%.3fs over %d instances (%.2e instances/s)@]"

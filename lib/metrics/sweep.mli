@@ -26,6 +26,8 @@ val default_delays : int list
 (** The paper's range: 10 to 1,000,000, log-spaced. *)
 
 val run :
+  ?events:Hotpath_util.Events.sink ->
+  ?events_window:int ->
   Hotpath_prediction.Scheme.packed ->
   Hotpath_trace.Recorder.t ->
   hot:Hot_set.t ->
@@ -33,17 +35,28 @@ val run :
   point list
 (** One point per delay, in the given order.  All delays are multiplexed
     through a single traversal of the trace ({!Replay.run_many}), so a
-    full sweep costs one replay rather than one per delay. *)
+    full sweep costs one replay rather than one per delay.
+
+    When [events] is a live sink, the replay emits per-window
+    [replay_window] samples (every [events_window] instances; hits/noise
+    included, since the hot set is known up front) and the sweep follows
+    them with one [sweep_point] per delay.  Emission never changes the
+    returned points. *)
 
 val run_timed :
+  ?events:Hotpath_util.Events.sink ->
+  ?events_window:int ->
   Hotpath_prediction.Scheme.packed ->
   Hotpath_trace.Recorder.t ->
   hot:Hot_set.t ->
   delays:int list ->
   point list * timing
-(** {!run} plus wall-clock accounting for throughput reporting. *)
+(** {!run} plus wall-clock accounting for throughput reporting (and a
+    final [sweep_done] event when [events] is live). *)
 
 val run_stream :
+  ?events:Hotpath_util.Events.sink ->
+  ?events_window:int ->
   Hotpath_prediction.Scheme.packed ->
   Hotpath_trace.Serialize.Stream.reader ->
   threshold:float ->
@@ -55,9 +68,13 @@ val run_stream :
     pre-exist the walk; it is computed at [threshold] from the streamed
     outcome's frequencies — [run_stream ~threshold] equals [run] with
     [hot = Hot_set.compute ... ~threshold] on the materialized trace.
-    Stream decode errors surface as [Error]. *)
+    Stream decode errors surface as [Error].  [events] behaves as in
+    {!run} except the single-pass [replay_window] samples omit
+    hits/noise — the hot set does not exist until the walk ends. *)
 
 val run_stream_timed :
+  ?events:Hotpath_util.Events.sink ->
+  ?events_window:int ->
   Hotpath_prediction.Scheme.packed ->
   Hotpath_trace.Serialize.Stream.reader ->
   threshold:float ->

@@ -2,6 +2,7 @@ module Recorder = Hotpath_trace.Recorder
 module Path = Hotpath_trace.Path
 module Path_table = Hotpath_trace.Path_table
 module Vec = Hotpath_util.Vec
+module Events = Hotpath_util.Events
 
 type prediction = { target : int; at_instance : int }
 
@@ -19,6 +20,91 @@ type outcome = {
   profiling_ops : int;
   collection_ops : int;
 }
+
+(* ------------------------------------------------------------------ *)
+(* Observability                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type events = {
+  ev_sink : Events.sink;
+  ev_window : int;
+  ev_is_hot : (int -> bool) option;
+}
+
+(* The replay loop runs at a handful of ns per instance, so a sample
+   window must amortize a ~µs JSON line over enough instances to keep
+   the enabled overhead under the bench's 3% budget. *)
+let default_events_window = 32_768
+
+let events ?(window = default_events_window) ?is_hot sink =
+  if window < 1 then invalid_arg "Replay.events: window must be >= 1";
+  { ev_sink = sink; ev_window = window; ev_is_hot = is_hot }
+
+(* Per-lane window sampling.  All sampling work happens at window
+   boundaries — the only per-instance cost events add is one integer
+   comparison against [next_sample], which is [max_int] when disabled —
+   and nothing here feeds back into the replay state, so outcomes are
+   byte-identical with events on and off (property-tested). *)
+module Sampler = struct
+  type lane = { mutable hw : int; mutable seq : int; mutable last_upto : int }
+
+  type t = {
+    ev : events;
+    scheme : string;
+    delays : int array;
+    lanes : lane array;
+    c_windows : Events.Registry.counter;
+    c_instances : Events.Registry.counter;
+  }
+
+  let create ev ~scheme ~delays =
+    {
+      ev;
+      scheme;
+      delays;
+      lanes = Array.map (fun _ -> { hw = 0; seq = 0; last_upto = 0 }) delays;
+      c_windows = Events.Registry.counter "replay.windows";
+      c_instances = Events.Registry.counter "replay.instances";
+    }
+
+  (* Cumulative hits/noise so far are read off the captured array — the
+     operational definition restricted to the instances seen so far —
+     rather than tracked per instance, keeping the hot loop untouched. *)
+  let sample t l ~upto ~n_paths ~captured_arr ~predictions ~profiled
+      ~captured_total ~counter_space ~profiling_ops ~collection_ops =
+    let lane = t.lanes.(l) in
+    if counter_space > lane.hw then lane.hw <- counter_space;
+    let hits, noise =
+      match t.ev.ev_is_hot with
+      | None -> (None, None)
+      | Some is_hot ->
+        let h = ref 0 and nz = ref 0 in
+        for pid = 0 to n_paths - 1 do
+          let c = captured_arr.(pid) in
+          if c > 0 then if is_hot pid then h := !h + c else nz := !nz + c
+        done;
+        (Some !h, Some !nz)
+    in
+    Events.replay_window t.ev.ev_sink ~scheme:t.scheme ~delay:t.delays.(l)
+      ~seq:lane.seq ~upto
+      ~instances:(upto - lane.last_upto)
+      ~predictions ~profiled ~captured:captured_total ~profiling_ops
+      ~collection_ops ~counter_space ~counter_space_hw:lane.hw ?hits ?noise ();
+    Events.Registry.incr t.c_windows;
+    Events.Registry.add t.c_instances (upto - lane.last_upto);
+    lane.seq <- lane.seq + 1;
+    lane.last_upto <- upto
+
+  (* The final (possibly short) window: every lane always gets at least
+     one sample, and the last sample's cumulative fields equal the
+     outcome's totals — the invariant the differential suite checks. *)
+  let final t l ~upto ~n_paths ~captured_arr ~predictions ~profiled
+      ~captured_total ~counter_space ~profiling_ops ~collection_ops =
+    let lane = t.lanes.(l) in
+    if lane.last_upto < upto || lane.seq = 0 then
+      sample t l ~upto ~n_paths ~captured_arr ~predictions ~profiled
+        ~captured_total ~counter_space ~profiling_ops ~collection_ops
+end
 
 (* Instance reads performed by [run]/[run_many], for the one-pass
    guarantee: multiplexing k delays must read the trace once, not k
@@ -45,7 +131,14 @@ let descriptors (r : Recorder.t) =
     r.Recorder.table;
   (heads, branches, blocks)
 
-let run (module S : Scheme.S) ~delay (r : Recorder.t) =
+(* A null-sink events value is "disabled": callers may thread a sink
+   unconditionally and still pay nothing when it is the null one. *)
+let live = function
+  | Some e when Events.is_null e.ev_sink -> None
+  | ev -> ev
+
+let run ?events:ev (module S : Scheme.S) ~delay (r : Recorder.t) =
+  let ev = live ev in
   let n_paths = Recorder.num_paths r in
   let heads, branches, blocks = descriptors r in
   let state = S.create ~delay ~program:r.Recorder.program in
@@ -56,27 +149,55 @@ let run (module S : Scheme.S) ~delay (r : Recorder.t) =
   let profiled = ref 0 and captured_total = ref 0 in
   let instances = r.Recorder.instances in
   let n = Array.length instances in
+  let sampler =
+    Option.map (fun e -> Sampler.create e ~scheme:S.name ~delays:[| delay |]) ev
+  in
+  let next_sample =
+    ref (match ev with None -> max_int | Some e -> e.ev_window)
+  in
+  let take_sample upto =
+    match sampler with
+    | None -> ()
+    | Some sm ->
+      Sampler.sample sm 0 ~upto ~n_paths ~captured_arr:captured
+        ~predictions:(Vec.length predictions) ~profiled:!profiled
+        ~captured_total:!captured_total ~counter_space:(S.counter_space state)
+        ~profiling_ops:(S.profiling_ops state)
+        ~collection_ops:(S.collection_ops state)
+  in
   ignore (Atomic.fetch_and_add reads n);
   for i = 0 to n - 1 do
     let pid = instances.(i) in
     freq.(pid) <- freq.(pid) + 1;
-    if predicted_at.(pid) < i then begin
-      captured.(pid) <- captured.(pid) + 1;
-      incr captured_total
-    end
-    else begin
-      incr profiled;
-      match
-        S.observe state ~head:heads.(pid) ~arrival:(Recorder.arrival r i)
-          ~path_id:pid ~n_branches:branches.(pid) ~n_blocks:blocks.(pid)
-      with
-      | Some target when predicted_at.(target) = max_int ->
-        predicted_at.(target) <- i;
-        S.collect state ~n_blocks:blocks.(target);
-        Vec.push predictions { target; at_instance = i }
-      | Some _ | None -> ()
+    (if predicted_at.(pid) < i then begin
+       captured.(pid) <- captured.(pid) + 1;
+       incr captured_total
+     end
+     else begin
+       incr profiled;
+       match
+         S.observe state ~head:heads.(pid) ~arrival:(Recorder.arrival r i)
+           ~path_id:pid ~n_branches:branches.(pid) ~n_blocks:blocks.(pid)
+       with
+       | Some target when predicted_at.(target) = max_int ->
+         predicted_at.(target) <- i;
+         S.collect state ~n_blocks:blocks.(target);
+         Vec.push predictions { target; at_instance = i }
+       | Some _ | None -> ()
+     end);
+    if i + 1 >= !next_sample then begin
+      take_sample (i + 1);
+      next_sample := !next_sample + (Option.get ev).ev_window
     end
   done;
+  (match sampler with
+   | None -> ()
+   | Some sm ->
+     Sampler.final sm 0 ~upto:n ~n_paths ~captured_arr:captured
+       ~predictions:(Vec.length predictions) ~profiled:!profiled
+       ~captured_total:!captured_total ~counter_space:(S.counter_space state)
+       ~profiling_ops:(S.profiling_ops state)
+       ~collection_ops:(S.collection_ops state));
   {
     scheme_name = S.name;
     delay;
@@ -97,7 +218,8 @@ let run (module S : Scheme.S) ~delay (r : Recorder.t) =
    under one delay is still profiled under another), so each lane keeps
    its own predicted_at/captured arrays; freq is delay-independent and
    computed once. *)
-let run_many (module S : Scheme.S) ~delays (r : Recorder.t) =
+let run_many ?events:ev (module S : Scheme.S) ~delays (r : Recorder.t) =
+  let ev = live ev in
   match Array.of_list delays with
   | [||] -> []
   | lanes ->
@@ -113,6 +235,25 @@ let run_many (module S : Scheme.S) ~delays (r : Recorder.t) =
     let freq = Array.make n_paths 0 in
     let instances = r.Recorder.instances in
     let n = Array.length instances in
+    let sampler =
+      Option.map (fun e -> Sampler.create e ~scheme:S.name ~delays:lanes) ev
+    in
+    let next_sample =
+      ref (match ev with None -> max_int | Some e -> e.ev_window)
+    in
+    let sample_lanes f upto =
+      match sampler with
+      | None -> ()
+      | Some sm ->
+        for l = 0 to k - 1 do
+          f sm l ~upto ~n_paths ~captured_arr:captured.(l)
+            ~predictions:(Vec.length predictions.(l))
+            ~profiled:profiled.(l) ~captured_total:captured_total.(l)
+            ~counter_space:(S.counter_space states.(l))
+            ~profiling_ops:(S.profiling_ops states.(l))
+            ~collection_ops:(S.collection_ops states.(l))
+        done
+    in
     ignore (Atomic.fetch_and_add reads n);
     for i = 0 to n - 1 do
       let pid = instances.(i) in
@@ -139,8 +280,13 @@ let run_many (module S : Scheme.S) ~delays (r : Recorder.t) =
             Vec.push predictions.(l) { target; at_instance = i }
           | Some _ | None -> ()
         end
-      done
+      done;
+      if i + 1 >= !next_sample then begin
+        sample_lanes Sampler.sample (i + 1);
+        next_sample := !next_sample + (Option.get ev).ev_window
+      end
     done;
+    sample_lanes Sampler.final n;
     List.init k (fun l ->
         {
           scheme_name = S.name;
@@ -165,7 +311,8 @@ let run_many (module S : Scheme.S) ~delays (r : Recorder.t) =
    declared by the time it is predicted. *)
 module Stream = Hotpath_trace.Serialize.Stream
 
-let run_many_stream (module S : Scheme.S) ~delays rd =
+let run_many_stream ?events:ev (module S : Scheme.S) ~delays rd =
+  let ev = live ev in
   match Array.of_list delays with
   | [||] -> Ok []
   | lanes ->
@@ -214,6 +361,25 @@ let run_many_stream (module S : Scheme.S) ~delays rd =
       end
     in
     let total = ref 0 in
+    let sampler =
+      Option.map (fun e -> Sampler.create e ~scheme:S.name ~delays:lanes) ev
+    in
+    let next_sample =
+      ref (match ev with None -> max_int | Some e -> e.ev_window)
+    in
+    let sample_lanes f upto =
+      match sampler with
+      | None -> ()
+      | Some sm ->
+        for l = 0 to k - 1 do
+          f sm l ~upto ~n_paths:!synced ~captured_arr:!(captured.(l))
+            ~predictions:(Vec.length predictions.(l))
+            ~profiled:profiled.(l) ~captured_total:captured_total.(l)
+            ~counter_space:(S.counter_space states.(l))
+            ~profiling_ops:(S.profiling_ops states.(l))
+            ~collection_ops:(S.collection_ops states.(l))
+        done
+    in
     let rec consume () =
       match Stream.next rd with
       | Error _ as e -> e
@@ -255,7 +421,11 @@ let run_many_stream (module S : Scheme.S) ~delays rd =
                 Vec.push predictions.(l) { target; at_instance = i }
               | Some _ | None -> ()
             end
-          done
+          done;
+          if i + 1 >= !next_sample then begin
+            sample_lanes Sampler.sample (i + 1);
+            next_sample := !next_sample + (Option.get ev).ev_window
+          end
         done;
         total := !total + n;
         consume ()
@@ -264,6 +434,7 @@ let run_many_stream (module S : Scheme.S) ~delays rd =
      | Error _ as e -> e
      | Ok () ->
        sync ();
+       sample_lanes Sampler.final !total;
        let np = Path_table.size table in
        Ok
          (List.init k (fun l ->
@@ -282,8 +453,8 @@ let run_many_stream (module S : Scheme.S) ~delays rd =
                 collection_ops = S.collection_ops states.(l);
               })))
 
-let run_stream scheme ~delay rd =
-  match run_many_stream scheme ~delays:[ delay ] rd with
+let run_stream ?events scheme ~delay rd =
+  match run_many_stream ?events scheme ~delays:[ delay ] rd with
   | Error _ as e -> e
   | Ok [ o ] -> Ok o
   | Ok _ -> assert false

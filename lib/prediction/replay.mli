@@ -32,11 +32,46 @@ type outcome = {
   collection_ops : int;
 }
 
-val run : Scheme.packed -> delay:int -> Hotpath_trace.Recorder.t -> outcome
+(** {1 Observability}
+
+    Replay optionally emits one {!Hotpath_util.Events.replay_window}
+    sample per [window] instances per delay lane, plus a final sample so
+    the last window's cumulative fields always equal the outcome's
+    totals.  Sampling is observation only: outcomes are byte-identical
+    with events on and off (property-tested), the per-instance cost of a
+    disabled sampler is one integer comparison, and an enabled one does
+    all its work at window boundaries. *)
+
+type events
+
+val default_events_window : int
+(** 32,768 instances — large enough that per-window emission stays well
+    under 1% of replay throughput. *)
+
+val events :
+  ?window:int -> ?is_hot:(int -> bool) -> Hotpath_util.Events.sink -> events
+(** [events sink] configures window sampling into [sink].  Passing the
+    {!Hotpath_util.Events.null} sink is the same as passing no events at
+    all — sampling is skipped entirely.  [is_hot]
+    (ground-truth hot-set membership by path id) enables the cumulative
+    [hits]/[noise] fields; without it they are omitted — a streamed
+    replay cannot know the hot set mid-pass.
+    @raise Invalid_argument when [window < 1]. *)
+
+val run :
+  ?events:events ->
+  Scheme.packed ->
+  delay:int ->
+  Hotpath_trace.Recorder.t ->
+  outcome
 (** @raise Invalid_argument when [delay < 1]. *)
 
 val run_many :
-  Scheme.packed -> delays:int list -> Hotpath_trace.Recorder.t -> outcome list
+  ?events:events ->
+  Scheme.packed ->
+  delays:int list ->
+  Hotpath_trace.Recorder.t ->
+  outcome list
 (** Multiplexed replay: one scheme state per delay, all driven through a
     {e single} traversal of the instance stream.  Returns one outcome per
     delay, in the given order, each bit-identical to the corresponding
@@ -46,6 +81,7 @@ val run_many :
     @raise Invalid_argument when any delay is [< 1]. *)
 
 val run_stream :
+  ?events:events ->
   Scheme.packed ->
   delay:int ->
   Hotpath_trace.Serialize.Stream.reader ->
@@ -59,6 +95,7 @@ val run_stream :
     @raise Invalid_argument when [delay < 1]. *)
 
 val run_many_stream :
+  ?events:events ->
   Scheme.packed ->
   delays:int list ->
   Hotpath_trace.Serialize.Stream.reader ->

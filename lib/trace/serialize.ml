@@ -427,13 +427,35 @@ module Stream = struct
       ~finally:(fun () -> close_out_noerr oc)
       (fun () -> write ?chunk_instances r (output_string oc))
 
-  let record ?max_steps ?max_paths ?max_stack ?chunk_instances program behavior
-      ~rng ~sink =
+  let record ?max_steps ?max_paths ?max_stack ?chunk_instances
+      ?(events = Hotpath_util.Events.null) program behavior ~rng ~sink =
+    (* Event emission observes the byte stream through a counting wrapper;
+       the bytes written are identical with events on and off. *)
+    let module Ev = Hotpath_util.Events in
+    let bytes_out = ref 0 in
+    let sink =
+      if Ev.is_null events then sink
+      else fun s ->
+        bytes_out := !bytes_out + String.length s;
+        sink s
+    in
     let w = writer sink ~program in
+    let instances = ref 0 and seq = ref 0 in
     Recorder.record_chunked ?max_steps ?max_paths ?max_stack ?chunk_instances
       program behavior ~rng
-      ~flush:(fun ~table ~ids ~arrivals -> write_chunk w ~table ~ids ~arrivals)
-      ~finish:(fun ~table ~vm_stats -> finish w ~table ~vm_stats)
+      ~flush:(fun ~table ~ids ~arrivals ->
+        write_chunk w ~table ~ids ~arrivals;
+        if not (Ev.is_null events) then begin
+          instances := !instances + Array.length ids;
+          Ev.record_chunk events ~seq:!seq ~instances:!instances
+            ~paths:(Path_table.size table) ~bytes_out:!bytes_out;
+          incr seq
+        end)
+      ~finish:(fun ~table ~vm_stats ->
+        finish w ~table ~vm_stats;
+        if not (Ev.is_null events) then
+          Ev.record_done events ~instances:!instances
+            ~paths:(Path_table.size table) ~bytes_out:!bytes_out)
 
   (* ---------------- Reader ---------------- *)
 
@@ -553,13 +575,19 @@ module Stream = struct
       rd.r_input.in_close ()
     end
 
-  let rec next rd =
+  (* The frame loop is a local [let rec] whose recursive call sits
+     {e outside} any [try]: skipping a paths frame must be a tail call, or
+     a stream padded with millions of (valid, empty) paths frames would
+     overflow the stack — an uncaught [Stack_overflow] from a parser whose
+     contract is "Error, never crash".  The single [try] wraps only the
+     initial entry into the loop. *)
+  let next rd =
     match rd.r_error with
     | Some e -> Error e
     | None ->
       if rd.r_vm_stats <> None then Ok None
       else begin
-        try
+        let rec loop () =
           let kind, payload = read_frame rd.r_input in
           let c = { s = payload; pos = 0 } in
           if kind = k_paths then begin
@@ -571,7 +599,7 @@ module Stream = struct
               get_path c rd.r_table (Path_table.size rd.r_table) ~n_blocks
             done;
             check_consumed c;
-            next rd
+            loop ()
           end
           else if kind = k_instances then begin
             let n = get_i32 c in
@@ -614,6 +642,8 @@ module Stream = struct
             Ok None
           end
           else fail "unknown frame kind %d" kind
+        in
+        try loop ()
         with Parse msg ->
           rd.r_error <- Some msg;
           Error msg

@@ -132,6 +132,7 @@ module Stream : sig
     ?max_paths:int ->
     ?max_stack:int ->
     ?chunk_instances:int ->
+    ?events:Hotpath_util.Events.sink ->
     Cfg.program ->
     Hotpath_vm.Behavior.t ->
     rng:Hotpath_util.Prng.t ->
@@ -141,7 +142,9 @@ module Stream : sig
       {!writer}.  The instance stream is never materialized — peak memory
       is O(paths + chunk) however long the run — and the resulting stream
       is byte-identical to [write (Recorder.record ...)] at the same
-      chunk size. *)
+      chunk size.  A live [events] sink gets one [record_chunk] per
+      flushed chunk (cumulative instances/paths/bytes) and a final
+      [record_done]; the trace bytes are unaffected. *)
 
   (** {1 Reading} *)
 

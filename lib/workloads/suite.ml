@@ -213,10 +213,10 @@ let record ?(scale = 1.0) b =
 
 (* Same budgets and seed derivation as [record], so the emitted stream
    serializes exactly the recording [record] would materialize. *)
-let record_stream ?(scale = 1.0) ?chunk_instances b ~sink =
+let record_stream ?(scale = 1.0) ?chunk_instances ?events b ~sink =
   let program, behavior = Generator.build b.b_spec ~seed:b.b_seed in
   let max_paths = max 1000 (int_of_float (scale *. float_of_int b.b_flow)) in
   Hotpath_trace.Serialize.Stream.record ~max_paths
-    ~max_steps:(max_paths * 200) ?chunk_instances program behavior
+    ~max_steps:(max_paths * 200) ?chunk_instances ?events program behavior
     ~rng:(Prng.create ~seed:(b.b_seed * 7919))
     ~sink

@@ -56,6 +56,7 @@ val record : ?scale:float -> benchmark -> Recorder.t
 val record_stream :
   ?scale:float ->
   ?chunk_instances:int ->
+  ?events:Hotpath_util.Events.sink ->
   benchmark ->
   sink:(string -> unit) ->
   Recorder.chunked_summary

@@ -360,6 +360,83 @@ let prop_replay_capture_monotone_in_delay =
        in
        captured 2 >= captured 8 && captured 8 >= captured 64)
 
+(* ------------------------------------------------------------------ *)
+(* Closed-form vs operational rates (Section 3)                        *)
+(* ------------------------------------------------------------------ *)
+
+let rates_pair scheme ~delay recorded =
+  let o = Replay.run scheme ~delay recorded in
+  let hot = Hot_set.of_outcome o ~threshold:0.01 in
+  (Rates.operational o hot, Rates.closed_form o hot)
+
+let prop_rates_closed_form_exact_for_path_profile =
+  (* A path predicted by path-profile counting has executed exactly τ
+     times at prediction, so the paper's aggregate formulas
+     (Hits = freq(P∩Hot) − |P∩Hot|·τ, MOC = |P∩Hot|·τ) are not an
+     approximation: every field agrees with the measured replay. *)
+  QCheck.Test.make
+    ~name:"closed form = operational on generated workloads (path-profile)"
+    ~count:30
+    QCheck.(pair arb_workload (int_range 1 40))
+    (fun (w, delay) ->
+       let _, recorded = record_spec w in
+       Recorder.num_instances recorded < 50
+       ||
+       let op, cf = rates_pair (module Path_profile) ~delay recorded in
+       op.Rates.hits = cf.Rates.hits
+       && op.Rates.noise = cf.Rates.noise
+       && op.Rates.moc = cf.Rates.moc
+       && op.Rates.predicted_hot = cf.Rates.predicted_hot
+       && op.Rates.predicted_cold = cf.Rates.predicted_cold
+       && Float.equal op.Rates.hit_rate cf.Rates.hit_rate
+       && Float.equal op.Rates.noise_rate cf.Rates.noise_rate
+       && Float.equal op.Rates.profiled_flow_pct cf.Rates.profiled_flow_pct)
+
+let prop_rates_closed_form_undershoots_for_net_once =
+  (* A non-re-arming head fires exactly once, at its τ-th observed
+     arrival, so the predicted tail has executed at most τ times — the
+     closed form's per-path subtraction of a full τ can only undershoot:
+     hits and noise come back low, MOC comes back high, never the other
+     way.  (Re-arming NET does not obey this: a tail can sit out several
+     firings and exceed τ pre-prediction executions, see
+     [prop_rates_closed_form_conserves_for_net].)  The sum hits + MOC is
+     the predicted hot flow under both accountings and must agree
+     exactly. *)
+  QCheck.Test.make
+    ~name:"closed form undershoots operational for net-once, conserving hot flow"
+    ~count:30
+    QCheck.(pair arb_workload (int_range 1 40))
+    (fun (w, delay) ->
+       let _, recorded = record_spec w in
+       Recorder.num_instances recorded < 50
+       ||
+       let op, cf = rates_pair (module Net.Net_once) ~delay recorded in
+       cf.Rates.hits <= op.Rates.hits
+       && cf.Rates.noise <= op.Rates.noise
+       && cf.Rates.moc >= op.Rates.moc
+       && cf.Rates.hits + cf.Rates.moc = op.Rates.hits + op.Rates.moc
+       && op.Rates.predicted_hot = cf.Rates.predicted_hot
+       && op.Rates.predicted_cold = cf.Rates.predicted_cold)
+
+let prop_rates_closed_form_conserves_for_net =
+  (* Re-arming NET loses the per-path τ bound, so the closed form can
+     land on either side of the measured hits/noise; what survives is
+     the accounting structure: both views agree on the predicted sets,
+     MOC is exactly |P∩Hot|·τ by definition, and hits + MOC equals the
+     predicted hot flow under both. *)
+  QCheck.Test.make
+    ~name:"closed form conserves predicted flow for re-arming NET" ~count:30
+    QCheck.(pair arb_workload (int_range 1 40))
+    (fun (w, delay) ->
+       let _, recorded = record_spec w in
+       Recorder.num_instances recorded < 50
+       ||
+       let op, cf = rates_pair (module Net) ~delay recorded in
+       cf.Rates.hits + cf.Rates.moc = op.Rates.hits + op.Rates.moc
+       && cf.Rates.moc = cf.Rates.predicted_hot * delay
+       && op.Rates.predicted_hot = cf.Rates.predicted_hot
+       && op.Rates.predicted_cold = cf.Rates.predicted_cold)
+
 let suites =
   [
     ( "properties",
@@ -379,5 +456,8 @@ let suites =
         QCheck_alcotest.to_alcotest prop_stream_roundtrip;
         QCheck_alcotest.to_alcotest prop_run_stream_equals_run;
         QCheck_alcotest.to_alcotest prop_run_many_stream_equals_run_many;
+        QCheck_alcotest.to_alcotest prop_rates_closed_form_exact_for_path_profile;
+        QCheck_alcotest.to_alcotest prop_rates_closed_form_undershoots_for_net_once;
+        QCheck_alcotest.to_alcotest prop_rates_closed_form_conserves_for_net;
       ] );
   ]

@@ -391,7 +391,13 @@ let corpus_files () =
   match Sys.readdir "fixtures" with
   | exception Sys_error e -> Alcotest.failf "corpus missing: %s" e
   | files ->
-    let files = Array.to_list files |> List.sort String.compare in
+    (* fixtures/ also holds the golden/ directory; the corpus is the
+       .trace files only. *)
+    let files =
+      Array.to_list files
+      |> List.filter (fun f -> Filename.check_suffix f ".trace")
+      |> List.sort String.compare
+    in
     Alcotest.(check bool) "corpus populated" true (List.length files >= 10);
     files
 
@@ -425,6 +431,74 @@ let test_corpus () =
          | Ok _ -> Alcotest.failf "%s: load accepted corrupt input" name
        end)
     (corpus_files ())
+
+(* ------------------------------------------------------------------ *)
+(* Frame-flood robustness.  Empty k_paths frames are legal (a chunk
+   flush that declared no new paths), so an adversarial or degenerate
+   writer can emit millions of them.  Stream.next used to recurse once
+   per skipped frame *inside* its try block — a non-tail call — so a
+   flood overflowed the stack with an uncaught exception; now it must
+   decode in bounded time and memory to the same recording.            *)
+(* ------------------------------------------------------------------ *)
+
+let raw_frame ~kind payload =
+  let module Crc32 = Hotpath_util.Crc32 in
+  let len = String.length payload in
+  let hdr = Bytes.create 5 in
+  Bytes.set_uint8 hdr 0 kind;
+  Bytes.set_int32_le hdr 1 (Int32.of_int len);
+  let crc = Crc32.update_bytes Crc32.empty hdr ~pos:0 ~len:5 in
+  let crc = Crc32.update_string crc payload ~pos:0 ~len in
+  let tl = Bytes.create 4 in
+  Bytes.set_int32_le tl 0 crc;
+  Bytes.to_string hdr ^ payload ^ Bytes.to_string tl
+
+(* Splice [extra] into a valid stream just after its program frame (the
+   first frame following the magic). *)
+let splice_after_program blob extra =
+  let m = String.length Stream.magic in
+  let payload_len =
+    Int32.to_int (String.get_int32_le blob (m + 1))
+  in
+  let cut = m + 5 + payload_len + 4 in
+  String.sub blob 0 cut ^ extra ^ String.sub blob cut (String.length blob - cut)
+
+let flood_frames n =
+  (* A k_paths payload is a 4-byte path count followed by that many
+     paths; count = 0 is the legal "no new paths" frame. *)
+  let frame = raw_frame ~kind:1 (* k_paths *) "\x00\x00\x00\x00" in
+  let buf = Buffer.create (n * String.length frame) in
+  for _ = 1 to n do
+    Buffer.add_string buf frame
+  done;
+  Buffer.contents buf
+
+let test_empty_paths_frame_flood () =
+  let r = record_fixture () in
+  let blob = Stream.to_string r in
+  let flooded = splice_after_program blob (flood_frames 2_000_000) in
+  match Stream.open_string flooded with
+  | Error e -> Alcotest.failf "flooded stream rejected at open: %s" e
+  | Ok rd ->
+    (match Stream.to_recorder rd with
+     | Error e -> Alcotest.failf "flooded stream rejected: %s" e
+     | Ok r' -> check_same_recording r r')
+
+let test_flood_then_truncation_rejected () =
+  (* A flood that ends in a torn frame must surface as Error, not an
+     exception: the skip loop cannot outrun the truncation check. *)
+  let r = record_fixture () in
+  let blob = Stream.to_string r in
+  let m = String.length Stream.magic in
+  let payload_len = Int32.to_int (String.get_int32_le blob (m + 1)) in
+  let prefix = String.sub blob 0 (m + 5 + payload_len + 4) in
+  let truncated = prefix ^ flood_frames 100_000 ^ "\x01\x00" in
+  match Stream.open_string truncated with
+  | Error _ -> ()
+  | Ok rd ->
+    (match Stream.to_recorder rd with
+     | Error _ -> ()
+     | Ok _ -> Alcotest.fail "truncated flood decoded to Ok")
 
 let test_corpus_valid_members_agree () =
   (* The two valid encodings of the same recording must load to the same
@@ -483,6 +557,10 @@ let suites =
           test_fuzz_h2_truncations;
         Alcotest.test_case "h2 count-field corruption rejected" `Quick
           test_fuzz_h2_count_fields;
+        Alcotest.test_case "2M empty-paths-frame flood decodes" `Quick
+          test_empty_paths_frame_flood;
+        Alcotest.test_case "frame flood + torn frame rejected" `Quick
+          test_flood_then_truncation_rejected;
         Alcotest.test_case "regression corpus" `Quick test_corpus;
         Alcotest.test_case "corpus valid members agree" `Quick
           test_corpus_valid_members_agree;
