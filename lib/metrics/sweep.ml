@@ -70,21 +70,21 @@ let replay_events ?events ?is_hot ?events_window () =
 
 (* All delays are multiplexed through one traversal of the trace
    (Replay.run_many); a sweep costs one replay, not one per delay. *)
-let run ?events ?events_window scheme r ~hot ~delays =
+let run ?events ?events_window ?jobs scheme r ~hot ~delays =
   let ev =
     replay_events ?events ~is_hot:(Hot_set.is_hot hot) ?events_window ()
   in
   let points =
     List.map
       (fun o -> point_of_outcome o hot)
-      (Replay.run_many ?events:ev scheme ~delays r)
+      (Replay.run_many ?events:ev ?jobs scheme ~delays r)
   in
   Option.iter (fun sink -> emit_points sink scheme points) events;
   points
 
-let run_timed ?events ?events_window scheme r ~hot ~delays =
+let run_timed ?events ?events_window ?jobs scheme r ~hot ~delays =
   let t0 = Unix.gettimeofday () in
-  let points = run ?events ?events_window scheme r ~hot ~delays in
+  let points = run ?events ?events_window ?jobs scheme r ~hot ~delays in
   let wall_s = Unix.gettimeofday () -. t0 in
   let instances = Array.length r.Hotpath_trace.Recorder.instances in
   let instances_per_s =

@@ -28,6 +28,7 @@ val default_delays : int list
 val run :
   ?events:Hotpath_util.Events.sink ->
   ?events_window:int ->
+  ?jobs:int ->
   Hotpath_prediction.Scheme.packed ->
   Hotpath_trace.Recorder.t ->
   hot:Hot_set.t ->
@@ -35,7 +36,10 @@ val run :
   point list
 (** One point per delay, in the given order.  All delays are multiplexed
     through a single traversal of the trace ({!Replay.run_many}), so a
-    full sweep costs one replay rather than one per delay.
+    full sweep costs one replay rather than one per delay.  [jobs]
+    (default 1) shards the delay lanes over that many domains
+    ({!Replay.run_many}'s lane sharding); the points — and any emitted
+    events — are byte-identical for every job count.
 
     When [events] is a live sink, the replay emits per-window
     [replay_window] samples (every [events_window] instances; hits/noise
@@ -46,6 +50,7 @@ val run :
 val run_timed :
   ?events:Hotpath_util.Events.sink ->
   ?events_window:int ->
+  ?jobs:int ->
   Hotpath_prediction.Scheme.packed ->
   Hotpath_trace.Recorder.t ->
   hot:Hot_set.t ->

@@ -1,8 +1,10 @@
 module Recorder = Hotpath_trace.Recorder
 module Path = Hotpath_trace.Path
 module Path_table = Hotpath_trace.Path_table
+module Cfg = Hotpath_cfg.Cfg
 module Vec = Hotpath_util.Vec
 module Events = Hotpath_util.Events
+module Pool = Hotpath_util.Pool
 
 type prediction = { target : int; at_instance : int }
 
@@ -109,27 +111,13 @@ end
 (* Instance reads performed by [run]/[run_many], for the one-pass
    guarantee: multiplexing k delays must read the trace once, not k
    times.  Atomic because experiment fan-out replays from several
-   domains. *)
+   domains.  Lane sharding trades this back deliberately: at [~jobs:j]
+   each of the [min j k] shard domains walks the trace once. *)
 let reads = Atomic.make 0
 
 let instance_reads () = Atomic.get reads
 
 let reset_instance_reads () = Atomic.set reads 0
-
-(* Per-path descriptors, cached once per traversal; the replay loop is
-   hot. *)
-let descriptors (r : Recorder.t) =
-  let n_paths = Recorder.num_paths r in
-  let heads = Array.make n_paths 0
-  and branches = Array.make n_paths 0
-  and blocks = Array.make n_paths 0 in
-  Path_table.iter
-    (fun p ->
-       heads.(p.Path.id) <- Path.head p;
-       branches.(p.Path.id) <- p.Path.n_branches;
-       blocks.(p.Path.id) <- Array.length p.Path.blocks)
-    r.Recorder.table;
-  (heads, branches, blocks)
 
 (* A null-sink events value is "disabled": callers may thread a sink
    unconditionally and still pay nothing when it is the null one. *)
@@ -137,102 +125,153 @@ let live = function
   | Some e when Events.is_null e.ev_sink -> None
   | ev -> ev
 
-let run ?events:ev (module S : Scheme.S) ~delay (r : Recorder.t) =
-  let ev = live ev in
-  let n_paths = Recorder.num_paths r in
-  let heads, branches, blocks = descriptors r in
-  let state = S.create ~delay ~program:r.Recorder.program in
-  let predicted_at = Array.make n_paths max_int in
-  let freq = Array.make n_paths 0 in
-  let captured = Array.make n_paths 0 in
-  let predictions = Vec.create () in
-  let profiled = ref 0 and captured_total = ref 0 in
-  let instances = r.Recorder.instances in
-  let n = Array.length instances in
-  let sampler =
-    Option.map (fun e -> Sampler.create e ~scheme:S.name ~delays:[| delay |]) ev
-  in
-  let next_sample =
-    ref (match ev with None -> max_int | Some e -> e.ev_window)
-  in
-  let take_sample upto =
-    match sampler with
-    | None -> ()
-    | Some sm ->
-      Sampler.sample sm 0 ~upto ~n_paths ~captured_arr:captured
-        ~predictions:(Vec.length predictions) ~profiled:!profiled
-        ~captured_total:!captured_total ~counter_space:(S.counter_space state)
-        ~profiling_ops:(S.profiling_ops state)
-        ~collection_ops:(S.collection_ops state)
-  in
-  ignore (Atomic.fetch_and_add reads n);
-  for i = 0 to n - 1 do
-    let pid = instances.(i) in
-    freq.(pid) <- freq.(pid) + 1;
-    (if predicted_at.(pid) < i then begin
-       captured.(pid) <- captured.(pid) + 1;
-       incr captured_total
-     end
-     else begin
-       incr profiled;
-       match
-         S.observe state ~head:heads.(pid) ~arrival:(Recorder.arrival r i)
-           ~path_id:pid ~n_branches:branches.(pid) ~n_blocks:blocks.(pid)
-       with
-       | Some target when predicted_at.(target) = max_int ->
-         predicted_at.(target) <- i;
-         S.collect state ~n_blocks:blocks.(target);
-         Vec.push predictions { target; at_instance = i }
-       | Some _ | None -> ()
-     end);
-    if i + 1 >= !next_sample then begin
-      take_sample (i + 1);
-      next_sample := !next_sample + (Option.get ev).ev_window
-    end
-  done;
-  (match sampler with
-   | None -> ()
-   | Some sm ->
-     Sampler.final sm 0 ~upto:n ~n_paths ~captured_arr:captured
-       ~predictions:(Vec.length predictions) ~profiled:!profiled
-       ~captured_total:!captured_total ~counter_space:(S.counter_space state)
-       ~profiling_ops:(S.profiling_ops state)
-       ~collection_ops:(S.collection_ops state));
-  {
-    scheme_name = S.name;
-    delay;
-    total_instances = n;
-    predictions = Vec.to_array predictions;
-    predicted_at;
-    freq;
-    captured;
-    profiled_instances = !profiled;
-    captured_instances = !captured_total;
-    counter_space = S.counter_space state;
-    profiling_ops = S.profiling_ops state;
-    collection_ops = S.collection_ops state;
-  }
+(* ------------------------------------------------------------------ *)
+(* Lane plumbing                                                       *)
+(* ------------------------------------------------------------------ *)
 
-(* One scheme state per delay, all driven through a single traversal of
-   the instance stream.  The states are independent (an instance captured
-   under one delay is still profiled under another), so each lane keeps
-   its own predicted_at/captured arrays; freq is delay-independent and
-   computed once. *)
-let run_many ?events:ev (module S : Scheme.S) ~delays (r : Recorder.t) =
+(* A lane runner walks the trace once for a subset of the delay lanes,
+   accumulating path frequencies into [freq] along the way and sampling
+   through [ev]'s sink.  Both the generic functor below and the
+   monomorphized kernels produce one; the sharding driver [drive] is the
+   single owner of slicing, domain fan-out, event reconciliation, and
+   outcome assembly. *)
+type lane_result = {
+  lr_predictions : prediction array;
+  lr_predicted_at : int array;
+  lr_captured : int array;
+  lr_profiled : int;
+  lr_captured_total : int;
+  lr_counter_space : int;
+  lr_profiling_ops : int;
+  lr_collection_ops : int;
+}
+
+type lane_runner = {
+  lr_scheme : string;
+  lr_run :
+    ev:events option ->
+    lanes:int array ->
+    freq:int array ->
+    Recorder.t ->
+    lane_result array;
+}
+
+(* Contiguous lane slices, sizes differing by at most one. *)
+let shard_slices lanes shards =
+  let k = Array.length lanes in
+  let base = k / shards and extra = k mod shards in
+  let off = ref 0 in
+  Array.init shards (fun s ->
+      let len = base + if s < extra then 1 else 0 in
+      let slice = Array.sub lanes !off len in
+      off := !off + len;
+      slice)
+
+(* Every shard's sampler emits, per window round, one line per lane in
+   lane order, and all lanes across all shards hit the same window
+   boundaries (same trace length, same window).  Shards hold contiguous
+   lane slices, so the serial stream — round-major, lane-minor over the
+   global lane order — is recovered by concatenating each round's
+   per-shard groups in shard order. *)
+let merge_event_lines sink slices bufs =
+  let rounds =
+    let k0 = Array.length slices.(0) in
+    if k0 = 0 then 0 else Vec.length bufs.(0) / k0
+  in
+  Array.iteri
+    (fun s buf ->
+       if Vec.length buf <> rounds * Array.length slices.(s) then
+         invalid_arg "Replay: parallel event streams out of step")
+    bufs;
+  for round = 0 to rounds - 1 do
+    Array.iteri
+      (fun s buf ->
+         let k = Array.length slices.(s) in
+         for j = 0 to k - 1 do
+           Events.raw sink (Vec.get buf ((round * k) + j))
+         done)
+      bufs
+  done
+
+let drive ?events:ev ?(jobs = 1) (runner : lane_runner) ~delays (r : Recorder.t) =
+  if jobs < 1 then invalid_arg "Replay.run_many: jobs must be >= 1";
   let ev = live ev in
   match Array.of_list delays with
   | [||] -> []
   | lanes ->
     let k = Array.length lanes in
+    let n = Array.length r.Recorder.instances in
     let n_paths = Recorder.num_paths r in
-    let heads, branches, blocks = descriptors r in
-    let states = Array.map (fun delay -> S.create ~delay ~program:r.Recorder.program) lanes in
+    let assemble lrs freq =
+      List.init k (fun l ->
+          let lr = lrs.(l) in
+          {
+            scheme_name = runner.lr_scheme;
+            delay = lanes.(l);
+            total_instances = n;
+            predictions = lr.lr_predictions;
+            predicted_at = lr.lr_predicted_at;
+            freq = (if l = 0 then freq else Array.copy freq);
+            captured = lr.lr_captured;
+            profiled_instances = lr.lr_profiled;
+            captured_instances = lr.lr_captured_total;
+            counter_space = lr.lr_counter_space;
+            profiling_ops = lr.lr_profiling_ops;
+            collection_ops = lr.lr_collection_ops;
+          })
+    in
+    let shards = min jobs k in
+    if shards <= 1 then begin
+      let freq = Array.make n_paths 0 in
+      assemble (runner.lr_run ~ev ~lanes ~freq r) freq
+    end
+    else begin
+      let slices = shard_slices lanes shards in
+      let bufs = Array.map (fun _ -> Vec.create ()) slices in
+      let shard s =
+        (* Sampling goes to a per-domain line buffer, merged after the
+           join; each shard accumulates its own (identical) freq. *)
+        let ev_s =
+          Option.map
+            (fun e -> { e with ev_sink = Events.of_fn (Vec.push bufs.(s)) })
+            ev
+        in
+        let freq = Array.make n_paths 0 in
+        (runner.lr_run ~ev:ev_s ~lanes:slices.(s) ~freq r, freq)
+      in
+      (* Lane states are independent, so sharding them over domains is a
+         pure wall-time play.  [~cap:false]: the shard count is the
+         caller's explicit jobs choice, and determinism across job counts
+         must be exercisable even on single-core machines. *)
+      let results =
+        Pool.map_array ~cap:false ~jobs:shards shard (Array.init shards Fun.id)
+      in
+      Option.iter (fun e -> merge_event_lines e.ev_sink slices bufs) ev;
+      let lrs = Array.concat (Array.to_list (Array.map fst results)) in
+      assemble lrs (snd results.(0))
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Generic kernel: one compilation of the multiplexed loop per scheme   *)
+(* ------------------------------------------------------------------ *)
+
+module Make (S : Scheme.S) = struct
+  let run_lanes ~ev ~lanes ~freq (r : Recorder.t) =
+    let k = Array.length lanes in
+    let n_paths = Recorder.num_paths r in
+    let d = Recorder.descriptors r in
+    let heads = d.Recorder.d_heads
+    and branches = d.Recorder.d_branches
+    and blocks = d.Recorder.d_blocks in
+    let arrivals = Recorder.arrival_view r in
+    let states =
+      Array.map (fun delay -> S.create ~delay ~program:r.Recorder.program) lanes
+    in
     let predicted_at = Array.init k (fun _ -> Array.make n_paths max_int) in
     let captured = Array.init k (fun _ -> Array.make n_paths 0) in
     let predictions = Array.init k (fun _ -> Vec.create ()) in
     let profiled = Array.make k 0 in
     let captured_total = Array.make k 0 in
-    let freq = Array.make n_paths 0 in
     let instances = r.Recorder.instances in
     let n = Array.length instances in
     let sampler =
@@ -261,7 +300,7 @@ let run_many ?events:ev (module S : Scheme.S) ~delays (r : Recorder.t) =
       let head = heads.(pid)
       and n_branches = branches.(pid)
       and n_blocks = blocks.(pid)
-      and arrival = Recorder.arrival r i in
+      and arrival = arrivals.(i) in
       for l = 0 to k - 1 do
         let pa = predicted_at.(l) in
         if pa.(pid) < i then begin
@@ -272,7 +311,8 @@ let run_many ?events:ev (module S : Scheme.S) ~delays (r : Recorder.t) =
         else begin
           profiled.(l) <- profiled.(l) + 1;
           match
-            S.observe states.(l) ~head ~arrival ~path_id:pid ~n_branches ~n_blocks
+            S.observe states.(l) ~head ~arrival ~path_id:pid ~n_branches
+              ~n_blocks
           with
           | Some target when pa.(target) = max_int ->
             pa.(target) <- i;
@@ -287,21 +327,339 @@ let run_many ?events:ev (module S : Scheme.S) ~delays (r : Recorder.t) =
       end
     done;
     sample_lanes Sampler.final n;
-    List.init k (fun l ->
+    Array.init k (fun l ->
         {
-          scheme_name = S.name;
-          delay = lanes.(l);
-          total_instances = n;
-          predictions = Vec.to_array predictions.(l);
-          predicted_at = predicted_at.(l);
-          freq = (if l = 0 then freq else Array.copy freq);
-          captured = captured.(l);
-          profiled_instances = profiled.(l);
-          captured_instances = captured_total.(l);
-          counter_space = S.counter_space states.(l);
-          profiling_ops = S.profiling_ops states.(l);
-          collection_ops = S.collection_ops states.(l);
+          lr_predictions = Vec.to_array predictions.(l);
+          lr_predicted_at = predicted_at.(l);
+          lr_captured = captured.(l);
+          lr_profiled = profiled.(l);
+          lr_captured_total = captured_total.(l);
+          lr_counter_space = S.counter_space states.(l);
+          lr_profiling_ops = S.profiling_ops states.(l);
+          lr_collection_ops = S.collection_ops states.(l);
         })
+
+  let runner = { lr_scheme = S.name; lr_run = run_lanes }
+
+  let run_many ?events ?jobs ~delays r = drive ?events ?jobs runner ~delays r
+
+  let run ?events ~delay r =
+    match run_many ?events ~delays:[ delay ] r with
+    | [ o ] -> o
+    | _ -> assert false
+end
+
+(* ------------------------------------------------------------------ *)
+(* Monomorphized kernels for the built-in schemes                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The generic loop pays one module-indirected call per profiled
+   instance per lane, and the built-in schemes keep their state in
+   hashtables keyed by dense integer ids (block ids for NET, path ids
+   for path-profile).  The kernels inline the scheme logic into the loop
+   and flatten each hashtable into a plain array over those ids —
+   behaviourally identical (property-tested byte-identical against the
+   generic loop), with no call, no hashing, and no option allocation on
+   the per-instance path.  Without flambda this data-structure
+   specialization, not functor inlining, is where the kernel speedup
+   comes from.
+
+   The [Array.unsafe_*] accesses rely on recording-time validation:
+   every instance id is a table path and every path head a program
+   block, so [pid < n_paths] and [head < n_blocks] always hold. *)
+
+module Net_kernel = struct
+  type variant = Rearm | Once | Prev
+
+  (* Net.state with the head-keyed hashtables flattened: counts.(h) < 0
+     means "no counter yet" (hashtable absence), last_tail.(h) < 0 "no
+     previous tail".  [seen] tracks counters ever allocated — NET's
+     counter space. *)
+  type lane = {
+    delay : int;
+    counts : int array;
+    mutable seen : int;
+    retired : bool array;
+    last_tail : int array;
+    mutable ops : int;
+    mutable collection : int;
+  }
+
+  let make_lane variant ~n_blocks ~delay =
+    {
+      delay;
+      counts = Array.make n_blocks (-1);
+      seen = 0;
+      retired = (if variant = Once then Array.make n_blocks false else [||]);
+      last_tail = (if variant = Prev then Array.make n_blocks (-1) else [||]);
+      ops = 0;
+      collection = 0;
+    }
+
+  let run_lanes variant scheme ~ev ~lanes ~freq (r : Recorder.t) =
+    let k = Array.length lanes in
+    let n_paths = Recorder.num_paths r in
+    let n_blocks = Array.length r.Recorder.program.Cfg.blocks in
+    let d = Recorder.descriptors r in
+    let heads = d.Recorder.d_heads and blocks = d.Recorder.d_blocks in
+    let arrivals = Recorder.arrival_view r in
+    let states =
+      Array.map (fun delay -> make_lane variant ~n_blocks ~delay) lanes
+    in
+    let v_once = variant = Once and v_prev = variant = Prev in
+    let predicted_at = Array.init k (fun _ -> Array.make n_paths max_int) in
+    let captured = Array.init k (fun _ -> Array.make n_paths 0) in
+    let predictions = Array.init k (fun _ -> Vec.create ()) in
+    let profiled = Array.make k 0 in
+    let captured_total = Array.make k 0 in
+    let instances = r.Recorder.instances in
+    let n = Array.length instances in
+    let sampler =
+      Option.map (fun e -> Sampler.create e ~scheme ~delays:lanes) ev
+    in
+    let next_sample =
+      ref (match ev with None -> max_int | Some e -> e.ev_window)
+    in
+    let sample_lanes f upto =
+      match sampler with
+      | None -> ()
+      | Some sm ->
+        for l = 0 to k - 1 do
+          let st = states.(l) in
+          f sm l ~upto ~n_paths ~captured_arr:captured.(l)
+            ~predictions:(Vec.length predictions.(l))
+            ~profiled:profiled.(l) ~captured_total:captured_total.(l)
+            ~counter_space:st.seen ~profiling_ops:st.ops
+            ~collection_ops:st.collection
+        done
+    in
+    ignore (Atomic.fetch_and_add reads n);
+    for i = 0 to n - 1 do
+      let pid = Array.unsafe_get instances i in
+      Array.unsafe_set freq pid (Array.unsafe_get freq pid + 1);
+      let is_loop_head =
+        match Array.unsafe_get arrivals i with
+        | Path.Loop_head -> true
+        | Path.Entry | Path.Continuation -> false
+      in
+      let head = Array.unsafe_get heads pid in
+      for l = 0 to k - 1 do
+        let pa = predicted_at.(l) in
+        if Array.unsafe_get pa pid < i then begin
+          let cap = captured.(l) in
+          Array.unsafe_set cap pid (Array.unsafe_get cap pid + 1);
+          captured_total.(l) <- captured_total.(l) + 1
+        end
+        else begin
+          profiled.(l) <- profiled.(l) + 1;
+          (* NET profiles only targets of backward taken transfers. *)
+          if is_loop_head then begin
+            let st = states.(l) in
+            if not (v_once && Array.unsafe_get st.retired head) then begin
+              st.ops <- st.ops + 1;
+              let c0 = Array.unsafe_get st.counts head in
+              let count =
+                if c0 < 0 then begin
+                  st.seen <- st.seen + 1;
+                  1
+                end
+                else c0 + 1
+              in
+              if count < st.delay then begin
+                Array.unsafe_set st.counts head count;
+                if v_prev then Array.unsafe_set st.last_tail head pid
+              end
+              else begin
+                (* Counter trips: re-arm and predict. *)
+                Array.unsafe_set st.counts head 0;
+                if v_once then Array.unsafe_set st.retired head true;
+                let target =
+                  if v_prev then begin
+                    let prev = Array.unsafe_get st.last_tail head in
+                    Array.unsafe_set st.last_tail head pid;
+                    (* Fall back to the current tail when the head has no
+                       history. *)
+                    if prev >= 0 then prev else pid
+                  end
+                  else pid
+                in
+                if Array.unsafe_get pa target = max_int then begin
+                  Array.unsafe_set pa target i;
+                  (* Incremental instrumentation: one breakpoint per
+                     block, charged on accepted predictions only. *)
+                  st.collection <-
+                    st.collection + Array.unsafe_get blocks target;
+                  Vec.push predictions.(l) { target; at_instance = i }
+                end
+              end
+            end
+          end
+        end
+      done;
+      if i + 1 >= !next_sample then begin
+        sample_lanes Sampler.sample (i + 1);
+        next_sample := !next_sample + (Option.get ev).ev_window
+      end
+    done;
+    sample_lanes Sampler.final n;
+    Array.init k (fun l ->
+        let st = states.(l) in
+        {
+          lr_predictions = Vec.to_array predictions.(l);
+          lr_predicted_at = predicted_at.(l);
+          lr_captured = captured.(l);
+          lr_profiled = profiled.(l);
+          lr_captured_total = captured_total.(l);
+          lr_counter_space = st.seen;
+          lr_profiling_ops = st.ops;
+          lr_collection_ops = st.collection;
+        })
+
+  let runner variant scheme =
+    { lr_scheme = scheme; lr_run = run_lanes variant scheme }
+end
+
+module Path_profile_kernel = struct
+  (* Path_profile.t with the path-id-keyed counter table flattened;
+     absence and a zero count coincide, so [seen] (counter space) ticks
+     on the 0 -> 1 transition. *)
+  type lane = {
+    delay : int;
+    counts : int array;
+    mutable seen : int;
+    mutable ops : int;
+  }
+
+  let run_lanes scheme ~ev ~lanes ~freq (r : Recorder.t) =
+    let k = Array.length lanes in
+    let n_paths = Recorder.num_paths r in
+    let d = Recorder.descriptors r in
+    let branches = d.Recorder.d_branches in
+    let states =
+      Array.map
+        (fun delay ->
+           { delay; counts = Array.make n_paths 0; seen = 0; ops = 0 })
+        lanes
+    in
+    let predicted_at = Array.init k (fun _ -> Array.make n_paths max_int) in
+    let captured = Array.init k (fun _ -> Array.make n_paths 0) in
+    let predictions = Array.init k (fun _ -> Vec.create ()) in
+    let profiled = Array.make k 0 in
+    let captured_total = Array.make k 0 in
+    let instances = r.Recorder.instances in
+    let n = Array.length instances in
+    let sampler =
+      Option.map (fun e -> Sampler.create e ~scheme ~delays:lanes) ev
+    in
+    let next_sample =
+      ref (match ev with None -> max_int | Some e -> e.ev_window)
+    in
+    let sample_lanes f upto =
+      match sampler with
+      | None -> ()
+      | Some sm ->
+        for l = 0 to k - 1 do
+          let st = states.(l) in
+          f sm l ~upto ~n_paths ~captured_arr:captured.(l)
+            ~predictions:(Vec.length predictions.(l))
+            ~profiled:profiled.(l) ~captured_total:captured_total.(l)
+            ~counter_space:st.seen ~profiling_ops:st.ops ~collection_ops:0
+        done
+    in
+    ignore (Atomic.fetch_and_add reads n);
+    for i = 0 to n - 1 do
+      let pid = Array.unsafe_get instances i in
+      Array.unsafe_set freq pid (Array.unsafe_get freq pid + 1);
+      let n_branches = Array.unsafe_get branches pid in
+      for l = 0 to k - 1 do
+        let pa = predicted_at.(l) in
+        if Array.unsafe_get pa pid < i then begin
+          let cap = captured.(l) in
+          Array.unsafe_set cap pid (Array.unsafe_get cap pid + 1);
+          captured_total.(l) <- captured_total.(l) + 1
+        end
+        else begin
+          profiled.(l) <- profiled.(l) + 1;
+          let st = states.(l) in
+          (* Bit tracing: one shift per branch on the path, one table
+             update. *)
+          st.ops <- st.ops + n_branches + 1;
+          let count = Array.unsafe_get st.counts pid + 1 in
+          Array.unsafe_set st.counts pid count;
+          if count = 1 then st.seen <- st.seen + 1;
+          (* [>=] rather than [=]: a counter already past the threshold
+             (code-cache flush scenarios) must re-predict immediately.
+             Collection is free — path-profile already holds the path. *)
+          if count >= st.delay && Array.unsafe_get pa pid = max_int then begin
+            Array.unsafe_set pa pid i;
+            Vec.push predictions.(l) { target = pid; at_instance = i }
+          end
+        end
+      done;
+      if i + 1 >= !next_sample then begin
+        sample_lanes Sampler.sample (i + 1);
+        next_sample := !next_sample + (Option.get ev).ev_window
+      end
+    done;
+    sample_lanes Sampler.final n;
+    Array.init k (fun l ->
+        let st = states.(l) in
+        {
+          lr_predictions = Vec.to_array predictions.(l);
+          lr_predicted_at = predicted_at.(l);
+          lr_captured = captured.(l);
+          lr_profiled = profiled.(l);
+          lr_captured_total = captured_total.(l);
+          lr_counter_space = st.seen;
+          lr_profiling_ops = st.ops;
+          lr_collection_ops = 0;
+        })
+
+  let runner scheme = { lr_scheme = scheme; lr_run = run_lanes scheme }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* A packed module is recognized as a built-in by the physical identity
+   of its [observe] closure — allocated once at scheme-module init and
+   preserved by signature coercions, which copy module blocks but never
+   wrap regular value fields.  [Obj.repr] only erases the state-type
+   difference for the pointer comparison; nothing is read through it.
+   Unrecognized schemes (including look-alikes that merely reuse a
+   built-in's name) fall back to the generic kernel. *)
+let same_fn f g = Obj.repr f == Obj.repr g
+
+let builtin_runner (module S : Scheme.S) =
+  if same_fn S.observe Net.observe then
+    Some (Net_kernel.runner Net_kernel.Rearm S.name)
+  else if same_fn S.observe Net.Net_once.observe then
+    Some (Net_kernel.runner Net_kernel.Once S.name)
+  else if same_fn S.observe Net.Last_executed_tail.observe then
+    Some (Net_kernel.runner Net_kernel.Prev S.name)
+  else if same_fn S.observe Path_profile.observe then
+    Some (Path_profile_kernel.runner S.name)
+  else None
+
+let run_many ?events ?jobs (module S : Scheme.S) ~delays (r : Recorder.t) =
+  match builtin_runner (module S) with
+  | Some runner ->
+    (* The kernels do not re-validate delays; keep each scheme's own
+       validation (and exception message) for the invalid ones. *)
+    List.iter
+      (fun d ->
+         if d < 1 then ignore (S.create ~delay:d ~program:r.Recorder.program))
+      delays;
+    drive ?events ?jobs runner ~delays r
+  | None ->
+    let module M = Make (S) in
+    M.run_many ?events ?jobs ~delays r
+
+let run ?events scheme ~delay r =
+  match run_many ?events scheme ~delays:[ delay ] r with
+  | [ o ] -> o
+  | _ -> assert false
 
 (* Streamed replay: the same per-instance body as [run_many], driven by a
    chunk iterator instead of the materialized arrays.  Per-path state

@@ -68,6 +68,7 @@ val run :
 
 val run_many :
   ?events:events ->
+  ?jobs:int ->
   Scheme.packed ->
   delays:int list ->
   Hotpath_trace.Recorder.t ->
@@ -78,7 +79,44 @@ val run_many :
     [run ~delay] — the scheme states are independent, so multiplexing is
     purely an amortization of the trace walk (delay sweeps drop from
     O(delays × trace) to O(trace) instance reads).
-    @raise Invalid_argument when any delay is [< 1]. *)
+
+    [jobs] (default 1) shards the delay lanes over [min jobs (length
+    delays)] domains, each walking the trace once over a contiguous lane
+    slice.  Results are byte-identical to [jobs = 1] for every job count:
+    lane states never interact, path frequencies are delay-invariant (each
+    shard recomputes the same [freq] array), and event windows are
+    buffered per shard and merged back into the exact serial emission
+    order.  The trade is instance reads — {!instance_reads} grows by
+    [shards × length trace] instead of [length trace].  When [jobs > 1]
+    and events carry an [is_hot] closure, that closure is called from
+    worker domains and must be domain-safe (the hot-set predicates in
+    {!Hotpath_metrics} are pure array lookups).
+    @raise Invalid_argument when any delay is [< 1] or [jobs < 1]. *)
+
+(** {1 Monomorphized kernels}
+
+    [run]/[run_many] on a packed module call the scheme through a
+    first-class-module indirection per profiled instance.  {!Make}
+    compiles the same multiplexed loop against a statically known scheme
+    module.  For the built-in schemes ({!Net}, {!Net.Net_once},
+    {!Net.Last_executed_tail}, {!Path_profile}) the packed entry points
+    additionally dispatch to hand-specialized kernels that flatten the
+    scheme's hashtable state into dense arrays — recognized by the
+    physical identity of the packed [observe], so wrapping or re-deriving
+    a scheme safely falls back to the generic loop.  All three loops are
+    property-tested byte-identical; [bench kernel] measures the spread. *)
+
+module Make (S : Scheme.S) : sig
+  val run :
+    ?events:events -> delay:int -> Hotpath_trace.Recorder.t -> outcome
+
+  val run_many :
+    ?events:events ->
+    ?jobs:int ->
+    delays:int list ->
+    Hotpath_trace.Recorder.t ->
+    outcome list
+end
 
 val run_stream :
   ?events:events ->

@@ -3,12 +3,20 @@ module Vm = Hotpath_vm.Vm
 module Behavior = Hotpath_vm.Behavior
 module Vec = Hotpath_util.Vec
 
+type descriptors = {
+  d_heads : int array;
+  d_branches : int array;
+  d_blocks : int array;
+}
+
 type t = {
   program : Cfg.program;
   table : Path_table.t;
   instances : int array;
   arrivals : Bytes.t;
   vm_stats : Vm.run_stats;
+  cache_descriptors : descriptors option Atomic.t;
+  cache_arrival_view : Path.head_kind array option Atomic.t;
 }
 
 let arrival_code = function
@@ -125,6 +133,8 @@ let record ?max_steps ?max_paths ?max_stack program behavior ~rng =
       instances = Vec.to_array instances;
       arrivals = Buffer.to_bytes arrivals;
       vm_stats;
+      cache_descriptors = Atomic.make None;
+      cache_arrival_view = Atomic.make None;
     }
 
 let of_parts ~program ~table ~instances ~arrivals ~vm_stats =
@@ -153,12 +163,54 @@ let of_parts ~program ~table ~instances ~arrivals ~vm_stats =
         table;
       match !bad_path with
       | Some id -> err "path %d references blocks outside the program" id
-      | None -> Ok { program; table; instances; arrivals; vm_stats }
+      | None ->
+        Ok
+          {
+            program;
+            table;
+            instances;
+            arrivals;
+            vm_stats;
+            cache_descriptors = Atomic.make None;
+            cache_arrival_view = Atomic.make None;
+          }
     end
 
 let num_instances t = Array.length t.instances
 
 let num_paths t = Path_table.size t.table
+
+(* Lazily computed, atomically published caches.  Replay is fanned out
+   over domains by the experiment layer, so two domains may race to fill
+   a cache; compare-and-set keeps one winner and the loser adopts it —
+   the computed value is a pure function of the (immutable) recording, so
+   either copy is correct. *)
+let cached cell compute =
+  match Atomic.get cell with
+  | Some v -> v
+  | None ->
+    let v = compute () in
+    if Atomic.compare_and_set cell None (Some v) then v
+    else Option.get (Atomic.get cell)
+
+let descriptors t =
+  cached t.cache_descriptors (fun () ->
+      let n_paths = Path_table.size t.table in
+      let d_heads = Array.make n_paths 0
+      and d_branches = Array.make n_paths 0
+      and d_blocks = Array.make n_paths 0 in
+      Path_table.iter
+        (fun p ->
+           d_heads.(p.Path.id) <- Path.head p;
+           d_branches.(p.Path.id) <- p.Path.n_branches;
+           d_blocks.(p.Path.id) <- Array.length p.Path.blocks)
+        t.table;
+      { d_heads; d_branches; d_blocks })
+
+let arrival_view t =
+  cached t.cache_arrival_view (fun () ->
+      Array.init (Bytes.length t.arrivals) (fun i ->
+          arrival_of_code (Bytes.get t.arrivals i)))
 
 let instance_path t i = Path_table.path t.table t.instances.(i)
 

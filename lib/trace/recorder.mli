@@ -10,6 +10,14 @@
 
 module Cfg = Hotpath_cfg.Cfg
 
+type descriptors = private {
+  d_heads : int array;  (** Per path id: head block. *)
+  d_branches : int array;  (** Per path id: branches on the path. *)
+  d_blocks : int array;  (** Per path id: blocks on the path. *)
+}
+(** Per-path descriptors in dense arrays, the form the replay hot loop
+    reads them in. *)
+
 type t = private {
   program : Cfg.program;
   table : Path_table.t;
@@ -18,6 +26,10 @@ type t = private {
       (** Head kind per instance, encoded: 0 = loop head, 1 = entry,
           2 = continuation. *)
   vm_stats : Hotpath_vm.Vm.run_stats;
+  cache_descriptors : descriptors option Atomic.t;
+      (** Internal {!descriptors} cache — do not touch. *)
+  cache_arrival_view : Path.head_kind array option Atomic.t;
+      (** Internal {!arrival_view} cache — do not touch. *)
 }
 
 val record :
@@ -100,6 +112,18 @@ val instance_path : t -> int -> Path.t
 (** Path executed by instance [i]. *)
 
 val arrival : t -> int -> Path.head_kind
+
+val descriptors : t -> descriptors
+(** Per-path head/branch-count/block-count arrays.  Computed on first
+    use and cached in the recording (atomically — replay is fanned out
+    over domains), so the per-traversal cost replay used to pay is paid
+    once per recording. *)
+
+val arrival_view : t -> Path.head_kind array
+(** The [arrivals] bytes decoded (via {!arrival_of_code}) into one
+    [head_kind] per instance, cached like {!descriptors}.  Hoists the
+    per-instance decode out of replay loops; costs one word per instance
+    on first use. *)
 
 val frequencies : t -> int array
 (** Execution count per path id — the paper's [freq(p)]. *)

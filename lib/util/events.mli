@@ -57,6 +57,12 @@ val emit : sink -> kind:string -> (string * value) list -> unit
     distinct from ["ev"]; no escaping is applied to names (use plain
     identifiers). *)
 
+val raw : sink -> string -> unit
+(** [raw sink line] forwards an already-serialized event line (newline
+    included) verbatim, counting it like {!emit}.  Used by parallel
+    replay to merge per-domain event buffers deterministically; not a
+    general emission entry point. *)
+
 (** {1 Typed event constructors}
 
     One function per event kind wired into the pipeline, so producers

@@ -44,9 +44,15 @@ let take q n =
 let poison q e =
   with_lock q (fun () -> if q.failure = None then q.failure <- Some e)
 
-let map_array ~jobs f items =
+let map_array ?(cap = true) ~jobs f items =
   let n = Array.length items in
-  let workers = min (clamp_jobs jobs) (max 1 n) in
+  let workers =
+    if cap then min (clamp_jobs jobs) (max 1 n)
+    else begin
+      if jobs < 1 then invalid_arg "Pool: jobs must be >= 1";
+      min jobs (max 1 n)
+    end
+  in
   if workers <= 1 || n <= 1 then Array.map f items
   else begin
     let q =
@@ -89,6 +95,6 @@ let map_array ~jobs f items =
         results
   end
 
-let map ~jobs f xs = Array.to_list (map_array ~jobs f (Array.of_list xs))
+let map ?cap ~jobs f xs = Array.to_list (map_array ?cap ~jobs f (Array.of_list xs))
 
-let iter ~jobs f xs = ignore (map ~jobs f xs)
+let iter ?cap ~jobs f xs = ignore (map ?cap ~jobs f xs)

@@ -20,9 +20,14 @@ val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()], floored at 1 — a sensible
     [--jobs] default for CPU-bound sweeps. *)
 
-val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
-(** @raise Invalid_argument when [jobs < 1]. *)
+val map : ?cap:bool -> jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [cap] (default [true]) limits workers to the machine's recommended
+    domain count.  [~cap:false] honours [jobs] exactly — for callers
+    that shard work whose worker count is semantically meaningful (lane
+    sharding, determinism tests) and must not silently degrade on small
+    machines.
+    @raise Invalid_argument when [jobs < 1]. *)
 
-val map_array : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+val map_array : ?cap:bool -> jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 
-val iter : jobs:int -> ('a -> unit) -> 'a list -> unit
+val iter : ?cap:bool -> jobs:int -> ('a -> unit) -> 'a list -> unit

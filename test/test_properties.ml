@@ -350,6 +350,101 @@ let prop_run_many_single_pass =
        ignore (Replay.run_many (module Net) ~delays:[ 1; 5; 25; 125; 625 ] recorded);
        Replay.instance_reads () - before = n)
 
+(* ------------------------------------------------------------------ *)
+(* Monomorphized kernels and lane sharding                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The packed entry points dispatch the built-in schemes to specialized
+   kernels; Make(S) always compiles the generic loop.  Comparing the two
+   on the same scheme is therefore the kernel-vs-reference differential. *)
+module Make_net = Replay.Make (Net)
+module Make_net_once = Replay.Make (Net.Net_once)
+module Make_let = Replay.Make (Net.Last_executed_tail)
+module Make_pp = Replay.Make (Path_profile)
+
+let prop_functor_equals_packed =
+  QCheck.Test.make
+    ~name:"Make(S) generic loop is bit-identical to packed kernels" ~count:25
+    arb_workload
+    (fun w ->
+       let _, recorded = record_spec w in
+       let delays = [ 1; 3; 7; 20; 100; 5_000 ] in
+       List.for_all
+         (fun (packed, via_functor, via_functor_one) ->
+            List.for_all2 outcome_equal
+              (Replay.run_many packed ~delays recorded)
+              (via_functor ~delays recorded)
+            && outcome_equal
+                 (Replay.run packed ~delay:7 recorded)
+                 (via_functor_one ~delay:7 recorded))
+         [
+           ( (module Net : Scheme.S),
+             (fun ~delays r -> Make_net.run_many ~delays r),
+             fun ~delay r -> Make_net.run ~delay r );
+           ( (module Net.Net_once),
+             (fun ~delays r -> Make_net_once.run_many ~delays r),
+             fun ~delay r -> Make_net_once.run ~delay r );
+           ( (module Net.Last_executed_tail),
+             (fun ~delays r -> Make_let.run_many ~delays r),
+             fun ~delay r -> Make_let.run ~delay r );
+           ( (module Path_profile),
+             (fun ~delays r -> Make_pp.run_many ~delays r),
+             fun ~delay r -> Make_pp.run ~delay r );
+         ])
+
+let prop_lane_parallel_equals_serial =
+  QCheck.Test.make
+    ~name:"lane-sharded run_many is bit-identical to serial (all schemes)"
+    ~count:15
+    QCheck.(pair arb_workload (int_range 2 9))
+    (fun (w, jobs) ->
+       let _, recorded = record_spec w in
+       (* More shards than lanes is legal: the shard count clamps to the
+          lane count. *)
+       let delays = [ 1; 3; 7; 20; 100; 5_000 ] in
+       List.for_all
+         (fun scheme ->
+            List.for_all2 outcome_equal
+              (Replay.run_many scheme ~delays recorded)
+              (Replay.run_many ~jobs scheme ~delays recorded))
+         [
+           (module Net : Scheme.S);
+           (module Net.Net_once);
+           (module Net.Last_executed_tail);
+           (module Path_profile);
+         ])
+
+let prop_sharded_events_byte_identical =
+  (* Sharded lanes sample into per-domain buffers that are merged after
+     the join; the merged stream must reproduce the serial emission to
+     the byte, window samples and is_hot hits/noise included. *)
+  QCheck.Test.make
+    ~name:"lane-sharded event stream is byte-identical to serial" ~count:15
+    QCheck.(pair arb_workload (int_range 2 6))
+    (fun (w, jobs) ->
+       let _, recorded = record_spec w in
+       let n = Recorder.num_instances recorded in
+       n = 0
+       ||
+       let hot =
+         Hot_set.compute
+           ~freq:(Recorder.frequencies recorded)
+           ~total_flow:n ~threshold:0.01
+       in
+       let stream_bytes jobs =
+         let buf = Buffer.create 4_096 in
+         let ev =
+           Replay.events ~window:97 ~is_hot:(Hot_set.is_hot hot)
+             (Hotpath_util.Events.of_buffer buf)
+         in
+         ignore
+           (Replay.run_many ~events:ev ~jobs (module Net)
+              ~delays:[ 1; 3; 7; 20; 100 ] recorded);
+         Buffer.contents buf
+       in
+       let serial = stream_bytes 1 in
+       String.length serial > 0 && stream_bytes jobs = serial)
+
 let prop_replay_capture_monotone_in_delay =
   QCheck.Test.make ~name:"captured flow shrinks as delay grows" ~count:30
     arb_workload
@@ -452,6 +547,9 @@ let suites =
         QCheck_alcotest.to_alcotest prop_boa_phantoms_never_in_table;
         QCheck_alcotest.to_alcotest prop_replay_capture_monotone_in_delay;
         QCheck_alcotest.to_alcotest prop_run_many_equals_per_delay_runs;
+        QCheck_alcotest.to_alcotest prop_functor_equals_packed;
+        QCheck_alcotest.to_alcotest prop_lane_parallel_equals_serial;
+        QCheck_alcotest.to_alcotest prop_sharded_events_byte_identical;
         QCheck_alcotest.to_alcotest prop_run_many_single_pass;
         QCheck_alcotest.to_alcotest prop_stream_roundtrip;
         QCheck_alcotest.to_alcotest prop_run_stream_equals_run;

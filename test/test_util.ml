@@ -312,6 +312,31 @@ let test_pool_propagates_exception () =
 let test_pool_default_jobs_positive () =
   Alcotest.(check bool) "at least one" true (Pool.default_jobs () >= 1)
 
+let test_pool_uncapped_honours_jobs () =
+  (* [~cap:false] must run exactly [jobs] concurrent workers even above
+     the machine's recommended domain count.  Each of the 4 items blocks
+     on a 4-party barrier, so the map can only complete if 4 distinct
+     workers hold one item each — a capped (or silently serialized) pool
+     would deadlock here, not merely slow down. *)
+  let m = Mutex.create () and cv = Condition.create () in
+  let arrived = ref 0 in
+  let barrier _ =
+    Mutex.lock m;
+    incr arrived;
+    if !arrived >= 4 then Condition.broadcast cv
+    else
+      while !arrived < 4 do
+        Condition.wait cv m
+      done;
+    Mutex.unlock m;
+    !arrived
+  in
+  let results = Pool.map ~cap:false ~jobs:4 barrier (List.init 4 Fun.id) in
+  Alcotest.(check (list int)) "all joined" [ 4; 4; 4; 4 ] results;
+  Alcotest.(check (list int)) "capped still works"
+    [ 1; 4; 9 ]
+    (Pool.map ~cap:true ~jobs:64 (fun x -> x * x) [ 1; 2; 3 ])
+
 let suites =
   [
     ( "util.prng",
@@ -366,5 +391,7 @@ let suites =
         Alcotest.test_case "propagates exception" `Quick
           test_pool_propagates_exception;
         Alcotest.test_case "default jobs" `Quick test_pool_default_jobs_positive;
+        Alcotest.test_case "uncapped honours jobs" `Quick
+          test_pool_uncapped_honours_jobs;
       ] );
   ]
