@@ -553,6 +553,114 @@ let replay_cmd =
       const run $ trace_arg $ scheme_arg $ delay_arg $ stream_arg $ events_arg
       $ events_window_arg)
 
+(* ------------------------------------------------------------------ *)
+(* Static analysis / linting                                           *)
+(* ------------------------------------------------------------------ *)
+
+let check_cmd =
+  let module Diag = Hotpath_analysis.Diag in
+  let bench_opt =
+    let doc = "Check one benchmark's generated program (default: the whole suite)." in
+    Arg.(value & opt (some string) None & info [ "bench"; "b" ] ~docv:"NAME" ~doc)
+  in
+  let trace_opt =
+    let doc =
+      "Lint a trace file instead: program well-formedness plus \
+       trace-vs-program consistency (path structure, transfer legality, \
+       arrival hand-offs)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace"; "t" ] ~docv:"FILE" ~doc)
+  in
+  let format_arg =
+    let doc =
+      "Output format: human | jsonl (one \"check\" event per diagnostic \
+       plus a final \"check.done\" with totals, renderable by \
+       events-summary)."
+    in
+    Arg.(value & opt string "human" & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let report_flag =
+    let doc =
+      "Also print each program's static-analysis report: per-procedure \
+       loops, nesting, reducibility and Ball-Larus path counts, plus the \
+       NET-vs-path-profile counter-space bounds (human format only)."
+    in
+    Arg.(value & flag & info [ "report" ] ~doc)
+  in
+  let run bench trace format report =
+    let jsonl =
+      match format with
+      | "jsonl" -> true
+      | "human" -> false
+      | other ->
+        raise
+          (Invalid_argument
+             (Printf.sprintf "unknown format %s (try human|jsonl)" other))
+    in
+    let subjects =
+      match trace with
+      | Some file -> [ (file, Hotpath_trace.Check.file file, None) ]
+      | None ->
+        let benches =
+          match bench with
+          | Some name -> [ Hotpath_workloads.Suite.find_exn name ]
+          | None -> Hotpath_workloads.Suite.all
+        in
+        List.map
+          (fun b ->
+             let program = Hotpath_workloads.Suite.program b in
+             ( b.Hotpath_workloads.Suite.b_name,
+               Hotpath_trace.Check.program program,
+               Some program ))
+          benches
+    in
+    let sink =
+      if jsonl then Hotpath_util.Events.of_channel stdout
+      else Hotpath_util.Events.null
+    in
+    let errors = ref 0 and warnings = ref 0 and infos = ref 0 in
+    List.iter
+      (fun (name, diags, program) ->
+         errors := !errors + Diag.count Diag.Error diags;
+         warnings := !warnings + Diag.count Diag.Warning diags;
+         infos := !infos + Diag.count Diag.Info diags;
+         if jsonl then
+           List.iter
+             (fun d ->
+                Hotpath_util.Events.check_diag sink ~subject:name
+                  ~code:d.Diag.code
+                  ~severity:(Diag.severity_to_string d.Diag.severity)
+                  ~loc:(Diag.location_to_string d.Diag.loc)
+                  ~message:d.Diag.message)
+             diags
+         else begin
+           Printf.printf "== %s ==\n" name;
+           List.iter (fun d -> print_endline ("  " ^ Diag.to_string d)) diags;
+           Printf.printf "  %d errors, %d warnings\n"
+             (Diag.count Diag.Error diags)
+             (Diag.count Diag.Warning diags);
+           match program with
+           | Some p when report -> print_string (Hotpath_analysis.Report.render p)
+           | _ -> ()
+         end)
+      subjects;
+    if jsonl then
+      Hotpath_util.Events.check_done sink ~subjects:(List.length subjects)
+        ~errors:!errors ~warnings:!warnings ~infos:!infos
+    else
+      Printf.printf "check: %d subjects, %d errors, %d warnings\n"
+        (List.length subjects) !errors !warnings;
+    if !errors > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Lint benchmark programs (or a trace file): structure, \
+          reachability, reducibility, call/return pairing, Ball-Larus \
+          path-count explosion, trace consistency.  Exits non-zero on any \
+          error-severity diagnostic.")
+    Term.(const run $ bench_opt $ trace_opt $ format_arg $ report_flag)
+
 let events_summary_cmd =
   let file_arg =
     let doc = "Event stream file (JSON lines, as written by --events)." in
@@ -591,7 +699,7 @@ let main_cmd =
     [
       table1_cmd; table2_cmd; fig2_cmd; fig3_cmd; fig4_cmd; fig5_cmd; ablations_cmd; offline_cmd; phases_cmd;
       sweep_cmd; dynamo_cmd; online_cmd; paths_cmd; dot_cmd; record_cmd; replay_cmd;
-      events_summary_cmd; bench_list_cmd;
+      check_cmd; events_summary_cmd; bench_list_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

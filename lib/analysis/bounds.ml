@@ -1,0 +1,279 @@
+open Hotpath_cfg
+
+(* {1 Head sets} *)
+
+type head_sets = { paper : bool array; full : bool array }
+
+let static_heads p =
+  let n = Cfg.num_blocks p in
+  let paper = Array.make n false and full = Array.make n false in
+  Cfg.iter_blocks
+    (fun b ->
+       let src = b.Cfg.id in
+       let backward dst = Cfg.is_backward p ~src ~dst in
+       let paper_mark dst = if backward dst then begin
+           paper.(dst) <- true;
+           full.(dst) <- true
+         end
+       in
+       let full_mark dst = if backward dst then full.(dst) <- true in
+       match b.Cfg.term with
+       | Cfg.Branch { taken; fallthrough } ->
+         paper_mark taken;
+         (* A backward fallthrough is not a "taken branch" under the
+            paper's definition but still arrives backward at runtime. *)
+         full_mark fallthrough
+       | Cfg.Jump t -> paper_mark t
+       | Cfg.Indirect targets -> Array.iter paper_mark targets
+       | Cfg.Call { callee; _ } -> full_mark (Cfg.proc p callee).Cfg.entry
+       | Cfg.Return | Cfg.Exit -> ())
+    p;
+  (* Backward matched returns: a call site's return_to is a backward
+     arrival when some Return block of the callee sits at or past it. *)
+  List.iter
+    (fun (_site, callee, return_to) ->
+       if List.exists (fun r -> return_to <= r) (Cfg.return_blocks p callee) then
+         full.(return_to) <- true)
+    (Cfg.call_sites p);
+  { paper; full }
+
+let count_true a = Array.fold_left (fun acc t -> if t then acc + 1 else acc) 0 a
+
+let paper_head_count hs = count_true hs.paper
+let full_head_count hs = count_true hs.full
+
+let full_heads hs =
+  let out = ref [] in
+  for i = Array.length hs.full - 1 downto 0 do
+    if hs.full.(i) then out := i :: !out
+  done;
+  !out
+
+(* {1 Saturating counts} *)
+
+type count = Exact of int | Overflow
+
+let default_cap = 1 lsl 50
+
+let count_to_string = function
+  | Exact n -> string_of_int n
+  | Overflow -> ">2^50"
+
+let count_add ~cap a b =
+  match (a, b) with
+  | Exact x, Exact y -> if x + y > cap then Overflow else Exact (x + y)
+  | _ -> Overflow
+
+let count_le a b =
+  match (a, b) with
+  | Exact x, Exact y -> x <= y
+  | Exact _, Overflow -> true
+  | Overflow, Exact _ -> false
+  | Overflow, Overflow -> true
+
+(* {1 Ball–Larus static counts}
+
+   Mirrors Ball_larus.build_edges / the NumPaths pass without
+   materializing edges: np(EXIT) = 1; blocks in descending address order
+   (reverse topological for the forward subgraph); np(b) sums np over
+   b's out-edges — a pseudo exit edge if b is the source of some back
+   edge, a To_exit edge for Return/Exit terminators, and one Real edge
+   per forward target (branch arms kept distinct even when their targets
+   coincide, indirect targets deduplicated).  num_paths = sum of np over
+   the pseudo-entry heads (the procedure entry plus every back-edge
+   target).  The cap reproduces Ball_larus.overflow_limit: we saturate
+   where the instrumentation raises. *)
+
+let bl_paths ?(cap = default_cap) p ~proc =
+  let procedure = Cfg.proc p proc in
+  let blocks = procedure.Cfg.blocks in
+  let pentry = Hashtbl.create 8 and pexit = Hashtbl.create 8 in
+  Hashtbl.replace pentry procedure.Cfg.entry ();
+  let forward_targets = Hashtbl.create 16 in  (* src -> dst list (multiplicity) *)
+  let intra src dst =
+    if Cfg.is_backward p ~src ~dst then begin
+      Hashtbl.replace pexit src ();
+      Hashtbl.replace pentry dst ()
+    end
+    else begin
+      let prev = Option.value ~default:[] (Hashtbl.find_opt forward_targets src) in
+      Hashtbl.replace forward_targets src (dst :: prev)
+    end
+  in
+  Array.iter
+    (fun b ->
+       match (Cfg.block p b).Cfg.term with
+       | Cfg.Branch { taken; fallthrough } ->
+         intra b taken;
+         intra b fallthrough
+       | Cfg.Jump dst -> intra b dst
+       | Cfg.Indirect targets ->
+         let seen = Hashtbl.create 4 in
+         Array.iter
+           (fun dst ->
+              if not (Hashtbl.mem seen dst) then begin
+                Hashtbl.add seen dst ();
+                intra b dst
+              end)
+           targets
+       | Cfg.Call { return_to; _ } -> intra b return_to
+       | Cfg.Return | Cfg.Exit -> ())
+    blocks;
+  let np = Hashtbl.create 16 in  (* global block id -> path count *)
+  let capped = ref false in
+  let blocks_desc = Array.copy blocks in
+  Array.sort (fun a b -> Int.compare b a) blocks_desc;
+  Array.iter
+    (fun b ->
+       let total = ref 0 in
+       let add x =
+         total := !total + x;
+         if !total > cap then begin
+           capped := true;
+           total := cap
+         end
+       in
+       if Hashtbl.mem pexit b then add 1;
+       (match (Cfg.block p b).Cfg.term with
+        | Cfg.Return | Cfg.Exit -> add 1
+        | _ -> ());
+       List.iter
+         (fun dst -> add (Hashtbl.find np dst))
+         (Option.value ~default:[] (Hashtbl.find_opt forward_targets b));
+       Hashtbl.replace np b !total)
+    blocks_desc;
+  let entry_total = ref 0 in
+  Hashtbl.iter
+    (fun h () ->
+       entry_total := !entry_total + Hashtbl.find np h;
+       if !entry_total > cap then begin
+         capped := true;
+         entry_total := cap
+       end)
+    pentry;
+  if !capped then Overflow else Exact !entry_total
+
+let bl_total ?(cap = default_cap) p =
+  let total = ref (Exact 0) in
+  Cfg.iter_procs
+    (fun pr -> total := count_add ~cap !total (bl_paths ~cap p ~proc:pr.Cfg.pid))
+    p;
+  !total
+
+(* {1 Interprocedural forward-walk bound}
+
+   The segmenter only ever extends a path along forward transfers, so
+   every distinct recorded path is a forward walk through the
+   context-insensitive interprocedural forward graph — a DAG, since
+   forward edges strictly increase the address.  walks(b) counts walks
+   starting at b (a walk may stop anywhere: every path-end reason cuts
+   the walk short).  Branch arms stay distinct (they produce distinct
+   signatures even when the targets coincide); indirect and return
+   targets are deduplicated (the signature records only the target). *)
+
+let forward_walks ?(cap = default_cap) p =
+  let n = Cfg.num_blocks p in
+  let hs = static_heads p in
+  let capped = ref false in
+  let walks = Array.make n 0 in
+  let starts = Array.make n false in
+  starts.(Cfg.entry_block p) <- true;
+  Array.iteri (fun i h -> if h then starts.(i) <- true) hs.full;
+  let forward_next src =
+    let b = Cfg.block p src in
+    let fwd dst = dst > src in
+    match b.Cfg.term with
+    | Cfg.Branch { taken; fallthrough } ->
+      List.filter fwd [ taken; fallthrough ]
+    | Cfg.Jump t -> List.filter fwd [ t ]
+    | Cfg.Indirect targets ->
+      List.filter fwd (List.sort_uniq compare (Array.to_list targets))
+    | Cfg.Call { callee; _ } -> List.filter fwd [ (Cfg.proc p callee).Cfg.entry ]
+    | Cfg.Return -> List.filter fwd (Cfg.return_targets p b.Cfg.proc)
+    | Cfg.Exit -> []
+  in
+  (* Forward continuation targets can also head a path: the arms of a
+     capped branch and the return_to of a forward matched return. *)
+  Cfg.iter_blocks
+    (fun b ->
+       let src = b.Cfg.id in
+       match b.Cfg.term with
+       | Cfg.Branch { taken; fallthrough } ->
+         if taken > src then starts.(taken) <- true;
+         if fallthrough > src then starts.(fallthrough) <- true
+       | _ -> ())
+    p;
+  List.iter
+    (fun (_site, callee, return_to) ->
+       if List.exists (fun r -> r < return_to) (Cfg.return_blocks p callee) then
+         starts.(return_to) <- true)
+    (Cfg.call_sites p);
+  for b = n - 1 downto 0 do
+    let total = ref 1 in
+    List.iter
+      (fun dst ->
+         total := !total + walks.(dst);
+         if !total > cap then begin
+           capped := true;
+           total := cap
+         end)
+      (forward_next b);
+    walks.(b) <- !total
+  done;
+  let sum = ref 0 in
+  for b = 0 to n - 1 do
+    if starts.(b) then begin
+      sum := !sum + walks.(b);
+      if !sum > cap then begin
+        capped := true;
+        sum := cap
+      end
+    end
+  done;
+  if !capped then Overflow else Exact !sum
+
+(* {1 Report} *)
+
+type proc_paths = { pp_proc : Cfg.proc_id; pp_name : string; pp_paths : count }
+
+type report = {
+  r_blocks : int;
+  r_branches : int;
+  r_paper_heads : int;
+  r_full_heads : int;
+  r_bl_total : count;
+  r_per_proc : proc_paths list;
+  r_forward_walks : count;
+  r_net_to_bl_pct : float option;
+}
+
+let counter_space_report ?(cap = default_cap) p =
+  let hs = static_heads p in
+  let per_proc = ref [] in
+  Cfg.iter_procs
+    (fun pr ->
+       per_proc :=
+         { pp_proc = pr.Cfg.pid; pp_name = pr.Cfg.name;
+           pp_paths = bl_paths ~cap p ~proc:pr.Cfg.pid }
+         :: !per_proc)
+    p;
+  let per_proc = List.rev !per_proc in
+  let bl =
+    List.fold_left (fun acc pp -> count_add ~cap acc pp.pp_paths) (Exact 0) per_proc
+  in
+  let full = full_head_count hs in
+  let pct =
+    match bl with
+    | Exact n when n > 0 -> Some (100.0 *. float_of_int full /. float_of_int n)
+    | _ -> None
+  in
+  {
+    r_blocks = Cfg.num_blocks p;
+    r_branches = Cfg.branch_count p;
+    r_paper_heads = paper_head_count hs;
+    r_full_heads = full;
+    r_bl_total = bl;
+    r_per_proc = per_proc;
+    r_forward_walks = forward_walks ~cap p;
+    r_net_to_bl_pct = pct;
+  }

@@ -1,0 +1,94 @@
+(** Static prediction bounds: path-head sets, Ball–Larus path counts,
+    and the counter-space comparison of NET vs path profiling — the
+    paper's Section 4.2 argument, derived from the CFG alone.
+
+    Counts saturate at an explicit cap instead of overflowing: real
+    workloads (the gcc/go-shaped generators) have more than [2^60]
+    acyclic paths, which is precisely the paper's point about
+    path-profiling counter space. *)
+
+open Hotpath_cfg
+
+(** {1 Static path-head sets} *)
+
+type head_sets = {
+  paper : bool array;
+      (** Per block id: target of a backward taken-branch, jump, or
+          indirect edge — the paper's potential-path-head definition
+          (mirrors {!Cfg.backward_branch_target_count}). *)
+  full : bool array;
+      (** Per block id: every block at which a backward transfer can
+          arrive at runtime — [paper] plus backward branch fallthroughs,
+          backward call entries, and backward return targets.  The
+          dynamic loop-head set of any trace of the program is contained
+          in this set. *)
+}
+
+val static_heads : Cfg.program -> head_sets
+
+val paper_head_count : head_sets -> int
+
+val full_head_count : head_sets -> int
+
+val full_heads : head_sets -> Cfg.block_id list
+(** Blocks of the [full] set, ascending. *)
+
+(** {1 Saturating path counts} *)
+
+type count = Exact of int | Overflow  (** Exceeds the cap. *)
+
+val default_cap : int
+(** [2{^50}] — the same limit at which [Ball_larus.analyze] raises, so
+    [bl_paths] returns [Overflow] exactly when the instrumentation
+    would refuse the procedure. *)
+
+val count_to_string : count -> string
+(** ["1234"] or [">2^50"] (cap-dependent). *)
+
+val count_add : cap:int -> count -> count -> count
+
+val count_le : count -> count -> bool
+(** [count_le a b] — is [a <= b]?  [Overflow] compares above every
+    [Exact] and equal to itself. *)
+
+(** {1 Ball–Larus bounds} *)
+
+val bl_paths : ?cap:int -> Cfg.program -> proc:Cfg.proc_id -> count
+(** Static Ball–Larus path count of one procedure, mirroring
+    [Ball_larus.analyze]'s edge construction (pseudo entry/exit edges
+    for loop back edges, deduplicated indirect targets, parallel branch
+    arms kept distinct).  [Exact n] equals [Ball_larus.num_paths] when
+    [n] is below the cap. *)
+
+val bl_total : ?cap:int -> Cfg.program -> count
+(** Saturating sum of {!bl_paths} over all procedures — the static
+    counter-space requirement of exhaustive path profiling. *)
+
+val forward_walks : ?cap:int -> Cfg.program -> count
+(** Upper bound on the number of {e distinct interprocedural paths} the
+    trace segmenter can ever intern for this program: the number of
+    forward walks through the context-insensitive interprocedural
+    forward DAG, starting from any block that can head a path (the
+    program entry, the [full] head set, and forward continuation
+    targets).  Every recorded path id is one such walk, so any replay's
+    path-table size and path-profile counter space are [<=] this. *)
+
+(** {1 Counter-space report} *)
+
+type proc_paths = { pp_proc : Cfg.proc_id; pp_name : string; pp_paths : count }
+
+type report = {
+  r_blocks : int;
+  r_branches : int;
+  r_paper_heads : int;  (** NET counter-space bound, paper definition. *)
+  r_full_heads : int;  (** NET counter-space bound, all backward arrivals. *)
+  r_bl_total : count;  (** Path-profiling counter-space requirement. *)
+  r_per_proc : proc_paths list;
+  r_forward_walks : count;
+  r_net_to_bl_pct : float option;
+      (** [100 * full_heads / bl_total] when the latter is exact — the
+          static analogue of the paper's ~60% NET-to-path-profile
+          counter ratio. *)
+}
+
+val counter_space_report : ?cap:int -> Cfg.program -> report

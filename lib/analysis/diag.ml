@@ -1,0 +1,43 @@
+type severity = Error | Warning | Info
+
+type location =
+  | Program
+  | Proc of Hotpath_cfg.Cfg.proc_id
+  | Block of Hotpath_cfg.Cfg.block_id
+  | Path of int
+  | Instance of int
+
+type t = { code : string; severity : severity; loc : location; message : string }
+
+let make severity ~code ~loc fmt =
+  Printf.ksprintf (fun message -> { code; severity; loc; message }) fmt
+
+let error ~code ~loc fmt = make Error ~code ~loc fmt
+let warning ~code ~loc fmt = make Warning ~code ~loc fmt
+let info ~code ~loc fmt = make Info ~code ~loc fmt
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let location_to_string = function
+  | Program -> "program"
+  | Proc p -> Printf.sprintf "proc %d" p
+  | Block b -> Printf.sprintf "block %d" b
+  | Path p -> Printf.sprintf "path %d" p
+  | Instance i -> Printf.sprintf "instance %d" i
+
+let count sev diags =
+  List.fold_left (fun acc d -> if d.severity = sev then acc + 1 else acc) 0 diags
+
+let has_errors diags = List.exists (fun d -> d.severity = Error) diags
+
+let pp ppf d =
+  Format.fprintf ppf "%s[%s] %s: %s"
+    (severity_to_string d.severity)
+    d.code
+    (location_to_string d.loc)
+    d.message
+
+let to_string d = Format.asprintf "%a" pp d

@@ -1,0 +1,44 @@
+(** Diagnostics for the static analyses and linters.
+
+    Every finding carries a stable machine-readable code, a severity,
+    and a location.  Codes are namespaced by the subject of the check:
+    [P1xx] for program well-formedness (emitted by
+    {!Hotpath_analysis.Lint}), [T1xx]/[T2xx] for trace-vs-program
+    consistency (emitted by [Hotpath_trace.Lint]).  Codes are part of the
+    tool's public surface — tests and CI match on them — so existing
+    codes must never be renumbered. *)
+
+type severity = Error | Warning | Info
+
+type location =
+  | Program  (** The program as a whole (or the trace container). *)
+  | Proc of Hotpath_cfg.Cfg.proc_id
+  | Block of Hotpath_cfg.Cfg.block_id
+  | Path of int  (** A path id in a trace's path table. *)
+  | Instance of int  (** An index into a trace's instance stream. *)
+
+type t = {
+  code : string;  (** Stable code, e.g. ["P103"]. *)
+  severity : severity;
+  loc : location;
+  message : string;
+}
+
+val error : code:string -> loc:location -> ('a, unit, string, t) format4 -> 'a
+val warning : code:string -> loc:location -> ('a, unit, string, t) format4 -> 'a
+val info : code:string -> loc:location -> ('a, unit, string, t) format4 -> 'a
+
+val severity_to_string : severity -> string
+(** ["error"], ["warning"], ["info"] — the JSON-Lines field values. *)
+
+val location_to_string : location -> string
+(** ["program"], ["proc 3"], ["block 17"], ["path 42"], ["instance 7"]. *)
+
+val count : severity -> t list -> int
+
+val has_errors : t list -> bool
+
+val pp : Format.formatter -> t -> unit
+(** One line: [error[P103] block 17: jump target 99 out of range]. *)
+
+val to_string : t -> string

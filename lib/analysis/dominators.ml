@@ -1,0 +1,79 @@
+type t = {
+  graph : Procgraph.t;
+  idom : int array;  (* local -> local; entry maps to itself; -1 unreachable *)
+}
+
+let compute g =
+  let n = Procgraph.size g in
+  let visited = Array.make n false in
+  let postnum = Array.make n (-1) in
+  let counter = ref 0 in
+  let rpo = ref [] in
+  let rec dfs i =
+    visited.(i) <- true;
+    Array.iter (fun j -> if not visited.(j) then dfs j) (Procgraph.succ g i);
+    postnum.(i) <- !counter;
+    incr counter;
+    rpo := i :: !rpo
+  in
+  if n > 0 then dfs 0;
+  let rpo = !rpo in
+  let idom = Array.make n (-1) in
+  if n > 0 then idom.(0) <- 0;
+  let intersect b1 b2 =
+    let f1 = ref b1 and f2 = ref b2 in
+    while !f1 <> !f2 do
+      while postnum.(!f1) < postnum.(!f2) do
+        f1 := idom.(!f1)
+      done;
+      while postnum.(!f2) < postnum.(!f1) do
+        f2 := idom.(!f2)
+      done
+    done;
+    !f1
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun b ->
+         if b <> 0 then begin
+           let new_idom = ref (-1) in
+           Array.iter
+             (fun p ->
+                if idom.(p) <> -1 then
+                  if !new_idom = -1 then new_idom := p
+                  else new_idom := intersect p !new_idom)
+             (Procgraph.pred g b);
+           if !new_idom <> -1 && idom.(b) <> !new_idom then begin
+             idom.(b) <- !new_idom;
+             changed := true
+           end
+         end)
+      rpo
+  done;
+  { graph = g; idom }
+
+let graph t = t.graph
+
+let idom_local t i = t.idom.(i)
+
+let idom t g =
+  let i = Procgraph.local t.graph g in
+  if t.idom.(i) = -1 || i = 0 then None else Some (Procgraph.global t.graph t.idom.(i))
+
+let dominates t ga gb =
+  let a = Procgraph.local t.graph ga and b = Procgraph.local t.graph gb in
+  if t.idom.(a) = -1 || t.idom.(b) = -1 then false
+  else begin
+    let x = ref b and result = ref false and continue = ref true in
+    while !continue do
+      if !x = a then begin
+        result := true;
+        continue := false
+      end
+      else if !x = 0 then continue := false
+      else x := t.idom.(!x)
+    done;
+    !result
+  end

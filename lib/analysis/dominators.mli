@@ -1,0 +1,25 @@
+(** Dominator trees via the Cooper–Harvey–Kennedy iterative algorithm
+    ("A Simple, Fast Dominance Algorithm").
+
+    Dominance is computed over the reachable part of a {!Procgraph.t};
+    unreachable blocks have no dominator and dominate nothing. *)
+
+open Hotpath_cfg
+
+type t
+
+val compute : Procgraph.t -> t
+
+val graph : t -> Procgraph.t
+
+val idom_local : t -> int -> int
+(** Immediate dominator as a local index.  The entry's idom is itself;
+    unreachable blocks report [-1]. *)
+
+val idom : t -> Cfg.block_id -> Cfg.block_id option
+(** Immediate dominator by global block id — [None] for the entry and
+    for unreachable blocks. *)
+
+val dominates : t -> Cfg.block_id -> Cfg.block_id -> bool
+(** [dominates t a b] — does [a] dominate [b] (reflexively)?  [false]
+    whenever either block is unreachable. *)

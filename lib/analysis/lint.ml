@@ -1,0 +1,149 @@
+open Hotpath_cfg
+
+let explosion_threshold = 1 lsl 20
+
+let structural (p : Cfg.program) =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let nblocks = Array.length p.Cfg.blocks and nprocs = Array.length p.Cfg.procs in
+  let ok_block i = i >= 0 && i < nblocks in
+  let ok_proc i = i >= 0 && i < nprocs in
+  if nblocks = 0 then
+    add (Diag.error ~code:"P100" ~loc:Diag.Program "program has no blocks");
+  if nprocs = 0 then
+    add (Diag.error ~code:"P100" ~loc:Diag.Program "program has no procedures");
+  if nblocks > 0 && nprocs > 0 then begin
+    if not (ok_proc p.Cfg.main) then
+      add
+        (Diag.error ~code:"P101" ~loc:Diag.Program
+           "main procedure id %d out of range" p.Cfg.main);
+    Array.iteri
+      (fun i pr ->
+         if pr.Cfg.pid <> i then
+           add (Diag.error ~code:"P101" ~loc:(Diag.Proc i) "has pid %d" pr.Cfg.pid);
+         if Array.length pr.Cfg.blocks = 0 then
+           add
+             (Diag.error ~code:"P100" ~loc:(Diag.Proc i) "procedure %s has no blocks"
+                pr.Cfg.name)
+         else if pr.Cfg.blocks.(0) <> pr.Cfg.entry then
+           add
+             (Diag.error ~code:"P102" ~loc:(Diag.Proc i)
+                "entry %d is not the first block (%d)" pr.Cfg.entry pr.Cfg.blocks.(0));
+         Array.iter
+           (fun b ->
+              if not (ok_block b) then
+                add
+                  (Diag.error ~code:"P101" ~loc:(Diag.Proc i)
+                     "lists block %d out of range" b)
+              else if p.Cfg.blocks.(b).Cfg.proc <> i then
+                add
+                  (Diag.error ~code:"P101" ~loc:(Diag.Proc i)
+                     "lists block %d owned by procedure %d" b p.Cfg.blocks.(b).Cfg.proc))
+           pr.Cfg.blocks)
+      p.Cfg.procs;
+    Array.iteri
+      (fun i b ->
+         if b.Cfg.id <> i then
+           add (Diag.error ~code:"P101" ~loc:(Diag.Block i) "has id %d" b.Cfg.id);
+         if not (ok_proc b.Cfg.proc) then
+           add
+             (Diag.error ~code:"P101" ~loc:(Diag.Block i) "proc %d out of range"
+                b.Cfg.proc);
+         if b.Cfg.weight <= 0 then
+           add
+             (Diag.error ~code:"P105" ~loc:(Diag.Block i) "non-positive weight %d"
+                b.Cfg.weight);
+         let check_local what t =
+           if not (ok_block t) then
+             add
+               (Diag.error ~code:"P103" ~loc:(Diag.Block i) "%s target %d out of range"
+                  what t)
+           else if ok_proc b.Cfg.proc && p.Cfg.blocks.(t).Cfg.proc <> b.Cfg.proc then
+             add
+               (Diag.error ~code:"P104" ~loc:(Diag.Block i)
+                  "%s target %d crosses into procedure %d" what t
+                  p.Cfg.blocks.(t).Cfg.proc)
+         in
+         match b.Cfg.term with
+         | Cfg.Branch { taken; fallthrough } ->
+           check_local "taken" taken;
+           check_local "fallthrough" fallthrough
+         | Cfg.Jump t -> check_local "jump" t
+         | Cfg.Indirect targets ->
+           if Array.length targets = 0 then
+             add (Diag.error ~code:"P106" ~loc:(Diag.Block i) "indirect with no targets")
+           else Array.iter (check_local "indirect") targets
+         | Cfg.Call { callee; return_to } ->
+           if not (ok_proc callee) then
+             add
+               (Diag.error ~code:"P107" ~loc:(Diag.Block i) "callee %d out of range"
+                  callee)
+           else check_local "return_to" return_to
+         | Cfg.Return | Cfg.Exit -> ())
+      p.Cfg.blocks
+  end;
+  List.rev !diags
+
+let graph_passes ?(cap = Bounds.default_cap) (p : Cfg.program) =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  (* Fallthrough layout adjacency. *)
+  Cfg.iter_blocks
+    (fun b ->
+       match b.Cfg.term with
+       | Cfg.Branch { fallthrough; _ } when fallthrough <> b.Cfg.id + 1 ->
+         add
+           (Diag.warning ~code:"P108" ~loc:(Diag.Block b.Cfg.id)
+              "fallthrough %d is not the next block in layout" fallthrough)
+       | _ -> ())
+    p;
+  (* Called procedures without a Return block. *)
+  let called = Hashtbl.create 8 in
+  List.iter
+    (fun (_site, callee, _ret) -> Hashtbl.replace called callee ())
+    (Cfg.call_sites p);
+  Hashtbl.iter
+    (fun callee () ->
+       if Cfg.return_blocks p callee = [] then
+         add
+           (Diag.warning ~code:"P111" ~loc:(Diag.Proc callee)
+              "procedure %s is called but has no return block"
+              (Cfg.proc p callee).Cfg.name))
+    called;
+  Cfg.iter_procs
+    (fun pr ->
+       let pid = pr.Cfg.pid in
+       let g = Procgraph.build p ~proc:pid in
+       List.iter
+         (fun b ->
+            add
+              (Diag.warning ~code:"P109" ~loc:(Diag.Block b)
+                 "unreachable from the entry of procedure %s" pr.Cfg.name))
+         (Procgraph.unreachable_blocks g);
+       let dom = Dominators.compute g in
+       let loops = Loops.analyze dom in
+       (match Loops.irreducible_edges loops with
+        | [] -> ()
+        | (src, dst) :: _ ->
+          add
+            (Diag.warning ~code:"P110" ~loc:(Diag.Proc pid)
+               "irreducible control flow (retreating edge %d -> %d without a \
+                dominating header)"
+               src dst));
+       match Bounds.bl_paths ~cap p ~proc:pid with
+       | Bounds.Overflow ->
+         add
+           (Diag.warning ~code:"P112" ~loc:(Diag.Proc pid)
+              "Ball–Larus path-count explosion: acyclic path count exceeds the cap")
+       | Bounds.Exact n when n > explosion_threshold ->
+         add
+           (Diag.warning ~code:"P112" ~loc:(Diag.Proc pid)
+              "Ball–Larus path-count explosion: %d acyclic paths (threshold %d)" n
+              explosion_threshold)
+       | Bounds.Exact _ -> ())
+    p;
+  List.rev !diags
+
+let check_program ?cap p =
+  let s = structural p in
+  if Diag.has_errors s then s else s @ graph_passes ?cap p

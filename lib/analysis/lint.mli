@@ -1,0 +1,39 @@
+(** Program well-formedness linter.
+
+    Accumulates diagnostics instead of failing fast: structural errors
+    ([P1xx] with severity [Error]) cover everything {!Cfg.validate}
+    rejects, with one diagnostic per defect; when the structure is sound
+    the graph-level passes add warnings (unreachable blocks, irreducible
+    flow, non-adjacent fallthroughs, call/return pairing, Ball–Larus
+    path-count explosion).
+
+    Codes:
+    - [P100] empty program / procedure with no blocks
+    - [P101] non-dense or inconsistent ids (block/proc numbering,
+      foreign block membership, main out of range)
+    - [P102] procedure entry is not its first block
+    - [P103] terminator target out of range
+    - [P104] terminator target crosses into another procedure
+    - [P105] non-positive block weight
+    - [P106] indirect terminator with no targets
+    - [P107] call to an out-of-range procedure
+    - [P108] (warning) branch fallthrough not adjacent in layout
+    - [P109] (warning) block unreachable from its procedure's entry
+    - [P110] (warning) irreducible control flow
+    - [P111] (warning) procedure is called but has no [Return] block
+    - [P112] (warning) Ball–Larus path-count explosion *)
+
+open Hotpath_cfg
+
+val explosion_threshold : int
+(** [2{^20}] paths — above this a procedure draws [P112]. *)
+
+val check_program : ?cap:int -> Cfg.program -> Diag.t list
+(** All diagnostics, structural first.  Graph passes run only when no
+    structural error was found (they need a well-formed program).
+    [cap] bounds the Ball–Larus count (default
+    {!Bounds.default_cap}). *)
+
+val structural : Cfg.program -> Diag.t list
+(** Just the [P100]–[P107] structural pass; empty iff [Cfg.validate]
+    succeeds (property-tested). *)

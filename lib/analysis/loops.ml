@@ -1,0 +1,124 @@
+open Hotpath_cfg
+
+type loop = {
+  head : Cfg.block_id;
+  back_edges : (Cfg.block_id * Cfg.block_id) list;
+  blocks : Cfg.block_id list;
+  depth : int;
+  parent : Cfg.block_id option;
+}
+
+type t = {
+  graph : Procgraph.t;
+  loops : loop list;
+  depth : int array;  (* per local index *)
+  irreducible : (Cfg.block_id * Cfg.block_id) list;
+}
+
+let analyze dom =
+  let g = Dominators.graph dom in
+  let n = Procgraph.size g in
+  let reach = Procgraph.reachable g in
+  (* Dominance back edges (tail, head), in local indices. *)
+  let back = ref [] in
+  for u = 0 to n - 1 do
+    if reach.(u) then
+      Array.iter
+        (fun v ->
+           if
+             reach.(v)
+             && Dominators.dominates dom (Procgraph.global g v) (Procgraph.global g u)
+           then back := (u, v) :: !back)
+        (Procgraph.succ g u)
+  done;
+  let back = List.rev !back in
+  let by_head = Hashtbl.create 8 in
+  List.iter
+    (fun (u, v) ->
+       let tails = try Hashtbl.find by_head v with Not_found -> [] in
+       Hashtbl.replace by_head v (u :: tails))
+    back;
+  let heads = List.sort_uniq compare (List.map snd back) in
+  (* Natural-loop bodies: backward reachability from the tails, stopping
+     at the head. *)
+  let bodies =
+    List.map
+      (fun head ->
+         let tails = Hashtbl.find by_head head in
+         let inloop = Array.make n false in
+         inloop.(head) <- true;
+         let rec visit u =
+           if reach.(u) && not inloop.(u) then begin
+             inloop.(u) <- true;
+             Array.iter visit (Procgraph.pred g u)
+           end
+         in
+         List.iter visit tails;
+         (head, inloop))
+      heads
+  in
+  let depth = Array.make n 0 in
+  List.iter
+    (fun (_, inloop) ->
+       for i = 0 to n - 1 do
+         if inloop.(i) then depth.(i) <- depth.(i) + 1
+       done)
+    bodies;
+  let loops =
+    List.map
+      (fun (head, inloop) ->
+         let blocks = ref [] in
+         for i = n - 1 downto 0 do
+           if inloop.(i) then blocks := Procgraph.global g i :: !blocks
+         done;
+         let back_edges =
+           List.filter_map
+             (fun (u, v) ->
+                if v = head then Some (Procgraph.global g u, Procgraph.global g v)
+                else None)
+             back
+           |> List.sort compare
+         in
+         (* Innermost strictly-enclosing loop: among the other loops
+            containing this head, the one with the deepest head. *)
+         let parent =
+           List.filter (fun (h, body) -> h <> head && body.(head)) bodies
+           |> List.fold_left
+                (fun best (h, _) ->
+                   match best with
+                   | Some b when depth.(b) >= depth.(h) -> best
+                   | _ -> Some h)
+                None
+           |> Option.map (Procgraph.global g)
+         in
+         { head = Procgraph.global g head; back_edges; blocks = !blocks;
+           depth = depth.(head); parent })
+      bodies
+    |> List.sort (fun a b -> compare a.head b.head)
+  in
+  (* Reducibility: remove the dominance back edges and look for a cycle
+     in what remains of the reachable subgraph. *)
+  let back_set = Hashtbl.create 16 in
+  List.iter (fun e -> Hashtbl.replace back_set e ()) back;
+  let color = Array.make n 0 in
+  let witnesses = ref [] in
+  let rec dfs u =
+    color.(u) <- 1;
+    Array.iter
+      (fun v ->
+         if not (Hashtbl.mem back_set (u, v)) then
+           if color.(v) = 0 then dfs v
+           else if color.(v) = 1 then
+             witnesses := (Procgraph.global g u, Procgraph.global g v) :: !witnesses)
+      (Procgraph.succ g u);
+    color.(u) <- 2
+  in
+  if n > 0 then dfs 0;
+  { graph = g; loops; depth; irreducible = List.rev !witnesses }
+
+let loops t = t.loops
+let loop_count t = List.length t.loops
+let depth_of t b = t.depth.(Procgraph.local t.graph b)
+let max_depth t = Array.fold_left max 0 t.depth
+let reducible t = t.irreducible = []
+let irreducible_edges t = t.irreducible

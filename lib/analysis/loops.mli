@@ -1,0 +1,44 @@
+(** Natural-loop detection and reducibility over one procedure.
+
+    A back edge is an edge [tail -> head] whose head dominates its tail;
+    the natural loop of a head is the head plus every block that can
+    reach some back-edge tail without passing through the head.  Back
+    edges sharing a head are merged into one loop (the usual
+    convention).  A procedure is {e reducible} when removing all such
+    dominance back edges leaves the reachable subgraph acyclic — any
+    remaining cycle is entered at two or more points and has no unique
+    header. *)
+
+open Hotpath_cfg
+
+type loop = {
+  head : Cfg.block_id;
+  back_edges : (Cfg.block_id * Cfg.block_id) list;
+      (** [(tail, head)] pairs, ascending by tail. *)
+  blocks : Cfg.block_id list;  (** Loop body including the head, ascending. *)
+  depth : int;  (** Nesting depth; 1 = outermost. *)
+  parent : Cfg.block_id option;
+      (** Head of the innermost strictly-enclosing loop. *)
+}
+
+type t
+
+val analyze : Dominators.t -> t
+
+val loops : t -> loop list
+(** All natural loops, ascending by head address. *)
+
+val loop_count : t -> int
+
+val depth_of : t -> Cfg.block_id -> int
+(** Number of natural loops containing the block ([0] = not in a
+    loop). *)
+
+val max_depth : t -> int
+
+val reducible : t -> bool
+
+val irreducible_edges : t -> (Cfg.block_id * Cfg.block_id) list
+(** Witnesses of irreducibility: retreating edges (reached while the
+    destination was still on the DFS stack, after all dominance back
+    edges were removed).  Empty iff {!reducible}. *)

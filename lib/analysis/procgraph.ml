@@ -1,0 +1,68 @@
+open Hotpath_cfg
+
+type t = {
+  program : Cfg.program;
+  proc : Cfg.proc_id;
+  blocks : Cfg.block_id array;  (* local -> global, layout order *)
+  local_of : (Cfg.block_id, int) Hashtbl.t;
+  succ : int array array;
+  pred : int array array;
+}
+
+let dedup_sorted l = List.sort_uniq compare l
+
+let build program ~proc =
+  let pr = Cfg.proc program proc in
+  let blocks = Array.copy pr.Cfg.blocks in
+  let n = Array.length blocks in
+  let local_of = Hashtbl.create (2 * n) in
+  Array.iteri (fun i g -> Hashtbl.replace local_of g i) blocks;
+  let succ_lists = Array.make n [] in
+  let pred_lists = Array.make n [] in
+  Array.iteri
+    (fun i g ->
+       let targets = ref [] in
+       Cfg.iter_succ (fun dst -> targets := dst :: !targets) program g;
+       let locals = dedup_sorted (List.map (Hashtbl.find local_of) !targets) in
+       succ_lists.(i) <- locals;
+       List.iter (fun j -> pred_lists.(j) <- i :: pred_lists.(j)) locals)
+    blocks;
+  let succ = Array.map Array.of_list succ_lists in
+  let pred = Array.map (fun l -> Array.of_list (dedup_sorted l)) pred_lists in
+  { program; proc; blocks; local_of; succ; pred }
+
+let program t = t.program
+let proc_id t = t.proc
+let size t = Array.length t.blocks
+let entry _t = 0
+let global t i = t.blocks.(i)
+
+let local t g =
+  match Hashtbl.find_opt t.local_of g with
+  | Some i -> i
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Procgraph.local: block %d not in procedure %d" g t.proc)
+
+let succ t i = t.succ.(i)
+let pred t i = t.pred.(i)
+
+let reachable t =
+  let n = size t in
+  let seen = Array.make n false in
+  let rec visit i =
+    if not seen.(i) then begin
+      seen.(i) <- true;
+      Array.iter visit t.succ.(i)
+    end
+  in
+  if n > 0 then visit 0;
+  seen
+
+let unreachable_blocks t =
+  let seen = reachable t in
+  let out = ref [] in
+  for i = size t - 1 downto 0 do
+    if not seen.(i) then out := t.blocks.(i) :: !out
+  done;
+  !out

@@ -1,0 +1,44 @@
+(** Per-procedure successor/predecessor maps over local block indices.
+
+    A procedure's blocks are re-indexed [0 .. n-1] in layout order (so
+    local index 0 is the entry and local order is address order).  Edge
+    lists are deduplicated: a conditional branch whose arms coincide, or
+    an indirect jump listing a target twice, contributes a single graph
+    edge — the graph analyses care about reachability and dominance, not
+    edge multiplicity. *)
+
+open Hotpath_cfg
+
+type t
+
+val build : Cfg.program -> proc:Cfg.proc_id -> t
+(** @raise Invalid_argument when [proc] is out of range. *)
+
+val program : t -> Cfg.program
+val proc_id : t -> Cfg.proc_id
+
+val size : t -> int
+(** Number of blocks in the procedure. *)
+
+val entry : t -> int
+(** Local index of the entry block — always [0]. *)
+
+val global : t -> int -> Cfg.block_id
+(** Global block id of a local index. *)
+
+val local : t -> Cfg.block_id -> int
+(** Local index of a global block id.
+    @raise Invalid_argument when the block is not in this procedure. *)
+
+val succ : t -> int -> int array
+(** Local successor indices, deduplicated, ascending. *)
+
+val pred : t -> int -> int array
+(** Local predecessor indices, deduplicated, ascending. *)
+
+val reachable : t -> bool array
+(** Per local index: reachable from the entry along intra-procedural
+    edges. *)
+
+val unreachable_blocks : t -> Cfg.block_id list
+(** Global ids of blocks not reachable from the entry, ascending. *)

@@ -1,0 +1,11 @@
+(** Human-readable rendering of the static analyses: one row per
+    procedure (blocks, branches, loops, nesting, reducibility,
+    Ball–Larus paths) plus the program-level counter-space summary. *)
+
+open Hotpath_cfg
+
+val render : ?cap:int -> Cfg.program -> string
+(** Aligned-text table and summary lines for one program. *)
+
+val render_csv : ?cap:int -> Cfg.program -> string
+(** The per-procedure table as CSV (no summary lines). *)

@@ -39,6 +39,46 @@ let successors p i =
   | Call { return_to; _ } -> [ return_to ]
   | Return | Exit -> []
 
+let num_blocks p = Array.length p.blocks
+
+let num_procs p = Array.length p.procs
+
+let iter_blocks f p = Array.iter f p.blocks
+
+let iter_procs f p = Array.iter f p.procs
+
+let iter_succ f p i =
+  match (block p i).term with
+  | Branch { taken; fallthrough } ->
+    f taken;
+    f fallthrough
+  | Jump t -> f t
+  | Indirect targets -> Array.iter f targets
+  | Call { return_to; _ } -> f return_to
+  | Return | Exit -> ()
+
+let return_blocks p pid =
+  let pr = proc p pid in
+  Array.to_list pr.blocks
+  |> List.filter (fun b -> match p.blocks.(b).term with Return -> true | _ -> false)
+
+let call_sites p =
+  Array.fold_left
+    (fun acc b ->
+       match b.term with
+       | Call { callee; return_to } -> (b.id, callee, return_to) :: acc
+       | _ -> acc)
+    [] p.blocks
+  |> List.rev
+
+let return_targets p pid =
+  let targets =
+    List.filter_map
+      (fun (_, callee, return_to) -> if callee = pid then Some return_to else None)
+      (call_sites p)
+  in
+  List.sort_uniq compare targets
+
 let branch_count p =
   Array.fold_left
     (fun acc b -> match b.term with Branch _ -> acc + 1 | _ -> acc)

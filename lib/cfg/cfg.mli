@@ -76,6 +76,39 @@ val successors : program -> block_id -> block_id list
     intra-procedural continuation — and [Return]/[Exit] contribute
     nothing. *)
 
+(** {1 Iteration helpers}
+
+    Non-allocating traversal used by the static-analysis passes in
+    [Hotpath_analysis]; all follow the [iter f collection] convention of
+    the standard library. *)
+
+val num_blocks : program -> int
+
+val num_procs : program -> int
+
+val iter_blocks : (block -> unit) -> program -> unit
+(** Every block, in address (= id) order. *)
+
+val iter_procs : (proc -> unit) -> program -> unit
+(** Every procedure, in pid order. *)
+
+val iter_succ : (block_id -> unit) -> program -> block_id -> unit
+(** Intra-procedural successors, like {!successors}, without building a
+    list.  Order: branch taken then fallthrough; indirect targets in
+    array order. *)
+
+val return_blocks : program -> proc_id -> block_id list
+(** Blocks of the procedure whose terminator is [Return], ascending. *)
+
+val call_sites : program -> (block_id * proc_id * block_id) list
+(** Every [Call] block in the program as [(site, callee, return_to)],
+    ascending by site address. *)
+
+val return_targets : program -> proc_id -> block_id list
+(** Distinct [return_to] blocks of call sites calling the given
+    procedure, ascending — the blocks a [Return] from it can reach
+    (context-insensitively). *)
+
 val branch_count : program -> int
 (** Number of conditional branches ([Branch] terminators). *)
 

@@ -6,6 +6,9 @@
 
     - {!Prng}, {!Vec}, {!Stats}, {!Tablefmt} — deterministic utilities;
     - {!Cfg} — the virtual CFG ISA standing in for PA-RISC binaries;
+    - {!Diag}, {!Dominators}, {!Loops}, {!Bounds}, {!Lint}, {!Report},
+      {!Check} — static CFG analyses (dominators, natural loops, path
+      bounds) and the program/trace linter behind [hotpath check];
     - {!Behavior}, {!Vm} — stochastic branch models and the interpreter;
     - {!Signature}, {!Path}, {!Path_table}, {!Recorder} — the paper's
       interprocedural forward paths and the record-once/replay-many trace;
@@ -39,6 +42,13 @@ module Vec = Hotpath_util.Vec
 module Stats = Hotpath_util.Stats
 module Tablefmt = Hotpath_util.Tablefmt
 module Cfg = Hotpath_cfg.Cfg
+module Diag = Hotpath_analysis.Diag
+module Dominators = Hotpath_analysis.Dominators
+module Loops = Hotpath_analysis.Loops
+module Bounds = Hotpath_analysis.Bounds
+module Lint = Hotpath_analysis.Lint
+module Report = Hotpath_analysis.Report
+module Check = Hotpath_trace.Check
 module Behavior = Hotpath_vm.Behavior
 module Vm = Hotpath_vm.Vm
 module Signature = Hotpath_trace.Signature

@@ -127,6 +127,34 @@ let render_overview b t =
   List.iter (fun (k, n) -> Tablefmt.add_row tbl [ k; Tablefmt.cell_int n ]) t.kinds;
   buf_table b tbl
 
+(* One-line lint verdict, only when the stream carries [hotpath check]
+   diagnostics; the totals come from the trailing check.done event when
+   present and are recounted from the diagnostics otherwise (a stream
+   truncated before check.done still gets a verdict). *)
+let render_check b t =
+  let diags = of_kind t "check" in
+  let dones = of_kind t "check.done" in
+  if diags <> [] || dones <> [] then begin
+    let errors, warnings, subjects =
+      match List.rev dones with
+      | last :: _ ->
+        (int_exn last "errors", int_exn last "warnings", int_exn last "subjects")
+      | [] ->
+        let count sev =
+          List.length
+            (List.filter (fun f -> Events.find_str f "severity" = Some sev) diags)
+        in
+        let subjects =
+          List.sort_uniq compare (List.map (fun f -> str_exn f "subject") diags)
+        in
+        (count "error", count "warning", List.length subjects)
+    in
+    Buffer.add_string b
+      (Printf.sprintf "Lint: %s — %d errors, %d warnings (%d subjects)\n"
+         (if errors > 0 then "FAIL" else "PASS")
+         errors warnings subjects)
+  end
+
 let render_replay_lanes b t =
   List.iter
     (fun (((scheme, delay), samples) as lane) ->
@@ -293,6 +321,7 @@ let render_registry b t =
 let render t =
   let b = Buffer.create 4096 in
   render_overview b t;
+  render_check b t;
   render_replay_lanes b t;
   render_dynamo_lanes b t;
   render_incidents b t;

@@ -1,0 +1,20 @@
+(** High-level lint entry points: run the program linter
+    ([Hotpath_analysis.Lint]) and the trace linter ({!Lint}) together
+    over a recording or a trace file — what [hotpath check] and the test
+    suite call. *)
+
+module Diag = Hotpath_analysis.Diag
+
+val recording : Recorder.t -> Diag.t list
+(** Program diagnostics ([P1xx]) followed by trace diagnostics
+    ([T2xx]).  A recording accepted by {!Recorder.of_parts} can still
+    carry warnings. *)
+
+val file : string -> Diag.t list
+(** Load a trace file and lint it.  A file that cannot be read or
+    parsed yields a single [T200] error diagnostic (the loader's
+    message) instead of raising. *)
+
+val program : ?cap:int -> Hotpath_cfg.Cfg.program -> Diag.t list
+(** Just the program linter — re-exported so CLI callers need only this
+    module. *)

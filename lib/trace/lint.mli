@@ -1,0 +1,49 @@
+(** Trace-vs-program consistency linter.
+
+    Validates that a recording's path table and instance stream could
+    have been produced by the {!Segmenter} running over the given
+    program: every intra-path transfer is legal for its source block's
+    terminator and goes forward, every inter-instance hand-off matches
+    the previous path's ending transfer, every loop-head arrival is a
+    backward transfer into the static head set
+    ({!Hotpath_analysis.Bounds.static_heads}), and the recorded path
+    metadata agrees with the program.
+
+    Codes ([T2xx]; severities as noted):
+    - [T201] instance references a path id outside the table
+    - [T202] arrivals/instances length mismatch or invalid arrival byte
+    - [T203] path structure: empty block list, block out of range, or
+      signature head differing from the first block
+    - [T204] illegal intra-path transfer (backward, target not reachable
+      from the source terminator, continues past a matched return or
+      exit)
+    - [T205] recorded end kind impossible for the path's last block
+    - [T206] entry arrival in the middle of the trace (error); trace not
+      beginning with an entry arrival at the program entry (warning —
+      partial traces and hand-built fixtures do this deliberately)
+    - [T207] inter-instance hand-off impossible: the previous path's
+      ending transfer cannot reach the next head
+    - [T208] loop-head arrival that is not backward or whose head is
+      outside the static potential-head set
+    - [T209] continuation arrival that is not forward or does not follow
+      a matched return / capped branch
+    - [T210] (warning) stored [n_instrs]/[n_branches] disagree with the
+      program (rescaled-program fixtures trip this legitimately)
+
+    This module deliberately takes the recording as raw parts so that
+    {!Recorder.of_parts} can run it as its validation gate. *)
+
+open Hotpath_cfg
+module Diag = Hotpath_analysis.Diag
+
+val check_parts :
+  program:Cfg.program ->
+  table:Path_table.t ->
+  instances:int array ->
+  arrivals:Bytes.t ->
+  Diag.t list
+(** All diagnostics, path-table findings first, then instance-stream
+    findings in stream order.  If the program itself is structurally
+    broken the program diagnostics are returned alone ([P1xx]); if the
+    containers are inconsistent ([T201]/[T202]) the per-instance walk is
+    skipped. *)

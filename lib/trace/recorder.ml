@@ -163,18 +163,29 @@ let of_parts ~program ~table ~instances ~arrivals ~vm_stats =
         table;
       match !bad_path with
       | Some id -> err "path %d references blocks outside the program" id
-      | None ->
-        Ok
-          {
-            program;
-            table;
-            instances;
-            arrivals;
-            vm_stats;
-            cache_descriptors = Atomic.make None;
-            cache_arrival_view = Atomic.make None;
-          }
+      | None -> (
+          match
+            List.find_opt
+              (fun d -> d.Hotpath_analysis.Diag.severity = Hotpath_analysis.Diag.Error)
+              (Lint.check_parts ~program ~table ~instances ~arrivals)
+          with
+          | Some d -> err "%s" (Hotpath_analysis.Diag.to_string d)
+          | None ->
+            Ok
+              {
+                program;
+                table;
+                instances;
+                arrivals;
+                vm_stats;
+                cache_descriptors = Atomic.make None;
+                cache_arrival_view = Atomic.make None;
+              })
     end
+
+let lint t =
+  Lint.check_parts ~program:t.program ~table:t.table ~instances:t.instances
+    ~arrivals:t.arrivals
 
 let num_instances t = Array.length t.instances
 

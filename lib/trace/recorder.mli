@@ -100,7 +100,17 @@ val of_parts :
 (** Reassemble a recording (deserialization support).  Validates that the
     program is well-formed, every instance id is a table path, arrival
     codes are in range and as numerous as the instances, and every path's
-    blocks exist in the program. *)
+    blocks exist in the program — then runs the full trace linter
+    ([Hotpath_trace.Lint.check_parts]): transfer legality, arrival
+    consistency, head-set membership, end-kind plausibility.  Any
+    error-severity finding rejects the parts (first finding as the
+    message); warnings (e.g. metadata that disagrees with a rescaled
+    program) are tolerated — retrieve them with {!lint}. *)
+
+val lint : t -> Hotpath_analysis.Diag.t list
+(** Re-run the trace linter on an assembled recording.  Recordings made
+    by {!record} and loads accepted by {!of_parts} report no
+    error-severity findings; warnings may remain. *)
 
 val num_instances : t -> int
 (** Total flow: the number of path executions (the paper's [Flow]). *)

@@ -22,10 +22,12 @@
     and writing raises [Invalid_argument] if a value does not fit (no
     silent truncation); unbounded counts (block weights, per-path
     instruction counts, instance totals, VM statistics) are 64-bit.
-    Loading validates structure (via {!Recorder.of_parts} or the streaming
-    reader's incremental checks) and fails with a message rather than
-    crashing on corrupt input — the serializer fuzz suite holds both
-    parsers to that. *)
+    Loading validates structure (via {!Recorder.of_parts} — which since
+    the lint hook also runs the full trace linter, [Hotpath_trace.Lint]
+    — or the streaming reader's incremental checks) and fails with a
+    message rather than crashing on corrupt input — the serializer fuzz
+    suite holds both parsers to that.  For diagnostics instead of a
+    bare error message, lint a file with [Hotpath_trace.Check.file]. *)
 
 module Cfg = Hotpath_cfg.Cfg
 

@@ -162,6 +162,16 @@ let record_done sink ~instances ~paths ~bytes_out =
     [ ("instances", Int instances); ("paths", Int paths);
       ("bytes_out", Int bytes_out) ]
 
+let check_diag sink ~subject ~code ~severity ~loc ~message =
+  emit sink ~kind:"check"
+    [ ("subject", Str subject); ("code", Str code); ("severity", Str severity);
+      ("loc", Str loc); ("message", Str message) ]
+
+let check_done sink ~subjects ~errors ~warnings ~infos =
+  emit sink ~kind:"check.done"
+    [ ("subjects", Int subjects); ("errors", Int errors);
+      ("warnings", Int warnings); ("infos", Int infos) ]
+
 let dynamo_install sink ~at ~path ~blocks ~instrs ~fragments =
   emit sink ~kind:"dynamo.install"
     [ ("at", Int at); ("path", Int path); ("blocks", Int blocks);

@@ -127,6 +127,24 @@ val record_chunk :
 
 val record_done : sink -> instances:int -> paths:int -> bytes_out:int -> unit
 
+val check_diag :
+  sink ->
+  subject:string ->
+  code:string ->
+  severity:string ->
+  loc:string ->
+  message:string ->
+  unit
+(** One linter diagnostic from [hotpath check]: [subject] names the
+    program or trace file, the remaining fields mirror the diagnostic
+    record ([severity] is ["error"]/["warning"]/["info"], [loc] the
+    rendered location, [code] the stable [Pxxx]/[Txxx] code). *)
+
+val check_done :
+  sink -> subjects:int -> errors:int -> warnings:int -> infos:int -> unit
+(** End-of-run totals for one [hotpath check] invocation: how many
+    subjects were linted and the diagnostic counts by severity. *)
+
 val dynamo_install :
   sink -> at:int -> path:int -> blocks:int -> instrs:int -> fragments:int -> unit
 (** A fragment was installed for path [path] at instance [at];

@@ -26,6 +26,9 @@ type t = {
 }
 
 let create ?(max_stack = 10_000) program behavior ~rng =
+  (match Cfg.validate program with
+   | Ok () -> ()
+   | Error e -> invalid_arg ("Vm.create: invalid program: " ^ e));
   (match Behavior.validate behavior with
    | Ok () -> ()
    | Error e -> invalid_arg ("Vm.create: invalid behavior: " ^ e));

@@ -30,7 +30,10 @@ type t
 val create : ?max_stack:int -> Cfg.program -> Behavior.t -> rng:Hotpath_util.Prng.t -> t
 (** Interpreter positioned at the main procedure's entry.  [max_stack]
     bounds call depth (default 10_000).
-    @raise Invalid_argument when the behaviour fails {!Behavior.validate}. *)
+    @raise Invalid_argument when the program fails {!Cfg.validate} (the
+    builder validates on [finish], but programs can also arrive from
+    deserialization or hand construction) or the behaviour fails
+    {!Behavior.validate}. *)
 
 val step : t -> transfer option
 (** Execute one block and its terminator.  [None] once the program has

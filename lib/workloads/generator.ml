@@ -228,8 +228,13 @@ let build t ~seed =
   let helper = Cfg.Builder.add_proc b ~name:"helper" in
   let h_entry = Cfg.Builder.add_block b ~proc:helper ~weight:(weight ()) in
   let h_branch = Cfg.Builder.add_block b ~proc:helper ~weight:(weight ()) in
-  let h_a = Cfg.Builder.add_block b ~proc:helper ~weight:(weight ()) in
-  let h_b = Cfg.Builder.add_block b ~proc:helper ~weight:(weight ()) in
+  (* Fallthrough arm laid out right after the branch (the convention the
+     whole ISA follows and [hotpath check] enforces); the weight draws
+     keep their original arm assignment so traces are unchanged. *)
+  let w_taken = weight () in
+  let w_fall = weight () in
+  let h_b = Cfg.Builder.add_block b ~proc:helper ~weight:w_fall in
+  let h_a = Cfg.Builder.add_block b ~proc:helper ~weight:w_taken in
   let h_ret = Cfg.Builder.add_block b ~proc:helper ~weight:1 in
   Cfg.Builder.set_term b h_entry (Cfg.Jump h_branch);
   Cfg.Builder.set_term b h_branch (Cfg.Branch { taken = h_a; fallthrough = h_b });

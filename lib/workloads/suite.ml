@@ -203,6 +203,8 @@ let record_phased ?(max_paths = 120_000) ?(seed = 23) () =
   Recorder.record ~max_paths ~max_steps:(max_paths * 200) program behavior
     ~rng:(Prng.create ~seed:(seed + 6))
 
+let program b = fst (Generator.build b.b_spec ~seed:b.b_seed)
+
 let record ?(scale = 1.0) b =
   let program, behavior = Generator.build b.b_spec ~seed:b.b_seed in
   let max_paths = max 1000 (int_of_float (scale *. float_of_int b.b_flow)) in

@@ -48,6 +48,11 @@ val dynamo_set : benchmark list
 (** The Figure 5 subset (no bail-out): compress, m88ksim, perl, li,
     deltablue. *)
 
+val program : benchmark -> Hotpath_cfg.Cfg.program
+(** Just the generated program (no recording) — what [hotpath check]
+    and the static analyses consume.  Deterministic in [b_seed], and
+    identical to the program {!record} runs. *)
+
 val record : ?scale:float -> benchmark -> Recorder.t
 (** Generate the program and record [scale * b_flow] path instances
     (default scale 1.0, minimum 1000 instances).  Deterministic in
