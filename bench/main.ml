@@ -386,8 +386,8 @@ let events_overhead_demo ~scale =
 
 (* ------------------------------------------------------------------ *)
 (* Replay kernel benchmark: packed loop vs monomorphized kernel vs      *)
-(* lane-parallel shards, with bit-identity checks and a recorded        *)
-(* baseline (BENCH_replay.json)                                         *)
+(* chunk-sharded parallel replay, with bit-identity checks and a        *)
+(* recorded baseline (BENCH_replay.json)                                *)
 (* ------------------------------------------------------------------ *)
 
 let bench_replay_file = "BENCH_replay.json"
@@ -497,7 +497,7 @@ let kernel_bench ~smoke ~scale =
          (fun jobs ->
             let sharded = Replay.run_many ~jobs packed ~delays recorded in
             check
-              (Printf.sprintf "%s: lane-parallel jobs=%d == serial" name jobs)
+              (Printf.sprintf "%s: chunk-sharded jobs=%d == serial" name jobs)
               (List.for_all2 outcome_equal reference sharded))
          [ 2; 4 ])
     schemes;
@@ -521,8 +521,9 @@ let kernel_bench ~smoke ~scale =
   check "net: event stream jobs=4 byte-identical to serial"
     (String.length serial_events > 0 && event_bytes 4 = serial_events);
   (* Timings: best-of, same delay set everywhere, throughput in trace
-     instances/s (n / wall — the multiplexed pass reads the trace once at
-     jobs=1, [shards] times when sharded). *)
+     instances/s (n / wall — the multiplexed pass makes one logical
+     traversal of the trace at every job count; jobs>1 shards that
+     traversal into chunks instead of re-walking it per shard). *)
   let reps = if smoke then 3 else 5 in
   let time f =
     ignore (f ());
@@ -544,22 +545,26 @@ let kernel_bench ~smoke ~scale =
         ~wall_s ~speedup
       :: !lines
   in
-  let measured_speedups =
+  let measured =
     List.map
       (fun (name, packed, generic) ->
          let packed_s = time (fun () -> Replay.run_many generic ~delays recorded) in
          report ~scheme:name ~variant:"packed" ~jobs:1 ~packed_s packed_s;
          let kernel_s = time (fun () -> Replay.run_many packed ~delays recorded) in
          report ~scheme:name ~variant:"kernel" ~jobs:1 ~packed_s kernel_s;
-         if name = "net" then
-           List.iter
+         (* Full scheme x jobs matrix: a scaling regression in any kernel
+            must be visible in the baseline, not just net's. *)
+         let sharded_s =
+           List.map
              (fun jobs ->
                 let t =
                   time (fun () -> Replay.run_many ~jobs packed ~delays recorded)
                 in
-                report ~scheme:name ~variant:"kernel" ~jobs ~packed_s t)
-             [ 2; 4 ];
-         (name, packed_s /. kernel_s))
+                report ~scheme:name ~variant:"kernel" ~jobs ~packed_s t;
+                (jobs, t))
+             [ 2; 4 ]
+         in
+         (name, packed_s /. kernel_s, kernel_s, sharded_s))
       schemes
   in
   if smoke then begin
@@ -568,7 +573,7 @@ let kernel_bench ~smoke ~scale =
        machine, so it transfers across hosts where raw instances/s does
        not.  >5% below the recorded ratio fails. *)
     List.iter
-      (fun (name, measured) ->
+      (fun (name, measured, _, _) ->
          match baseline_speedup ~scheme:name with
          | None ->
            Format.printf "  %s: no baseline in %s@." name bench_replay_file;
@@ -580,7 +585,23 @@ let kernel_bench ~smoke ~scale =
                 "%s: kernel speedup %.2fx within 5%% of baseline %.2fx" name
                 measured recorded_speedup)
              (measured >= floor))
-      measured_speedups
+      measured;
+    (* Scaling gate: chunk sharding must never make more cores a
+       regression again — jobs=4 at least matches jobs=1 on the net
+       kernel, on this machine, right now. *)
+    List.iter
+      (fun (name, _, kernel_s, sharded_s) ->
+         if name = "net" then
+           match List.assoc_opt 4 sharded_s with
+           | None -> ()
+           | Some t4 ->
+             check
+               (Printf.sprintf
+                  "net: jobs=4 throughput %.2e >= jobs=1 %.2e inst/s"
+                  (float_of_int n /. t4)
+                  (float_of_int n /. kernel_s))
+               (t4 <= kernel_s))
+      measured
   end
   else begin
     let oc = open_out bench_replay_file in

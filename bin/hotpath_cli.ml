@@ -36,9 +36,10 @@ let jobs_arg =
 
 let lane_jobs_arg =
   let doc =
-    "Shard the sweep's delay lanes over N domains (honoured exactly, not \
-     capped).  Points and emitted events are byte-identical at every job \
-     count."
+    "Parallelize the sweep's trace walk over N domains (clamped to the \
+     machine's domain budget; the stream is sharded into chunks, not the \
+     delay lanes).  Points and emitted events are byte-identical at every \
+     job count."
   in
   let pos_int =
     let parse s =
@@ -305,7 +306,8 @@ let sweep_cmd =
     (Cmd.info "sweep"
        ~doc:
          "Delay sweep for one benchmark, both schemes (all delays multiplexed \
-          through one trace pass; --jobs shards lanes over domains)")
+          through one trace pass; --jobs shards the instance stream over \
+          domains)")
     Term.(
       const run $ scale_arg $ bench_arg $ events_arg $ events_window_arg
       $ lane_jobs_arg)

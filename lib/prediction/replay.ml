@@ -108,11 +108,13 @@ module Sampler = struct
         ~captured_total ~counter_space ~profiling_ops ~collection_ops
 end
 
-(* Instance reads performed by [run]/[run_many], for the one-pass
-   guarantee: multiplexing k delays must read the trace once, not k
-   times.  Atomic because experiment fan-out replays from several
-   domains.  Lane sharding trades this back deliberately: at [~jobs:j]
-   each of the [min j k] shard domains walks the trace once. *)
+(* Logical instance-stream reads performed by [run]/[run_many], for the
+   one-pass guarantee: multiplexing k delays must read the trace once,
+   not k times.  Atomic because experiment fan-out replays from several
+   domains.  The count is per logical traversal and independent of
+   [?jobs]: a chunk-sharded run still consumes the stream once (phase A
+   reads each chunk exactly once; lane groups replay cache-resident
+   chunk buffers, not the stream). *)
 let reads = Atomic.make 0
 
 let instance_reads () = Atomic.get reads
@@ -129,11 +131,11 @@ let live = function
 (* Lane plumbing                                                       *)
 (* ------------------------------------------------------------------ *)
 
-(* A lane runner walks the trace once for a subset of the delay lanes,
-   accumulating path frequencies into [freq] along the way and sampling
-   through [ev]'s sink.  Both the generic functor below and the
+(* A lane runner replays the instance stream for a subset of the delay
+   lanes, accumulating path frequencies into [freq] along the way and
+   sampling through [ev]'s sink.  Both the generic functor below and the
    monomorphized kernels produce one; the sharding driver [drive] is the
-   single owner of slicing, domain fan-out, event reconciliation, and
+   single owner of chunking, domain fan-out, event reconciliation, and
    outcome assembly. *)
 type lane_result = {
   lr_predictions : prediction array;
@@ -146,14 +148,34 @@ type lane_result = {
   lr_collection_ops : int;
 }
 
+(* A chunk walker owns the full replay state for its lanes and replays
+   instance-stream chunks [lo, hi) in ascending order.  All state — lane
+   counters, predicted-at marks, sampler cursors — carries across calls,
+   so walking [0, n) in one call or in many contiguous chunks is the
+   same computation; the chunk boundary is pure loop tiling here.
+   [cw_finish] emits the final event samples and packages the results. *)
+type chunk_walker = {
+  cw_walk : lo:int -> hi:int -> unit;
+  cw_finish : unit -> lane_result array;
+}
+
+(* Built-in kernels whose per-lane state is dense and seam-mergeable get
+   the compressed stream-sharded engine below.  [Last_executed_tail] is
+   the exception: at a trip it predicts a path other than the tripping
+   one, and captured accounting then needs that other path's occurrence
+   count at the trip index, which the compressed phase-A stream does not
+   carry — it replays through the chunked per-instance walker instead. *)
+type fast = Fast_net_rearm | Fast_net_once | Fast_pp
+
 type lane_runner = {
   lr_scheme : string;
-  lr_run :
+  lr_make :
     ev:events option ->
     lanes:int array ->
     freq:int array ->
     Recorder.t ->
-    lane_result array;
+    chunk_walker;
+  lr_fast : fast option;
 }
 
 (* Contiguous lane slices, sizes differing by at most one. *)
@@ -193,8 +215,335 @@ let merge_event_lines sink slices bufs =
       bufs
   done
 
-let drive ?events:ev ?(jobs = 1) (runner : lane_runner) ~delays (r : Recorder.t) =
+(* ------------------------------------------------------------------ *)
+(* Stream-sharded fast engines                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* [drive] used to shard the *delay lanes*: each of [min jobs k] domains
+   re-walked the entire trace for a contiguous lane slice, so jobs > 1
+   multiplied total work by the shard count and wall time *grew* with
+   jobs whenever domains outnumbered cores (BENCH_replay.json recorded
+   the net kernel falling from 43.3M instances/s at jobs=1 to 31.7M at
+   jobs=4).  The engines below shard the *instance stream* instead:
+
+   - Phase A walks each chunk of the stream exactly once, compressing it
+     into chunk-local buffers — for NET, the loop-head event stream
+     (trace index + occurrence count of the event's own path) plus the
+     maximal same-path runs per head over it; for path-profile, the
+     occurrence-threshold trigger stream.  Phase A is also the only
+     consumer of the raw trace and the only writer of [freq].
+   - Phase C replays every delay lane against the compressed buffers:
+     O(1) per run per lane for NET (a run either skips — its path is
+     already predicted — or advances one head counter by the run length
+     with at most one trip inside), O(1) per trigger for path-profile.
+     Lanes are independent, so phase C fans contiguous lane groups over
+     pool workers, each group replaying the same cache-resident buffers.
+
+   The chunk-seam carry protocol is what makes chunking invisible: head
+   counters, predicted-at marks and occurrence bases live in per-lane
+   arrays that persist across chunks, and a run split by a chunk
+   boundary is simply two shorter runs advancing the same counter — the
+   automaton never relies on run maximality (property-tested
+   bit-identical to serial for adversarial chunk sizes, 1 included).
+
+   Captured flow needs no per-instance work at all: at an accepted
+   prediction of [target] at instance [i] the engine stores
+   occ(target, <= i) as the capture base, and at the end
+   captured(target) = freq(target) - base.  This closed form is exact
+   because a predicted path's later instances are captured by
+   definition, and for these kernels the predicted path is the tripping
+   path itself, whose occurrence count phase A already carries.
+
+   Per-chunk buffers are reused and sized to the chunk, so phase C reads
+   cache-resident data where the lane-sharded loops streamed the whole
+   trace from memory once per shard — which is why jobs > 1 beats the
+   fused serial kernel even on a single core: it does strictly less
+   work per lane, not merely the same work elsewhere. *)
+module Fast = struct
+  let lane_groups k workers =
+    shard_slices (Array.init k Fun.id) (max 1 (min workers k))
+
+  (* Fan phase C over lane groups.  The per-chunk pool teardown costs a
+     domain spawn per worker per chunk — noise at the default chunk size
+     — and the single-group case (1-core machines included) runs inline
+     with no domain machinery at all. *)
+  let run_groups groups process =
+    match Array.length groups with
+    | 1 -> process groups.(0)
+    | ng -> ignore (Pool.map_array ~jobs:ng process groups)
+
+  let net variant ~lanes ~chunk ~workers ~freq (r : Recorder.t) =
+    let k = Array.length lanes in
+    let n_paths = Recorder.num_paths r in
+    let n_blocks = Array.length r.Recorder.program.Cfg.blocks in
+    let d = Recorder.descriptors r in
+    let heads = d.Recorder.d_heads and blocks = d.Recorder.d_blocks in
+    let arrivals = Recorder.arrival_view r in
+    let instances = r.Recorder.instances in
+    let n = Array.length instances in
+    let v_once = variant = Fast_net_once in
+    let csz = max 1 (min chunk n) in
+    (* Chunk-local phase-A output, reused across chunks. *)
+    let ev_idx = Array.make csz 0 in
+    let ev_occ = Array.make csz 0 in
+    let run_pid = Array.make csz 0 in
+    let run_off = Array.make csz 0 in
+    let run_len = Array.make csz 0 in
+    let open_run = Array.make n_blocks (-1) in
+    (* Per-lane seam-carried state. *)
+    let pa = Array.init k (fun _ -> Array.make n_paths max_int) in
+    let cap_base = Array.init k (fun _ -> Array.make n_paths 0) in
+    let counts = Array.init k (fun _ -> Array.make n_blocks (-1)) in
+    let retired =
+      Array.init k (fun _ -> if v_once then Array.make n_blocks false else [||])
+    in
+    let seen = Array.make k 0 in
+    let ops = Array.make k 0 in
+    let coll = Array.make k 0 in
+    let preds = Array.init k (fun _ -> Vec.create ()) in
+    let groups = lane_groups k workers in
+    let n_runs = ref 0 in
+    let process_group g =
+      (* Hot closure captures into locals (see Net_kernel.make_walker). *)
+      let run_pid = Sys.opaque_identity run_pid
+      and run_off = Sys.opaque_identity run_off
+      and run_len = Sys.opaque_identity run_len
+      and ev_idx = Sys.opaque_identity ev_idx
+      and ev_occ = Sys.opaque_identity ev_occ
+      and heads = Sys.opaque_identity heads
+      and blocks = Sys.opaque_identity blocks
+      and lanes = Sys.opaque_identity lanes
+      and pa = Sys.opaque_identity pa
+      and cap_base = Sys.opaque_identity cap_base
+      and counts = Sys.opaque_identity counts
+      and retired = Sys.opaque_identity retired
+      and seen = Sys.opaque_identity seen
+      and ops = Sys.opaque_identity ops
+      and coll = Sys.opaque_identity coll
+      and preds = Sys.opaque_identity preds
+      and v_once = Sys.opaque_identity v_once in
+      let nr = !n_runs in
+      let gk = Array.length g in
+      for ri = 0 to nr - 1 do
+        let pid = Array.unsafe_get run_pid ri in
+        let off = Array.unsafe_get run_off ri in
+        let len = Array.unsafe_get run_len ri in
+        let h = Array.unsafe_get heads pid in
+        for j = 0 to gk - 1 do
+          let l = Array.unsafe_get g j in
+          let pal = Array.unsafe_get pa l in
+          (* Predicted path => the whole run is captured flow: skip. *)
+          if Array.unsafe_get pal pid = max_int then
+            if not (v_once && Array.unsafe_get (Array.unsafe_get retired l) h)
+            then begin
+              let cl = Array.unsafe_get counts l in
+              let c0 = Array.unsafe_get cl h in
+              let c0 =
+                if c0 < 0 then begin
+                  Array.unsafe_set seen l (Array.unsafe_get seen l + 1);
+                  0
+                end
+                else c0
+              in
+              let delay = Array.unsafe_get lanes l in
+              if c0 + len < delay then begin
+                Array.unsafe_set cl h (c0 + len);
+                Array.unsafe_set ops l (Array.unsafe_get ops l + len)
+              end
+              else begin
+                (* The counter trips at the run's [delay - c0]-th event;
+                   everything after that event is captured flow of the
+                   now-predicted path, so the run finishes in O(1). *)
+                let e = delay - c0 in
+                Array.unsafe_set ops l (Array.unsafe_get ops l + e);
+                Array.unsafe_set cl h 0;
+                if v_once then
+                  Array.unsafe_set (Array.unsafe_get retired l) h true;
+                let at = Array.unsafe_get ev_idx (off + e - 1) in
+                Array.unsafe_set pal pid at;
+                Array.unsafe_set (Array.unsafe_get cap_base l) pid
+                  (Array.unsafe_get ev_occ (off + e - 1));
+                Array.unsafe_set coll l
+                  (Array.unsafe_get coll l + Array.unsafe_get blocks pid);
+                Vec.push
+                  (Array.unsafe_get preds l)
+                  { target = pid; at_instance = at }
+              end
+            end
+        done
+      done
+    in
+    let lo = ref 0 in
+    while !lo < n do
+      let hi = min n (!lo + csz) in
+      (* Phase A: one walk of the chunk, shared by every lane. *)
+      let m = ref 0 and nr = ref 0 in
+      for i = !lo to hi - 1 do
+        let pid = Array.unsafe_get instances i in
+        let f = Array.unsafe_get freq pid + 1 in
+        Array.unsafe_set freq pid f;
+        let is_loop_head =
+          match Array.unsafe_get arrivals i with
+          | Path.Loop_head -> true
+          | Path.Entry | Path.Continuation -> false
+        in
+        if is_loop_head then begin
+          let j = !m in
+          Array.unsafe_set ev_idx j i;
+          Array.unsafe_set ev_occ j f;
+          let h = Array.unsafe_get heads pid in
+          let ri = Array.unsafe_get open_run h in
+          if
+            ri >= 0
+            && Array.unsafe_get run_pid ri = pid
+            && Array.unsafe_get run_off ri + Array.unsafe_get run_len ri = j
+          then Array.unsafe_set run_len ri (Array.unsafe_get run_len ri + 1)
+          else begin
+            let ri = !nr in
+            Array.unsafe_set run_pid ri pid;
+            Array.unsafe_set run_off ri j;
+            Array.unsafe_set run_len ri 1;
+            Array.unsafe_set open_run h ri;
+            nr := ri + 1
+          end;
+          m := j + 1
+        end
+      done;
+      (* Seam: open runs do not span chunks — a split run is two runs
+         advancing the same carried counter, which is the same thing. *)
+      Array.fill open_run 0 n_blocks (-1);
+      n_runs := !nr;
+      process_group |> run_groups groups;
+      lo := hi
+    done;
+    Array.init k (fun l ->
+        let captured = Array.make n_paths 0 in
+        let pal = pa.(l) and cb = cap_base.(l) in
+        let total = ref 0 in
+        for pid = 0 to n_paths - 1 do
+          if Array.unsafe_get pal pid <> max_int then begin
+            let c = Array.unsafe_get freq pid - Array.unsafe_get cb pid in
+            Array.unsafe_set captured pid c;
+            total := !total + c
+          end
+        done;
+        {
+          lr_predictions = Vec.to_array preds.(l);
+          lr_predicted_at = pal;
+          lr_captured = captured;
+          lr_profiled = n - !total;
+          lr_captured_total = !total;
+          lr_counter_space = seen.(l);
+          lr_profiling_ops = ops.(l);
+          lr_collection_ops = coll.(l);
+        })
+
+  (* Path-profile predicts a path at exactly its [delay]-th profiled
+     occurrence (its first [min freq delay] occurrences are profiled,
+     the rest captured), so phase A only records threshold crossings —
+     (path, occurrence, index) triggers — and everything else is closed
+     form over the final [freq]. *)
+  let path_profile ~lanes ~chunk ~workers ~freq (r : Recorder.t) =
+    let k = Array.length lanes in
+    let n_paths = Recorder.num_paths r in
+    let d = Recorder.descriptors r in
+    let branches = d.Recorder.d_branches in
+    let instances = r.Recorder.instances in
+    let n = Array.length instances in
+    let csz = max 1 (min chunk n) in
+    (* Occurrence counts never exceed n, so delays beyond n can never
+       trigger and need no slot in the membership table. *)
+    let cap = min (Array.fold_left max 1 lanes) n in
+    let is_delay = Array.make (cap + 1) false in
+    Array.iter (fun dl -> if dl >= 1 && dl <= cap then is_delay.(dl) <- true) lanes;
+    let tr_pid = Array.make csz 0 in
+    let tr_occ = Array.make csz 0 in
+    let tr_idx = Array.make csz 0 in
+    let pa = Array.init k (fun _ -> Array.make n_paths max_int) in
+    let preds = Array.init k (fun _ -> Vec.create ()) in
+    let groups = lane_groups k workers in
+    let n_triggers = ref 0 in
+    let process_group g =
+      (* Hot closure captures into locals (see Net_kernel.make_walker). *)
+      let tr_pid = Sys.opaque_identity tr_pid
+      and tr_occ = Sys.opaque_identity tr_occ
+      and tr_idx = Sys.opaque_identity tr_idx in
+      let nt = !n_triggers in
+      Array.iter
+        (fun l ->
+           let delay = lanes.(l) in
+           let pal = pa.(l) and pr = preds.(l) in
+           for t = 0 to nt - 1 do
+             if Array.unsafe_get tr_occ t = delay then begin
+               let pid = Array.unsafe_get tr_pid t in
+               let at = Array.unsafe_get tr_idx t in
+               Array.unsafe_set pal pid at;
+               Vec.push pr { target = pid; at_instance = at }
+             end
+           done)
+        g
+    in
+    let lo = ref 0 in
+    while !lo < n do
+      let hi = min n (!lo + csz) in
+      let nt = ref 0 in
+      for i = !lo to hi - 1 do
+        let pid = Array.unsafe_get instances i in
+        let f = Array.unsafe_get freq pid + 1 in
+        Array.unsafe_set freq pid f;
+        if f <= cap && Array.unsafe_get is_delay f then begin
+          let t = !nt in
+          Array.unsafe_set tr_pid t pid;
+          Array.unsafe_set tr_occ t f;
+          Array.unsafe_set tr_idx t i;
+          nt := t + 1
+        end
+      done;
+      n_triggers := !nt;
+      process_group |> run_groups groups;
+      lo := hi
+    done;
+    let seen = ref 0 in
+    for pid = 0 to n_paths - 1 do
+      if freq.(pid) > 0 then incr seen
+    done;
+    let seen = !seen in
+    Array.init k (fun l ->
+        let delay = lanes.(l) in
+        let captured = Array.make n_paths 0 in
+        let pal = pa.(l) in
+        let total = ref 0 and ops = ref 0 in
+        for pid = 0 to n_paths - 1 do
+          let f = Array.unsafe_get freq pid in
+          let profiled_occ = if f < delay then f else delay in
+          ops := !ops + (profiled_occ * (Array.unsafe_get branches pid + 1));
+          if Array.unsafe_get pal pid <> max_int then begin
+            let c = f - delay in
+            Array.unsafe_set captured pid c;
+            total := !total + c
+          end
+        done;
+        {
+          lr_predictions = Vec.to_array preds.(l);
+          lr_predicted_at = pal;
+          lr_captured = captured;
+          lr_profiled = n - !total;
+          lr_captured_total = !total;
+          lr_counter_space = seen;
+          lr_profiling_ops = !ops;
+          lr_collection_ops = 0;
+        })
+end
+
+(* Chunks large enough to amortize per-chunk work, small enough that the
+   phase-A buffers (a few machine words per instance) stay L2-resident
+   while every lane group replays them. *)
+let default_chunk = 65_536
+
+let drive ?events:ev ?(jobs = 1) ?(chunk = default_chunk)
+    (runner : lane_runner) ~delays (r : Recorder.t) =
   if jobs < 1 then invalid_arg "Replay.run_many: jobs must be >= 1";
+  if chunk < 1 then invalid_arg "Replay.run_many: chunk must be >= 1";
   let ev = live ev in
   match Array.of_list delays with
   | [||] -> []
@@ -220,35 +569,80 @@ let drive ?events:ev ?(jobs = 1) (runner : lane_runner) ~delays (r : Recorder.t)
             collection_ops = lr.lr_collection_ops;
           })
     in
-    let shards = min jobs k in
-    if shards <= 1 then begin
+    (* One logical traversal of the stream regardless of [jobs]. *)
+    ignore (Atomic.fetch_and_add reads n);
+    (* Fan-out width: the [jobs] ask clamped to the machine's domain
+       budget and the lane count — never oversubscribed.  Results are
+       worker-count independent (lanes never interact), so clamping is
+       pure scheduling. *)
+    let workers = min (Pool.effective_workers ~jobs) k in
+    let serial_walk w =
+      w.cw_walk ~lo:0 ~hi:n;
+      w.cw_finish ()
+    in
+    if jobs = 1 then begin
       let freq = Array.make n_paths 0 in
-      assemble (runner.lr_run ~ev ~lanes ~freq r) freq
+      assemble (serial_walk (runner.lr_make ~ev ~lanes ~freq r)) freq
     end
     else begin
-      let slices = shard_slices lanes shards in
-      let bufs = Array.map (fun _ -> Vec.create ()) slices in
-      let shard s =
-        (* Sampling goes to a per-domain line buffer, merged after the
-           join; each shard accumulates its own (identical) freq. *)
-        let ev_s =
-          Option.map
-            (fun e -> { e with ev_sink = Events.of_fn (Vec.push bufs.(s)) })
-            ev
-        in
+      match runner.lr_fast with
+      | Some fast when ev = None ->
         let freq = Array.make n_paths 0 in
-        (runner.lr_run ~ev:ev_s ~lanes:slices.(s) ~freq r, freq)
-      in
-      (* Lane states are independent, so sharding them over domains is a
-         pure wall-time play.  [~cap:false]: the shard count is the
-         caller's explicit jobs choice, and determinism across job counts
-         must be exercisable even on single-core machines. *)
-      let results =
-        Pool.map_array ~cap:false ~jobs:shards shard (Array.init shards Fun.id)
-      in
-      Option.iter (fun e -> merge_event_lines e.ev_sink slices bufs) ev;
-      let lrs = Array.concat (Array.to_list (Array.map fst results)) in
-      assemble lrs (snd results.(0))
+        let lrs =
+          match fast with
+          | Fast_net_rearm | Fast_net_once ->
+            Fast.net fast ~lanes ~chunk ~workers ~freq r
+          | Fast_pp -> Fast.path_profile ~lanes ~chunk ~workers ~freq r
+        in
+        assemble lrs freq
+      | _ when workers <= 1 ->
+        (* One worker: a single walker over all lanes, chunk-tiled so
+           the seam path stays the one exercised at any job count. *)
+        let freq = Array.make n_paths 0 in
+        let w = runner.lr_make ~ev ~lanes ~freq r in
+        let lo = ref 0 in
+        while !lo < n do
+          let hi = min n (!lo + chunk) in
+          w.cw_walk ~lo:!lo ~hi;
+          lo := hi
+        done;
+        assemble (w.cw_finish ()) freq
+      | _ ->
+        (* Per-instance walkers (events enabled, Last_executed_tail, or
+           a non-built-in scheme): scheme state is opaque or the sampler
+           needs per-instance order, so each lane group replays the
+           chunk-tiled stream itself.  Sampling goes to a per-group line
+           buffer, merged after the join; each group accumulates its own
+           (identical) freq. *)
+        let slices = shard_slices lanes workers in
+        let bufs = Array.map (fun _ -> Vec.create ()) slices in
+        let freqs = Array.map (fun _ -> Array.make n_paths 0) slices in
+        let walkers =
+          Array.mapi
+            (fun s slice ->
+               let ev_s =
+                 Option.map
+                   (fun e ->
+                      { e with ev_sink = Events.of_fn (Vec.push bufs.(s)) })
+                   ev
+               in
+               runner.lr_make ~ev:ev_s ~lanes:slice ~freq:freqs.(s) r)
+            slices
+        in
+        let lrs =
+          Pool.map_array ~jobs:workers
+            (fun w ->
+               let lo = ref 0 in
+               while !lo < n do
+                 let hi = min n (!lo + chunk) in
+                 w.cw_walk ~lo:!lo ~hi;
+                 lo := hi
+               done;
+               w.cw_finish ())
+            walkers
+        in
+        Option.iter (fun e -> merge_event_lines e.ev_sink slices bufs) ev;
+        assemble (Array.concat (Array.to_list lrs)) freqs.(0)
     end
 
 (* ------------------------------------------------------------------ *)
@@ -256,7 +650,7 @@ let drive ?events:ev ?(jobs = 1) (runner : lane_runner) ~delays (r : Recorder.t)
 (* ------------------------------------------------------------------ *)
 
 module Make (S : Scheme.S) = struct
-  let run_lanes ~ev ~lanes ~freq (r : Recorder.t) =
+  let make_walker ~ev ~lanes ~freq (r : Recorder.t) =
     let k = Array.length lanes in
     let n_paths = Recorder.num_paths r in
     let d = Recorder.descriptors r in
@@ -293,55 +687,77 @@ module Make (S : Scheme.S) = struct
             ~collection_ops:(S.collection_ops states.(l))
         done
     in
-    ignore (Atomic.fetch_and_add reads n);
-    for i = 0 to n - 1 do
-      let pid = instances.(i) in
-      freq.(pid) <- freq.(pid) + 1;
-      let head = heads.(pid)
-      and n_branches = branches.(pid)
-      and n_blocks = blocks.(pid)
-      and arrival = arrivals.(i) in
-      for l = 0 to k - 1 do
-        let pa = predicted_at.(l) in
-        if pa.(pid) < i then begin
-          let cap = captured.(l) in
-          cap.(pid) <- cap.(pid) + 1;
-          captured_total.(l) <- captured_total.(l) + 1
+    let walk ~lo ~hi =
+      (* Hoist the hot closure captures into locals ([opaque_identity]
+         keeps the simplifier from substituting the aliases back into
+         per-iteration env reads — worth ~15% on this loop). *)
+      let instances = Sys.opaque_identity instances
+      and arrivals = Sys.opaque_identity arrivals
+      and heads = Sys.opaque_identity heads
+      and branches = Sys.opaque_identity branches
+      and blocks = Sys.opaque_identity blocks
+      and freq = Sys.opaque_identity freq
+      and states = Sys.opaque_identity states
+      and predicted_at = Sys.opaque_identity predicted_at
+      and captured = Sys.opaque_identity captured
+      and predictions = Sys.opaque_identity predictions
+      and profiled = Sys.opaque_identity profiled
+      and captured_total = Sys.opaque_identity captured_total
+      and next_sample = Sys.opaque_identity next_sample
+      and k = Sys.opaque_identity k in
+      for i = lo to hi - 1 do
+        let pid = instances.(i) in
+        freq.(pid) <- freq.(pid) + 1;
+        let head = heads.(pid)
+        and n_branches = branches.(pid)
+        and n_blocks = blocks.(pid)
+        and arrival = arrivals.(i) in
+        for l = 0 to k - 1 do
+          let pa = predicted_at.(l) in
+          if pa.(pid) < i then begin
+            let cap = captured.(l) in
+            cap.(pid) <- cap.(pid) + 1;
+            captured_total.(l) <- captured_total.(l) + 1
+          end
+          else begin
+            profiled.(l) <- profiled.(l) + 1;
+            match
+              S.observe states.(l) ~head ~arrival ~path_id:pid ~n_branches
+                ~n_blocks
+            with
+            | Some target when pa.(target) = max_int ->
+              pa.(target) <- i;
+              S.collect states.(l) ~n_blocks:blocks.(target);
+              Vec.push predictions.(l) { target; at_instance = i }
+            | Some _ | None -> ()
+          end
+        done;
+        if i + 1 >= !next_sample then begin
+          sample_lanes Sampler.sample (i + 1);
+          next_sample := !next_sample + (Option.get ev).ev_window
         end
-        else begin
-          profiled.(l) <- profiled.(l) + 1;
-          match
-            S.observe states.(l) ~head ~arrival ~path_id:pid ~n_branches
-              ~n_blocks
-          with
-          | Some target when pa.(target) = max_int ->
-            pa.(target) <- i;
-            S.collect states.(l) ~n_blocks:blocks.(target);
-            Vec.push predictions.(l) { target; at_instance = i }
-          | Some _ | None -> ()
-        end
-      done;
-      if i + 1 >= !next_sample then begin
-        sample_lanes Sampler.sample (i + 1);
-        next_sample := !next_sample + (Option.get ev).ev_window
-      end
-    done;
-    sample_lanes Sampler.final n;
-    Array.init k (fun l ->
-        {
-          lr_predictions = Vec.to_array predictions.(l);
-          lr_predicted_at = predicted_at.(l);
-          lr_captured = captured.(l);
-          lr_profiled = profiled.(l);
-          lr_captured_total = captured_total.(l);
-          lr_counter_space = S.counter_space states.(l);
-          lr_profiling_ops = S.profiling_ops states.(l);
-          lr_collection_ops = S.collection_ops states.(l);
-        })
+      done
+    in
+    let finish () =
+      sample_lanes Sampler.final n;
+      Array.init k (fun l ->
+          {
+            lr_predictions = Vec.to_array predictions.(l);
+            lr_predicted_at = predicted_at.(l);
+            lr_captured = captured.(l);
+            lr_profiled = profiled.(l);
+            lr_captured_total = captured_total.(l);
+            lr_counter_space = S.counter_space states.(l);
+            lr_profiling_ops = S.profiling_ops states.(l);
+            lr_collection_ops = S.collection_ops states.(l);
+          })
+    in
+    { cw_walk = walk; cw_finish = finish }
 
-  let runner = { lr_scheme = S.name; lr_run = run_lanes }
+  let runner = { lr_scheme = S.name; lr_make = make_walker; lr_fast = None }
 
-  let run_many ?events ?jobs ~delays r = drive ?events ?jobs runner ~delays r
+  let run_many ?events ?jobs ?chunk ~delays r =
+    drive ?events ?jobs ?chunk runner ~delays r
 
   let run ?events ~delay r =
     match run_many ?events ~delays:[ delay ] r with
@@ -396,7 +812,7 @@ module Net_kernel = struct
       collection = 0;
     }
 
-  let run_lanes variant scheme ~ev ~lanes ~freq (r : Recorder.t) =
+  let make_walker variant scheme ~ev ~lanes ~freq (r : Recorder.t) =
     let k = Array.length lanes in
     let n_paths = Recorder.num_paths r in
     let n_blocks = Array.length r.Recorder.program.Cfg.blocks in
@@ -433,11 +849,30 @@ module Net_kernel = struct
             ~collection_ops:st.collection
         done
     in
-    ignore (Atomic.fetch_and_add reads n);
-    for i = 0 to n - 1 do
-      let pid = Array.unsafe_get instances i in
-      Array.unsafe_set freq pid (Array.unsafe_get freq pid + 1);
-      let is_loop_head =
+    let walk ~lo ~hi =
+      (* Hoist the hot closure captures into locals: the walk body lives
+         in a closure now, and reloading env fields per iteration costs
+         ~15% on this loop.  [opaque_identity] stops the simplifier from
+         substituting the aliases back into env reads. *)
+      let instances = Sys.opaque_identity instances
+      and arrivals = Sys.opaque_identity arrivals
+      and heads = Sys.opaque_identity heads
+      and blocks = Sys.opaque_identity blocks
+      and freq = Sys.opaque_identity freq
+      and states = Sys.opaque_identity states
+      and predicted_at = Sys.opaque_identity predicted_at
+      and captured = Sys.opaque_identity captured
+      and predictions = Sys.opaque_identity predictions
+      and profiled = Sys.opaque_identity profiled
+      and captured_total = Sys.opaque_identity captured_total
+      and next_sample = Sys.opaque_identity next_sample
+      and v_once = Sys.opaque_identity v_once
+      and v_prev = Sys.opaque_identity v_prev
+      and k = Sys.opaque_identity k in
+      for i = lo to hi - 1 do
+        let pid = Array.unsafe_get instances i in
+        Array.unsafe_set freq pid (Array.unsafe_get freq pid + 1);
+        let is_loop_head =
         match Array.unsafe_get arrivals i with
         | Path.Loop_head -> true
         | Path.Entry | Path.Continuation -> false
@@ -500,23 +935,37 @@ module Net_kernel = struct
         sample_lanes Sampler.sample (i + 1);
         next_sample := !next_sample + (Option.get ev).ev_window
       end
-    done;
-    sample_lanes Sampler.final n;
-    Array.init k (fun l ->
-        let st = states.(l) in
-        {
-          lr_predictions = Vec.to_array predictions.(l);
-          lr_predicted_at = predicted_at.(l);
-          lr_captured = captured.(l);
-          lr_profiled = profiled.(l);
-          lr_captured_total = captured_total.(l);
-          lr_counter_space = st.seen;
-          lr_profiling_ops = st.ops;
-          lr_collection_ops = st.collection;
-        })
+      done
+    in
+    let finish () =
+      sample_lanes Sampler.final n;
+      Array.init k (fun l ->
+          let st = states.(l) in
+          {
+            lr_predictions = Vec.to_array predictions.(l);
+            lr_predicted_at = predicted_at.(l);
+            lr_captured = captured.(l);
+            lr_profiled = profiled.(l);
+            lr_captured_total = captured_total.(l);
+            lr_counter_space = st.seen;
+            lr_profiling_ops = st.ops;
+            lr_collection_ops = st.collection;
+          })
+    in
+    { cw_walk = walk; cw_finish = finish }
 
   let runner variant scheme =
-    { lr_scheme = scheme; lr_run = run_lanes variant scheme }
+    {
+      lr_scheme = scheme;
+      lr_make = make_walker variant scheme;
+      (* Rearm/Once qualify for the compressed stream-sharded engine;
+         Prev predicts a path other than the tripping one (see [fast]). *)
+      lr_fast =
+        (match variant with
+         | Rearm -> Some Fast_net_rearm
+         | Once -> Some Fast_net_once
+         | Prev -> None);
+    }
 end
 
 module Path_profile_kernel = struct
@@ -530,7 +979,7 @@ module Path_profile_kernel = struct
     mutable ops : int;
   }
 
-  let run_lanes scheme ~ev ~lanes ~freq (r : Recorder.t) =
+  let make_walker scheme ~ev ~lanes ~freq (r : Recorder.t) =
     let k = Array.length lanes in
     let n_paths = Recorder.num_paths r in
     let d = Recorder.descriptors r in
@@ -566,11 +1015,23 @@ module Path_profile_kernel = struct
             ~counter_space:st.seen ~profiling_ops:st.ops ~collection_ops:0
         done
     in
-    ignore (Atomic.fetch_and_add reads n);
-    for i = 0 to n - 1 do
-      let pid = Array.unsafe_get instances i in
-      Array.unsafe_set freq pid (Array.unsafe_get freq pid + 1);
-      let n_branches = Array.unsafe_get branches pid in
+    let walk ~lo ~hi =
+      (* Hoist the hot closure captures into locals; see Net_kernel. *)
+      let instances = Sys.opaque_identity instances
+      and branches = Sys.opaque_identity branches
+      and freq = Sys.opaque_identity freq
+      and states = Sys.opaque_identity states
+      and predicted_at = Sys.opaque_identity predicted_at
+      and captured = Sys.opaque_identity captured
+      and predictions = Sys.opaque_identity predictions
+      and profiled = Sys.opaque_identity profiled
+      and captured_total = Sys.opaque_identity captured_total
+      and next_sample = Sys.opaque_identity next_sample
+      and k = Sys.opaque_identity k in
+      for i = lo to hi - 1 do
+        let pid = Array.unsafe_get instances i in
+        Array.unsafe_set freq pid (Array.unsafe_get freq pid + 1);
+        let n_branches = Array.unsafe_get branches pid in
       for l = 0 to k - 1 do
         let pa = predicted_at.(l) in
         if Array.unsafe_get pa pid < i then begin
@@ -600,22 +1061,31 @@ module Path_profile_kernel = struct
         sample_lanes Sampler.sample (i + 1);
         next_sample := !next_sample + (Option.get ev).ev_window
       end
-    done;
-    sample_lanes Sampler.final n;
-    Array.init k (fun l ->
-        let st = states.(l) in
-        {
-          lr_predictions = Vec.to_array predictions.(l);
-          lr_predicted_at = predicted_at.(l);
-          lr_captured = captured.(l);
-          lr_profiled = profiled.(l);
-          lr_captured_total = captured_total.(l);
-          lr_counter_space = st.seen;
-          lr_profiling_ops = st.ops;
-          lr_collection_ops = 0;
-        })
+      done
+    in
+    let finish () =
+      sample_lanes Sampler.final n;
+      Array.init k (fun l ->
+          let st = states.(l) in
+          {
+            lr_predictions = Vec.to_array predictions.(l);
+            lr_predicted_at = predicted_at.(l);
+            lr_captured = captured.(l);
+            lr_profiled = profiled.(l);
+            lr_captured_total = captured_total.(l);
+            lr_counter_space = st.seen;
+            lr_profiling_ops = st.ops;
+            lr_collection_ops = 0;
+          })
+    in
+    { cw_walk = walk; cw_finish = finish }
 
-  let runner scheme = { lr_scheme = scheme; lr_run = run_lanes scheme }
+  let runner scheme =
+    {
+      lr_scheme = scheme;
+      lr_make = make_walker scheme;
+      lr_fast = Some Fast_pp;
+    }
 end
 
 (* ------------------------------------------------------------------ *)
@@ -642,7 +1112,8 @@ let builtin_runner (module S : Scheme.S) =
     Some (Path_profile_kernel.runner S.name)
   else None
 
-let run_many ?events ?jobs (module S : Scheme.S) ~delays (r : Recorder.t) =
+let run_many ?events ?jobs ?chunk (module S : Scheme.S) ~delays
+    (r : Recorder.t) =
   match builtin_runner (module S) with
   | Some runner ->
     (* The kernels do not re-validate delays; keep each scheme's own
@@ -651,10 +1122,10 @@ let run_many ?events ?jobs (module S : Scheme.S) ~delays (r : Recorder.t) =
       (fun d ->
          if d < 1 then ignore (S.create ~delay:d ~program:r.Recorder.program))
       delays;
-    drive ?events ?jobs runner ~delays r
+    drive ?events ?jobs ?chunk runner ~delays r
   | None ->
     let module M = Make (S) in
-    M.run_many ?events ?jobs ~delays r
+    M.run_many ?events ?jobs ?chunk ~delays r
 
 let run ?events scheme ~delay r =
   match run_many ?events scheme ~delays:[ delay ] r with
@@ -666,10 +1137,19 @@ let run ?events scheme ~delay r =
    (descriptors, freq, predicted_at, captured) grows with the path table
    as the stream declares paths; nothing is ever O(trace).  Schemes only
    predict path ids they have observed, so every target is already
-   declared by the time it is predicted. *)
+   declared by the time it is predicted.
+
+   [?jobs] maps the HOTPATH3 frame chunks onto the same fan-out design
+   as the materialized engine: each decoded chunk is replayed by
+   contiguous lane groups (clamped to the machine's domain budget), with
+   shared per-path descriptors grown on the driver between chunks and
+   all lane state carried across chunk seams inside its owning group.
+   Results and the merged event stream are byte-identical at every job
+   count. *)
 module Stream = Hotpath_trace.Serialize.Stream
 
-let run_many_stream ?events:ev (module S : Scheme.S) ~delays rd =
+let run_many_stream ?events:ev ?(jobs = 1) (module S : Scheme.S) ~delays rd =
+  if jobs < 1 then invalid_arg "Replay.run_many_stream: jobs must be >= 1";
   let ev = live ev in
   match Array.of_list delays with
   | [||] -> Ok []
@@ -677,17 +1157,22 @@ let run_many_stream ?events:ev (module S : Scheme.S) ~delays rd =
     let k = Array.length lanes in
     let program = Stream.program rd in
     let table = Stream.table rd in
-    let states = Array.map (fun delay -> S.create ~delay ~program) lanes in
+    let workers = min (Pool.effective_workers ~jobs) k in
+    let slices =
+      if workers <= 1 then [| lanes |] else shard_slices lanes workers
+    in
+    let ng = Array.length slices in
+    let bufs = Array.map (fun _ -> Vec.create ()) slices in
+    (* Shared per-path descriptors: grown on the driver at each sync,
+       read-only inside the chunk fan-out. *)
     let capacity = ref 0 in
-    let heads = ref [||]
-    and branches = ref [||]
-    and blocks = ref [||]
-    and freq = ref [||] in
-    let predicted_at = Array.init k (fun _ -> ref [||]) in
-    let captured = Array.init k (fun _ -> ref [||]) in
-    let predictions = Array.init k (fun _ -> Vec.create ()) in
-    let profiled = Array.make k 0 in
-    let captured_total = Array.make k 0 in
+    let heads = ref [||] and branches = ref [||] and blocks = ref [||] in
+    (* Per-group growable state; the refs are swapped by the driver in
+       [sync] (between chunks) and touched only by the owning group
+       while a chunk is in flight. *)
+    let g_freq = Array.map (fun _ -> ref [||]) slices in
+    let g_pa = Array.map (Array.map (fun _ -> ref [||])) slices in
+    let g_cap = Array.map (Array.map (fun _ -> ref [||])) slices in
     let synced = ref 0 in
     let grow arr n default =
       let old = !arr in
@@ -704,9 +1189,9 @@ let run_many_stream ?events:ev (module S : Scheme.S) ~delays rd =
           grow heads n 0;
           grow branches n 0;
           grow blocks n 0;
-          grow freq n 0;
-          Array.iter (fun r -> grow r n max_int) predicted_at;
-          Array.iter (fun r -> grow r n 0) captured;
+          Array.iter (fun r -> grow r n 0) g_freq;
+          Array.iter (Array.iter (fun r -> grow r n max_int)) g_pa;
+          Array.iter (Array.iter (fun r -> grow r n 0)) g_cap;
           capacity := n
         end;
         for id = !synced to np - 1 do
@@ -719,51 +1204,60 @@ let run_many_stream ?events:ev (module S : Scheme.S) ~delays rd =
       end
     in
     let total = ref 0 in
-    let sampler =
-      Option.map (fun e -> Sampler.create e ~scheme:S.name ~delays:lanes) ev
-    in
-    let next_sample =
-      ref (match ev with None -> max_int | Some e -> e.ev_window)
-    in
-    let sample_lanes f upto =
-      match sampler with
-      | None -> ()
-      | Some sm ->
-        for l = 0 to k - 1 do
-          f sm l ~upto ~n_paths:!synced ~captured_arr:!(captured.(l))
-            ~predictions:(Vec.length predictions.(l))
-            ~profiled:profiled.(l) ~captured_total:captured_total.(l)
-            ~counter_space:(S.counter_space states.(l))
-            ~profiling_ops:(S.profiling_ops states.(l))
-            ~collection_ops:(S.collection_ops states.(l))
-        done
-    in
-    let rec consume () =
-      match Stream.next rd with
-      | Error _ as e -> e
-      | Ok None -> Ok ()
-      | Ok (Some chunk) ->
-        sync ();
-        let ids = chunk.Stream.ids in
-        let arrs = chunk.Stream.arrivals in
-        let n = Array.length ids in
-        ignore (Atomic.fetch_and_add reads n);
+    (* One stream walker per lane group, mirroring the materialized
+       chunk walker: lane state persists across stream chunks, sampling
+       goes to the group's line buffer (directly to the sink when there
+       is a single group). *)
+    let make_group s slice =
+      let gk = Array.length slice in
+      let states = Array.map (fun delay -> S.create ~delay ~program) slice in
+      let predictions = Array.init gk (fun _ -> Vec.create ()) in
+      let profiled = Array.make gk 0 in
+      let captured_total = Array.make gk 0 in
+      let ev_g =
+        if ng = 1 then ev
+        else
+          Option.map
+            (fun e -> { e with ev_sink = Events.of_fn (Vec.push bufs.(s)) })
+            ev
+      in
+      let sampler =
+        Option.map (fun e -> Sampler.create e ~scheme:S.name ~delays:slice) ev_g
+      in
+      let next_sample =
+        ref (match ev_g with None -> max_int | Some e -> e.ev_window)
+      in
+      let sample_lanes f upto =
+        match sampler with
+        | None -> ()
+        | Some sm ->
+          for l = 0 to gk - 1 do
+            f sm l ~upto ~n_paths:!synced ~captured_arr:!(g_cap.(s).(l))
+              ~predictions:(Vec.length predictions.(l))
+              ~profiled:profiled.(l) ~captured_total:captured_total.(l)
+              ~counter_space:(S.counter_space states.(l))
+              ~profiling_ops:(S.profiling_ops states.(l))
+              ~collection_ops:(S.collection_ops states.(l))
+          done
+      in
+      let walk ids arrs nc =
         let heads = !heads
         and branches = !branches
         and blocks = !blocks
-        and freq = !freq in
-        for j = 0 to n - 1 do
+        and freq = !(g_freq.(s))
+        and base = !total in
+        for j = 0 to nc - 1 do
           let pid = ids.(j) in
-          let i = !total + j in
+          let i = base + j in
           freq.(pid) <- freq.(pid) + 1;
           let head = heads.(pid)
           and n_branches = branches.(pid)
           and n_blocks = blocks.(pid)
           and arrival = Recorder.arrival_of_code (Bytes.get arrs j) in
-          for l = 0 to k - 1 do
-            let pa = !(predicted_at.(l)) in
+          for l = 0 to gk - 1 do
+            let pa = !(g_pa.(s).(l)) in
             if pa.(pid) < i then begin
-              let cap = !(captured.(l)) in
+              let cap = !(g_cap.(s).(l)) in
               cap.(pid) <- cap.(pid) + 1;
               captured_total.(l) <- captured_total.(l) + 1
             end
@@ -782,34 +1276,60 @@ let run_many_stream ?events:ev (module S : Scheme.S) ~delays rd =
           done;
           if i + 1 >= !next_sample then begin
             sample_lanes Sampler.sample (i + 1);
-            next_sample := !next_sample + (Option.get ev).ev_window
+            next_sample := !next_sample + (Option.get ev_g).ev_window
           end
-        done;
-        total := !total + n;
+        done
+      in
+      let finish () =
+        sample_lanes Sampler.final !total;
+        let np = Path_table.size table in
+        Array.init gk (fun l ->
+            {
+              scheme_name = S.name;
+              delay = slice.(l);
+              total_instances = !total;
+              predictions = Vec.to_array predictions.(l);
+              predicted_at = Array.sub !(g_pa.(s).(l)) 0 np;
+              freq = Array.sub !(g_freq.(s)) 0 np;
+              captured = Array.sub !(g_cap.(s).(l)) 0 np;
+              profiled_instances = profiled.(l);
+              captured_instances = captured_total.(l);
+              counter_space = S.counter_space states.(l);
+              profiling_ops = S.profiling_ops states.(l);
+              collection_ops = S.collection_ops states.(l);
+            })
+      in
+      (walk, finish)
+    in
+    let groups = Array.mapi make_group slices in
+    let rec consume () =
+      match Stream.next rd with
+      | Error _ as e -> e
+      | Ok None -> Ok ()
+      | Ok (Some chunk) ->
+        sync ();
+        let ids = chunk.Stream.ids in
+        let arrs = chunk.Stream.arrivals in
+        let nc = Array.length ids in
+        (* One logical read of the chunk, independent of the fan-out. *)
+        ignore (Atomic.fetch_and_add reads nc);
+        if ng = 1 then (fst groups.(0)) ids arrs nc
+        else
+          ignore
+            (Pool.map_array ~jobs:ng (fun (walk, _) -> walk ids arrs nc) groups);
+        total := !total + nc;
         consume ()
     in
     (match consume () with
      | Error _ as e -> e
      | Ok () ->
        sync ();
-       sample_lanes Sampler.final !total;
-       let np = Path_table.size table in
-       Ok
-         (List.init k (fun l ->
-              {
-                scheme_name = S.name;
-                delay = lanes.(l);
-                total_instances = !total;
-                predictions = Vec.to_array predictions.(l);
-                predicted_at = Array.sub !(predicted_at.(l)) 0 np;
-                freq = Array.sub !freq 0 np;
-                captured = Array.sub !(captured.(l)) 0 np;
-                profiled_instances = profiled.(l);
-                captured_instances = captured_total.(l);
-                counter_space = S.counter_space states.(l);
-                profiling_ops = S.profiling_ops states.(l);
-                collection_ops = S.collection_ops states.(l);
-              })))
+       let lrs =
+         Array.concat (Array.to_list (Array.map (fun (_, fin) -> fin ()) groups))
+       in
+       if ng > 1 then
+         Option.iter (fun e -> merge_event_lines e.ev_sink slices bufs) ev;
+       Ok (Array.to_list lrs))
 
 let run_stream ?events scheme ~delay rd =
   match run_many_stream ?events scheme ~delays:[ delay ] rd with

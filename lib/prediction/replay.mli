@@ -66,9 +66,16 @@ val run :
   outcome
 (** @raise Invalid_argument when [delay < 1]. *)
 
+val default_chunk : int
+(** 65,536 instances — the default chunk size for sharded replay,
+    measured fastest on the net kernel (big enough to amortize seam
+    bookkeeping, small enough to keep chunk-local side arrays in
+    cache). *)
+
 val run_many :
   ?events:events ->
   ?jobs:int ->
+  ?chunk:int ->
   Scheme.packed ->
   delays:int list ->
   Hotpath_trace.Recorder.t ->
@@ -80,18 +87,27 @@ val run_many :
     purely an amortization of the trace walk (delay sweeps drop from
     O(delays × trace) to O(trace) instance reads).
 
-    [jobs] (default 1) shards the delay lanes over [min jobs (length
-    delays)] domains, each walking the trace once over a contiguous lane
-    slice.  Results are byte-identical to [jobs = 1] for every job count:
-    lane states never interact, path frequencies are delay-invariant (each
-    shard recomputes the same [freq] array), and event windows are
-    buffered per shard and merged back into the exact serial emission
-    order.  The trade is instance reads — {!instance_reads} grows by
-    [shards × length trace] instead of [length trace].  When [jobs > 1]
-    and events carry an [is_hot] closure, that closure is called from
-    worker domains and must be domain-safe (the hot-set predicates in
-    {!Hotpath_metrics} are pure array lookups).
-    @raise Invalid_argument when any delay is [< 1] or [jobs < 1]. *)
+    [jobs] (default 1) parallelizes along the {e instance stream}: the
+    trace is segmented into contiguous chunks of [chunk] instances
+    (default {!default_chunk}), each chunk is replayed with scheme state
+    carried across the seam, and per-chunk counters merge into the
+    serial totals.  For the built-in NET and path-profile kernels the
+    chunked engine replays from compressed per-chunk summaries (loop-head
+    event positions and same-head runs) rather than re-walking raw
+    instances, which is why [jobs = 4] beats [jobs = 1] even though the
+    work still fans out over at most [min jobs (available domains)]
+    workers ({!Hotpath_util.Pool.effective_workers} — the raw [jobs] ask
+    never oversubscribes a small machine).  Results are byte-identical
+    to [jobs = 1] for every job count and chunk size — the seam-carry
+    protocol is property-tested [merged ≡ serial] per scheme, including
+    the event stream: windows are buffered per worker and merged back
+    into the exact serial emission order.  {!instance_reads} counts the
+    logical traversal once ([+ length trace]) regardless of [jobs].
+    When [jobs > 1] and events carry an [is_hot] closure, that closure
+    is called from worker domains and must be domain-safe (the hot-set
+    predicates in {!Hotpath_metrics} are pure array lookups).
+    @raise Invalid_argument when any delay is [< 1], [jobs < 1] or
+    [chunk < 1]. *)
 
 (** {1 Monomorphized kernels}
 
@@ -113,6 +129,7 @@ module Make (S : Scheme.S) : sig
   val run_many :
     ?events:events ->
     ?jobs:int ->
+    ?chunk:int ->
     delays:int list ->
     Hotpath_trace.Recorder.t ->
     outcome list
@@ -134,6 +151,7 @@ val run_stream :
 
 val run_many_stream :
   ?events:events ->
+  ?jobs:int ->
   Scheme.packed ->
   delays:int list ->
   Hotpath_trace.Serialize.Stream.reader ->
@@ -142,13 +160,22 @@ val run_many_stream :
     one outcome per delay, each identical to the materialized
     [run ~delay].  An empty [delays] returns [Ok []] without touching
     the reader.
-    @raise Invalid_argument when any delay is [< 1]. *)
+
+    [jobs] (default 1) fans each decoded HOTPATH3 frame chunk out over
+    contiguous lane groups (clamped to the domain budget, like
+    {!run_many}); lane state carries across chunk seams inside its
+    owning group, so results and the merged event stream are
+    byte-identical at every job count, and {!instance_reads} still
+    counts the stream once.
+    @raise Invalid_argument when any delay is [< 1] or [jobs < 1]. *)
 
 val instance_reads : unit -> int
-(** Total instance-stream reads performed by {!run}/{!run_many} since the
-    last {!reset_instance_reads} — the observable backing the one-pass
-    guarantee of {!run_many} ([run_many ~delays] adds [length trace],
-    not [length delays * length trace]). *)
+(** Total logical instance-stream reads performed by {!run}/{!run_many}
+    since the last {!reset_instance_reads} — the observable backing the
+    one-pass guarantee of {!run_many} ([run_many ~delays] adds
+    [length trace], not [length delays * length trace], and [?jobs]
+    does not change that: sharding parallelizes the one logical
+    traversal, it never multiplies it). *)
 
 val reset_instance_reads : unit -> unit
 

@@ -21,11 +21,31 @@ type 'a queue = {
   mutable failure : exn option;
 }
 
+(* Test override for the machine's domain budget: 0 means "ask the
+   runtime".  [with_domain_limit 1] simulates a 1-core machine (the
+   oversubscription clamp becomes observable anywhere), and a limit
+   above the real core count forces genuine multi-domain fan-out on
+   small CI machines so merge paths are exercised. *)
+let domain_limit = Atomic.make 0
+
+let available_domains () =
+  match Atomic.get domain_limit with
+  | 0 -> max 1 (Domain.recommended_domain_count ())
+  | limit -> limit
+
+let with_domain_limit limit f =
+  if limit < 1 then invalid_arg "Pool.with_domain_limit: limit must be >= 1";
+  let prev = Atomic.get domain_limit in
+  Atomic.set domain_limit limit;
+  Fun.protect ~finally:(fun () -> Atomic.set domain_limit prev) f
+
 let clamp_jobs jobs =
   if jobs < 1 then invalid_arg "Pool: jobs must be >= 1";
-  min jobs (max 1 (Domain.recommended_domain_count ()))
+  min jobs (available_domains ())
 
-let default_jobs () = max 1 (Domain.recommended_domain_count ())
+let effective_workers ~jobs = clamp_jobs jobs
+
+let default_jobs () = available_domains ()
 
 let with_lock q f =
   Mutex.lock q.mutex;

@@ -20,6 +20,7 @@ module Ball_larus = Hotpath_profiling.Ball_larus
 module Cost_model = Hotpath_dynamo.Cost_model
 module Engine = Hotpath_dynamo.Engine
 module Prng = Hotpath_util.Prng
+module Pool = Hotpath_util.Pool
 
 (* ------------------------------------------------------------------ *)
 (* Random workload specs                                               *)
@@ -340,15 +341,73 @@ let prop_run_many_stream_equals_run_many =
            (module Path_profile);
          ])
 
+let prop_run_many_stream_jobs_equals_serial =
+  QCheck.Test.make
+    ~name:"run_many_stream ?jobs == serial stream (all schemes)" ~count:10
+    QCheck.(pair arb_workload (int_range 2 4))
+    (fun (((_, seed) as w), jobs) ->
+       let _, recorded = record_spec w in
+       (* Moderate frame chunks: each decoded chunk is one fan-out round,
+          so frame size controls how many seams the lane groups cross. *)
+       let rd () =
+         Serialize.Stream.of_recorder
+           ~chunk_instances:(64 + (seed mod 97))
+           recorded
+       in
+       let delays = [ 1; 3; 7; 20; 100; 5_000 ] in
+       List.for_all
+         (fun scheme ->
+            match Replay.run_many_stream scheme ~delays (rd ()) with
+            | Error _ -> false
+            | Ok serial ->
+              Pool.with_domain_limit 4 (fun () ->
+                  match
+                    Replay.run_many_stream ~jobs scheme ~delays (rd ())
+                  with
+                  | Error _ -> false
+                  | Ok sharded -> List.for_all2 outcome_equal serial sharded))
+         [
+           (module Net : Scheme.S);
+           (module Net.Net_once);
+           (module Net.Last_executed_tail);
+           (module Path_profile);
+         ]
+       &&
+       (* The streamed event merge must also reproduce serial bytes. *)
+       let stream_bytes jobs =
+         let buf = Buffer.create 4_096 in
+         let ev = Replay.events ~window:97 (Hotpath_util.Events.of_buffer buf) in
+         match
+           Replay.run_many_stream ~events:ev ~jobs (module Net) ~delays (rd ())
+         with
+         | Error _ -> None
+         | Ok _ -> Some (Buffer.contents buf)
+       in
+       match stream_bytes 1 with
+       | None -> false
+       | Some serial ->
+         serial <> ""
+         && Pool.with_domain_limit 4 (fun () -> stream_bytes jobs = Some serial))
+
 let prop_run_many_single_pass =
-  QCheck.Test.make ~name:"run_many reads the trace exactly once" ~count:20
-    arb_workload
+  QCheck.Test.make
+    ~name:"run_many reads the trace exactly once, at every job count"
+    ~count:20 arb_workload
     (fun w ->
        let _, recorded = record_spec w in
        let n = Recorder.num_instances recorded in
-       let before = Replay.instance_reads () in
-       ignore (Replay.run_many (module Net) ~delays:[ 1; 5; 25; 125; 625 ] recorded);
-       Replay.instance_reads () - before = n)
+       let delays = [ 1; 5; 25; 125; 625 ] in
+       let reads_of jobs =
+         let before = Replay.instance_reads () in
+         ignore (Replay.run_many ~jobs (module Net) ~delays recorded);
+         Replay.instance_reads () - before
+       in
+       (* ?jobs parallelizes the one logical traversal — the documented
+          [+ length trace] must hold whether the fan-out is clamped away
+          (1-core machine) or running on real domains. *)
+       reads_of 1 = n
+       && reads_of 4 = n
+       && Pool.with_domain_limit 4 (fun () -> reads_of 4 = n))
 
 (* ------------------------------------------------------------------ *)
 (* Monomorphized kernels and lane sharding                             *)
@@ -392,34 +451,72 @@ let prop_functor_equals_packed =
              fun ~delay r -> Make_pp.run ~delay r );
          ])
 
-let prop_lane_parallel_equals_serial =
+(* The chunk-seam hand-off is the correctness core of sharded replay:
+   scheme state carries across every chunk boundary, so any chunking of
+   the instance stream must replay to the same bits as the serial walk.
+   Chunk size and worker count are orthogonal axes — the seam protocol
+   is exercised under a simulated 1-core machine (inline, every chunk a
+   seam), the domain fan-out and merge under a forced 4-domain budget
+   so both run regardless of the CI host's real core count. *)
+let seam_schemes =
+  [
+    (module Net : Scheme.S);
+    (module Net.Net_once);
+    (module Net.Last_executed_tail);
+    (module Path_profile);
+  ]
+
+let prop_chunk_seam_equals_serial =
   QCheck.Test.make
-    ~name:"lane-sharded run_many is bit-identical to serial (all schemes)"
-    ~count:15
+    ~name:"chunk-sharded run_many == serial (schemes x jobs x chunk)"
+    ~count:10 arb_workload
+    (fun w ->
+       let _, recorded = record_spec w in
+       let n = Recorder.num_instances recorded in
+       let delays = [ 1; 3; 7; 20; 100; 5_000 ] in
+       (* Adversarial chunk sizes: every instance a seam, a prime that
+          never aligns with anything, one chunk spanning past the end. *)
+       let chunks = [ 1; 13; n + 1 ] in
+       List.for_all
+         (fun scheme ->
+            let serial = Replay.run_many scheme ~delays recorded in
+            Pool.with_domain_limit 1 (fun () ->
+                List.for_all
+                  (fun jobs ->
+                     List.for_all
+                       (fun chunk ->
+                          List.for_all2 outcome_equal serial
+                            (Replay.run_many ~jobs ~chunk scheme ~delays
+                               recorded))
+                       chunks)
+                  [ 1; 2; 3; 4 ]))
+         seam_schemes)
+
+let prop_multi_domain_shards_equal_serial =
+  QCheck.Test.make
+    ~name:"chunk-sharded run_many == serial on a real 4-domain budget"
+    ~count:10
     QCheck.(pair arb_workload (int_range 2 9))
     (fun (w, jobs) ->
        let _, recorded = record_spec w in
-       (* More shards than lanes is legal: the shard count clamps to the
-          lane count. *)
+       (* More jobs than the budget is legal: the fan-out clamps. *)
        let delays = [ 1; 3; 7; 20; 100; 5_000 ] in
        List.for_all
          (fun scheme ->
-            List.for_all2 outcome_equal
-              (Replay.run_many scheme ~delays recorded)
-              (Replay.run_many ~jobs scheme ~delays recorded))
-         [
-           (module Net : Scheme.S);
-           (module Net.Net_once);
-           (module Net.Last_executed_tail);
-           (module Path_profile);
-         ])
+            let serial = Replay.run_many scheme ~delays recorded in
+            Pool.with_domain_limit 4 (fun () ->
+                List.for_all2 outcome_equal serial
+                  (Replay.run_many ~jobs ~chunk:37 scheme ~delays recorded)))
+         seam_schemes)
 
 let prop_sharded_events_byte_identical =
-  (* Sharded lanes sample into per-domain buffers that are merged after
-     the join; the merged stream must reproduce the serial emission to
-     the byte, window samples and is_hot hits/noise included. *)
+  (* Chunk-sharded replay samples into per-worker buffers that are
+     merged after the join; the merged stream must reproduce the serial
+     emission to the byte, window samples and is_hot hits/noise
+     included.  Forced 4-domain budget so the merge path runs even on a
+     1-core CI machine. *)
   QCheck.Test.make
-    ~name:"lane-sharded event stream is byte-identical to serial" ~count:15
+    ~name:"chunk-sharded event stream is byte-identical to serial" ~count:15
     QCheck.(pair arb_workload (int_range 2 6))
     (fun (w, jobs) ->
        let _, recorded = record_spec w in
@@ -438,12 +535,13 @@ let prop_sharded_events_byte_identical =
              (Hotpath_util.Events.of_buffer buf)
          in
          ignore
-           (Replay.run_many ~events:ev ~jobs (module Net)
+           (Replay.run_many ~events:ev ~jobs ~chunk:61 (module Net)
               ~delays:[ 1; 3; 7; 20; 100 ] recorded);
          Buffer.contents buf
        in
        let serial = stream_bytes 1 in
-       String.length serial > 0 && stream_bytes jobs = serial)
+       String.length serial > 0
+       && Pool.with_domain_limit 4 (fun () -> stream_bytes jobs = serial))
 
 let prop_replay_capture_monotone_in_delay =
   QCheck.Test.make ~name:"captured flow shrinks as delay grows" ~count:30
@@ -548,12 +646,14 @@ let suites =
         QCheck_alcotest.to_alcotest prop_replay_capture_monotone_in_delay;
         QCheck_alcotest.to_alcotest prop_run_many_equals_per_delay_runs;
         QCheck_alcotest.to_alcotest prop_functor_equals_packed;
-        QCheck_alcotest.to_alcotest prop_lane_parallel_equals_serial;
+        QCheck_alcotest.to_alcotest prop_chunk_seam_equals_serial;
+        QCheck_alcotest.to_alcotest prop_multi_domain_shards_equal_serial;
         QCheck_alcotest.to_alcotest prop_sharded_events_byte_identical;
         QCheck_alcotest.to_alcotest prop_run_many_single_pass;
         QCheck_alcotest.to_alcotest prop_stream_roundtrip;
         QCheck_alcotest.to_alcotest prop_run_stream_equals_run;
         QCheck_alcotest.to_alcotest prop_run_many_stream_equals_run_many;
+        QCheck_alcotest.to_alcotest prop_run_many_stream_jobs_equals_serial;
         QCheck_alcotest.to_alcotest prop_rates_closed_form_exact_for_path_profile;
         QCheck_alcotest.to_alcotest prop_rates_closed_form_undershoots_for_net_once;
         QCheck_alcotest.to_alcotest prop_rates_closed_form_conserves_for_net;
