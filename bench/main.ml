@@ -670,6 +670,96 @@ let reproductions () =
   heading "Robustness — hit rates across 5 regenerated workload seeds";
   print_string (Experiments.Ablations.render_seed_robustness ())
 
+(* ------------------------------------------------------------------ *)
+(* Serve daemon: sustained ingest and per-tenant latency               *)
+(* ------------------------------------------------------------------ *)
+
+let serve_bench ~smoke ~scale =
+  heading
+    (Printf.sprintf "Serve daemon — concurrent tenants%s"
+       (if smoke then " (smoke)" else ""));
+  let bench = Suite.find_exn "compress" in
+  let buf = Buffer.create (1 lsl 20) in
+  let summary =
+    Suite.record_stream ~scale bench ~sink:(Buffer.add_string buf)
+  in
+  let trace = Buffer.contents buf in
+  Format.printf "  trace per tenant: %d instances, %d paths, %d bytes@."
+    summary.Recorder.cs_instances summary.Recorder.cs_paths
+    (String.length trace);
+  let n_clients = if smoke then 4 else 8 in
+  let sends_each = if smoke then 2 else 4 in
+  let socket_path = Filename.temp_file "hotpath_serve" ".sock" in
+  match
+    Serve.Server.create ~queue_capacity:8 ~drain_burst:4 ~socket_path ()
+  with
+  | Error e ->
+    Format.printf "  cannot start server: %s@." e;
+    exit 1
+  | Ok server ->
+    let server_domain = Domain.spawn (fun () -> Serve.Server.run server) in
+    if not (Serve.Client.wait_ready socket_path) then begin
+      Format.printf "  server never became ready@.";
+      exit 1
+    end;
+    let t0 = Unix.gettimeofday () in
+    let per_client client =
+      (* Each send is a distinct tenant: the latency sample is the whole
+         exchange (connect, handshake, stream, replay, reply). *)
+      List.init sends_each (fun k ->
+          let tenant = Printf.sprintf "tenant-%d-%d" client k in
+          let s0 = Unix.gettimeofday () in
+          let reply =
+            Serve.Client.send ~socket_path ~tenant ~scheme:"net"
+              ~delays:[ 10; 50 ] ~chunk_bytes:65536 trace
+          in
+          let latency = Unix.gettimeofday () -. s0 in
+          let ok =
+            match reply with
+            | Ok lines ->
+              List.exists (fun f -> Events.kind f = Some "serve.ok") lines
+            | Error _ -> false
+          in
+          (latency, ok))
+    in
+    let results =
+      Pool.map ~cap:false ~jobs:n_clients per_client
+        (List.init n_clients Fun.id)
+      |> List.concat
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    Serve.Server.stop server;
+    Domain.join server_domain;
+    let st = Serve.Server.stats server in
+    let lats = Array.of_list (List.map fst results) in
+    let oks = List.length (List.filter snd results) in
+    let total = n_clients * sends_each in
+    let ingest = float_of_int st.Serve.Server.instances /. wall in
+    let pct p = 1000. *. Stats.percentile lats ~p in
+    Format.printf "  %d clients x %d sends: %d/%d serve.ok in %.2fs@."
+      n_clients sends_each oks total wall;
+    Format.printf "  ingest: %.2e instances/s sustained (%d instances)@."
+      ingest st.Serve.Server.instances;
+    Format.printf "  tenant latency: p50=%.1fms p95=%.1fms p99=%.1fms@."
+      (pct 50.) (pct 95.) (pct 99.);
+    Format.printf "  server: completed=%d errored=%d queue high-water=%d@."
+      st.Serve.Server.completed st.Serve.Server.errored
+      st.Serve.Server.queue_high_water;
+    if smoke then begin
+      (* CI gate: every tenant served (zero dropped), no server-side
+         errors, and sustained ingest above a floor set ~10x below what
+         a loaded CI box measures. *)
+      let floor = 100_000. in
+      let pass =
+        oks = total && st.Serve.Server.completed = total
+        && st.Serve.Server.errored = 0 && ingest >= floor
+      in
+      Format.printf "  smoke gate (ok=%d/%d, errored=%d, ingest>=%.0e): %s@."
+        oks total st.Serve.Server.errored floor
+        (if pass then "PASS" else "FAIL");
+      if not pass then exit 1
+    end
+
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   (* Microbenchmarks run first: the reproductions cache hundreds of MB of
@@ -699,6 +789,18 @@ let () =
       else 16.0
     in
     kernel_bench ~smoke ~scale
+  end;
+  if mode = "serve" then begin
+    (* The serving path priced end to end: concurrent clients stream
+       traces at a daemon, per-tenant latency percentiles and sustained
+       ingest rate come back.  --smoke is the CI gate. *)
+    let smoke = Array.length Sys.argv > 2 && Sys.argv.(2) = "--smoke" in
+    let scale =
+      if smoke then 1.0
+      else if Array.length Sys.argv > 2 then float_of_string Sys.argv.(2)
+      else 4.0
+    in
+    serve_bench ~smoke ~scale
   end;
   if mode = "streaming" then
     (* Its own mode, not part of "all": VmHWM is a process-lifetime

@@ -682,6 +682,119 @@ let events_summary_cmd =
           phase-change windows")
     Term.(const run $ file_arg)
 
+(* ------------------------------------------------------------------ *)
+(* Serving                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  let doc = "Unix domain socket path." in
+  Arg.(
+    required & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let queue_arg =
+    let doc =
+      "In-flight decoded chunks per tenant before backpressure (the \
+       tenant's socket leaves the read set until the replay drains)."
+    in
+    Arg.(value & opt int 8 & info [ "queue-capacity" ] ~docv:"N" ~doc)
+  in
+  let burst_arg =
+    let doc = "Chunks replayed per tenant per scheduling tick." in
+    Arg.(value & opt int 4 & info [ "drain-burst" ] ~docv:"N" ~doc)
+  in
+  let run socket queue burst events =
+    with_events_sink events (fun sink ->
+      match
+        Hotpath_serve.Serve.Server.create ~events:sink ~queue_capacity:queue
+          ~drain_burst:burst ~socket_path:socket ()
+      with
+      | Error e ->
+        Printf.eprintf "serve: %s\n" e;
+        exit 1
+      | Ok server ->
+        let stop _ = Hotpath_serve.Serve.Server.stop server in
+        (try Sys.set_signal Sys.sigint (Sys.Signal_handle stop)
+         with Invalid_argument _ | Sys_error _ -> ());
+        (try Sys.set_signal Sys.sigterm (Sys.Signal_handle stop)
+         with Invalid_argument _ | Sys_error _ -> ());
+        Printf.printf "listening on %s\n%!" socket;
+        Hotpath_serve.Serve.Server.run server;
+        let s = Hotpath_serve.Serve.Server.stats server in
+        Printf.printf
+          "served %d connections: %d completed, %d errored, %d instances \
+           (queue high-water %d)\n"
+          s.Hotpath_serve.Serve.Server.accepted
+          s.Hotpath_serve.Serve.Server.completed
+          s.Hotpath_serve.Serve.Server.errored
+          s.Hotpath_serve.Serve.Server.instances
+          s.Hotpath_serve.Serve.Server.queue_high_water)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the prediction daemon: accept HOTPATH3 trace streams from \
+          concurrent clients over a Unix socket (one tenant session per \
+          connection, handshake 'HPSERVE1 <tenant> <scheme> <delays>'), \
+          replay each through the online session API, and reply with \
+          per-delay-lane results.  Stop with SIGINT/SIGTERM.")
+    Term.(const run $ socket_arg $ queue_arg $ burst_arg $ events_arg)
+
+let serve_send_cmd =
+  let tenant_arg =
+    let doc = "Tenant name (one active stream per tenant)." in
+    Arg.(value & opt string "cli" & info [ "tenant" ] ~docv:"NAME" ~doc)
+  in
+  let delays_arg =
+    let doc = "Prediction delays (comma-separated)." in
+    Arg.(value & opt (list int) [ 50 ] & info [ "delays" ] ~docv:"D1,D2" ~doc)
+  in
+  let chunk_bytes_arg =
+    let doc = "Socket write size in bytes." in
+    Arg.(value & opt int 65536 & info [ "chunk-bytes" ] ~docv:"N" ~doc)
+  in
+  let run socket tenant scheme delays trace chunk_bytes =
+    let data = In_channel.with_open_bin trace In_channel.input_all in
+    match
+      Hotpath_serve.Serve.Client.send ~socket_path:socket ~tenant ~scheme
+        ~delays ~chunk_bytes data
+    with
+    | Error e ->
+      Printf.eprintf "serve-send: %s\n" e;
+      exit 1
+    | Ok lines ->
+      let ok = ref false in
+      List.iter
+        (fun fields ->
+          let kind =
+            Option.value ~default:"?" (Hotpath_util.Events.kind fields)
+          in
+          if kind = "serve.ok" then ok := true;
+          let render (k, v) =
+            Printf.sprintf "%s=%s" k
+              (match v with
+              | Hotpath_util.Events.Int i -> string_of_int i
+              | Hotpath_util.Events.Float f -> Printf.sprintf "%g" f
+              | Hotpath_util.Events.Str s -> s
+              | Hotpath_util.Events.Bool b -> string_of_bool b)
+          in
+          Printf.printf "%s %s\n" kind
+            (String.concat " "
+               (List.map render
+                  (List.filter (fun (k, _) -> k <> "ev") fields))))
+        lines;
+      if not !ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "serve-send"
+       ~doc:
+         "Stream a recorded HOTPATH3 trace file to a running serve daemon \
+          and print the per-lane results.  Exits non-zero unless the \
+          server replied serve.ok.")
+    Term.(
+      const run $ socket_arg $ tenant_arg $ scheme_arg $ delays_arg
+      $ trace_arg $ chunk_bytes_arg)
+
 let bench_list_cmd =
   let run () =
     List.iter
@@ -701,7 +814,7 @@ let main_cmd =
     [
       table1_cmd; table2_cmd; fig2_cmd; fig3_cmd; fig4_cmd; fig5_cmd; ablations_cmd; offline_cmd; phases_cmd;
       sweep_cmd; dynamo_cmd; online_cmd; paths_cmd; dot_cmd; record_cmd; replay_cmd;
-      check_cmd; events_summary_cmd; bench_list_cmd;
+      serve_cmd; serve_send_cmd; check_cmd; events_summary_cmd; bench_list_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

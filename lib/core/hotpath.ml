@@ -14,8 +14,10 @@
       interprocedural forward paths and the record-once/replay-many trace;
     - {!Ball_larus}, {!Bit_tracing}, {!Young_smith} — offline path
       profilers;
-    - {!Scheme}, {!Path_profile_scheme}, {!Net}, {!Replay} — online
-      prediction;
+    - {!Scheme}, {!Path_profile_scheme}, {!Net}, {!Replay}, {!Session} —
+      online prediction (batch and incremental-push);
+    - {!Serve} — the [hotpath serve] daemon: per-tenant sessions over
+      Unix sockets with bounded-queue backpressure ({!Bqueue});
     - {!Hot_set}, {!Rates}, {!Sweep} — the abstract evaluation metrics;
     - {!Generator}, {!Figure1}, {!Suite} — synthetic workloads;
     - {!Cost_model}, {!Fragment_cache}, {!Engine} — the Dynamo simulator;
@@ -39,6 +41,8 @@
 module Prng = Hotpath_util.Prng
 module Events = Hotpath_util.Events
 module Vec = Hotpath_util.Vec
+module Bqueue = Hotpath_util.Bqueue
+module Pool = Hotpath_util.Pool
 module Stats = Hotpath_util.Stats
 module Tablefmt = Hotpath_util.Tablefmt
 module Cfg = Hotpath_cfg.Cfg
@@ -66,6 +70,8 @@ module Path_profile_scheme = Hotpath_prediction.Path_profile
 module Net = Hotpath_prediction.Net
 module Branch_profile = Hotpath_prediction.Branch_profile
 module Replay = Hotpath_prediction.Replay
+module Session = Hotpath_prediction.Session
+module Serve = Hotpath_serve.Serve
 module Hot_set = Hotpath_metrics.Hot_set
 module Rates = Hotpath_metrics.Rates
 module Sweep = Hotpath_metrics.Sweep

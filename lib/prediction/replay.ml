@@ -6,9 +6,15 @@ module Vec = Hotpath_util.Vec
 module Events = Hotpath_util.Events
 module Pool = Hotpath_util.Pool
 
-type prediction = { target : int; at_instance : int }
+(* The shared per-lane replay vocabulary — prediction/outcome records,
+   events configuration, the window sampler — lives in [Session], whose
+   online push API is the primitive this batch engine drives.  The
+   equations re-export the records so existing field accesses compile
+   against either module. *)
 
-type outcome = {
+type prediction = Session.prediction = { target : int; at_instance : int }
+
+type outcome = Session.outcome = {
   scheme_name : string;
   delay : int;
   total_instances : int;
@@ -27,86 +33,17 @@ type outcome = {
 (* Observability                                                       *)
 (* ------------------------------------------------------------------ *)
 
-type events = {
+type events = Session.events = {
   ev_sink : Events.sink;
   ev_window : int;
   ev_is_hot : (int -> bool) option;
 }
 
-(* The replay loop runs at a handful of ns per instance, so a sample
-   window must amortize a ~µs JSON line over enough instances to keep
-   the enabled overhead under the bench's 3% budget. *)
-let default_events_window = 32_768
+let default_events_window = Session.default_events_window
 
-let events ?(window = default_events_window) ?is_hot sink =
-  if window < 1 then invalid_arg "Replay.events: window must be >= 1";
-  { ev_sink = sink; ev_window = window; ev_is_hot = is_hot }
+let events = Session.events
 
-(* Per-lane window sampling.  All sampling work happens at window
-   boundaries — the only per-instance cost events add is one integer
-   comparison against [next_sample], which is [max_int] when disabled —
-   and nothing here feeds back into the replay state, so outcomes are
-   byte-identical with events on and off (property-tested). *)
-module Sampler = struct
-  type lane = { mutable hw : int; mutable seq : int; mutable last_upto : int }
-
-  type t = {
-    ev : events;
-    scheme : string;
-    delays : int array;
-    lanes : lane array;
-    c_windows : Events.Registry.counter;
-    c_instances : Events.Registry.counter;
-  }
-
-  let create ev ~scheme ~delays =
-    {
-      ev;
-      scheme;
-      delays;
-      lanes = Array.map (fun _ -> { hw = 0; seq = 0; last_upto = 0 }) delays;
-      c_windows = Events.Registry.counter "replay.windows";
-      c_instances = Events.Registry.counter "replay.instances";
-    }
-
-  (* Cumulative hits/noise so far are read off the captured array — the
-     operational definition restricted to the instances seen so far —
-     rather than tracked per instance, keeping the hot loop untouched. *)
-  let sample t l ~upto ~n_paths ~captured_arr ~predictions ~profiled
-      ~captured_total ~counter_space ~profiling_ops ~collection_ops =
-    let lane = t.lanes.(l) in
-    if counter_space > lane.hw then lane.hw <- counter_space;
-    let hits, noise =
-      match t.ev.ev_is_hot with
-      | None -> (None, None)
-      | Some is_hot ->
-        let h = ref 0 and nz = ref 0 in
-        for pid = 0 to n_paths - 1 do
-          let c = captured_arr.(pid) in
-          if c > 0 then if is_hot pid then h := !h + c else nz := !nz + c
-        done;
-        (Some !h, Some !nz)
-    in
-    Events.replay_window t.ev.ev_sink ~scheme:t.scheme ~delay:t.delays.(l)
-      ~seq:lane.seq ~upto
-      ~instances:(upto - lane.last_upto)
-      ~predictions ~profiled ~captured:captured_total ~profiling_ops
-      ~collection_ops ~counter_space ~counter_space_hw:lane.hw ?hits ?noise ();
-    Events.Registry.incr t.c_windows;
-    Events.Registry.add t.c_instances (upto - lane.last_upto);
-    lane.seq <- lane.seq + 1;
-    lane.last_upto <- upto
-
-  (* The final (possibly short) window: every lane always gets at least
-     one sample, and the last sample's cumulative fields equal the
-     outcome's totals — the invariant the differential suite checks. *)
-  let final t l ~upto ~n_paths ~captured_arr ~predictions ~profiled
-      ~captured_total ~counter_space ~profiling_ops ~collection_ops =
-    let lane = t.lanes.(l) in
-    if lane.last_upto < upto || lane.seq = 0 then
-      sample t l ~upto ~n_paths ~captured_arr ~predictions ~profiled
-        ~captured_total ~counter_space ~profiling_ops ~collection_ops
-end
+module Sampler = Session.Sampler
 
 (* Logical instance-stream reads performed by [run]/[run_many], for the
    one-pass guarantee: multiplexing k delays must read the trace once,
@@ -121,11 +58,7 @@ let instance_reads () = Atomic.get reads
 
 let reset_instance_reads () = Atomic.set reads 0
 
-(* A null-sink events value is "disabled": callers may thread a sink
-   unconditionally and still pay nothing when it is the null one. *)
-let live = function
-  | Some e when Events.is_null e.ev_sink -> None
-  | ev -> ev
+let live = Session.live
 
 (* ------------------------------------------------------------------ *)
 (* Lane plumbing                                                       *)
@@ -1132,18 +1065,20 @@ let run ?events scheme ~delay r =
   | [ o ] -> o
   | _ -> assert false
 
-(* Streamed replay: the same per-instance body as [run_many], driven by a
-   chunk iterator instead of the materialized arrays.  Per-path state
-   (descriptors, freq, predicted_at, captured) grows with the path table
-   as the stream declares paths; nothing is ever O(trace).  Schemes only
-   predict path ids they have observed, so every target is already
-   declared by the time it is predicted.
+(* Streamed replay: a driver over online [Session]s.  Each lane group is
+   one session (the same per-instance body as [run_many], with per-path
+   state grown as the stream declares paths; nothing is ever O(trace)),
+   and every decoded chunk is pushed into every session.  Because the
+   batch path and the public online path share the session walker, their
+   bit-for-bit equivalence is structural, not duplicated code kept in
+   step by tests alone.
 
    [?jobs] maps the HOTPATH3 frame chunks onto the same fan-out design
    as the materialized engine: each decoded chunk is replayed by
-   contiguous lane groups (clamped to the machine's domain budget), with
-   shared per-path descriptors grown on the driver between chunks and
-   all lane state carried across chunk seams inside its owning group.
+   contiguous lane groups (clamped to the machine's domain budget), all
+   lane state carried across chunk seams inside its owning session.
+   Sessions read the shared [Path_table] concurrently during a chunk
+   fan-out; the driver only grows it between fan-outs ([Stream.next]).
    Results and the merged event stream are byte-identical at every job
    count. *)
 module Stream = Hotpath_trace.Serialize.Stream
@@ -1163,169 +1098,57 @@ let run_many_stream ?events:ev ?(jobs = 1) (module S : Scheme.S) ~delays rd =
     in
     let ng = Array.length slices in
     let bufs = Array.map (fun _ -> Vec.create ()) slices in
-    (* Shared per-path descriptors: grown on the driver at each sync,
-       read-only inside the chunk fan-out. *)
-    let capacity = ref 0 in
-    let heads = ref [||] and branches = ref [||] and blocks = ref [||] in
-    (* Per-group growable state; the refs are swapped by the driver in
-       [sync] (between chunks) and touched only by the owning group
-       while a chunk is in flight. *)
-    let g_freq = Array.map (fun _ -> ref [||]) slices in
-    let g_pa = Array.map (Array.map (fun _ -> ref [||])) slices in
-    let g_cap = Array.map (Array.map (fun _ -> ref [||])) slices in
-    let synced = ref 0 in
-    let grow arr n default =
-      let old = !arr in
-      let a = Array.make n default in
-      Array.blit old 0 a 0 (Array.length old);
-      arr := a
+    let sessions =
+      Array.mapi
+        (fun s slice ->
+           (* Sampling goes to the group's line buffer, directly to the
+              sink when there is a single group. *)
+           let ev_s =
+             if ng = 1 then ev
+             else
+               Option.map
+                 (fun e -> { e with ev_sink = Events.of_fn (Vec.push bufs.(s)) })
+                 ev
+           in
+           (* The stream decoder already validated frame structure, ids,
+              and arrival codes; linting belongs to callers that opt in
+              (sessions over a socket), not to every batch replay. *)
+           match
+             Session.create ?events:ev_s ~lint:false (module S)
+               ~delays:(Array.to_list slice) ~program ~table
+           with
+           | Ok sess -> sess
+           | Error _ -> assert false (* lint off: create cannot fail *))
+        slices
     in
-    (* Extend per-path state to cover every path declared so far. *)
-    let sync () =
-      let np = Path_table.size table in
-      if np > !synced then begin
-        if np > !capacity then begin
-          let n = max np (max 64 (2 * !capacity)) in
-          grow heads n 0;
-          grow branches n 0;
-          grow blocks n 0;
-          Array.iter (fun r -> grow r n 0) g_freq;
-          Array.iter (Array.iter (fun r -> grow r n max_int)) g_pa;
-          Array.iter (Array.iter (fun r -> grow r n 0)) g_cap;
-          capacity := n
-        end;
-        for id = !synced to np - 1 do
-          let p = Path_table.path table id in
-          !heads.(id) <- Path.head p;
-          !branches.(id) <- p.Path.n_branches;
-          !blocks.(id) <- Array.length p.Path.blocks
-        done;
-        synced := np
-      end
-    in
-    let total = ref 0 in
-    (* One stream walker per lane group, mirroring the materialized
-       chunk walker: lane state persists across stream chunks, sampling
-       goes to the group's line buffer (directly to the sink when there
-       is a single group). *)
-    let make_group s slice =
-      let gk = Array.length slice in
-      let states = Array.map (fun delay -> S.create ~delay ~program) slice in
-      let predictions = Array.init gk (fun _ -> Vec.create ()) in
-      let profiled = Array.make gk 0 in
-      let captured_total = Array.make gk 0 in
-      let ev_g =
-        if ng = 1 then ev
-        else
-          Option.map
-            (fun e -> { e with ev_sink = Events.of_fn (Vec.push bufs.(s)) })
-            ev
-      in
-      let sampler =
-        Option.map (fun e -> Sampler.create e ~scheme:S.name ~delays:slice) ev_g
-      in
-      let next_sample =
-        ref (match ev_g with None -> max_int | Some e -> e.ev_window)
-      in
-      let sample_lanes f upto =
-        match sampler with
-        | None -> ()
-        | Some sm ->
-          for l = 0 to gk - 1 do
-            f sm l ~upto ~n_paths:!synced ~captured_arr:!(g_cap.(s).(l))
-              ~predictions:(Vec.length predictions.(l))
-              ~profiled:profiled.(l) ~captured_total:captured_total.(l)
-              ~counter_space:(S.counter_space states.(l))
-              ~profiling_ops:(S.profiling_ops states.(l))
-              ~collection_ops:(S.collection_ops states.(l))
-          done
-      in
-      let walk ids arrs nc =
-        let heads = !heads
-        and branches = !branches
-        and blocks = !blocks
-        and freq = !(g_freq.(s))
-        and base = !total in
-        for j = 0 to nc - 1 do
-          let pid = ids.(j) in
-          let i = base + j in
-          freq.(pid) <- freq.(pid) + 1;
-          let head = heads.(pid)
-          and n_branches = branches.(pid)
-          and n_blocks = blocks.(pid)
-          and arrival = Recorder.arrival_of_code (Bytes.get arrs j) in
-          for l = 0 to gk - 1 do
-            let pa = !(g_pa.(s).(l)) in
-            if pa.(pid) < i then begin
-              let cap = !(g_cap.(s).(l)) in
-              cap.(pid) <- cap.(pid) + 1;
-              captured_total.(l) <- captured_total.(l) + 1
-            end
-            else begin
-              profiled.(l) <- profiled.(l) + 1;
-              match
-                S.observe states.(l) ~head ~arrival ~path_id:pid ~n_branches
-                  ~n_blocks
-              with
-              | Some target when pa.(target) = max_int ->
-                pa.(target) <- i;
-                S.collect states.(l) ~n_blocks:blocks.(target);
-                Vec.push predictions.(l) { target; at_instance = i }
-              | Some _ | None -> ()
-            end
-          done;
-          if i + 1 >= !next_sample then begin
-            sample_lanes Sampler.sample (i + 1);
-            next_sample := !next_sample + (Option.get ev_g).ev_window
-          end
-        done
-      in
-      let finish () =
-        sample_lanes Sampler.final !total;
-        let np = Path_table.size table in
-        Array.init gk (fun l ->
-            {
-              scheme_name = S.name;
-              delay = slice.(l);
-              total_instances = !total;
-              predictions = Vec.to_array predictions.(l);
-              predicted_at = Array.sub !(g_pa.(s).(l)) 0 np;
-              freq = Array.sub !(g_freq.(s)) 0 np;
-              captured = Array.sub !(g_cap.(s).(l)) 0 np;
-              profiled_instances = profiled.(l);
-              captured_instances = captured_total.(l);
-              counter_space = S.counter_space states.(l);
-              profiling_ops = S.profiling_ops states.(l);
-              collection_ops = S.collection_ops states.(l);
-            })
-      in
-      (walk, finish)
-    in
-    let groups = Array.mapi make_group slices in
     let rec consume () =
       match Stream.next rd with
       | Error _ as e -> e
       | Ok None -> Ok ()
       | Ok (Some chunk) ->
-        sync ();
         let ids = chunk.Stream.ids in
         let arrs = chunk.Stream.arrivals in
-        let nc = Array.length ids in
         (* One logical read of the chunk, independent of the fan-out. *)
-        ignore (Atomic.fetch_and_add reads nc);
-        if ng = 1 then (fst groups.(0)) ids arrs nc
-        else
-          ignore
-            (Pool.map_array ~jobs:ng (fun (walk, _) -> walk ids arrs nc) groups);
-        total := !total + nc;
+        ignore (Atomic.fetch_and_add reads (Array.length ids));
+        let push sess =
+          match Session.push_chunk sess ~ids ~arrivals:arrs with
+          | Ok () -> ()
+          | Error e ->
+            (* Unreachable: decoder-validated chunks against the shared
+               table cannot be rejected by an unlinted session. *)
+            invalid_arg ("Replay.run_many_stream: " ^ e)
+        in
+        if ng = 1 then push sessions.(0)
+        else ignore (Pool.map_array ~jobs:ng push sessions);
         consume ()
     in
     (match consume () with
      | Error _ as e -> e
      | Ok () ->
-       sync ();
        let lrs =
-         Array.concat (Array.to_list (Array.map (fun (_, fin) -> fin ()) groups))
+         Array.concat
+           (Array.to_list
+              (Array.map (fun sess -> Array.of_list (Session.finish sess)) sessions))
        in
        if ng > 1 then
          Option.iter (fun e -> merge_event_lines e.ev_sink slices bufs) ev;

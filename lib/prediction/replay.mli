@@ -8,12 +8,14 @@
     profiled flow, giving the paper's [captured = freq - τ] accounting for
     path-profile-based prediction. *)
 
-type prediction = {
+type prediction = Session.prediction = {
   target : int;  (** Predicted path id. *)
   at_instance : int;  (** Trace position where the prediction fired. *)
 }
+(** Shared with {!Session} — the online push API over the same walker —
+    so batch and session results compare directly. *)
 
-type outcome = {
+type outcome = Session.outcome = {
   scheme_name : string;
   delay : int;
   total_instances : int;

@@ -1,0 +1,150 @@
+(** Online prediction sessions: the replay engine's per-instance walker
+    exposed as an incremental push API.
+
+    A session holds the full multiplexed replay state for one scheme and
+    a set of delay lanes — scheme state, per-path frequency and capture
+    counters, accepted predictions, event sampler cursors — and accepts
+    the instance stream in caller-chosen pieces: one instance at a time
+    ({!push}), decoded HOTPATH3 chunks ({!push_chunk}), or anything in
+    between.  Chunking is pure loop tiling: pushing a trace in any
+    granularity (the differential suite drives 1, prime-sized, and
+    larger-than-trace chunks) produces outcomes, counter registries, and
+    event streams bit-identical to the batch engine on the same stream —
+    a guarantee that holds by construction, because
+    {!Replay.run_many_stream} is itself a driver over these sessions.
+
+    Sessions also carry the trace lint gate online (on by default): each
+    chunk is checked against the program — newly declared paths, then
+    every inter-instance hand-off including the seam from the previous
+    chunk — {e before} any session state moves, so a malformed trace
+    pushed over a socket is rejected without corrupting the session
+    ([Hotpath_trace.Lint.Incremental]).
+
+    Sessions are single-owner (not thread-safe), like the rest of the
+    per-lane replay state. *)
+
+module Path = Hotpath_trace.Path
+module Path_table = Hotpath_trace.Path_table
+module Cfg = Hotpath_cfg.Cfg
+module Events = Hotpath_util.Events
+
+type prediction = { target : int; at_instance : int }
+(** An accepted prediction: path [target] predicted hot at (0-based)
+    instance index [at_instance]. *)
+
+type outcome = {
+  scheme_name : string;
+  delay : int;
+  total_instances : int;
+  predictions : prediction array;
+  predicted_at : int array;
+  freq : int array;
+  captured : int array;
+  profiled_instances : int;
+  captured_instances : int;
+  counter_space : int;
+  profiling_ops : int;
+  collection_ops : int;
+}
+(** One delay lane's result; identical to [Replay.outcome] (which is a
+    re-export of this type). *)
+
+type events = {
+  ev_sink : Events.sink;
+  ev_window : int;
+  ev_is_hot : (int -> bool) option;
+}
+(** Event-emission configuration, shared with [Replay].  Exposed
+    concretely so drivers can rebind [ev_sink] (per-group line buffers in
+    parallel replay). *)
+
+val default_events_window : int
+
+val events : ?window:int -> ?is_hot:(int -> bool) -> Events.sink -> events
+(** See [Replay.events].  @raise Invalid_argument when [window < 1]. *)
+
+val live : events option -> events option
+(** Treat a null-sink events value as disabled. *)
+
+(** Per-lane window sampler, shared with the batch engine's kernels.
+    Internal plumbing — exposed for [Replay], not part of the stable
+    surface. *)
+module Sampler : sig
+  type t
+
+  val create : events -> scheme:string -> delays:int array -> t
+
+  val sample :
+    t ->
+    int ->
+    upto:int ->
+    n_paths:int ->
+    captured_arr:int array ->
+    predictions:int ->
+    profiled:int ->
+    captured_total:int ->
+    counter_space:int ->
+    profiling_ops:int ->
+    collection_ops:int ->
+    unit
+
+  val final :
+    t ->
+    int ->
+    upto:int ->
+    n_paths:int ->
+    captured_arr:int array ->
+    predictions:int ->
+    profiled:int ->
+    captured_total:int ->
+    counter_space:int ->
+    profiling_ops:int ->
+    collection_ops:int ->
+    unit
+end
+
+type t
+
+val create :
+  ?events:events ->
+  ?lint:bool ->
+  ?on_predict:(delay:int -> target:int -> at_instance:int -> unit) ->
+  (module Scheme.S) ->
+  delays:int list ->
+  program:Cfg.program ->
+  table:Path_table.t ->
+  (t, string) result
+(** [create (module S) ~delays ~program ~table] opens a session
+    multiplexing one lane per delay, against a path table that may keep
+    growing (the streaming decode protocol extends it between chunks; the
+    session syncs per-path state on every push).
+
+    [lint] (default [true]) runs the attach-time program gate
+    immediately — [Error] if the program fails the structural linter —
+    and the chunk-wise trace linter on every push.  [on_predict] is
+    called synchronously at each accepted prediction, in lane order
+    within an instance — the online counterpart of reading
+    [outcome.predictions] at the end.  It must not mutate the session.
+
+    @raise Invalid_argument for delays the scheme itself rejects
+    (mirroring the batch engine). *)
+
+val push_chunk : t -> ids:int array -> arrivals:Bytes.t -> (unit, string) result
+(** Feed one decoded chunk ([Serialize.Stream.chunk] parts).  On
+    [Error] — lint rejection, undeclared path id, invalid arrival byte,
+    length mismatch, or a finished session — no session state has
+    changed: counters, predictions, and the event stream are exactly as
+    before the call, so a server can drop one bad client without
+    poisoning the session-independent state it shares. *)
+
+val push : t -> path_id:int -> arrival:Path.head_kind -> (unit, string) result
+(** Single-instance {!push_chunk}. *)
+
+val instances : t -> int
+(** Instances accepted so far. *)
+
+val finish : t -> outcome list
+(** Close the session: emit each lane's final event sample and return
+    the outcomes in delay order — bit-identical to the batch engine run
+    over the concatenation of everything pushed.  Idempotent; after
+    [finish] every push returns [Error]. *)

@@ -1,0 +1,119 @@
+(** Online prediction serving: a Unix-domain-socket daemon that ingests
+    HOTPATH3 trace streams from many concurrent clients and replays each
+    through an online {!Hotpath_prediction.Session}.
+
+    {2 Wire protocol}
+
+    A client connects, sends one handshake line
+
+    {v HPSERVE1 <tenant> <scheme> <d1,d2,...>\n v}
+
+    (scheme one of [net|net-once|let|path-profile], delays positive
+    integers), then streams a raw HOTPATH3 trace — exactly the bytes
+    {!Hotpath_trace.Serialize.Stream} writes — in arbitrarily sized
+    pieces, half-closes its send side, and reads the reply to EOF.  The
+    reply is JSON-Lines in the {!Hotpath_util.Events} wire format: one
+    [serve.result] line per delay lane (instances, predictions,
+    profiled/captured counts, cost-model totals, and [pred_hash] — an
+    order-sensitive hash of the (target, at_instance) prediction pairs)
+    followed by [serve.ok]; or a single [serve.error] line with a typed
+    [code]: ["handshake"], ["busy"] (tenant already streaming),
+    ["decode"] (framing/CRC), ["lint"] (trace rejected by the
+    attach/push gate), ["disconnect"] (EOF mid-frame), ["io"].
+
+    {2 Semantics}
+
+    The daemon is one single-threaded select loop; each connection owns
+    a frame decoder, a bounded chunk queue, and a session, so a failure
+    is always confined to its own tenant.  Backpressure is structural:
+    when a tenant's queue is full its socket leaves the read set, the
+    kernel buffer fills, and the client's writes stall — server memory
+    stays bounded at [queue_capacity] decoded chunks per tenant.  Lint
+    runs online (program gate at attach, chunk gate before any state
+    moves), so a malformed trace is refused without partial mutation and
+    the reply says which diagnostic fired. *)
+
+val scheme_names : string list
+(** The schemes the daemon accepts, CLI spelling. *)
+
+val scheme_of_name : string -> (module Hotpath_prediction.Scheme.S) option
+
+val outcome_hash : Hotpath_prediction.Session.outcome -> int
+(** The [pred_hash] reply field: order-sensitive fold over the lane's
+    (target, at_instance) prediction pairs.  Exposed so clients and
+    tests can recompute it from a local replay. *)
+
+module Server : sig
+  type t
+
+  type stats = {
+    accepted : int;  (** Connections accepted. *)
+    completed : int;  (** Tenant streams replayed to a [serve.ok]. *)
+    errored : int;  (** Typed per-connection failures. *)
+    chunks : int;  (** Instance chunks replayed across all tenants. *)
+    instances : int;  (** Instances replayed in completed streams. *)
+    queue_high_water : int;
+        (** Max occupancy any tenant's chunk queue ever reached — proof
+            the backpressure bound actually bit (or never needed to). *)
+  }
+
+  val create :
+    ?events:Hotpath_util.Events.sink ->
+    ?queue_capacity:int ->
+    ?drain_burst:int ->
+    socket_path:string ->
+    unit ->
+    (t, string) result
+  (** Bind and listen on [socket_path] (an existing file there is
+      removed first).  The socket accepts connections as soon as this
+      returns, so a server can be created in one domain and {!run} in
+      another with no ready-handshake.  [events] (default null)
+      receives the daemon's [serve.*] lifecycle events.
+      [queue_capacity] (default 8) bounds in-flight decoded chunks per
+      tenant; [drain_burst] (default 4) caps chunks replayed per tenant
+      per loop tick, so one huge stream cannot starve the others.
+      @raise Invalid_argument when either is [< 1]. *)
+
+  val run : t -> unit
+  (** Serve until {!stop}.  Blocks; run it in its own domain.  On
+      shutdown every still-active connection gets a typed ["io"] error,
+      a final [serve.stats] event is emitted, and the socket file is
+      removed. *)
+
+  val stop : t -> unit
+  (** Ask a running {!run} to shut down (domain-safe, idempotent; a
+      self-pipe wakes the select loop). *)
+
+  val stats : t -> stats
+  (** Lifetime counters.  Read after {!run} returns (the loop mutates
+      them without synchronization). *)
+
+  val socket_path : t -> string
+end
+
+module Client : sig
+  val wait_ready : ?attempts:int -> ?delay_s:float -> string -> bool
+  (** Poll-connect until the daemon accepts (default 500 × 10ms).  The
+      probe connection is closed without a handshake; the server treats
+      that as silent, not an error. *)
+
+  val send :
+    socket_path:string ->
+    tenant:string ->
+    scheme:string ->
+    delays:int list ->
+    ?chunk_bytes:int ->
+    string ->
+    ((string * Hotpath_util.Events.value) list list, string) result
+  (** [send ~socket_path ~tenant ~scheme ~delays trace] runs one whole
+      client exchange: handshake, stream [trace] (a serialized HOTPATH3
+      string, sent in [chunk_bytes]-sized writes, default 64 KiB),
+      half-close, read the reply to EOF.  Returns the parsed reply
+      lines in order — inspect with {!Hotpath_util.Events.kind} /
+      [find_int] / [find_str].  [Error] is transport-level only
+      (connect failure, no reply); a [serve.error] reply is [Ok] with
+      the error line in it, so callers can distinguish "could not
+      reach the daemon" from "the daemon refused the stream".
+      Blocking; safe to call from many domains at once (one socket per
+      call).  @raise Invalid_argument when [chunk_bytes < 1]. *)
+end

@@ -47,3 +47,45 @@ val check_parts :
     broken the program diagnostics are returned alone ([P1xx]); if the
     containers are inconsistent ([T201]/[T202]) the per-instance walk is
     skipped. *)
+
+(** Chunk-wise linting for online sessions.
+
+    Applies the same [T2xx] checks as {!check_parts}, but one instance
+    chunk at a time against a path table that grows between chunks (the
+    streaming decode protocol extends the table, then delivers the
+    instances that reference the new paths).  The only inter-chunk state
+    is the previous instance's path facts, so chunk boundaries are
+    invisible: on a clean trace, the concatenation of every
+    {!Incremental.check_chunk} result plus {!Incremental.flush_paths} equals
+    the {!check_parts} diagnostics for the whole trace (program
+    diagnostics aside, which {!Incremental.create} reports once).
+
+    A chunk that produces any error is {e not committed}: the linter's
+    seam state is left untouched, so a caller can reject the chunk
+    before mutating its own prediction state and remain consistent.
+    (Path-structure findings are committed regardless — they belong to
+    the table, which has already grown.) *)
+module Incremental : sig
+  type t
+
+  val create :
+    program:Cfg.program -> table:Path_table.t -> (t, Diag.t list) result
+  (** [Error diags] iff the program itself fails the structural gate
+      ([P1xx] errors); the trace checks would be meaningless. *)
+
+  val program_diags : t -> Diag.t list
+  (** Program-level warnings from the structural gate (empty or
+      warnings only — errors surface through [create]). *)
+
+  val check_chunk : t -> ids:int array -> arrivals:Bytes.t -> Diag.t list
+  (** Lint newly declared paths, the chunk's containers, and every
+      inter-instance hand-off including the seam from the previous
+      chunk.  Commits the seam state only when no error was found. *)
+
+  val flush_paths : t -> Diag.t list
+  (** Lint paths declared since the last call without consuming any
+      instances — for end-of-stream table extensions. *)
+
+  val instances : t -> int
+  (** Instances accepted (committed) so far. *)
+end

@@ -530,6 +530,62 @@ module Stream = struct
     if c.pos <> String.length c.s then
       fail "frame has %d trailing bytes" (String.length c.s - c.pos)
 
+  (* Frame-payload parsers, shared verbatim between the pull-based
+     [reader] and the push-based [Decoder] so the two accept exactly the
+     same streams and reject with exactly the same messages. *)
+
+  let parse_program_payload payload =
+    let c = { s = payload; pos = 0 } in
+    let program = get_program c in
+    check_consumed c;
+    (match Cfg.validate program with
+     | Ok () -> ()
+     | Error e -> fail "invalid program: %s" e);
+    program
+
+  let parse_paths_payload c ~table ~n_blocks =
+    let count = get_i32 c in
+    if count < 0 || count > remaining c / 30 then
+      fail "implausible path count %d" count;
+    for _ = 1 to count do
+      get_path c table (Path_table.size table) ~n_blocks
+    done;
+    check_consumed c
+
+  let parse_instances_payload c ~table =
+    let n = get_i32 c in
+    if n < 0 || n > remaining c / 5 then fail "implausible instance count %d" n;
+    let np = Path_table.size table in
+    let ids =
+      Array.init n (fun _ ->
+          let id = get_i32 c in
+          if id < 0 || id >= np then
+            fail "instance path id %d out of range (%d paths)" id np;
+          id)
+    in
+    need c n;
+    let arrivals = Bytes.create n in
+    Bytes.blit_string c.s c.pos arrivals 0 n;
+    c.pos <- c.pos + n;
+    Bytes.iter
+      (fun ch ->
+         if Char.code ch > 2 then fail "invalid arrival code %d" (Char.code ch))
+      arrivals;
+    check_consumed c;
+    (ids, arrivals)
+
+  let parse_end_payload c ~instances ~paths =
+    let stats = get_stats c in
+    let total_instances = get_i64 c in
+    let total_paths = get_i32 c in
+    check_consumed c;
+    if total_instances <> instances then
+      fail "end frame declares %d instances, stream carried %d" total_instances
+        instances;
+    if total_paths <> paths then
+      fail "end frame declares %d paths, stream carried %d" total_paths paths;
+    stats
+
   let open_input inp =
     try
       let m = Bytes.create (String.length magic) in
@@ -541,12 +597,7 @@ module Stream = struct
         else fail "bad magic %S" ms;
       let kind, payload = read_frame inp in
       if kind <> k_program then fail "expected program frame, got kind %d" kind;
-      let c = { s = payload; pos = 0 } in
-      let program = get_program c in
-      check_consumed c;
-      (match Cfg.validate program with
-       | Ok () -> ()
-       | Error e -> fail "invalid program: %s" e);
+      let program = parse_program_payload payload in
       Ok
         { r_input = inp; r_program = program; r_table = Path_table.create ();
           r_instances = 0; r_vm_stats = None; r_error = None; r_closed = false }
@@ -591,52 +642,20 @@ module Stream = struct
           let kind, payload = read_frame rd.r_input in
           let c = { s = payload; pos = 0 } in
           if kind = k_paths then begin
-            let count = get_i32 c in
-            if count < 0 || count > remaining c / 30 then
-              fail "implausible path count %d" count;
-            let n_blocks = Array.length rd.r_program.Cfg.blocks in
-            for _ = 1 to count do
-              get_path c rd.r_table (Path_table.size rd.r_table) ~n_blocks
-            done;
-            check_consumed c;
+            parse_paths_payload c ~table:rd.r_table
+              ~n_blocks:(Array.length rd.r_program.Cfg.blocks);
             loop ()
           end
           else if kind = k_instances then begin
-            let n = get_i32 c in
-            if n < 0 || n > remaining c / 5 then
-              fail "implausible instance count %d" n;
-            let np = Path_table.size rd.r_table in
-            let ids =
-              Array.init n (fun _ ->
-                  let id = get_i32 c in
-                  if id < 0 || id >= np then
-                    fail "instance path id %d out of range (%d paths)" id np;
-                  id)
-            in
-            need c n;
-            let arrivals = Bytes.create n in
-            Bytes.blit_string c.s c.pos arrivals 0 n;
-            c.pos <- c.pos + n;
-            Bytes.iter
-              (fun ch ->
-                 if Char.code ch > 2 then
-                   fail "invalid arrival code %d" (Char.code ch))
-              arrivals;
-            check_consumed c;
-            rd.r_instances <- rd.r_instances + n;
+            let ids, arrivals = parse_instances_payload c ~table:rd.r_table in
+            rd.r_instances <- rd.r_instances + Array.length ids;
             Ok (Some { ids; arrivals })
           end
           else if kind = k_end then begin
-            let stats = get_stats c in
-            let total_instances = get_i64 c in
-            let total_paths = get_i32 c in
-            check_consumed c;
-            if total_instances <> rd.r_instances then
-              fail "end frame declares %d instances, stream carried %d"
-                total_instances rd.r_instances;
-            if total_paths <> Path_table.size rd.r_table then
-              fail "end frame declares %d paths, stream carried %d" total_paths
-                (Path_table.size rd.r_table);
+            let stats =
+              parse_end_payload c ~instances:rd.r_instances
+                ~paths:(Path_table.size rd.r_table)
+            in
             expect_eof rd.r_input;
             rd.r_vm_stats <- Some stats;
             Ok None
@@ -679,6 +698,161 @@ module Stream = struct
     let result = drain () in
     close rd;
     result
+
+  (* ---------------- Push-based incremental decoder ---------------- *)
+
+  module Decoder = struct
+    type step =
+      | Need_more
+      | Program of Cfg.program
+      | Chunk of chunk
+      | End of Vm.run_stats
+
+    type t = {
+      mutable d_buf : Bytes.t;  (* live bytes are [d_head, d_tail) *)
+      mutable d_head : int;
+      mutable d_tail : int;
+      mutable d_magic : bool;
+      mutable d_program : Cfg.program option;
+      d_table : Path_table.t;
+      mutable d_instances : int;
+      mutable d_stats : Vm.run_stats option;
+      mutable d_error : string option;
+    }
+
+    let create () =
+      { d_buf = Bytes.create 4096; d_head = 0; d_tail = 0; d_magic = false;
+        d_program = None; d_table = Path_table.create (); d_instances = 0;
+        d_stats = None; d_error = None }
+
+    let buffered d = d.d_tail - d.d_head
+
+    let program d = d.d_program
+
+    let table d = d.d_table
+
+    let instances_read d = d.d_instances
+
+    let finished d = d.d_stats <> None
+
+    let error d = d.d_error
+
+    (* Amortized O(1) append: compact the live region to the front when
+       the dead prefix dominates, double the buffer when it is full.
+       [next] never copies payload bytes except to cut the one payload
+       string a complete frame needs. *)
+    let feed d s ~pos ~len =
+      if pos < 0 || len < 0 || pos > String.length s - len then
+        invalid_arg "Serialize.Stream.Decoder.feed: bad substring";
+      if d.d_error = None then begin
+        let live = buffered d in
+        if d.d_tail + len > Bytes.length d.d_buf then begin
+          let cap = ref (max 4096 (Bytes.length d.d_buf)) in
+          while live + len > !cap do
+            cap := !cap * 2
+          done;
+          let nb = if !cap = Bytes.length d.d_buf then d.d_buf else Bytes.create !cap in
+          Bytes.blit d.d_buf d.d_head nb 0 live;
+          d.d_buf <- nb;
+          d.d_head <- 0;
+          d.d_tail <- live
+        end;
+        Bytes.blit_string s pos d.d_buf d.d_tail len;
+        d.d_tail <- d.d_tail + len
+      end
+
+    (* A complete frame at the head of the buffer, or [None].  Raises
+       [Parse] on an implausible declared length or a checksum mismatch —
+       both detectable before the payload is complete or copied. *)
+    let take_frame d =
+      let avail = buffered d in
+      if avail < 5 then None
+      else begin
+        let kind = Bytes.get_uint8 d.d_buf d.d_head in
+        let len = Int32.to_int (Bytes.get_int32_le d.d_buf (d.d_head + 1)) in
+        if len < 0 || len > max_frame_payload then
+          fail "implausible frame payload length %d" len;
+        if avail < 5 + len + 4 then None
+        else begin
+          let crc = Crc32.update_bytes Crc32.empty d.d_buf ~pos:d.d_head ~len:5 in
+          let crc = Crc32.update_bytes crc d.d_buf ~pos:(d.d_head + 5) ~len in
+          let expect = Bytes.get_int32_le d.d_buf (d.d_head + 5 + len) in
+          if crc <> expect then fail "frame checksum mismatch (kind %d)" kind;
+          let payload = Bytes.sub_string d.d_buf (d.d_head + 5) len in
+          d.d_head <- d.d_head + 5 + len + 4;
+          if d.d_head = d.d_tail then begin
+            d.d_head <- 0;
+            d.d_tail <- 0
+          end;
+          Some (kind, payload)
+        end
+      end
+
+    (* Tail-recursive for the same reason [reader.next]'s loop is: a
+       stream padded with empty paths frames must not grow the stack. *)
+    let rec step d =
+      match d.d_stats with
+      | Some stats ->
+        if buffered d > 0 then fail "trailing garbage after end frame";
+        End stats
+      | None ->
+        if not d.d_magic then begin
+          if buffered d < String.length magic then Need_more
+          else begin
+            let m = Bytes.sub_string d.d_buf d.d_head (String.length magic) in
+            if m <> magic then
+              if m = legacy_magic then
+                fail "HOTPATH2 blob, not a stream (use Serialize.of_string/load)"
+              else fail "bad magic %S" m;
+            d.d_head <- d.d_head + String.length magic;
+            d.d_magic <- true;
+            step d
+          end
+        end
+        else
+          match take_frame d with
+          | None -> Need_more
+          | Some (kind, payload) -> (
+              let c = { s = payload; pos = 0 } in
+              match d.d_program with
+              | None ->
+                if kind <> k_program then
+                  fail "expected program frame, got kind %d" kind;
+                let program = parse_program_payload payload in
+                d.d_program <- Some program;
+                Program program
+              | Some program ->
+                if kind = k_paths then begin
+                  parse_paths_payload c ~table:d.d_table
+                    ~n_blocks:(Array.length program.Cfg.blocks);
+                  step d
+                end
+                else if kind = k_instances then begin
+                  let ids, arrivals = parse_instances_payload c ~table:d.d_table in
+                  d.d_instances <- d.d_instances + Array.length ids;
+                  Chunk { ids; arrivals }
+                end
+                else if kind = k_end then begin
+                  let stats =
+                    parse_end_payload c ~instances:d.d_instances
+                      ~paths:(Path_table.size d.d_table)
+                  in
+                  if buffered d > 0 then
+                    fail "trailing garbage after end frame";
+                  d.d_stats <- Some stats;
+                  End stats
+                end
+                else fail "unknown frame kind %d" kind)
+
+    let next d =
+      match d.d_error with
+      | Some e -> Error e
+      | None -> (
+          try Ok (step d)
+          with Parse msg ->
+            d.d_error <- Some msg;
+            Error msg)
+  end
 end
 
 (* ------------------------------------------------------------------ *)

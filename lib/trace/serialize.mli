@@ -195,4 +195,59 @@ module Stream : sig
   val to_recorder : reader -> (Recorder.t, string) result
   (** Drain the stream into a materialized {!Recorder.t} (validated via
       {!Recorder.of_parts}) and close the reader. *)
+
+  (** {1 Push-based incremental decoding}
+
+      The {!reader} above pulls bytes through a blocking [input]; a
+      network daemon gets bytes pushed at it in arbitrary slices instead.
+      A {!Decoder.t} accepts those slices via {!Decoder.feed} and yields
+      decoded steps via {!Decoder.next} — same frame validation, same
+      payload parsers, same error messages as the pull reader, so the two
+      accept exactly the same byte streams.  Feeding is O(bytes) amortized
+      regardless of slice granularity (one byte at a time is fine). *)
+  module Decoder : sig
+    type step =
+      | Need_more  (** A complete next frame has not arrived yet. *)
+      | Program of Cfg.program
+          (** The stream header and program frame decoded and validated. *)
+      | Chunk of chunk  (** One instances frame. *)
+      | End of Hotpath_vm.Vm.run_stats
+          (** The end frame validated (totals cross-checked); returned
+              again by subsequent calls. *)
+
+    type t
+
+    val create : unit -> t
+
+    val feed : t -> string -> pos:int -> len:int -> unit
+    (** Append [len] bytes of [s] starting at [pos] to the decode buffer.
+        Ignored once the decoder has errored.
+        @raise Invalid_argument if [pos]/[len] do not describe a
+        substring. *)
+
+    val next : t -> (step, string) result
+    (** Decode as far as the buffered bytes allow.  Paths frames are
+        consumed silently (growing {!table}); call repeatedly until
+        [Ok Need_more] (or terminally [End]/[Error]).  After an [Error]
+        the decoder is poisoned and repeats the same error.  Bytes that
+        arrive after the end frame surface as a trailing-garbage error on
+        the call after they are fed. *)
+
+    val program : t -> Cfg.program option
+    (** [Some] once the program frame has decoded. *)
+
+    val table : t -> Path_table.t
+    (** Paths declared so far; every id in a returned {!chunk} is already
+        present. *)
+
+    val instances_read : t -> int
+
+    val buffered : t -> int
+    (** Bytes fed but not yet consumed by a decoded frame. *)
+
+    val finished : t -> bool
+    (** The end frame has been validated. *)
+
+    val error : t -> string option
+  end
 end

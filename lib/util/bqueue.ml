@@ -1,0 +1,48 @@
+type 'a t = {
+  data : 'a option array;
+  mutable head : int;  (* index of the oldest element *)
+  mutable len : int;
+  mutable hw : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Bqueue.create: capacity must be >= 1";
+  { data = Array.make capacity None; head = 0; len = 0; hw = 0 }
+
+let capacity q = Array.length q.data
+
+let length q = q.len
+
+let is_empty q = q.len = 0
+
+let is_full q = q.len = Array.length q.data
+
+let push q x =
+  if is_full q then false
+  else begin
+    let cap = Array.length q.data in
+    q.data.((q.head + q.len) mod cap) <- Some x;
+    q.len <- q.len + 1;
+    if q.len > q.hw then q.hw <- q.len;
+    true
+  end
+
+let pop q =
+  if q.len = 0 then None
+  else begin
+    let x = q.data.(q.head) in
+    (* Release the slot so popped elements are collectable. *)
+    q.data.(q.head) <- None;
+    q.head <- (q.head + 1) mod Array.length q.data;
+    q.len <- q.len - 1;
+    x
+  end
+
+let peek q = if q.len = 0 then None else q.data.(q.head)
+
+let clear q =
+  Array.fill q.data 0 (Array.length q.data) None;
+  q.head <- 0;
+  q.len <- 0
+
+let high_water q = q.hw

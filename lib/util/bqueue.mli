@@ -1,0 +1,40 @@
+(** Bounded FIFO queue — the backpressure primitive.
+
+    A fixed-capacity ring buffer: {!push} refuses (returns [false])
+    instead of growing when the queue is full, which is what lets a
+    producer loop translate "queue full" into flow control (stop reading
+    the socket, leave bytes in the kernel buffer) rather than unbounded
+    memory growth.  The serve daemon bounds in-flight decoded chunks per
+    tenant with one of these.
+
+    Not thread-safe: single-owner, like {!Vec}.  {!high_water} tracks the
+    maximum occupancy ever reached, so tests and benchmarks can assert
+    the bound actually bit. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument when [capacity < 1]. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val is_full : 'a t -> bool
+
+val push : 'a t -> 'a -> bool
+(** [push q x] appends [x] and returns [true], or returns [false]
+    (leaving the queue unchanged) when the queue is at capacity. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the oldest element. *)
+
+val peek : 'a t -> 'a option
+
+val clear : 'a t -> unit
+(** Drop every element (does not reset {!high_water}). *)
+
+val high_water : 'a t -> int
+(** Maximum {!length} ever observed. *)

@@ -172,6 +172,30 @@ let check_done sink ~subjects ~errors ~warnings ~infos =
     [ ("subjects", Int subjects); ("errors", Int errors);
       ("warnings", Int warnings); ("infos", Int infos) ]
 
+let serve_accept sink ~conn =
+  emit sink ~kind:"serve.accept" [ ("conn", Int conn) ]
+
+let serve_attach sink ~conn ~tenant ~scheme ~delays =
+  emit sink ~kind:"serve.attach"
+    [ ("conn", Int conn); ("tenant", Str tenant); ("scheme", Str scheme);
+      ("delays", Int delays) ]
+
+let serve_done sink ~conn ~tenant ~instances ~chunks ~predictions =
+  emit sink ~kind:"serve.done"
+    [ ("conn", Int conn); ("tenant", Str tenant); ("instances", Int instances);
+      ("chunks", Int chunks); ("predictions", Int predictions) ]
+
+let serve_error sink ~conn ~tenant ~code ~message =
+  emit sink ~kind:"serve.error"
+    [ ("conn", Int conn); ("tenant", Str tenant); ("code", Str code);
+      ("message", Str message) ]
+
+let serve_stats sink ~accepted ~completed ~errored ~active ~instances =
+  emit sink ~kind:"serve.stats"
+    [ ("accepted", Int accepted); ("completed", Int completed);
+      ("errored", Int errored); ("active", Int active);
+      ("instances", Int instances) ]
+
 let dynamo_install sink ~at ~path ~blocks ~instrs ~fragments =
   emit sink ~kind:"dynamo.install"
     [ ("at", Int at); ("path", Int path); ("blocks", Int blocks);

@@ -145,6 +145,42 @@ val check_done :
 (** End-of-run totals for one [hotpath check] invocation: how many
     subjects were linted and the diagnostic counts by severity. *)
 
+val serve_accept : sink -> conn:int -> unit
+(** The daemon accepted connection [conn] (a per-process sequence
+    number). *)
+
+val serve_attach :
+  sink -> conn:int -> tenant:string -> scheme:string -> delays:int -> unit
+(** A tenant session attached: the handshake parsed, the program frame
+    decoded, and the attach-time lint gate passed. *)
+
+val serve_done :
+  sink ->
+  conn:int ->
+  tenant:string ->
+  instances:int ->
+  chunks:int ->
+  predictions:int ->
+  unit
+(** A tenant's stream completed and its outcome was delivered;
+    [predictions] sums accepted predictions across the delay lanes. *)
+
+val serve_error :
+  sink -> conn:int -> tenant:string -> code:string -> message:string -> unit
+(** A tenant failed: [code] is one of ["handshake"], ["busy"],
+    ["decode"], ["lint"], ["disconnect"], ["io"].  The failure is
+    isolated to its connection — other tenants are unaffected. *)
+
+val serve_stats :
+  sink ->
+  accepted:int ->
+  completed:int ->
+  errored:int ->
+  active:int ->
+  instances:int ->
+  unit
+(** Daemon lifetime totals, emitted at shutdown. *)
+
 val dynamo_install :
   sink -> at:int -> path:int -> blocks:int -> instrs:int -> fragments:int -> unit
 (** A fragment was installed for path [path] at instance [at];

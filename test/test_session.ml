@@ -1,0 +1,387 @@
+(* Online prediction sessions: the differential harness.
+
+   The contract under test is the tentpole guarantee: pushing a trace
+   into a [Session] in *any* granularity — one instance at a time, prime
+   chunk sizes, chunks larger than the trace — produces outcomes, event
+   streams, and counter-registry snapshots bit-identical to the batch
+   engine ([Replay.run_many]) and the streamed engine
+   ([Replay.run_many_stream]) on the same instances.  The suite drives
+   every scheme over several fixtures at adversarial granularities, and
+   separately proves the online lint gate rejects a malformed chunk with
+   zero session mutation. *)
+
+module Recorder = Hotpath_trace.Recorder
+module Serialize = Hotpath_trace.Serialize
+module Stream = Hotpath_trace.Serialize.Stream
+module Lint = Hotpath_trace.Lint
+module Diag = Hotpath_analysis.Diag
+module Replay = Hotpath_prediction.Replay
+module Session = Hotpath_prediction.Session
+module Scheme = Hotpath_prediction.Scheme
+module Net = Hotpath_prediction.Net
+module Path_profile = Hotpath_prediction.Path_profile
+module Events = Hotpath_util.Events
+module Prng = Hotpath_util.Prng
+
+let schemes : (string * Scheme.packed) list =
+  [
+    ("net", (module Net));
+    ("net-once", (module Net.Net_once));
+    ("let", (module Net.Last_executed_tail));
+    ("path-profile", (module Path_profile));
+  ]
+
+let fixtures () =
+  [
+    ("indirect_loop", Test_serialize.record_fixture ());
+    ("call_loop", Test_serialize.record_calls ());
+    ( "compress",
+      Hotpath_workloads.Suite.record ~scale:0.01
+        (Hotpath_workloads.Suite.find_exn "compress") );
+  ]
+
+let delays = [ 1; 7; 50 ]
+
+(* Granularities chosen to be adversarial: per-instance, prime sizes
+   that never align with internal chunking, exactly the trace length,
+   and longer than the trace. *)
+let granularities n = [ 1; 13; 997; n; n + 17 ]
+
+let session_exn ?events ?lint ?on_predict packed ~delays (r : Recorder.t) =
+  match
+    Session.create ?events ?lint ?on_predict packed ~delays
+      ~program:r.Recorder.program ~table:r.Recorder.table
+  with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "Session.create on clean fixture: %s" e
+
+let push_sliced sess (r : Recorder.t) g =
+  let n = Array.length r.Recorder.instances in
+  let off = ref 0 in
+  while !off < n do
+    let len = min g (n - !off) in
+    let ids = Array.sub r.Recorder.instances !off len in
+    let arrivals = Bytes.sub r.Recorder.arrivals !off len in
+    (match Session.push_chunk sess ~ids ~arrivals with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "push_chunk (granularity %d): %s" g e);
+    off := !off + len
+  done
+
+let check_outcome label (a : Replay.outcome) (b : Session.outcome) =
+  let chk name = Alcotest.(check int) (label ^ ": " ^ name) in
+  Alcotest.(check string) (label ^ ": scheme") a.Replay.scheme_name
+    b.Session.scheme_name;
+  chk "delay" a.Replay.delay b.Session.delay;
+  chk "total_instances" a.Replay.total_instances b.Session.total_instances;
+  Alcotest.(check bool)
+    (label ^ ": predictions") true
+    (a.Replay.predictions = b.Session.predictions);
+  Alcotest.(check (array int)) (label ^ ": predicted_at") a.Replay.predicted_at
+    b.Session.predicted_at;
+  Alcotest.(check (array int)) (label ^ ": freq") a.Replay.freq b.Session.freq;
+  Alcotest.(check (array int)) (label ^ ": captured") a.Replay.captured
+    b.Session.captured;
+  chk "profiled_instances" a.Replay.profiled_instances
+    b.Session.profiled_instances;
+  chk "captured_instances" a.Replay.captured_instances
+    b.Session.captured_instances;
+  chk "counter_space" a.Replay.counter_space b.Session.counter_space;
+  chk "profiling_ops" a.Replay.profiling_ops b.Session.profiling_ops;
+  chk "collection_ops" a.Replay.collection_ops b.Session.collection_ops
+
+let check_outcomes label batch session =
+  Alcotest.(check int) (label ^ ": lane count") (List.length batch)
+    (List.length session);
+  List.iter2 (check_outcome label) batch session
+
+(* ------------------------------------------------------------------ *)
+(* Differential: every scheme x fixture x granularity vs batch          *)
+(* ------------------------------------------------------------------ *)
+
+let test_differential_granularities () =
+  List.iter
+    (fun (fname, r) ->
+      let n = Array.length r.Recorder.instances in
+      List.iter
+        (fun (sname, packed) ->
+          let batch = Replay.run_many packed ~delays r in
+          List.iter
+            (fun g ->
+              let sess = session_exn packed ~delays r in
+              push_sliced sess r g;
+              let label = Printf.sprintf "%s/%s/g=%d" fname sname g in
+              check_outcomes label batch (Session.finish sess))
+            (granularities n))
+        schemes)
+    (fixtures ())
+
+let test_differential_single_push () =
+  (* The one-instance convenience API decodes arrival kinds itself. *)
+  let r = Test_serialize.record_fixture () in
+  List.iter
+    (fun (sname, packed) ->
+      let batch = Replay.run_many packed ~delays r in
+      let sess = session_exn packed ~delays r in
+      Array.iteri
+        (fun i path_id ->
+          match Session.push sess ~path_id ~arrival:(Recorder.arrival r i) with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "push %d: %s" i e)
+        r.Recorder.instances;
+      check_outcomes ("push/" ^ sname) batch (Session.finish sess))
+    schemes
+
+let test_differential_vs_stream () =
+  (* Three engines, one answer: batch, streamed reader, session. *)
+  let r = Test_serialize.record_calls () in
+  List.iter
+    (fun (sname, packed) ->
+      let batch = Replay.run_many packed ~delays r in
+      let streamed =
+        match Stream.open_string (Stream.to_string ~chunk_instances:64 r) with
+        | Error e -> Alcotest.failf "open_string: %s" e
+        | Ok rd -> (
+          match Replay.run_many_stream packed ~delays rd with
+          | Error e -> Alcotest.failf "run_many_stream: %s" e
+          | Ok os -> os)
+      in
+      check_outcomes ("stream/" ^ sname) batch streamed;
+      let sess = session_exn packed ~delays r in
+      push_sliced sess r 64;
+      check_outcomes ("session/" ^ sname) batch (Session.finish sess))
+    schemes
+
+(* ------------------------------------------------------------------ *)
+(* Event streams and the counter registry                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_event_stream_identical () =
+  let r = Test_serialize.record_fixture () in
+  let window = 1024 in
+  List.iter
+    (fun (sname, packed) ->
+      let run_batch () =
+        let buf = Buffer.create 4096 in
+        let ev = Replay.events ~window (Events.of_buffer buf) in
+        ignore (Replay.run_many ~events:ev packed ~delays r : Replay.outcome list);
+        Buffer.contents buf
+      in
+      let run_session g =
+        let buf = Buffer.create 4096 in
+        let ev = Session.events ~window (Events.of_buffer buf) in
+        let sess = session_exn ~events:ev packed ~delays r in
+        push_sliced sess r g;
+        ignore (Session.finish sess : Session.outcome list);
+        Buffer.contents buf
+      in
+      let batch_lines = run_batch () in
+      List.iter
+        (fun g ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s events g=%d" sname g)
+            batch_lines (run_session g))
+        [ 1; 13; 4096 ])
+    schemes
+
+let test_registry_identical () =
+  let r = Test_serialize.record_fixture () in
+  let snapshot run =
+    Events.Registry.reset ();
+    run ();
+    Events.Registry.snapshot ()
+  in
+  let buf = Buffer.create 4096 in
+  let batch =
+    snapshot (fun () ->
+        let ev = Replay.events ~window:512 (Events.of_buffer buf) in
+        ignore
+          (Replay.run_many ~events:ev (module Net) ~delays r
+            : Replay.outcome list))
+  in
+  let session =
+    snapshot (fun () ->
+        let ev = Session.events ~window:512 (Events.of_buffer buf) in
+        let sess = session_exn ~events:ev (module Net) ~delays r in
+        push_sliced sess r 13;
+        ignore (Session.finish sess : Session.outcome list))
+  in
+  Events.Registry.reset ();
+  Alcotest.(check bool) "registry snapshots identical" true (batch = session)
+
+let test_on_predict_matches_outcomes () =
+  let r = Test_serialize.record_fixture () in
+  let fired = ref [] in
+  let on_predict ~delay ~target ~at_instance =
+    fired := (delay, target, at_instance) :: !fired
+  in
+  let sess = session_exn ~on_predict (module Net) ~delays r in
+  push_sliced sess r 13;
+  let outcomes = Session.finish sess in
+  let expected =
+    List.concat_map
+      (fun (o : Session.outcome) ->
+        Array.to_list o.Session.predictions
+        |> List.map (fun (p : Session.prediction) ->
+               (o.Session.delay, p.Session.target, p.Session.at_instance)))
+      outcomes
+    |> List.sort compare
+  in
+  Alcotest.(check bool)
+    "on_predict fired exactly the outcome predictions" true
+    (List.sort compare !fired = expected)
+
+(* ------------------------------------------------------------------ *)
+(* The online lint gate                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* A fresh recording with one arrival byte mid-trace rewritten to
+   "entry" — a T2xx-class trace error the full linter rejects. *)
+let corrupted_fixture () =
+  let r = Test_serialize.record_fixture () in
+  let n = Bytes.length r.Recorder.arrivals in
+  Alcotest.(check bool) "fixture long enough" true (n > 16);
+  let i =
+    let j = ref ((n / 2) + 1) in
+    while !j < n && Bytes.get r.Recorder.arrivals !j = '\001' do
+      incr j
+    done;
+    if !j >= n then Alcotest.fail "no corruptible arrival after midpoint";
+    !j
+  in
+  let orig = Bytes.get r.Recorder.arrivals i in
+  Bytes.set r.Recorder.arrivals i '\001';
+  let diags =
+    Lint.check_parts ~program:r.Recorder.program ~table:r.Recorder.table
+      ~instances:r.Recorder.instances ~arrivals:r.Recorder.arrivals
+  in
+  Alcotest.(check bool) "full linter rejects the mutation" true
+    (Diag.has_errors diags);
+  (r, i, orig)
+
+let test_lint_rejects_without_mutation () =
+  let r, bad_at, orig = corrupted_fixture () in
+  let sess = session_exn (module Net) ~delays r in
+  (* Clean prefix: everything before the bad instance. *)
+  let push lo len =
+    Session.push_chunk sess
+      ~ids:(Array.sub r.Recorder.instances lo len)
+      ~arrivals:(Bytes.sub r.Recorder.arrivals lo len)
+  in
+  (match push 0 bad_at with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "clean prefix rejected: %s" e);
+  let before = Session.instances sess in
+  let n = Array.length r.Recorder.instances in
+  (* The chunk containing the bad arrival must be refused... *)
+  (match push bad_at (n - bad_at) with
+  | Ok () -> Alcotest.fail "lint gate accepted a T2xx trace chunk"
+  | Error e ->
+    Alcotest.(check bool) "error mentions a T-code" true
+      (String.length e > 0 && String.contains e 'T'));
+  (* ...with zero state mutation: the instance count is unchanged and
+     the session still accepts the *corrected* suffix, finishing
+     bit-identical to batch on the corrected trace. *)
+  Alcotest.(check int) "no instances accepted from the bad chunk" before
+    (Session.instances sess);
+  Bytes.set r.Recorder.arrivals bad_at orig;
+  (match push bad_at (n - bad_at) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "corrected suffix rejected: %s" e);
+  let batch = Replay.run_many (module Net) ~delays r in
+  check_outcomes "after-recovery" batch (Session.finish sess)
+
+let test_unlinted_session_still_validates_ids () =
+  (* lint:false skips the trace linter but not decode-level sanity:
+     undeclared path ids and bad arrival codes must still be refused
+     (capacity-grown arrays would silently absorb them otherwise). *)
+  let r = Test_serialize.record_fixture () in
+  let sess = session_exn ~lint:false (module Net) ~delays r in
+  let np = Hotpath_trace.Path_table.size r.Recorder.table in
+  (match
+     Session.push_chunk sess ~ids:[| np + 3 |] ~arrivals:(Bytes.make 1 '\000')
+   with
+  | Ok () -> Alcotest.fail "out-of-range path id accepted"
+  | Error _ -> ());
+  (match
+     Session.push_chunk sess ~ids:[| 0 |] ~arrivals:(Bytes.make 1 '\007')
+   with
+  | Ok () -> Alcotest.fail "invalid arrival code accepted"
+  | Error _ -> ());
+  Alcotest.(check int) "nothing accepted" 0 (Session.instances sess)
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle edges                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_finish_idempotent_and_final () =
+  let r = Test_serialize.record_fixture () in
+  let sess = session_exn (module Net) ~delays r in
+  push_sliced sess r 997;
+  let a = Session.finish sess in
+  let b = Session.finish sess in
+  Alcotest.(check bool) "finish is idempotent" true (a = b);
+  match
+    Session.push_chunk sess
+      ~ids:(Array.sub r.Recorder.instances 0 1)
+      ~arrivals:(Bytes.sub r.Recorder.arrivals 0 1)
+  with
+  | Ok () -> Alcotest.fail "push after finish accepted"
+  | Error _ -> ()
+
+let test_empty_session () =
+  let r = Test_serialize.record_fixture () in
+  let sess = session_exn (module Net) ~delays r in
+  let outcomes = Session.finish sess in
+  Alcotest.(check int) "lanes" (List.length delays) (List.length outcomes);
+  List.iter
+    (fun (o : Session.outcome) ->
+      Alcotest.(check int) "no instances" 0 o.Session.total_instances;
+      Alcotest.(check int) "no predictions" 0
+        (Array.length o.Session.predictions))
+    outcomes
+
+let test_length_mismatch_rejected () =
+  let r = Test_serialize.record_fixture () in
+  let sess = session_exn (module Net) ~delays r in
+  match
+    Session.push_chunk sess
+      ~ids:(Array.sub r.Recorder.instances 0 4)
+      ~arrivals:(Bytes.sub r.Recorder.arrivals 0 3)
+  with
+  | Ok () -> Alcotest.fail "mismatched chunk accepted"
+  | Error _ -> Alcotest.(check int) "nothing accepted" 0 (Session.instances sess)
+
+let suites =
+  [
+    ( "session.differential",
+      [
+        Alcotest.test_case "all schemes x granularities ≡ batch" `Quick
+          test_differential_granularities;
+        Alcotest.test_case "single-instance push ≡ batch" `Quick
+          test_differential_single_push;
+        Alcotest.test_case "batch ≡ stream ≡ session" `Quick
+          test_differential_vs_stream;
+        Alcotest.test_case "event streams byte-identical" `Quick
+          test_event_stream_identical;
+        Alcotest.test_case "registry snapshots identical" `Quick
+          test_registry_identical;
+        Alcotest.test_case "on_predict mirrors outcomes" `Quick
+          test_on_predict_matches_outcomes;
+      ] );
+    ( "session.lint",
+      [
+        Alcotest.test_case "T2xx chunk rejected without mutation" `Quick
+          test_lint_rejects_without_mutation;
+        Alcotest.test_case "unlinted sessions still validate input" `Quick
+          test_unlinted_session_still_validates_ids;
+      ] );
+    ( "session.lifecycle",
+      [
+        Alcotest.test_case "finish idempotent, then pushes fail" `Quick
+          test_finish_idempotent_and_final;
+        Alcotest.test_case "empty session" `Quick test_empty_session;
+        Alcotest.test_case "length mismatch rejected" `Quick
+          test_length_mismatch_rejected;
+      ] );
+  ]

@@ -512,6 +512,124 @@ let test_corpus_valid_members_agree () =
   let empty = load "valid_hotpath3_empty.trace" in
   Alcotest.(check int) "empty corpus member" 0 (Recorder.num_instances empty)
 
+(* ------------------------------------------------------------------ *)
+(* Push decoder: the incremental counterpart of the pull reader         *)
+(* ------------------------------------------------------------------ *)
+
+(* Feed [s] to a fresh decoder [feed] bytes at a time, pumping between
+   feeds.  Returns the decoder plus everything it produced. *)
+let decode_all ?(feed = 4096) s =
+  let d = Stream.Decoder.create () in
+  let ids = ref [] in
+  let arrs = ref [] in
+  let error = ref None in
+  let rec pump () =
+    if !error = None then
+      match Stream.Decoder.next d with
+      | Error e -> error := Some e
+      | Ok Stream.Decoder.Need_more -> ()
+      | Ok (Stream.Decoder.Program _) -> pump ()
+      | Ok (Stream.Decoder.Chunk c) ->
+        ids := c.Stream.ids :: !ids;
+        arrs := Bytes.to_string c.Stream.arrivals :: !arrs;
+        pump ()
+      | Ok (Stream.Decoder.End _) -> ()
+  in
+  let off = ref 0 in
+  let n = String.length s in
+  while !off < n && !error = None do
+    let len = min feed (n - !off) in
+    Stream.Decoder.feed d s ~pos:!off ~len;
+    off := !off + len;
+    pump ()
+  done;
+  ( d,
+    Array.concat (List.rev !ids),
+    String.concat "" (List.rev !arrs),
+    !error )
+
+let test_decoder_matches_reader () =
+  let r = record_fixture () in
+  let blob = Stream.to_string ~chunk_instances:256 r in
+  List.iter
+    (fun feed ->
+      let d, ids, arrs, error = decode_all ~feed blob in
+      (match error with
+      | Some e -> Alcotest.failf "decoder (feed=%d) errored: %s" feed e
+      | None -> ());
+      Alcotest.(check bool)
+        (Printf.sprintf "finished at feed=%d" feed)
+        true
+        (Stream.Decoder.finished d);
+      Alcotest.(check (array int)) "ids match recorder" r.Recorder.instances
+        ids;
+      Alcotest.(check string) "arrivals match recorder"
+        (Bytes.to_string r.Recorder.arrivals)
+        arrs;
+      Alcotest.(check int) "instances_read"
+        (Array.length r.Recorder.instances)
+        (Stream.Decoder.instances_read d);
+      Alcotest.(check int) "table size" (Recorder.num_paths r)
+        (Path_table.size (Stream.Decoder.table d));
+      Alcotest.(check bool) "program decoded" true
+        (Stream.Decoder.program d <> None);
+      Alcotest.(check int) "buffer drained" 0 (Stream.Decoder.buffered d))
+    [ 1; 7; 4096 ]
+
+let test_decoder_bitflip_fuzz () =
+  (* Every byte-level corruption of a valid HOTPATH3 blob is covered by
+     a frame CRC, so an incremental decode must never finish cleanly:
+     either a typed error, or a stream left incomplete (a torn length
+     field can only look like "more bytes coming" — the serve layer
+     turns that into a disconnect at EOF).  Never an exception. *)
+  let r = record_fixture () in
+  let blob = Stream.to_string ~chunk_instances:256 r in
+  let rng = Prng.create ~seed:0xDEC0DE in
+  for _ = 1 to 200 do
+    let pos = Prng.int rng ~bound:(String.length blob) in
+    let bit = Prng.int rng ~bound:8 in
+    let b = Bytes.of_string blob in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+    let mutated = Bytes.to_string b in
+    let d, _, _, error = decode_all ~feed:509 mutated in
+    if error = None && Stream.Decoder.finished d then
+      Alcotest.failf "bitflip at byte %d bit %d decoded to a finished stream"
+        pos bit;
+    (* A poisoned decoder repeats its error and ignores further food. *)
+    match error with
+    | None -> ()
+    | Some e -> (
+      Stream.Decoder.feed d blob ~pos:0 ~len:16;
+      match Stream.Decoder.next d with
+      | Error e' -> Alcotest.(check string) "error is sticky" e e'
+      | Ok _ -> Alcotest.fail "decoder recovered after an error")
+  done
+
+let test_decoder_trailing_garbage () =
+  let r = record_fixture () in
+  let blob = Stream.to_string r in
+  let _, _, _, error = decode_all ~feed:1021 (blob ^ "zz") in
+  match error with
+  | None -> Alcotest.fail "trailing garbage not surfaced"
+  | Some e ->
+    Alcotest.(check bool) "mentions garbage" true
+      (String.length e > 0)
+
+let test_decoder_end_repeats () =
+  let r = record_fixture () in
+  let blob = Stream.to_string r in
+  let d, _, _, error = decode_all blob in
+  Alcotest.(check bool) "no error" true (error = None);
+  match (Stream.Decoder.next d, Stream.Decoder.next d) with
+  | Ok (Stream.Decoder.End _), Ok (Stream.Decoder.End _) -> ()
+  | _ -> Alcotest.fail "End is not repeated after completion"
+
+let test_decoder_feed_validation () =
+  let d = Stream.Decoder.create () in
+  Alcotest.check_raises "bad substring"
+    (Invalid_argument "Serialize.Stream.Decoder.feed: bad substring")
+    (fun () -> Stream.Decoder.feed d "abc" ~pos:2 ~len:5)
+
 let suites =
   [
     ( "trace.stream",
@@ -564,5 +682,18 @@ let suites =
         Alcotest.test_case "regression corpus" `Quick test_corpus;
         Alcotest.test_case "corpus valid members agree" `Quick
           test_corpus_valid_members_agree;
+      ] );
+    ( "trace.stream.decoder",
+      [
+        Alcotest.test_case "push decoder = pull reader (feed 1/7/4096)" `Quick
+          test_decoder_matches_reader;
+        Alcotest.test_case "200 bitflips never finish clean" `Quick
+          test_decoder_bitflip_fuzz;
+        Alcotest.test_case "trailing garbage surfaced" `Quick
+          test_decoder_trailing_garbage;
+        Alcotest.test_case "End repeats after completion" `Quick
+          test_decoder_end_repeats;
+        Alcotest.test_case "feed validates substring" `Quick
+          test_decoder_feed_validation;
       ] );
   ]

@@ -5,6 +5,7 @@ module Vec = Hotpath_util.Vec
 module Stats = Hotpath_util.Stats
 module Tablefmt = Hotpath_util.Tablefmt
 module Pool = Hotpath_util.Pool
+module Bqueue = Hotpath_util.Bqueue
 
 let check_float = Alcotest.(check (float 1e-9))
 
@@ -364,6 +365,72 @@ let test_pool_domain_limit () =
     (Invalid_argument "Pool: jobs must be >= 1")
     (fun () -> ignore (Pool.effective_workers ~jobs:0))
 
+(* ------------------------------------------------------------------ *)
+(* Bqueue                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_bqueue_fifo () =
+  let q = Bqueue.create ~capacity:8 in
+  List.iter (fun x -> assert (Bqueue.push q x)) [ 1; 2; 3; 4 ];
+  Alcotest.(check int) "length" 4 (Bqueue.length q);
+  Alcotest.(check (option int)) "peek" (Some 1) (Bqueue.peek q);
+  Alcotest.(check (list (option int))) "pop order"
+    [ Some 1; Some 2; Some 3; Some 4; None ]
+    (List.init 5 (fun _ -> Bqueue.pop q));
+  Alcotest.(check bool) "empty after drain" true (Bqueue.is_empty q)
+
+let test_bqueue_full_refuses () =
+  let q = Bqueue.create ~capacity:2 in
+  assert (Bqueue.push q 10);
+  assert (Bqueue.push q 20);
+  Alcotest.(check bool) "is_full" true (Bqueue.is_full q);
+  Alcotest.(check bool) "push refused" false (Bqueue.push q 30);
+  (* The refused push must leave the queue untouched. *)
+  Alcotest.(check int) "length unchanged" 2 (Bqueue.length q);
+  Alcotest.(check (option int)) "head unchanged" (Some 10) (Bqueue.pop q);
+  Alcotest.(check (option int)) "tail unchanged" (Some 20) (Bqueue.pop q)
+
+let test_bqueue_wraparound () =
+  (* Run many more elements than the capacity through a tiny ring so the
+     read/write cursors wrap repeatedly; FIFO order must survive. *)
+  let q = Bqueue.create ~capacity:3 in
+  let popped = ref [] in
+  for x = 1 to 100 do
+    if not (Bqueue.push q x) then begin
+      (match Bqueue.pop q with
+      | Some y -> popped := y :: !popped
+      | None -> Alcotest.fail "full queue popped None");
+      assert (Bqueue.push q x)
+    end
+  done;
+  let rec drain () =
+    match Bqueue.pop q with
+    | Some y ->
+      popped := y :: !popped;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "all elements in order"
+    (List.init 100 (fun i -> i + 1))
+    (List.rev !popped);
+  Alcotest.(check int) "high water hit capacity" 3 (Bqueue.high_water q)
+
+let test_bqueue_clear () =
+  let q = Bqueue.create ~capacity:4 in
+  List.iter (fun x -> assert (Bqueue.push q x)) [ 1; 2; 3 ];
+  Bqueue.clear q;
+  Alcotest.(check bool) "empty" true (Bqueue.is_empty q);
+  Alcotest.(check (option int)) "peek none" None (Bqueue.peek q);
+  Alcotest.(check int) "high water survives clear" 3 (Bqueue.high_water q);
+  assert (Bqueue.push q 9);
+  Alcotest.(check (option int)) "usable after clear" (Some 9) (Bqueue.pop q)
+
+let test_bqueue_invalid_capacity () =
+  Alcotest.check_raises "capacity 0"
+    (Invalid_argument "Bqueue.create: capacity must be >= 1")
+    (fun () -> ignore (Bqueue.create ~capacity:0 : int Bqueue.t))
+
 let suites =
   [
     ( "util.prng",
@@ -422,5 +489,14 @@ let suites =
           test_pool_uncapped_honours_jobs;
         Alcotest.test_case "domain limit override" `Quick
           test_pool_domain_limit;
+      ] );
+    ( "util.bqueue",
+      [
+        Alcotest.test_case "fifo order" `Quick test_bqueue_fifo;
+        Alcotest.test_case "full push refused" `Quick test_bqueue_full_refuses;
+        Alcotest.test_case "wraparound" `Quick test_bqueue_wraparound;
+        Alcotest.test_case "clear" `Quick test_bqueue_clear;
+        Alcotest.test_case "invalid capacity" `Quick
+          test_bqueue_invalid_capacity;
       ] );
   ]
