@@ -36,6 +36,21 @@ end
 module Net_generic = Degrade (Net)
 module Pp_generic = Degrade (Path_profile_scheme)
 
+(* The k-iteration kernels are recognized by the identity of [create]
+   ([observe] alone captures nothing instantiation-specific and is
+   shared across every k), so their generic twins eta-expand [create]
+   instead. *)
+module Degrade_k (S : Scheme.S) : Scheme.S = struct
+  include S
+
+  let create ~delay ~program = S.create ~delay ~program
+end
+
+module Net_k2 = (val Net_k.make 2)
+module Pp_k2 = (val Path_profile_k.make 2)
+module Net_k2_generic = Degrade_k (Net_k2)
+module Pp_k2_generic = Degrade_k (Pp_k2)
+
 let ops_tests () =
   (* Profiling primitives, measured per operation. *)
   let sig_builder = Signature.Builder.create ~head:0 in
@@ -484,6 +499,10 @@ let kernel_bench ~smoke ~scale =
       ( "path-profile",
         (module Path_profile_scheme : Scheme.S),
         (module Pp_generic : Scheme.S) );
+      ("net-k2", (module Net_k2 : Scheme.S), (module Net_k2_generic : Scheme.S));
+      ( "path-profile-k2",
+        (module Pp_k2 : Scheme.S),
+        (module Pp_k2_generic : Scheme.S) );
     ]
   in
   List.iter
@@ -524,7 +543,10 @@ let kernel_bench ~smoke ~scale =
      instances/s (n / wall — the multiplexed pass makes one logical
      traversal of the trace at every job count; jobs>1 shards that
      traversal into chunks instead of re-walking it per shard). *)
-  let reps = if smoke then 3 else 5 in
+  (* Best-of over enough reps that the minimum is stable: the smoke
+     scaling gates compare two minima, and at smoke scale a single
+     descheduled rep can swing one side by 30%. *)
+  let reps = if smoke then 5 else 5 in
   let time f =
     ignore (f ());
     List.fold_left min infinity
@@ -574,17 +596,23 @@ let kernel_bench ~smoke ~scale =
        not.  >5% below the recorded ratio fails. *)
     List.iter
       (fun (name, measured, _, _) ->
-         match baseline_speedup ~scheme:name with
-         | None ->
-           Format.printf "  %s: no baseline in %s@." name bench_replay_file;
-           ok := false
-         | Some recorded_speedup ->
-           let floor = 0.95 *. recorded_speedup in
-           check
-             (Printf.sprintf
-                "%s: kernel speedup %.2fx within 5%% of baseline %.2fx" name
-                measured recorded_speedup)
-             (measured >= floor))
+         (* The ratio gate covers the paper's schemes only: the k-kernels'
+            packed->kernel ratio hovers near 1x (they strip module
+            indirection but keep the per-instance trie/counter walk), so
+            a 5% band on it would gate on noise.  Their rows still land
+            in the baseline file for trend reading. *)
+         if List.mem name [ "net"; "path-profile" ] then
+           match baseline_speedup ~scheme:name with
+           | None ->
+             Format.printf "  %s: no baseline in %s@." name bench_replay_file;
+             ok := false
+           | Some recorded_speedup ->
+             let floor = 0.95 *. recorded_speedup in
+             check
+               (Printf.sprintf
+                  "%s: kernel speedup %.2fx within 5%% of baseline %.2fx" name
+                  measured recorded_speedup)
+               (measured >= floor))
       measured;
     (* Scaling gate: chunk sharding must never make more cores a
        regression again — jobs=4 at least matches jobs=1 on the net
@@ -600,7 +628,27 @@ let kernel_bench ~smoke ~scale =
                   "net: jobs=4 throughput %.2e >= jobs=1 %.2e inst/s"
                   (float_of_int n /. t4)
                   (float_of_int n /. kernel_s))
-               (t4 <= kernel_s))
+               (t4 <= kernel_s)
+         else if name = "path-profile-k2" then
+           (* The k-trie kernel has no compressed-summary fast path:
+              each lane group re-walks the instance stream, so at smoke
+              scale the parallel gain and the cross-domain memory
+              contention are the same order and the measured t4/t1
+              ratio spans 0.8-1.4 run to run (on a core-starved CI box
+              jobs=4 even clamps to one worker).  The gate therefore
+              allows 50% slack — above that noise band, still well
+              below the >=2x signature of the lane re-walk regression
+              class this gate exists to catch. *)
+           match List.assoc_opt 4 sharded_s with
+           | None -> ()
+           | Some t4 ->
+             check
+               (Printf.sprintf
+                  "path-profile-k2: jobs=4 %.2e vs jobs=1 %.2e inst/s (50%% \
+                   slack)"
+                  (float_of_int n /. t4)
+                  (float_of_int n /. kernel_s))
+               (t4 <= kernel_s *. 1.5))
       measured
   end
   else begin

@@ -69,8 +69,22 @@ let delay_arg =
   Arg.(value & opt int 50 & info [ "delay"; "d" ] ~docv:"N" ~doc)
 
 let scheme_arg =
-  let doc = "Prediction scheme: net | net-once | let | path-profile." in
-  Arg.(value & opt string "net" & info [ "scheme"; "s" ] ~docv:"NAME" ~doc)
+  let doc =
+    "Prediction scheme: net | net-once | let | path-profile | net-k<k> | \
+     path-profile-k<k> (k-iteration families, 1 <= k <= 32)."
+  in
+  (* Validated at parse time (a bad name is a usage error, not an
+     uncaught exception), but carried as the string: serve-send ships
+     the name over the wire and the others re-resolve it memoized. *)
+  let scheme_conv =
+    Arg.conv
+      ( (fun s ->
+          match Hotpath_prediction.Schemes.of_name s with
+          | Ok _ -> Ok s
+          | Error msg -> Error (`Msg msg)),
+        Format.pp_print_string )
+  in
+  Arg.(value & opt scheme_conv "net" & info [ "scheme"; "s" ] ~docv:"NAME" ~doc)
 
 let emit ~csv tbl =
   print_string
@@ -104,15 +118,10 @@ let with_events_sink events f =
       ~finally:(fun () -> Hotpath_util.Events.close sink)
       (fun () -> f sink)
 
-let scheme_of_string = function
-  | "net" -> (module Hotpath_prediction.Net : Hotpath_prediction.Scheme.S)
-  | "net-once" -> (module Hotpath_prediction.Net.Net_once)
-  | "let" -> (module Hotpath_prediction.Net.Last_executed_tail)
-  | "path-profile" -> (module Hotpath_prediction.Path_profile)
-  | other ->
-    raise
-      (Invalid_argument
-         (Printf.sprintf "unknown scheme %s (try net|net-once|let|path-profile)" other))
+let scheme_of_string name =
+  match Hotpath_prediction.Schemes.of_name name with
+  | Ok m -> m
+  | Error msg -> raise (Invalid_argument msg)
 
 (* ------------------------------------------------------------------ *)
 (* Tables and figures                                                  *)
@@ -330,7 +339,9 @@ let dynamo_cmd =
     let cost = Hotpath_dynamo.Cost_model.default in
     let packed = scheme_of_string scheme in
     let costs =
-      if scheme = "path-profile" then E.path_profile_costs cost else E.net_costs cost
+      if String.starts_with ~prefix:"path-profile" scheme then
+        E.path_profile_costs cost
+      else E.net_costs cost
     in
     with_events_sink events (fun sink ->
       let config =
@@ -360,7 +371,9 @@ let online_cmd =
     let cost = Hotpath_dynamo.Cost_model.default in
     let packed = scheme_of_string scheme in
     let costs =
-      if scheme = "path-profile" then E.path_profile_costs cost else E.net_costs cost
+      if String.starts_with ~prefix:"path-profile" scheme then
+        E.path_profile_costs cost
+      else E.net_costs cost
     in
     let config = E.config ~cost ~scheme:packed ~scheme_costs:costs ~delay () in
     let max_paths =

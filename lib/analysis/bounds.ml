@@ -64,6 +64,16 @@ let count_add ~cap a b =
   | Exact x, Exact y -> if x + y > cap then Overflow else Exact (x + y)
   | _ -> Overflow
 
+let count_mul ~cap a b =
+  match (a, b) with
+  | Exact x, Exact y ->
+    if x = 0 || y = 0 then Exact 0
+    (* [x * y > cap] tested without overflowing the native int:
+       for positive y, [x * y > cap <=> x > cap / y] (floor division). *)
+    else if x > cap / y then Overflow
+    else Exact (x * y)
+  | _ -> Overflow
+
 let count_le a b =
   match (a, b) with
   | Exact x, Exact y -> x <= y
@@ -160,6 +170,140 @@ let bl_total ?(cap = default_cap) p =
     p;
   !total
 
+(* {1 k-iteration Ball–Larus bounds}
+
+   Saturating mirror of [Ball_larus.num_kpaths]: chains of up to [k]
+   acyclic components linked by the procedure's actual back edges.  The
+   arithmetic replays num_kpaths' operations in the same order — both
+   compute identical intermediates until the first value past the
+   limit, where num_kpaths raises and this clamps and sets a sticky
+   flag — so at [cap = default_cap], [Overflow] here iff the
+   instrumented analyzer raises (property-tested). *)
+
+let bl_kpaths ?(cap = default_cap) p ~proc ~k =
+  if k < 1 then invalid_arg "Bounds.bl_kpaths: k must be >= 1";
+  let capped = ref false in
+  let add a b =
+    let s = a + b in
+    if s > cap then begin
+      capped := true;
+      cap
+    end
+    else s
+  in
+  let mul a b =
+    if a = 0 || b = 0 then 0
+    else if a > cap / b then begin
+      capped := true;
+      cap
+    end
+    else a * b
+  in
+  let procedure = Cfg.proc p proc in
+  let blocks = procedure.Cfg.blocks in
+  let pentry = Hashtbl.create 8 and pexit = Hashtbl.create 8 in
+  Hashtbl.replace pentry procedure.Cfg.entry ();
+  let forward_targets = Hashtbl.create 16 in
+  let back_pairs = Hashtbl.create 8 in
+  let intra src dst =
+    if Cfg.is_backward p ~src ~dst then begin
+      Hashtbl.replace pexit src ();
+      Hashtbl.replace pentry dst ();
+      Hashtbl.replace back_pairs (src, dst) ()
+    end
+    else begin
+      let prev =
+        Option.value ~default:[] (Hashtbl.find_opt forward_targets src)
+      in
+      Hashtbl.replace forward_targets src (dst :: prev)
+    end
+  in
+  Array.iter
+    (fun b ->
+       match (Cfg.block p b).Cfg.term with
+       | Cfg.Branch { taken; fallthrough } ->
+         intra b taken;
+         intra b fallthrough
+       | Cfg.Jump dst -> intra b dst
+       | Cfg.Indirect targets ->
+         let seen = Hashtbl.create 4 in
+         Array.iter
+           (fun dst ->
+              if not (Hashtbl.mem seen dst) then begin
+                Hashtbl.add seen dst ();
+                intra b dst
+              end)
+           targets
+       | Cfg.Call { return_to; _ } -> intra b return_to
+       | Cfg.Return | Cfg.Exit -> ())
+    blocks;
+  let blocks_desc = Array.copy blocks in
+  Array.sort (fun a b -> Int.compare b a) blocks_desc;
+  let fwd b = Option.value ~default:[] (Hashtbl.find_opt forward_targets b) in
+  let np = Hashtbl.create 16 in
+  Array.iter
+    (fun b ->
+       let total = ref 0 in
+       if Hashtbl.mem pexit b then total := add !total 1;
+       (match (Cfg.block p b).Cfg.term with
+        | Cfg.Return | Cfg.Exit -> total := add !total 1
+        | _ -> ());
+       List.iter (fun dst -> total := add !total (Hashtbl.find np dst)) (fwd b);
+       Hashtbl.replace np b !total)
+    blocks_desc;
+  let sources =
+    Hashtbl.fold (fun s () acc -> s :: acc) pexit [] |> List.sort Int.compare
+  in
+  let ws = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+       let w = Hashtbl.create 16 in
+       Array.iter
+         (fun b ->
+            let total = ref (if b = s then 1 else 0) in
+            List.iter
+              (fun dst -> total := add !total (Hashtbl.find w dst))
+              (fwd b);
+            Hashtbl.replace w b !total)
+         blocks_desc;
+       Hashtbl.replace ws s w)
+    sources;
+  let heads =
+    Hashtbl.fold (fun h () acc -> h :: acc) pentry [] |> List.sort Int.compare
+  in
+  let pairs =
+    Hashtbl.fold (fun pr () acc -> pr :: acc) back_pairs []
+    |> List.sort compare
+  in
+  let c = Hashtbl.create 8 in
+  List.iter (fun h -> Hashtbl.replace c h (Hashtbl.find np h)) heads;
+  let total = ref 0 in
+  List.iter (fun h -> total := add !total (Hashtbl.find c h)) heads;
+  for _d = 2 to k do
+    let c' = Hashtbl.create 8 in
+    List.iter
+      (fun h ->
+         let sum = ref 0 in
+         List.iter
+           (fun (s, h2) ->
+              let reach = Hashtbl.find (Hashtbl.find ws s) h in
+              sum := add !sum (mul reach (Hashtbl.find c h2)))
+           pairs;
+         Hashtbl.replace c' h !sum)
+      heads;
+    List.iter (fun h -> Hashtbl.replace c h (Hashtbl.find c' h)) heads;
+    List.iter (fun h -> total := add !total (Hashtbl.find c h)) heads
+  done;
+  if !capped then Overflow else Exact !total
+
+let bl_ktotal ?(cap = default_cap) p ~k =
+  let total = ref (Exact 0) in
+  Cfg.iter_procs
+    (fun pr ->
+       total := count_add ~cap !total (bl_kpaths ~cap p ~proc:pr.Cfg.pid ~k))
+    p;
+  !total
+
 (* {1 Interprocedural forward-walk bound}
 
    The segmenter only ever extends a path along forward transfers, so
@@ -171,7 +315,10 @@ let bl_total ?(cap = default_cap) p =
    signatures even when the targets coincide); indirect and return
    targets are deduplicated (the signature records only the target). *)
 
-let forward_walks ?(cap = default_cap) p =
+(* The walk DP shared by [forward_walks] and [kpath_walks]: the
+   per-block walk counts, the any-start set, the head sets, and the
+   saturation flag. *)
+let forward_walks_dp ~cap p =
   let n = Cfg.num_blocks p in
   let hs = static_heads p in
   let capped = ref false in
@@ -220,9 +367,13 @@ let forward_walks ?(cap = default_cap) p =
       (forward_next b);
     walks.(b) <- !total
   done;
-  let sum = ref 0 in
-  for b = 0 to n - 1 do
-    if starts.(b) then begin
+  (walks, starts, hs, capped)
+
+(* Saturating sum of walk counts over a start predicate. *)
+let sum_walks ~cap ~capped walks pred =
+  let sum = ref 0 and capped = ref capped in
+  for b = 0 to Array.length walks - 1 do
+    if pred b then begin
       sum := !sum + walks.(b);
       if !sum > cap then begin
         capped := true;
@@ -230,7 +381,33 @@ let forward_walks ?(cap = default_cap) p =
       end
     end
   done;
-  if !capped then Overflow else Exact !sum
+  (!sum, !capped)
+
+let forward_walks ?(cap = default_cap) p =
+  let walks, starts, _hs, capped = forward_walks_dp ~cap p in
+  let sum, capped = sum_walks ~cap ~capped:!capped walks (fun b -> starts.(b)) in
+  if capped then Overflow else Exact sum
+
+(* A k-iteration window is a sequence of up to [k] components: the
+   first starts at any path start, each later one at a full-set head (it
+   arrived over a back edge).  So the distinct windows a [Kpath] trie
+   can ever intern — suffix-link nodes included, since a suffix window's
+   first component starts at a full head, a subset of any-start — are at
+   most sum over d of all_walks * head_walks^(d-1). *)
+let kpath_walks ?(cap = default_cap) p ~k =
+  if k < 1 then invalid_arg "Bounds.kpath_walks: k must be >= 1";
+  let walks, starts, hs, capped = forward_walks_dp ~cap p in
+  let all, capped = sum_walks ~cap ~capped:!capped walks (fun b -> starts.(b)) in
+  let head, capped = sum_walks ~cap ~capped walks (fun b -> hs.full.(b)) in
+  let all = if capped then Overflow else Exact all in
+  let head = if capped then Overflow else Exact head in
+  let total = ref (Exact 0) in
+  let term = ref all in
+  for d = 1 to k do
+    if d > 1 then term := count_mul ~cap !term head;
+    total := count_add ~cap !total !term
+  done;
+  !total
 
 (* {1 Report} *)
 

@@ -47,6 +47,11 @@ val count_to_string : count -> string
 
 val count_add : cap:int -> count -> count -> count
 
+val count_mul : cap:int -> count -> count -> count
+(** Saturating product: [Overflow] when either operand is [Overflow] or
+    the exact product exceeds [cap] (checked without native-int
+    overflow). *)
+
 val count_le : count -> count -> bool
 (** [count_le a b] — is [a <= b]?  [Overflow] compares above every
     [Exact] and equal to itself. *)
@@ -64,6 +69,18 @@ val bl_total : ?cap:int -> Cfg.program -> count
 (** Saturating sum of {!bl_paths} over all procedures — the static
     counter-space requirement of exhaustive path profiling. *)
 
+val bl_kpaths : ?cap:int -> Cfg.program -> proc:Cfg.proc_id -> k:int -> count
+(** Static k-iteration path count of one procedure (chains of up to [k]
+    acyclic components linked by the procedure's back edges), the
+    saturating mirror of [Ball_larus.num_kpaths]: at the default cap,
+    [Overflow] iff the instrumented analyzer raises, because both replay
+    the same arithmetic in the same order.  [bl_kpaths ~k:1] equals
+    {!bl_paths}.
+    @raise Invalid_argument when [k < 1]. *)
+
+val bl_ktotal : ?cap:int -> Cfg.program -> k:int -> count
+(** Saturating sum of {!bl_kpaths} over all procedures. *)
+
 val forward_walks : ?cap:int -> Cfg.program -> count
 (** Upper bound on the number of {e distinct interprocedural paths} the
     trace segmenter can ever intern for this program: the number of
@@ -72,6 +89,16 @@ val forward_walks : ?cap:int -> Cfg.program -> count
     program entry, the [full] head set, and forward continuation
     targets).  Every recorded path id is one such walk, so any replay's
     path-table size and path-profile counter space are [<=] this. *)
+
+val kpath_walks : ?cap:int -> Cfg.program -> k:int -> count
+(** Upper bound on the distinct k-iteration windows any trace of this
+    program can produce — and so on a [path-profile-k<k>] replay's
+    counter space, suffix-link trie nodes included: the first window
+    component is any forward walk ({!forward_walks} starts), every later
+    component starts at a [full]-set head, giving
+    [sum over d in 1..k of all_walks * head_walks^(d-1)].
+    [kpath_walks ~k:1] equals {!forward_walks}.
+    @raise Invalid_argument when [k < 1]. *)
 
 (** {1 Counter-space report} *)
 

@@ -14,8 +14,10 @@
       interprocedural forward paths and the record-once/replay-many trace;
     - {!Ball_larus}, {!Bit_tracing}, {!Young_smith} — offline path
       profilers;
-    - {!Scheme}, {!Path_profile_scheme}, {!Net}, {!Replay}, {!Session} —
-      online prediction (batch and incremental-push);
+    - {!Scheme}, {!Path_profile_scheme}, {!Net}, {!Path_profile_k},
+      {!Net_k}, {!Schemes}, {!Replay}, {!Session} — online prediction
+      (batch and incremental-push), the k-iteration scheme families, and
+      the scheme-name registry;
     - {!Serve} — the [hotpath serve] daemon: per-tenant sessions over
       Unix sockets with bounded-queue backpressure ({!Bqueue});
     - {!Hot_set}, {!Rates}, {!Sweep} — the abstract evaluation metrics;
@@ -58,6 +60,7 @@ module Vm = Hotpath_vm.Vm
 module Signature = Hotpath_trace.Signature
 module Path = Hotpath_trace.Path
 module Path_table = Hotpath_trace.Path_table
+module Kpath = Hotpath_trace.Kpath
 module Recorder = Hotpath_trace.Recorder
 module Serialize = Hotpath_trace.Serialize
 module Ball_larus = Hotpath_profiling.Ball_larus
@@ -68,6 +71,9 @@ module Sampling = Hotpath_profiling.Sampling
 module Scheme = Hotpath_prediction.Scheme
 module Path_profile_scheme = Hotpath_prediction.Path_profile
 module Net = Hotpath_prediction.Net
+module Path_profile_k = Hotpath_prediction.Path_profile_k
+module Net_k = Hotpath_prediction.Net_k
+module Schemes = Hotpath_prediction.Schemes
 module Branch_profile = Hotpath_prediction.Branch_profile
 module Replay = Hotpath_prediction.Replay
 module Session = Hotpath_prediction.Session

@@ -10,11 +10,14 @@ type row = {
   net_counters : int;
   path_profile_counters : int;
   ratio : float;
+  net_k2_counters : int;
+  path_profile_k2_counters : int;
+  k2_ratio : float;
   paper_ratio : float;
 }
 
 (* One fan-out job per (benchmark × scheme) replay; tasks are run-major
-   with the two schemes adjacent, so reassembly is a pairwise walk. *)
+   with the four schemes adjacent, so reassembly is a four-wise walk. *)
 let compute ?scale ?(delay = 50) ?(jobs = 1) () =
   let runs = Runs.load_all ?scale ~jobs () in
   let tasks =
@@ -23,6 +26,8 @@ let compute ?scale ?(delay = 50) ?(jobs = 1) () =
          [
            (run, (module Hotpath_prediction.Net : Scheme.S));
            (run, (module Hotpath_prediction.Path_profile : Scheme.S));
+           (run, Hotpath_prediction.Net_k.make 2);
+           (run, Hotpath_prediction.Path_profile_k.make 2);
          ])
       runs
   in
@@ -35,13 +40,16 @@ let compute ?scale ?(delay = 50) ?(jobs = 1) () =
   let rec pair runs counters =
     match (runs, counters) with
     | [], [] -> []
-    | (run : Runs.run) :: runs', net :: pp :: counters' ->
+    | (run : Runs.run) :: runs', net :: pp :: net_k2 :: pp_k2 :: counters' ->
       let paper = run.Runs.bench.Suite.b_paper in
       {
         name = run.Runs.bench.Suite.b_name;
         net_counters = net;
         path_profile_counters = pp;
         ratio = Stats.ratio (float_of_int net) (float_of_int pp);
+        net_k2_counters = net_k2;
+        path_profile_k2_counters = pp_k2;
+        k2_ratio = Stats.ratio (float_of_int net_k2) (float_of_int pp_k2);
         paper_ratio =
           Stats.ratio
             (float_of_int paper.Suite.pr_unique_heads)
@@ -55,6 +63,9 @@ let compute ?scale ?(delay = 50) ?(jobs = 1) () =
 let average_ratio rows =
   Stats.mean (Array.of_list (List.map (fun r -> r.ratio) rows))
 
+let average_k2_ratio rows =
+  Stats.mean (Array.of_list (List.map (fun r -> r.k2_ratio) rows))
+
 let to_table rows =
   let t =
     Tablefmt.create
@@ -64,6 +75,9 @@ let to_table rows =
           ("NET counters", Tablefmt.Right);
           ("Path-profile counters", Tablefmt.Right);
           ("Ratio", Tablefmt.Right);
+          ("NET-k2 counters", Tablefmt.Right);
+          ("PP-k2 counters", Tablefmt.Right);
+          ("k2 ratio", Tablefmt.Right);
           ("paper ratio", Tablefmt.Right);
         ]
   in
@@ -75,6 +89,9 @@ let to_table rows =
            Tablefmt.cell_int r.net_counters;
            Tablefmt.cell_int r.path_profile_counters;
            Tablefmt.cell_float ~digits:3 r.ratio;
+           Tablefmt.cell_int r.net_k2_counters;
+           Tablefmt.cell_int r.path_profile_k2_counters;
+           Tablefmt.cell_float ~digits:3 r.k2_ratio;
            Tablefmt.cell_float ~digits:3 r.paper_ratio;
          ])
     rows;
@@ -86,6 +103,8 @@ let to_table rows =
     [
       "Average"; ""; "";
       Tablefmt.cell_float ~digits:3 (average_ratio rows);
+      ""; "";
+      Tablefmt.cell_float ~digits:3 (average_k2_ratio rows);
       Tablefmt.cell_float ~digits:3 paper_avg;
     ];
   t

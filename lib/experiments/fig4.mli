@@ -13,6 +13,12 @@ type row = {
   net_counters : int;
   path_profile_counters : int;
   ratio : float;  (** net / path-profile. *)
+  net_k2_counters : int;
+  path_profile_k2_counters : int;
+  k2_ratio : float;
+      (** net-k2 / path-profile-k2 — the same trade-off on the
+          2-iteration path space, where the path-profile side pays for
+          every distinct window. *)
   paper_ratio : float;  (** Table 2's unique-heads / paths. *)
 }
 
@@ -22,6 +28,8 @@ val compute : ?scale:float -> ?delay:int -> ?jobs:int -> unit -> row list
     (default 1); results are identical at every job count. *)
 
 val average_ratio : row list -> float
+
+val average_k2_ratio : row list -> float
 
 val to_table : row list -> Hotpath_util.Tablefmt.t
 (** Includes a final Average row. *)

@@ -1,0 +1,92 @@
+module Cfg = Hotpath_cfg.Cfg
+module Path = Hotpath_trace.Path
+
+(* k-iteration NET: the per-head counter and trip point are exactly
+   NET's, but a trip opens a collection window — the tripping tail plus
+   the next [k - 1] back-edge-chained tails are all offered, so the
+   consumer materializes a k-iteration hot region from one trip.  An
+   [Entry]/[Continuation] arrival breaks the chain and closes the
+   window early.
+
+   At [k = 1] the window is empty after the trip and the scheme reduces
+   bit-identically to [Net] (property-tested). *)
+
+type state = {
+  delay : int;
+  counters : (Cfg.block_id, int) Hashtbl.t;
+  mutable remaining : int;  (* tails still owed by the open window *)
+  mutable ops : int;
+  mutable collection : int;
+}
+
+let make_module k : Scheme.packed =
+  (module struct
+    type t = state
+
+    let name = "net-k" ^ string_of_int k
+
+    let create ~delay ~program =
+      ignore program;
+      if delay < 1 then invalid_arg ("Net_k." ^ name ^ ": delay must be >= 1");
+      { delay; counters = Hashtbl.create 256; remaining = 0; ops = 0;
+        collection = 0 }
+
+    let observe t ~head ~arrival ~path_id ~n_branches ~n_blocks =
+      ignore n_branches;
+      ignore n_blocks;
+      match arrival with
+      | Path.Entry | Path.Continuation ->
+        (* The back-edge chain broke: whatever the window still owed is
+           not a continuation of the tripping iteration. *)
+        t.remaining <- 0;
+        None
+      | Path.Loop_head ->
+        t.ops <- t.ops + 1;
+        let count =
+          1 + Option.value ~default:0 (Hashtbl.find_opt t.counters head)
+        in
+        if count >= t.delay then begin
+          (* Counter trips: re-arm, predict, and open the window.  A
+             trip inside an open window restarts it — the fresher
+             evidence wins. *)
+          Hashtbl.replace t.counters head 0;
+          t.remaining <- k - 1;
+          Some path_id
+        end
+        else begin
+          Hashtbl.replace t.counters head count;
+          if t.remaining > 0 then begin
+            t.remaining <- t.remaining - 1;
+            Some path_id
+          end
+          else None
+        end
+
+    let collect t ~n_blocks = t.collection <- t.collection + n_blocks
+
+    let counter_space t = Hashtbl.length t.counters
+
+    let profiling_ops t = t.ops
+
+    let collection_ops t = t.collection
+  end : Scheme.S)
+
+let table : (int, Scheme.packed) Hashtbl.t = Hashtbl.create 8
+
+let make k =
+  if k < 1 then invalid_arg "Net_k.make: k must be >= 1";
+  match Hashtbl.find_opt table k with
+  | Some m -> m
+  | None ->
+    let m = make_module k in
+    Hashtbl.add table k m;
+    m
+
+(* Same coercion-robust identity trick as [Path_profile_k.recognize]:
+   compare the per-[k] [create] closure, the one guaranteed fresh per
+   instantiation. *)
+let recognize (module M : Scheme.S) =
+  Hashtbl.fold
+    (fun k (module M' : Scheme.S) acc ->
+       if Obj.repr M.create == Obj.repr M'.create then Some k else acc)
+    table None

@@ -1,0 +1,20 @@
+(** k-iteration path-profile prediction ([path-profile-k<k>]).
+
+    Like {!Path_profile} but the counter key is the k-iteration window —
+    up to [k] consecutive path instances chained by loop back-edges
+    (interned by {!Hotpath_trace.Kpath}) — so a path only trips when the
+    *sequence* it arrives in recurs.  The offered target is still the
+    acyclic tail id.  [make 1] reduces bit-identically to
+    {!Path_profile} (modulo the scheme name). *)
+
+val make : int -> Scheme.packed
+(** The scheme for a given [k], memoized: repeated calls return the
+    physically same module, so kernel dispatch and registry snapshots
+    stay stable.
+    @raise Invalid_argument when [k < 1]. *)
+
+val recognize : Scheme.packed -> int option
+(** [Some k] iff the module is one produced by {!make}, identified by
+    the physical identity of its per-[k] [create] closure (stable under
+    module coercion, which copies module blocks but not value fields) —
+    how {!Replay} routes to the monomorphized kernel. *)

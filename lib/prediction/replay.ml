@@ -1021,6 +1021,301 @@ module Path_profile_kernel = struct
     }
 end
 
+(* The k-iteration kernels mirror the scheme modules with the per-lane
+   state flattened (NET-k's head table into a dense block array, the
+   window counters into a node-id-indexed vector) and the scheme logic
+   inlined — no module-indirected call, no option allocation per
+   instance.  Neither qualifies for the compressed stream-sharded engine
+   ([lr_fast = None], like [Last_executed_tail]): both carry a per-lane
+   chain cursor/window whose evolution depends on which instances that
+   lane still profiles, so the lane-blind phase-A compression cannot
+   represent them.  At jobs > 1 they go through the chunk-tiled
+   per-instance lane shards, bit-identical to serial. *)
+
+module Kpath = Hotpath_trace.Kpath
+
+module Path_profile_k_kernel = struct
+  (* Path_profile_k.state verbatim; the counts vector is already dense
+     (indexed by trie node id), so flattening only removes the module
+     call. *)
+  type lane = {
+    delay : int;
+    trie : Kpath.t;
+    counts : int Vec.t;
+    mutable cur : int;
+    mutable ops : int;
+  }
+
+  let make_walker k_iter scheme ~ev ~lanes ~freq (r : Recorder.t) =
+    let k = Array.length lanes in
+    let n_paths = Recorder.num_paths r in
+    let d = Recorder.descriptors r in
+    let branches = d.Recorder.d_branches in
+    let arrivals = Recorder.arrival_view r in
+    let states =
+      Array.map
+        (fun delay ->
+           { delay; trie = Kpath.create ~k:k_iter; counts = Vec.create ();
+             cur = Kpath.root; ops = 0 })
+        lanes
+    in
+    let predicted_at = Array.init k (fun _ -> Array.make n_paths max_int) in
+    let captured = Array.init k (fun _ -> Array.make n_paths 0) in
+    let predictions = Array.init k (fun _ -> Vec.create ()) in
+    let profiled = Array.make k 0 in
+    let captured_total = Array.make k 0 in
+    let instances = r.Recorder.instances in
+    let n = Array.length instances in
+    let sampler =
+      Option.map (fun e -> Sampler.create e ~scheme ~delays:lanes) ev
+    in
+    let next_sample =
+      ref (match ev with None -> max_int | Some e -> e.ev_window)
+    in
+    let sample_lanes f upto =
+      match sampler with
+      | None -> ()
+      | Some sm ->
+        for l = 0 to k - 1 do
+          let st = states.(l) in
+          f sm l ~upto ~n_paths ~captured_arr:captured.(l)
+            ~predictions:(Vec.length predictions.(l))
+            ~profiled:profiled.(l) ~captured_total:captured_total.(l)
+            ~counter_space:(Kpath.num_nodes st.trie - 1) ~profiling_ops:st.ops
+            ~collection_ops:0
+        done
+    in
+    let walk ~lo ~hi =
+      (* Hoist the hot closure captures into locals; see Net_kernel. *)
+      let instances = Sys.opaque_identity instances
+      and arrivals = Sys.opaque_identity arrivals
+      and branches = Sys.opaque_identity branches
+      and freq = Sys.opaque_identity freq
+      and states = Sys.opaque_identity states
+      and predicted_at = Sys.opaque_identity predicted_at
+      and captured = Sys.opaque_identity captured
+      and predictions = Sys.opaque_identity predictions
+      and profiled = Sys.opaque_identity profiled
+      and captured_total = Sys.opaque_identity captured_total
+      and next_sample = Sys.opaque_identity next_sample
+      and k = Sys.opaque_identity k in
+      for i = lo to hi - 1 do
+        let pid = Array.unsafe_get instances i in
+        Array.unsafe_set freq pid (Array.unsafe_get freq pid + 1);
+        let n_branches = Array.unsafe_get branches pid in
+        let arrival = Array.unsafe_get arrivals i in
+        for l = 0 to k - 1 do
+          let pa = predicted_at.(l) in
+          if Array.unsafe_get pa pid < i then begin
+            let cap = captured.(l) in
+            Array.unsafe_set cap pid (Array.unsafe_get cap pid + 1);
+            captured_total.(l) <- captured_total.(l) + 1
+          end
+          else begin
+            profiled.(l) <- profiled.(l) + 1;
+            let st = states.(l) in
+            (* Bit tracing plus the window cursor ride-along. *)
+            st.ops <- st.ops + n_branches + 1;
+            let node = Kpath.advance st.trie ~cur:st.cur ~arrival ~pid in
+            st.cur <- node;
+            let counts = st.counts in
+            while Vec.length counts <= node do
+              Vec.push counts 0
+            done;
+            let count = Vec.get counts node + 1 in
+            Vec.set counts node count;
+            if count >= st.delay && Array.unsafe_get pa pid = max_int then begin
+              Array.unsafe_set pa pid i;
+              Vec.push predictions.(l) { target = pid; at_instance = i }
+            end
+          end
+        done;
+        if i + 1 >= !next_sample then begin
+          sample_lanes Sampler.sample (i + 1);
+          next_sample := !next_sample + (Option.get ev).ev_window
+        end
+      done
+    in
+    let finish () =
+      sample_lanes Sampler.final n;
+      Array.init k (fun l ->
+          let st = states.(l) in
+          {
+            lr_predictions = Vec.to_array predictions.(l);
+            lr_predicted_at = predicted_at.(l);
+            lr_captured = captured.(l);
+            lr_profiled = profiled.(l);
+            lr_captured_total = captured_total.(l);
+            lr_counter_space = Kpath.num_nodes st.trie - 1;
+            lr_profiling_ops = st.ops;
+            lr_collection_ops = 0;
+          })
+    in
+    { cw_walk = walk; cw_finish = finish }
+
+  let runner k_iter scheme =
+    {
+      lr_scheme = scheme;
+      lr_make = make_walker k_iter scheme;
+      lr_fast = None;
+    }
+end
+
+module Net_k_kernel = struct
+  (* Net_k.state with the head counter table flattened like Net_kernel:
+     counts.(h) < 0 means "no counter yet". *)
+  type lane = {
+    delay : int;
+    counts : int array;
+    mutable seen : int;
+    mutable remaining : int;
+    mutable ops : int;
+    mutable collection : int;
+  }
+
+  let make_walker k_iter scheme ~ev ~lanes ~freq (r : Recorder.t) =
+    let k = Array.length lanes in
+    let n_paths = Recorder.num_paths r in
+    let n_blocks = Array.length r.Recorder.program.Cfg.blocks in
+    let d = Recorder.descriptors r in
+    let heads = d.Recorder.d_heads and blocks = d.Recorder.d_blocks in
+    let arrivals = Recorder.arrival_view r in
+    let states =
+      Array.map
+        (fun delay ->
+           { delay; counts = Array.make n_blocks (-1); seen = 0; remaining = 0;
+             ops = 0; collection = 0 })
+        lanes
+    in
+    let predicted_at = Array.init k (fun _ -> Array.make n_paths max_int) in
+    let captured = Array.init k (fun _ -> Array.make n_paths 0) in
+    let predictions = Array.init k (fun _ -> Vec.create ()) in
+    let profiled = Array.make k 0 in
+    let captured_total = Array.make k 0 in
+    let instances = r.Recorder.instances in
+    let n = Array.length instances in
+    let sampler =
+      Option.map (fun e -> Sampler.create e ~scheme ~delays:lanes) ev
+    in
+    let next_sample =
+      ref (match ev with None -> max_int | Some e -> e.ev_window)
+    in
+    let sample_lanes f upto =
+      match sampler with
+      | None -> ()
+      | Some sm ->
+        for l = 0 to k - 1 do
+          let st = states.(l) in
+          f sm l ~upto ~n_paths ~captured_arr:captured.(l)
+            ~predictions:(Vec.length predictions.(l))
+            ~profiled:profiled.(l) ~captured_total:captured_total.(l)
+            ~counter_space:st.seen ~profiling_ops:st.ops
+            ~collection_ops:st.collection
+        done
+    in
+    let walk ~lo ~hi =
+      (* Hoist the hot closure captures into locals; see Net_kernel. *)
+      let instances = Sys.opaque_identity instances
+      and arrivals = Sys.opaque_identity arrivals
+      and heads = Sys.opaque_identity heads
+      and blocks = Sys.opaque_identity blocks
+      and freq = Sys.opaque_identity freq
+      and states = Sys.opaque_identity states
+      and predicted_at = Sys.opaque_identity predicted_at
+      and captured = Sys.opaque_identity captured
+      and predictions = Sys.opaque_identity predictions
+      and profiled = Sys.opaque_identity profiled
+      and captured_total = Sys.opaque_identity captured_total
+      and next_sample = Sys.opaque_identity next_sample
+      and k = Sys.opaque_identity k in
+      for i = lo to hi - 1 do
+        let pid = Array.unsafe_get instances i in
+        Array.unsafe_set freq pid (Array.unsafe_get freq pid + 1);
+        let is_loop_head =
+          match Array.unsafe_get arrivals i with
+          | Path.Loop_head -> true
+          | Path.Entry | Path.Continuation -> false
+        in
+        let head = Array.unsafe_get heads pid in
+        for l = 0 to k - 1 do
+          let pa = predicted_at.(l) in
+          if Array.unsafe_get pa pid < i then begin
+            let cap = captured.(l) in
+            Array.unsafe_set cap pid (Array.unsafe_get cap pid + 1);
+            captured_total.(l) <- captured_total.(l) + 1
+          end
+          else begin
+            profiled.(l) <- profiled.(l) + 1;
+            let st = states.(l) in
+            if is_loop_head then begin
+              st.ops <- st.ops + 1;
+              let c0 = Array.unsafe_get st.counts head in
+              let count =
+                if c0 < 0 then begin
+                  st.seen <- st.seen + 1;
+                  1
+                end
+                else c0 + 1
+              in
+              let offer =
+                if count >= st.delay then begin
+                  (* Trip: re-arm, predict, open (or restart) the
+                     window. *)
+                  Array.unsafe_set st.counts head 0;
+                  st.remaining <- k_iter - 1;
+                  true
+                end
+                else begin
+                  Array.unsafe_set st.counts head count;
+                  if st.remaining > 0 then begin
+                    st.remaining <- st.remaining - 1;
+                    true
+                  end
+                  else false
+                end
+              in
+              if offer && Array.unsafe_get pa pid = max_int then begin
+                Array.unsafe_set pa pid i;
+                st.collection <- st.collection + Array.unsafe_get blocks pid;
+                Vec.push predictions.(l) { target = pid; at_instance = i }
+              end
+            end
+            else
+              (* The back-edge chain broke: close the window. *)
+              st.remaining <- 0
+          end
+        done;
+        if i + 1 >= !next_sample then begin
+          sample_lanes Sampler.sample (i + 1);
+          next_sample := !next_sample + (Option.get ev).ev_window
+        end
+      done
+    in
+    let finish () =
+      sample_lanes Sampler.final n;
+      Array.init k (fun l ->
+          let st = states.(l) in
+          {
+            lr_predictions = Vec.to_array predictions.(l);
+            lr_predicted_at = predicted_at.(l);
+            lr_captured = captured.(l);
+            lr_profiled = profiled.(l);
+            lr_captured_total = captured_total.(l);
+            lr_counter_space = st.seen;
+            lr_profiling_ops = st.ops;
+            lr_collection_ops = st.collection;
+          })
+    in
+    { cw_walk = walk; cw_finish = finish }
+
+  let runner k_iter scheme =
+    {
+      lr_scheme = scheme;
+      lr_make = make_walker k_iter scheme;
+      lr_fast = None;
+    }
+end
+
 (* ------------------------------------------------------------------ *)
 (* Dispatch                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -1043,7 +1338,13 @@ let builtin_runner (module S : Scheme.S) =
     Some (Net_kernel.runner Net_kernel.Prev S.name)
   else if same_fn S.observe Path_profile.observe then
     Some (Path_profile_kernel.runner S.name)
-  else None
+  else
+    match Path_profile_k.recognize (module S) with
+    | Some k -> Some (Path_profile_k_kernel.runner k S.name)
+    | None ->
+      (match Net_k.recognize (module S) with
+       | Some k -> Some (Net_k_kernel.runner k S.name)
+       | None -> None)
 
 let run_many ?events ?jobs ?chunk (module S : Scheme.S) ~delays
     (r : Recorder.t) =

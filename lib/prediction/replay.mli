@@ -121,8 +121,12 @@ val run_many :
     additionally dispatch to hand-specialized kernels that flatten the
     scheme's hashtable state into dense arrays — recognized by the
     physical identity of the packed [observe], so wrapping or re-deriving
-    a scheme safely falls back to the generic loop.  All three loops are
-    property-tested byte-identical; [bench kernel] measures the spread. *)
+    a scheme safely falls back to the generic loop.  The k-iteration
+    families ({!Net_k}, {!Path_profile_k}) get the same treatment keyed
+    on the identity of [create] instead ([observe] captures nothing
+    instantiation-specific, so it is one shared closure across every k).
+    All the loops are property-tested byte-identical; [bench kernel]
+    measures the spread. *)
 
 module Make (S : Scheme.S) : sig
   val run :

@@ -1,0 +1,54 @@
+(* The scheme name registry: one parser for every surface that accepts a
+   scheme by name (CLI, serve handshake, sweeps, benches), so the base
+   schemes and the k-iteration families stay in sync everywhere. *)
+
+let max_k = 32
+
+let base : (string * Scheme.packed) list =
+  [
+    ("net", (module Net : Scheme.S));
+    ("net-once", (module Net.Net_once));
+    ("let", (module Net.Last_executed_tail));
+    ("path-profile", (module Path_profile));
+  ]
+
+let base_names = List.map fst base
+
+let help = "net|net-once|let|path-profile|net-k<k>|path-profile-k<k>"
+
+(* Canonical decimal only: [int_of_string_opt] alone would admit
+   "0x2", "007", "+2" — names must round-trip. *)
+let parse_k ~scheme rest =
+  match int_of_string_opt rest with
+  | Some k when string_of_int k = rest ->
+    if k >= 1 && k <= max_k then Ok k
+    else
+      Error
+        (Printf.sprintf "scheme %s: k must be within [1, %d]" scheme max_k)
+  | _ ->
+    Error
+      (Printf.sprintf
+         "scheme %s: expected a decimal iteration count after \"-k\"" scheme)
+
+let family ~prefix ~make name =
+  let np = String.length prefix in
+  if String.length name >= np && String.sub name 0 np = prefix then
+    Some
+      (Result.map make
+         (parse_k ~scheme:name (String.sub name np (String.length name - np))))
+  else None
+
+let of_name name =
+  match List.assoc_opt name base with
+  | Some m -> Ok m
+  | None ->
+    (match family ~prefix:"net-k" ~make:Net_k.make name with
+     | Some r -> r
+     | None ->
+       (match family ~prefix:"path-profile-k" ~make:Path_profile_k.make name with
+        | Some r -> r
+        | None ->
+          Error (Printf.sprintf "unknown scheme %s (try %s)" name help)))
+
+let of_name_exn name =
+  match of_name name with Ok m -> m | Error msg -> failwith msg

@@ -309,6 +309,136 @@ let enumerate ?(limit = 65536) t =
          limit);
   Array.init t.n_paths (regenerate t)
 
+(* k-iteration path numbering (D'Elia & Demetrescu): chains of up to k
+   acyclic components, components i < d ending at a back-edge source
+   through its pseudo exit edge and component i+1 starting at that back
+   edge's target.  The count space for d = 1 is exactly [num_paths]
+   (every acyclic path is a 1-chain), and each extra level multiplies by
+   the loop structure, so overflow arrives much sooner than at k = 1 —
+   which is why the arithmetic below raises at [overflow_limit] exactly
+   like [analyze], with [Bounds.bl_kpaths] as its saturating mirror
+   (the two must flag the identical procedures; property-tested). *)
+let num_kpaths program ~proc ~k =
+  if k < 1 then invalid_arg "Ball_larus.num_kpaths: k must be >= 1";
+  let overflow () =
+    invalid_arg
+      (Printf.sprintf "Ball_larus.num_kpaths: path count overflow in proc %d"
+         proc)
+  in
+  let add a b =
+    let s = a + b in
+    if s > overflow_limit then overflow ();
+    s
+  in
+  let mul a b =
+    if a = 0 || b = 0 then 0
+    else begin
+      if a > overflow_limit / b then overflow ();
+      a * b
+    end
+  in
+  let procedure = Cfg.proc program proc in
+  let blocks = procedure.Cfg.blocks in
+  let pentry = Hashtbl.create 8 and pexit = Hashtbl.create 8 in
+  Hashtbl.replace pentry procedure.Cfg.entry ();
+  let forward_targets = Hashtbl.create 16 in
+  let back_pairs = Hashtbl.create 8 in
+  let intra src dst =
+    if Cfg.is_backward program ~src ~dst then begin
+      Hashtbl.replace pexit src ();
+      Hashtbl.replace pentry dst ();
+      Hashtbl.replace back_pairs (src, dst) ()
+    end
+    else begin
+      let prev =
+        Option.value ~default:[] (Hashtbl.find_opt forward_targets src)
+      in
+      Hashtbl.replace forward_targets src (dst :: prev)
+    end
+  in
+  Array.iter
+    (fun b ->
+       match (Cfg.block program b).Cfg.term with
+       | Cfg.Branch { taken; fallthrough } ->
+         intra b taken;
+         intra b fallthrough
+       | Cfg.Jump dst -> intra b dst
+       | Cfg.Indirect targets ->
+         let seen = Hashtbl.create 4 in
+         Array.iter
+           (fun dst ->
+              if not (Hashtbl.mem seen dst) then begin
+                Hashtbl.add seen dst ();
+                intra b dst
+              end)
+           targets
+       | Cfg.Call { return_to; _ } -> intra b return_to
+       | Cfg.Return | Cfg.Exit -> ())
+    blocks;
+  let blocks_desc = Array.copy blocks in
+  Array.sort (fun a b -> Int.compare b a) blocks_desc;
+  let fwd b = Option.value ~default:[] (Hashtbl.find_opt forward_targets b) in
+  (* np(b): acyclic paths from b to any end (the NumPaths pass). *)
+  let np = Hashtbl.create 16 in
+  Array.iter
+    (fun b ->
+       let total = ref 0 in
+       if Hashtbl.mem pexit b then total := add !total 1;
+       (match (Cfg.block program b).Cfg.term with
+        | Cfg.Return | Cfg.Exit -> total := add !total 1
+        | _ -> ());
+       List.iter (fun dst -> total := add !total (Hashtbl.find np dst)) (fwd b);
+       Hashtbl.replace np b !total)
+    blocks_desc;
+  (* ws s b: acyclic paths from b ending exactly at back-edge source s
+     (through s's pseudo exit edge). *)
+  let sources =
+    Hashtbl.fold (fun s () acc -> s :: acc) pexit [] |> List.sort Int.compare
+  in
+  let ws = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+       let w = Hashtbl.create 16 in
+       Array.iter
+         (fun b ->
+            let total = ref (if b = s then 1 else 0) in
+            List.iter
+              (fun dst -> total := add !total (Hashtbl.find w dst))
+              (fwd b);
+            Hashtbl.replace w b !total)
+         blocks_desc;
+       Hashtbl.replace ws s w)
+    sources;
+  let heads =
+    Hashtbl.fold (fun h () acc -> h :: acc) pentry [] |> List.sort Int.compare
+  in
+  let pairs =
+    Hashtbl.fold (fun p () acc -> p :: acc) back_pairs [] |> List.sort compare
+  in
+  (* C_d(h): chains of exactly d components starting at head h. *)
+  let c = Hashtbl.create 8 in
+  List.iter (fun h -> Hashtbl.replace c h (Hashtbl.find np h)) heads;
+  let total = ref 0 in
+  List.iter (fun h -> total := add !total (Hashtbl.find c h)) heads;
+  for _d = 2 to k do
+    let c' = Hashtbl.create 8 in
+    List.iter
+      (fun h ->
+         let sum = ref 0 in
+         List.iter
+           (fun (s, h2) ->
+              let reach = Hashtbl.find (Hashtbl.find ws s) h in
+              sum := add !sum (mul reach (Hashtbl.find c h2)))
+           pairs;
+         Hashtbl.replace c' h !sum)
+      heads;
+    List.iter
+      (fun h -> Hashtbl.replace c h (Hashtbl.find c' h))
+      heads;
+    List.iter (fun h -> total := add !total (Hashtbl.find c h)) heads
+  done;
+  !total
+
 module Runtime = struct
   type analysis = t
 

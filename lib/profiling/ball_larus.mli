@@ -79,6 +79,18 @@ val enumerate : ?limit:int -> t -> Cfg.block_id list array
     @raise Invalid_argument when [num_paths] exceeds [limit] (default
     [65536]). *)
 
+val num_kpaths : Cfg.program -> proc:Cfg.proc_id -> k:int -> int
+(** Static count of k-iteration paths (D'Elia & Demetrescu): chains of
+    up to [k] acyclic path components linked by the procedure's actual
+    back edges — component [i < d] ends at a back-edge source through
+    its pseudo exit, component [i + 1] starts at that edge's target.
+    [num_kpaths ~k:1] equals {!num_paths}.
+
+    @raise Invalid_argument when [k < 1] or when any intermediate count
+    exceeds the same overflow limit {!analyze} enforces
+    ([Bounds.bl_kpaths] is the saturating mirror: it reports [Overflow]
+    exactly when this raises). *)
+
 (** Online Ball–Larus profiler over the whole program.
 
     Feeds on VM transfers; maintains one path register per activation

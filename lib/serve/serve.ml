@@ -19,14 +19,7 @@ module Decoder = Hotpath_trace.Serialize.Stream.Decoder
 module Session = Hotpath_prediction.Session
 module Scheme = Hotpath_prediction.Scheme
 
-let scheme_names = [ "net"; "net-once"; "let"; "path-profile" ]
-
-let scheme_of_name = function
-  | "net" -> Some (module Hotpath_prediction.Net : Scheme.S)
-  | "net-once" -> Some (module Hotpath_prediction.Net.Net_once : Scheme.S)
-  | "let" -> Some (module Hotpath_prediction.Net.Last_executed_tail : Scheme.S)
-  | "path-profile" -> Some (module Hotpath_prediction.Path_profile : Scheme.S)
-  | _ -> None
+module Schemes = Hotpath_prediction.Schemes
 
 (* Order-sensitive FNV-1a-style fold over (target, at_instance) pairs:
    lets a client assert two serves of the same trace predicted the same
@@ -351,13 +344,9 @@ module Server = struct
     in
     match parts with
     | [ magic; tenant; scheme; delays ] when magic = "HPSERVE1" -> (
-      match scheme_of_name scheme with
-      | None ->
-        fail t conn ~code:"handshake"
-          ~message:
-            (Printf.sprintf "unknown scheme %s (try %s)" scheme
-               (String.concat "|" scheme_names))
-      | Some packed -> (
+      match Schemes.of_name scheme with
+      | Error message -> fail t conn ~code:"handshake" ~message
+      | Ok packed -> (
         match
           String.split_on_char ',' delays
           |> List.map (fun s ->

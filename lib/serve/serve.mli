@@ -8,8 +8,10 @@
 
     {v HPSERVE1 <tenant> <scheme> <d1,d2,...>\n v}
 
-    (scheme one of [net|net-once|let|path-profile], delays positive
-    integers), then streams a raw HOTPATH3 trace — exactly the bytes
+    (scheme per the {!Hotpath_prediction.Schemes} grammar —
+    [net|net-once|let|path-profile|net-k<k>|path-profile-k<k>], [k] a
+    canonical decimal in [\[1, 32\]]; delays positive integers), then
+    streams a raw HOTPATH3 trace — exactly the bytes
     {!Hotpath_trace.Serialize.Stream} writes — in arbitrarily sized
     pieces, half-closes its send side, and reads the reply to EOF.  The
     reply is JSON-Lines in the {!Hotpath_util.Events} wire format: one
@@ -32,11 +34,6 @@
     runs online (program gate at attach, chunk gate before any state
     moves), so a malformed trace is refused without partial mutation and
     the reply says which diagnostic fired. *)
-
-val scheme_names : string list
-(** The schemes the daemon accepts, CLI spelling. *)
-
-val scheme_of_name : string -> (module Hotpath_prediction.Scheme.S) option
 
 val outcome_hash : Hotpath_prediction.Session.outcome -> int
 (** The [pred_hash] reply field: order-sensitive fold over the lane's

@@ -1,0 +1,69 @@
+(* Sliding-window interner for k-iteration paths.
+
+   A k-iteration path is a window of up to [k] consecutive acyclic path
+   instances chained by [Loop_head] arrivals: an [Entry] or
+   [Continuation] arrival restarts the chain at the arriving instance,
+   and once the chain is [k] deep the window slides (the oldest
+   component drops off).  Nodes of the trie are exactly the windows
+   materialized so far; node 0 is the root (the empty window).
+
+   Each node carries a suffix link — the node for its window minus the
+   oldest component — so advancing a full-depth window is one child
+   lookup from the suffix, never a re-walk of the window.  Suffix
+   targets are created on demand (recursion bounded by [k]); such nodes
+   are windows a real k-iteration profiler materializes while
+   navigating, so they count toward the allocated tracking space even
+   when never themselves counted. *)
+
+type t = {
+  k : int;
+  children : (int, int) Hashtbl.t;  (* (node, pid) packed -> node *)
+  depth : int Hotpath_util.Vec.t;
+  suffix : int Hotpath_util.Vec.t;
+}
+
+module Vec = Hotpath_util.Vec
+
+let root = 0
+
+(* Child keys pack (node, pid) into one immediate: node ids and path ids
+   are both dense table indices, far below 2^31 in any recordable
+   trace. *)
+let key node pid = (node lsl 31) lor pid
+
+let create ~k =
+  if k < 1 then invalid_arg "Kpath.create: k must be >= 1";
+  let depth = Vec.create () and suffix = Vec.create () in
+  Vec.push depth 0;
+  Vec.push suffix 0;
+  { k; children = Hashtbl.create 256; depth; suffix }
+
+let k t = t.k
+
+let num_nodes t = Vec.length t.depth
+
+let depth t node = Vec.get t.depth node
+
+(* [child t base pid]: the node for [base]'s window extended by [pid],
+   created (with its suffix chain) on first use. *)
+let rec child t base pid =
+  match Hashtbl.find_opt t.children (key base pid) with
+  | Some n -> n
+  | None ->
+    let n = Vec.length t.depth in
+    Hashtbl.add t.children (key base pid) n;
+    Vec.push t.depth (Vec.get t.depth base + 1);
+    (* Reserve the slot before recursing: the suffix chain may allocate
+       further nodes, but never this window again (its key is bound). *)
+    Vec.push t.suffix root;
+    if base <> root then Vec.set t.suffix n (child t (Vec.get t.suffix base) pid);
+    n
+
+let advance t ~cur ~arrival ~pid =
+  match (arrival : Path.head_kind) with
+  | Path.Entry | Path.Continuation ->
+    (* Chain restart: the window is the arriving instance alone. *)
+    child t root pid
+  | Path.Loop_head ->
+    let base = if Vec.get t.depth cur < t.k then cur else Vec.get t.suffix cur in
+    child t base pid

@@ -153,7 +153,9 @@ let test_fig3_noise_declines () =
 let test_figures_summary_well_formed () =
   let t = Lazy.force figures in
   let summaries = Figures23.summarize t in
-  Alcotest.(check int) "two schemes" 2 (List.length summaries);
+  Alcotest.(check int) "one summary per scheme"
+    (List.length Figures23.schemes)
+    (List.length summaries);
   List.iter
     (fun su ->
        Alcotest.(check bool) "hit@10% benchmarks counted" true

@@ -178,6 +178,12 @@ let test_all_schemes_served () =
             ("net-once", (module Net.Net_once));
             ("let", (module Net.Last_executed_tail));
             ("path-profile", (module Hotpath_prediction.Path_profile));
+            (* k-iteration families: the served roundtrip must equal the
+               local replay, k = 1 reductions included. *)
+            ("net-k1", Hotpath_prediction.Net_k.make 1);
+            ("net-k2", Hotpath_prediction.Net_k.make 2);
+            ("path-profile-k1", Hotpath_prediction.Path_profile_k.make 1);
+            ("path-profile-k2", Hotpath_prediction.Path_profile_k.make 2);
           ])
   in
   Alcotest.(check int) "errored" 0 stats.Server.errored
@@ -234,9 +240,17 @@ let test_handshake_errors () =
         expect_code "garbage line" "handshake"
           (raw_exchange ~socket_path "GET / HTTP/1.0\n\n");
         expect_code "handshake cut by EOF" "handshake"
-          (raw_exchange ~socket_path "HPSERVE1 partial"))
+          (raw_exchange ~socket_path "HPSERVE1 partial");
+        (* Malformed k-scheme spellings are typed handshake errors, not
+           crashes and not silent fallbacks to the base scheme. *)
+        expect_code "k = 0" "handshake"
+          (send_exn ~socket_path ~tenant:"hs3" ~scheme:"path-profile-k0" trace);
+        expect_code "non-decimal k" "handshake"
+          (send_exn ~socket_path ~tenant:"hs4" ~scheme:"net-kfoo" trace);
+        expect_code "missing k" "handshake"
+          (send_exn ~socket_path ~tenant:"hs5" ~scheme:"path-profile-k" trace))
   in
-  Alcotest.(check int) "four typed errors" 4 stats.Server.errored;
+  Alcotest.(check int) "seven typed errors" 7 stats.Server.errored;
   Alcotest.(check int) "no completions" 0 stats.Server.completed
 
 let test_fault_isolation () =

@@ -29,6 +29,12 @@ let schemes : (string * Scheme.packed) list =
     ("net-once", (module Net.Net_once));
     ("let", (module Net.Last_executed_tail));
     ("path-profile", (module Path_profile));
+    (* The k-iteration families ride the same differential matrix: k = 1
+       (the reduction case) and one k > 1 per family. *)
+    ("net-k1", Hotpath_prediction.Net_k.make 1);
+    ("net-k2", Hotpath_prediction.Net_k.make 2);
+    ("path-profile-k1", Hotpath_prediction.Path_profile_k.make 1);
+    ("path-profile-k2", Hotpath_prediction.Path_profile_k.make 2);
   ]
 
 let fixtures () =
@@ -260,36 +266,46 @@ let corrupted_fixture () =
   (r, i, orig)
 
 let test_lint_rejects_without_mutation () =
-  let r, bad_at, orig = corrupted_fixture () in
-  let sess = session_exn (module Net) ~delays r in
-  (* Clean prefix: everything before the bad instance. *)
-  let push lo len =
-    Session.push_chunk sess
-      ~ids:(Array.sub r.Recorder.instances lo len)
-      ~arrivals:(Bytes.sub r.Recorder.arrivals lo len)
-  in
-  (match push 0 bad_at with
-  | Ok () -> ()
-  | Error e -> Alcotest.failf "clean prefix rejected: %s" e);
-  let before = Session.instances sess in
-  let n = Array.length r.Recorder.instances in
-  (* The chunk containing the bad arrival must be refused... *)
-  (match push bad_at (n - bad_at) with
-  | Ok () -> Alcotest.fail "lint gate accepted a T2xx trace chunk"
-  | Error e ->
-    Alcotest.(check bool) "error mentions a T-code" true
-      (String.length e > 0 && String.contains e 'T'));
-  (* ...with zero state mutation: the instance count is unchanged and
-     the session still accepts the *corrected* suffix, finishing
-     bit-identical to batch on the corrected trace. *)
-  Alcotest.(check int) "no instances accepted from the bad chunk" before
-    (Session.instances sess);
-  Bytes.set r.Recorder.arrivals bad_at orig;
-  (match push bad_at (n - bad_at) with
-  | Ok () -> ()
-  | Error e -> Alcotest.failf "corrected suffix rejected: %s" e);
-  let batch = Replay.run_many (module Net) ~delays r in
-  check_outcomes "after-recovery" batch (Session.finish sess)
+  (* Once with the paper's scheme, once with a k-iteration scheme: the
+     gate sits in front of the scheme, so recovery must be
+     scheme-agnostic — including the sliding-window trie state. *)
+  List.iter
+    (fun (sname, packed) ->
+      let r, bad_at, orig = corrupted_fixture () in
+      let sess = session_exn packed ~delays r in
+      (* Clean prefix: everything before the bad instance. *)
+      let push lo len =
+        Session.push_chunk sess
+          ~ids:(Array.sub r.Recorder.instances lo len)
+          ~arrivals:(Bytes.sub r.Recorder.arrivals lo len)
+      in
+      (match push 0 bad_at with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: clean prefix rejected: %s" sname e);
+      let before = Session.instances sess in
+      let n = Array.length r.Recorder.instances in
+      (* The chunk containing the bad arrival must be refused... *)
+      (match push bad_at (n - bad_at) with
+      | Ok () -> Alcotest.failf "%s: lint gate accepted a T2xx trace chunk" sname
+      | Error e ->
+        Alcotest.(check bool) (sname ^ ": error mentions a T-code") true
+          (String.length e > 0 && String.contains e 'T'));
+      (* ...with zero state mutation: the instance count is unchanged and
+         the session still accepts the *corrected* suffix, finishing
+         bit-identical to batch on the corrected trace. *)
+      Alcotest.(check int)
+        (sname ^ ": no instances accepted from the bad chunk")
+        before (Session.instances sess);
+      Bytes.set r.Recorder.arrivals bad_at orig;
+      (match push bad_at (n - bad_at) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: corrected suffix rejected: %s" sname e);
+      let batch = Replay.run_many packed ~delays r in
+      check_outcomes (sname ^ ": after-recovery") batch (Session.finish sess))
+    [
+      ("net", (module Net : Scheme.S));
+      ("path-profile-k2", Hotpath_prediction.Path_profile_k.make 2);
+    ]
 
 let test_unlinted_session_still_validates_ids () =
   (* lint:false skips the trace linter but not decode-level sanity:
