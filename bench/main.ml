@@ -261,11 +261,28 @@ let pp_hwm label =
   | -1 -> Format.printf "  peak RSS %s: unavailable@." label
   | kb -> Format.printf "  peak RSS %s: %.1f MB@." label (float_of_int kb /. 1024.0)
 
-let streaming_demo ~scale =
+let bench_ingest_file = "BENCH_ingest.json"
+
+(* Same flat JSON-lines shape as BENCH_replay.json: one line per ingest
+   variant, parseable by Events.parse_line. *)
+let bench_ingest_line ~variant ~scale ~instances ~wall_s ~peak_rss_kb =
+  let buf = Buffer.create 256 in
+  Events.emit (Events.of_buffer buf) ~kind:"bench_ingest"
+    [
+      ("variant", Events.Str variant);
+      ("scale", Events.Float scale);
+      ("instances", Events.Int instances);
+      ("wall_s", Events.Float wall_s);
+      ("instances_per_s", Events.Float (float_of_int instances /. wall_s));
+      ("peak_rss_kb", Events.Int peak_rss_kb);
+    ];
+  Buffer.contents buf
+
+let streaming_demo ~smoke ~scale =
   heading
     (Printf.sprintf
-       "Streaming vs materialized — deltablue at scale %.1f%s" scale
-       (if scale = 8.0 then " (Figure-5-sized)" else ""));
+       "Streaming vs mapped vs materialized — deltablue at scale %.1f%s" scale
+       (if smoke then " (smoke)" else ""));
   let bench = Suite.find_exn "deltablue" in
   let path = Filename.temp_file "hotpath_stream" ".trace" in
   Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
@@ -284,10 +301,23 @@ let streaming_demo ~scale =
     (try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> -1)
     record_s;
   pp_hwm "after streamed record";
-  (* Phase 2: streamed replay — one chunk in memory at a time. *)
-  Gc.compact ();
-  let t0 = Unix.gettimeofday () in
-  let streamed =
+  (* Replay timings are best-of with the read and mmap reps
+     interleaved: the mmap-vs-read comparison gates CI, and running one
+     variant's reps back to back would let a single slow scheduling
+     patch poison that variant's whole sample while leaving the other
+     untouched.  Interleaving makes both minima see the same noise
+     environment. *)
+  let reps = if smoke then 5 else 3 in
+  let lines = ref [] in
+  let report ~variant ~instances ~peak_rss_kb wall_s =
+    Format.printf "  %-26s %.2fs (%.2e instances/s)@."
+      (variant ^ " replay:") wall_s
+      (float_of_int instances /. wall_s);
+    lines :=
+      bench_ingest_line ~variant ~scale ~instances ~wall_s ~peak_rss_kb
+      :: !lines
+  in
+  let read_once () =
     match Serialize.Stream.open_file ~path with
     | Error e -> failwith e
     | Ok rd ->
@@ -295,36 +325,105 @@ let streaming_demo ~scale =
       Serialize.Stream.close rd;
       (match result with Error e -> failwith e | Ok o -> o)
   in
-  let streamed_s = Unix.gettimeofday () -. t0 in
-  Format.printf "  streamed replay: %.2fs (%.2e instances/s)@." streamed_s
-    (float_of_int streamed.Replay.total_instances /. streamed_s);
-  pp_hwm "after streamed replay";
-  (* Phase 3: materialized load + replay of the same file. *)
+  let mmap_once () =
+    match Serialize.Stream.Mapped.map_file ~path with
+    | Error e -> failwith e
+    | Ok m ->
+      (match Replay.run_mapped (module Net) ~delay:50 m with
+       | Error e -> failwith e
+       | Ok o -> o)
+  in
+  (* RSS attribution passes, in order: pull-reader replay first (read(2)
+     into reused buffers, one frame in memory at a time), then the
+     zero-copy mapped replay — the watermark is monotonic, so whatever
+     the mapped pass adds on top is the resident cost of the mapping
+     itself.  The timed reps below run after both watermarks are
+     established and cannot disturb them. *)
   Gc.compact ();
-  let t0 = Unix.gettimeofday () in
-  let recorded =
-    match Serialize.load ~path with Error e -> failwith e | Ok r -> r
+  let streamed = read_once () in
+  let read_rss = vm_hwm_kb () in
+  pp_hwm "after read replay";
+  Gc.compact ();
+  let mapped = mmap_once () in
+  let mmap_rss = vm_hwm_kb () in
+  pp_hwm "after mmap replay";
+  let best_read = ref infinity and best_mmap = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    ignore (read_once ());
+    let t = Unix.gettimeofday () -. t0 in
+    if t < !best_read then best_read := t;
+    let t0 = Unix.gettimeofday () in
+    ignore (mmap_once ());
+    let t = Unix.gettimeofday () -. t0 in
+    if t < !best_mmap then best_mmap := t
+  done;
+  let read_s = !best_read and mmap_s = !best_mmap in
+  report ~variant:"read" ~instances:streamed.Replay.total_instances
+    ~peak_rss_kb:read_rss read_s;
+  report ~variant:"mmap" ~instances:mapped.Replay.total_instances
+    ~peak_rss_kb:mmap_rss mmap_s;
+  (* Materialized load + replay of the same file, last: it holds the
+     whole instance stream and dominates the final watermark. *)
+  Gc.compact ();
+  let materialized_s, materialized =
+    let best = ref infinity and result = ref None in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      let recorded =
+        match Serialize.load ~path with Error e -> failwith e | Ok r -> r
+      in
+      let o = Replay.run (module Net) ~delay:50 recorded in
+      let t = Unix.gettimeofday () -. t0 in
+      if t < !best then best := t;
+      result := Some o
+    done;
+    (!best, Option.get !result)
   in
-  let materialized = Replay.run (module Net) ~delay:50 recorded in
-  let materialized_s = Unix.gettimeofday () -. t0 in
-  Format.printf "  materialized load+replay: %.2fs (%.2e instances/s)@."
-    materialized_s
-    (float_of_int materialized.Replay.total_instances /. materialized_s);
+  report ~variant:"materialized"
+    ~instances:materialized.Replay.total_instances
+    ~peak_rss_kb:(vm_hwm_kb ()) materialized_s;
   pp_hwm "after materialized replay";
-  let identical =
-    streamed.Replay.total_instances = materialized.Replay.total_instances
-    && streamed.Replay.predictions = materialized.Replay.predictions
-    && streamed.Replay.predicted_at = materialized.Replay.predicted_at
-    && streamed.Replay.freq = materialized.Replay.freq
-    && streamed.Replay.captured = materialized.Replay.captured
-    && streamed.Replay.profiled_instances = materialized.Replay.profiled_instances
-    && streamed.Replay.captured_instances = materialized.Replay.captured_instances
-    && streamed.Replay.counter_space = materialized.Replay.counter_space
-    && streamed.Replay.profiling_ops = materialized.Replay.profiling_ops
-    && streamed.Replay.collection_ops = materialized.Replay.collection_ops
+  let identical a b =
+    a.Replay.total_instances = b.Replay.total_instances
+    && a.Replay.predictions = b.Replay.predictions
+    && a.Replay.predicted_at = b.Replay.predicted_at
+    && a.Replay.freq = b.Replay.freq
+    && a.Replay.captured = b.Replay.captured
+    && a.Replay.profiled_instances = b.Replay.profiled_instances
+    && a.Replay.captured_instances = b.Replay.captured_instances
+    && a.Replay.counter_space = b.Replay.counter_space
+    && a.Replay.profiling_ops = b.Replay.profiling_ops
+    && a.Replay.collection_ops = b.Replay.collection_ops
   in
-  Format.printf "  outcomes bit-identical: %b@." identical;
-  if not identical then exit 1
+  let same = identical streamed materialized && identical streamed mapped in
+  Format.printf "  outcomes bit-identical (read == mmap == materialized): %b@."
+    same;
+  if not same then exit 1;
+  if smoke then begin
+    (* The mapped reader exists to beat the pull reader: it skips the
+       read(2) round trips and the per-frame ring-buffer copies.  The
+       timed region is decode + replay and the walk cost is common to
+       both sides, so the decode advantage is a modest slice of the
+       ratio; on a loaded 1-core box best-of-5 minima still jitter a few
+       percent either way.  10% slack sits above that noise band and
+       well below the signature of the regression class this gate
+       exists to catch — a mapped path that re-grew a per-frame copy or
+       lost its in-place decode shows up as categorically slower, not
+       10% slower. *)
+    let pass = mmap_s <= read_s *. 1.10 in
+    Format.printf "  smoke gate (mmap %.2e >= read %.2e instances/s): %s@."
+      (float_of_int mapped.Replay.total_instances /. mmap_s)
+      (float_of_int streamed.Replay.total_instances /. read_s)
+      (if pass then "PASS" else "FAIL");
+    if not pass then exit 1
+  end
+  else begin
+    let oc = open_out bench_ingest_file in
+    List.iter (output_string oc) (List.rev !lines);
+    close_out oc;
+    Format.printf "  wrote %s@." bench_ingest_file
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Events overhead: emission must be ~free disabled, <3% enabled       *)
@@ -423,6 +522,12 @@ let bench_replay_line ~scheme ~variant ~jobs ~scale ~instances ~delays ~wall_s
       ("delays", Events.Int delays);
       ("wall_s", Events.Float wall_s);
       ("instances_per_s", Events.Float (float_of_int instances /. wall_s));
+      (* Aggregate lane throughput: the multiplexed pass advances every
+         delay lane per trace instance, so lane-instances/s (n * delays /
+         wall) is the figure comparable to running the delay sweep as
+         separate passes. *)
+      ( "lane_instances_per_s",
+        Events.Float (float_of_int (instances * delays) /. wall_s) );
       ("speedup_vs_packed", Events.Float speedup);
     ];
   Buffer.contents buf
@@ -590,6 +695,42 @@ let kernel_bench ~smoke ~scale =
       schemes
   in
   if smoke then begin
+    (* Floor gate: a monomorphized kernel that loses to the packed loop
+       it replaces is a regression outright, whatever the baseline file
+       says.  Every scheme is held to >= 1.0x (measured best-of-5 on
+       both sides, so the ratio is stable even at smoke scale); the
+       flattened k-trie is additionally held to the 1.5x it was built to
+       deliver over the hashtable walk. *)
+    List.iter
+      (fun (name, ratio, _, _) ->
+         check
+           (Printf.sprintf "%s: kernel %.2fx >= 1.0x over packed" name ratio)
+           (ratio >= 1.0))
+      measured;
+    (match
+       List.find_opt (fun (name, _, _, _) -> name = "path-profile-k2") measured
+     with
+     | Some (_, ratio, _, _) ->
+       check
+         (Printf.sprintf
+            "path-profile-k2: flattened trie %.2fx >= 1.5x over packed" ratio)
+         (ratio >= 1.5)
+     | None -> ());
+    (* Aggregate throughput floor for the NET fast engine: at jobs=4 the
+       multiplexed sweep must clear 1e8 lane-instances/s (n * delay
+       lanes / wall).  The loop-index engine replays from per-recording
+       run summaries, so this holds even clamped to one worker. *)
+    (match List.find_opt (fun (name, _, _, _) -> name = "net") measured with
+     | Some (_, _, _, sharded_s) ->
+       (match List.assoc_opt 4 sharded_s with
+        | None -> ()
+        | Some t4 ->
+          let aggregate = float_of_int (n * k) /. t4 in
+          check
+            (Printf.sprintf
+               "net: jobs=4 aggregate %.2e >= 1e8 lane-instances/s" aggregate)
+            (aggregate >= 1e8))
+     | None -> ());
     (* Regression gate against the committed baseline: the packed->kernel
        speedup is a ratio of two loops over the same data on the same
        machine, so it transfers across hosts where raw instances/s does
@@ -850,10 +991,22 @@ let () =
     in
     serve_bench ~smoke ~scale
   end;
-  if mode = "streaming" then
+  if mode = "streaming" then begin
     (* Its own mode, not part of "all": VmHWM is a process-lifetime
        watermark, so the demonstration needs a process that has not
-       already materialized the reproduction caches. *)
-    streaming_demo
-      ~scale:(if Array.length Sys.argv > 2 then float_of_string Sys.argv.(2) else 8.0);
+       already materialized the reproduction caches.  Full mode
+       (re)writes the BENCH_ingest.json baseline; --smoke is the CI
+       gate (bit-identity plus mmap >= read throughput). *)
+    let smoke = Array.length Sys.argv > 2 && Sys.argv.(2) = "--smoke" in
+    let scale =
+      (* Smoke runs at scale 4: big enough that the replay phases take
+         tens of milliseconds (the mmap-vs-read gate compares best-of
+         minima, and shorter runs put scheduler jitter at the same order
+         as the signal), small enough for a CI lane. *)
+      if smoke then 4.0
+      else if Array.length Sys.argv > 2 then float_of_string Sys.argv.(2)
+      else 8.0
+    in
+    streaming_demo ~smoke ~scale
+  end;
   if mode = "all" || mode = "tables" then reproductions ()

@@ -62,6 +62,7 @@ module Path = Hotpath_trace.Path
 module Path_table = Hotpath_trace.Path_table
 module Kpath = Hotpath_trace.Kpath
 module Recorder = Hotpath_trace.Recorder
+module Batch = Hotpath_trace.Batch
 module Serialize = Hotpath_trace.Serialize
 module Ball_larus = Hotpath_profiling.Ball_larus
 module Bit_tracing = Hotpath_profiling.Bit_tracing

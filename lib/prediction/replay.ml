@@ -1,6 +1,7 @@
 module Recorder = Hotpath_trace.Recorder
 module Path = Hotpath_trace.Path
 module Path_table = Hotpath_trace.Path_table
+module Batch = Hotpath_trace.Batch
 module Cfg = Hotpath_cfg.Cfg
 module Vec = Hotpath_util.Vec
 module Events = Hotpath_util.Events
@@ -86,9 +87,20 @@ type lane_result = {
    counters, predicted-at marks, sampler cursors — carries across calls,
    so walking [0, n) in one call or in many contiguous chunks is the
    same computation; the chunk boundary is pure loop tiling here.
-   [cw_finish] emits the final event samples and packages the results. *)
+   [cw_finish] emits the final event samples and packages the results.
+
+   [cw_walk_batch], when present, is the same walk over a pre-decoded
+   dense {!Batch.t} whose instance 0 sits at global index [base]: the
+   driver decodes each chunk once (ids, widened arrival codes, gathered
+   per-path descriptors) and every lane group replays the cache-resident
+   batch instead of re-reading the recording — the compressed-chunk
+   trick the NET/path-profile fast engines use, generalized to walkers
+   whose scheme state is opaque.  Walkers without batch support (the
+   monomorphized kernels, which either have a fast engine or flatten
+   their own state) leave it [None]. *)
 type chunk_walker = {
   cw_walk : lo:int -> hi:int -> unit;
+  cw_walk_batch : (Batch.t -> base:int -> unit) option;
   cw_finish : unit -> lane_result array;
 }
 
@@ -159,12 +171,14 @@ let merge_event_lines sink slices bufs =
    the net kernel falling from 43.3M instances/s at jobs=1 to 31.7M at
    jobs=4).  The engines below shard the *instance stream* instead:
 
-   - Phase A walks each chunk of the stream exactly once, compressing it
-     into chunk-local buffers — for NET, the loop-head event stream
-     (trace index + occurrence count of the event's own path) plus the
-     maximal same-path runs per head over it; for path-profile, the
-     occurrence-threshold trigger stream.  Phase A is also the only
-     consumer of the raw trace and the only writer of [freq].
+   - Phase A walks the stream exactly once, compressing it — for NET,
+     into the recording-level loop index ([Recorder.loop_index]: the
+     loop-head event stream as trace index + occurrence count of the
+     event's own path, grouped into maximal same-path runs, built once
+     per recording and cached); for path-profile, into per-chunk
+     occurrence-threshold trigger buffers.  Phase A is the only
+     consumer of the raw trace and the only writer of [freq] (for NET,
+     [freq] is a blit of the index's final counts).
    - Phase C replays every delay lane against the compressed buffers:
      O(1) per run per lane for NET (a run either skips — its path is
      already predicted — or advances one head counter by the run length
@@ -205,25 +219,32 @@ module Fast = struct
     | 1 -> process groups.(0)
     | ng -> ignore (Pool.map_array ~jobs:ng process groups)
 
-  let net variant ~lanes ~chunk ~workers ~freq (r : Recorder.t) =
+  let net variant ~lanes ~chunk:_ ~workers ~freq (r : Recorder.t) =
     let k = Array.length lanes in
     let n_paths = Recorder.num_paths r in
     let n_blocks = Array.length r.Recorder.program.Cfg.blocks in
     let d = Recorder.descriptors r in
     let heads = d.Recorder.d_heads and blocks = d.Recorder.d_blocks in
-    let arrivals = Recorder.arrival_view r in
-    let instances = r.Recorder.instances in
-    let n = Array.length instances in
+    let n = Array.length r.Recorder.instances in
     let v_once = variant = Fast_net_once in
-    let csz = max 1 (min chunk n) in
-    (* Chunk-local phase-A output, reused across chunks. *)
-    let ev_idx = Array.make csz 0 in
-    let ev_occ = Array.make csz 0 in
-    let run_pid = Array.make csz 0 in
-    let run_off = Array.make csz 0 in
-    let run_len = Array.make csz 0 in
-    let open_run = Array.make n_blocks (-1) in
-    (* Per-lane seam-carried state. *)
+    (* Phase A is the recording-level loop index: the loop-head event
+       stream grouped into maximal same-path runs, plus final
+       frequencies — built once per recording ([Recorder.loop_index]
+       caches it) and shared by every lane group, every delay set, and
+       every subsequent replay of the same recording.  A maximal run is
+       just the chunk-truncated runs of the old per-chunk phase A
+       merged: splitting a run anywhere yields two shorter runs
+       advancing the same carried counter, so phase C is bit-identical
+       on either form and the chunk loop disappears entirely. *)
+    let li = Recorder.loop_index r in
+    let ev_idx = li.Recorder.li_idx in
+    let ev_occ = li.Recorder.li_occ in
+    let run_pid = li.Recorder.li_run_pid in
+    let run_off = li.Recorder.li_run_off in
+    let run_len = li.Recorder.li_run_len in
+    Array.blit li.Recorder.li_freq 0 freq 0 n_paths;
+    let nr = Array.length run_pid in
+    (* Per-lane state. *)
     let pa = Array.init k (fun _ -> Array.make n_paths max_int) in
     let cap_base = Array.init k (fun _ -> Array.make n_paths 0) in
     let counts = Array.init k (fun _ -> Array.make n_blocks (-1)) in
@@ -235,7 +256,13 @@ module Fast = struct
     let coll = Array.make k 0 in
     let preds = Array.init k (fun _ -> Vec.create ()) in
     let groups = lane_groups k workers in
-    let n_runs = ref 0 in
+    (* One streaming pass over the run arrays, lanes inner.  Run-outer
+       beats lane-outer here: the run arrays are tens of megabytes on a
+       full-scale trace and stream through exactly once this way (each
+       lane pass of the lane-outer shape would re-stream them, and
+       memory bandwidth — not the per-run arithmetic — is the binding
+       constraint), while the per-lane counter state is small enough to
+       stay cache-resident across the inner loop. *)
     let process_group g =
       (* Hot closure captures into locals (see Net_kernel.make_walker). *)
       let run_pid = Sys.opaque_identity run_pid
@@ -255,7 +282,6 @@ module Fast = struct
       and coll = Sys.opaque_identity coll
       and preds = Sys.opaque_identity preds
       and v_once = Sys.opaque_identity v_once in
-      let nr = !n_runs in
       let gk = Array.length g in
       for ri = 0 to nr - 1 do
         let pid = Array.unsafe_get run_pid ri in
@@ -306,49 +332,7 @@ module Fast = struct
         done
       done
     in
-    let lo = ref 0 in
-    while !lo < n do
-      let hi = min n (!lo + csz) in
-      (* Phase A: one walk of the chunk, shared by every lane. *)
-      let m = ref 0 and nr = ref 0 in
-      for i = !lo to hi - 1 do
-        let pid = Array.unsafe_get instances i in
-        let f = Array.unsafe_get freq pid + 1 in
-        Array.unsafe_set freq pid f;
-        let is_loop_head =
-          match Array.unsafe_get arrivals i with
-          | Path.Loop_head -> true
-          | Path.Entry | Path.Continuation -> false
-        in
-        if is_loop_head then begin
-          let j = !m in
-          Array.unsafe_set ev_idx j i;
-          Array.unsafe_set ev_occ j f;
-          let h = Array.unsafe_get heads pid in
-          let ri = Array.unsafe_get open_run h in
-          if
-            ri >= 0
-            && Array.unsafe_get run_pid ri = pid
-            && Array.unsafe_get run_off ri + Array.unsafe_get run_len ri = j
-          then Array.unsafe_set run_len ri (Array.unsafe_get run_len ri + 1)
-          else begin
-            let ri = !nr in
-            Array.unsafe_set run_pid ri pid;
-            Array.unsafe_set run_off ri j;
-            Array.unsafe_set run_len ri 1;
-            Array.unsafe_set open_run h ri;
-            nr := ri + 1
-          end;
-          m := j + 1
-        end
-      done;
-      (* Seam: open runs do not span chunks — a split run is two runs
-         advancing the same carried counter, which is the same thing. *)
-      Array.fill open_run 0 n_blocks (-1);
-      n_runs := !nr;
-      process_group |> run_groups groups;
-      lo := hi
-    done;
+    process_group |> run_groups groups;
     Array.init k (fun l ->
         let captured = Array.make n_paths 0 in
         let pal = pa.(l) and cb = cap_base.(l) in
@@ -563,16 +547,62 @@ let drive ?events:ev ?(jobs = 1) ?(chunk = default_chunk)
             slices
         in
         let lrs =
-          Pool.map_array ~jobs:workers
-            (fun w ->
-               let lo = ref 0 in
-               while !lo < n do
-                 let hi = min n (!lo + chunk) in
-                 w.cw_walk ~lo:!lo ~hi;
-                 lo := hi
-               done;
-               w.cw_finish ())
-            walkers
+          if Array.for_all (fun w -> w.cw_walk_batch <> None) walkers then begin
+            (* Compressed-chunk fan-out for opaque-state walkers: decode
+               each chunk once into a shared dense batch (ids, widened
+               arrival codes, gathered descriptors), then let every lane
+               group replay the cache-resident batch.  The groups read
+               the batch concurrently and never write it; the driver
+               refills it only after the fan-out joins. *)
+            let d = Recorder.descriptors r in
+            let dh = d.Recorder.d_heads
+            and dbr = d.Recorder.d_branches
+            and dbl = d.Recorder.d_blocks in
+            let instances = r.Recorder.instances in
+            let arrivals = r.Recorder.arrivals in
+            let batch = Batch.create ~capacity:(max 1 (min chunk n)) () in
+            let walks =
+              Array.map (fun w -> Option.get w.cw_walk_batch) walkers
+            in
+            let lo = ref 0 in
+            while !lo < n do
+              let hi = min n (!lo + chunk) in
+              let m = hi - !lo in
+              Batch.ensure batch m;
+              Batch.ensure_descriptors batch m;
+              let ids = batch.Batch.ids
+              and arrs = batch.Batch.arrs
+              and bh = batch.Batch.heads
+              and bbr = batch.Batch.branches
+              and bbl = batch.Batch.blocks in
+              let base = !lo in
+              for j = 0 to m - 1 do
+                let pid = Array.unsafe_get instances (base + j) in
+                Array.unsafe_set ids j pid;
+                Array.unsafe_set arrs j
+                  (Char.code (Bytes.unsafe_get arrivals (base + j)));
+                Array.unsafe_set bh j (Array.unsafe_get dh pid);
+                Array.unsafe_set bbr j (Array.unsafe_get dbr pid);
+                Array.unsafe_set bbl j (Array.unsafe_get dbl pid)
+              done;
+              Batch.set_length batch m;
+              ignore
+                (Pool.map_array ~jobs:workers (fun wb -> wb batch ~base) walks);
+              lo := hi
+            done;
+            Array.map (fun w -> w.cw_finish ()) walkers
+          end
+          else
+            Pool.map_array ~jobs:workers
+              (fun w ->
+                 let lo = ref 0 in
+                 while !lo < n do
+                   let hi = min n (!lo + chunk) in
+                   w.cw_walk ~lo:!lo ~hi;
+                   lo := hi
+                 done;
+                 w.cw_finish ())
+              walkers
         in
         Option.iter (fun e -> merge_event_lines e.ev_sink slices bufs) ev;
         assemble (Array.concat (Array.to_list lrs)) freqs.(0)
@@ -671,6 +701,64 @@ module Make (S : Scheme.S) = struct
         end
       done
     in
+    let walk_batch (b : Batch.t) ~base =
+      (* [walk] over the driver's pre-decoded batch: ids, arrival codes,
+         and the per-path descriptors arrive as dense per-instance
+         arrays, so the hot loop reads sequentially instead of chasing
+         [heads]/[branches]/[blocks] through a path-id indirection per
+         instance.  [base + j] is the instance's global index — sampler
+         windows and prediction indices stay stream-absolute.  The batch
+         is the driver's scratch: read-only here, never retained. *)
+      let ids = Sys.opaque_identity b.Batch.ids
+      and arrs = Sys.opaque_identity b.Batch.arrs
+      and b_heads = Sys.opaque_identity b.Batch.heads
+      and b_branches = Sys.opaque_identity b.Batch.branches
+      and b_blocks = Sys.opaque_identity b.Batch.blocks
+      and m = Sys.opaque_identity (Batch.length b)
+      and blocks = Sys.opaque_identity blocks
+      and freq = Sys.opaque_identity freq
+      and states = Sys.opaque_identity states
+      and predicted_at = Sys.opaque_identity predicted_at
+      and captured = Sys.opaque_identity captured
+      and predictions = Sys.opaque_identity predictions
+      and profiled = Sys.opaque_identity profiled
+      and captured_total = Sys.opaque_identity captured_total
+      and next_sample = Sys.opaque_identity next_sample
+      and k = Sys.opaque_identity k in
+      for j = 0 to m - 1 do
+        let i = base + j in
+        let pid = ids.(j) in
+        freq.(pid) <- freq.(pid) + 1;
+        let head = b_heads.(j)
+        and n_branches = b_branches.(j)
+        and n_blocks = b_blocks.(j)
+        and arrival = Batch.kind_of_code arrs.(j) in
+        for l = 0 to k - 1 do
+          let pa = predicted_at.(l) in
+          if pa.(pid) < i then begin
+            let cap = captured.(l) in
+            cap.(pid) <- cap.(pid) + 1;
+            captured_total.(l) <- captured_total.(l) + 1
+          end
+          else begin
+            profiled.(l) <- profiled.(l) + 1;
+            match
+              S.observe states.(l) ~head ~arrival ~path_id:pid ~n_branches
+                ~n_blocks
+            with
+            | Some target when pa.(target) = max_int ->
+              pa.(target) <- i;
+              S.collect states.(l) ~n_blocks:blocks.(target);
+              Vec.push predictions.(l) { target; at_instance = i }
+            | Some _ | None -> ()
+          end
+        done;
+        if i + 1 >= !next_sample then begin
+          sample_lanes Sampler.sample (i + 1);
+          next_sample := !next_sample + (Option.get ev).ev_window
+        end
+      done
+    in
     let finish () =
       sample_lanes Sampler.final n;
       Array.init k (fun l ->
@@ -685,7 +773,7 @@ module Make (S : Scheme.S) = struct
             lr_collection_ops = S.collection_ops states.(l);
           })
     in
-    { cw_walk = walk; cw_finish = finish }
+    { cw_walk = walk; cw_walk_batch = Some walk_batch; cw_finish = finish }
 
   let runner = { lr_scheme = S.name; lr_make = make_walker; lr_fast = None }
 
@@ -885,7 +973,7 @@ module Net_kernel = struct
             lr_collection_ops = st.collection;
           })
     in
-    { cw_walk = walk; cw_finish = finish }
+    { cw_walk = walk; cw_walk_batch = None; cw_finish = finish }
 
   let runner variant scheme =
     {
@@ -1011,7 +1099,7 @@ module Path_profile_kernel = struct
             lr_collection_ops = 0;
           })
     in
-    { cw_walk = walk; cw_finish = finish }
+    { cw_walk = walk; cw_walk_batch = None; cw_finish = finish }
 
   let runner scheme =
     {
@@ -1022,10 +1110,10 @@ module Path_profile_kernel = struct
 end
 
 (* The k-iteration kernels mirror the scheme modules with the per-lane
-   state flattened (NET-k's head table into a dense block array, the
-   window counters into a node-id-indexed vector) and the scheme logic
-   inlined — no module-indirected call, no option allocation per
-   instance.  Neither qualifies for the compressed stream-sharded engine
+   state flattened (NET-k's head table into a dense block array,
+   path-profile-k's suffix trie into [Kpath.Flat] with a node-id-indexed
+   counts array) and the scheme logic inlined — no module-indirected
+   call, no option allocation per instance.  Neither qualifies for the compressed stream-sharded engine
    ([lr_fast = None], like [Last_executed_tail]): both carry a per-lane
    chain cursor/window whose evolution depends on which instances that
    lane still profiles, so the lane-blind phase-A compression cannot
@@ -1035,13 +1123,17 @@ end
 module Kpath = Hotpath_trace.Kpath
 
 module Path_profile_k_kernel = struct
-  (* Path_profile_k.state verbatim; the counts vector is already dense
-     (indexed by trie node id), so flattening only removes the module
-     call. *)
+  (* Path_profile_k.state with the module indirection gone and the
+     suffix trie swapped for [Kpath.Flat] — dense level-1 array plus an
+     open-addressed int table for deeper children, allocating node ids
+     in exactly the reference interner's order so counter registries
+     and node-indexed counts stay bit-identical.  The stdlib hashtable
+     walk (hash + bucket chase per instance per lane) was what held the
+     packed k-trie kernel below the generic loop. *)
   type lane = {
     delay : int;
-    trie : Kpath.t;
-    counts : int Vec.t;
+    trie : Kpath.Flat.t;
+    mutable counts : int array;
     mutable cur : int;
     mutable ops : int;
   }
@@ -1055,8 +1147,8 @@ module Path_profile_k_kernel = struct
     let states =
       Array.map
         (fun delay ->
-           { delay; trie = Kpath.create ~k:k_iter; counts = Vec.create ();
-             cur = Kpath.root; ops = 0 })
+           { delay; trie = Kpath.Flat.create ~k:k_iter;
+             counts = Array.make 64 0; cur = Kpath.root; ops = 0 })
         lanes
     in
     let predicted_at = Array.init k (fun _ -> Array.make n_paths max_int) in
@@ -1081,7 +1173,7 @@ module Path_profile_k_kernel = struct
           f sm l ~upto ~n_paths ~captured_arr:captured.(l)
             ~predictions:(Vec.length predictions.(l))
             ~profiled:profiled.(l) ~captured_total:captured_total.(l)
-            ~counter_space:(Kpath.num_nodes st.trie - 1) ~profiling_ops:st.ops
+            ~counter_space:(Kpath.Flat.num_nodes st.trie - 1) ~profiling_ops:st.ops
             ~collection_ops:0
         done
     in
@@ -1116,14 +1208,20 @@ module Path_profile_k_kernel = struct
             let st = states.(l) in
             (* Bit tracing plus the window cursor ride-along. *)
             st.ops <- st.ops + n_branches + 1;
-            let node = Kpath.advance st.trie ~cur:st.cur ~arrival ~pid in
+            let node = Kpath.Flat.advance st.trie ~cur:st.cur ~arrival ~pid in
             st.cur <- node;
-            let counts = st.counts in
-            while Vec.length counts <= node do
-              Vec.push counts 0
-            done;
-            let count = Vec.get counts node + 1 in
-            Vec.set counts node count;
+            let counts =
+              let c = st.counts in
+              if node < Array.length c then c
+              else begin
+                let c' = Array.make (max (node + 1) (2 * Array.length c)) 0 in
+                Array.blit c 0 c' 0 (Array.length c);
+                st.counts <- c';
+                c'
+              end
+            in
+            let count = Array.unsafe_get counts node + 1 in
+            Array.unsafe_set counts node count;
             if count >= st.delay && Array.unsafe_get pa pid = max_int then begin
               Array.unsafe_set pa pid i;
               Vec.push predictions.(l) { target = pid; at_instance = i }
@@ -1146,12 +1244,12 @@ module Path_profile_k_kernel = struct
             lr_captured = captured.(l);
             lr_profiled = profiled.(l);
             lr_captured_total = captured_total.(l);
-            lr_counter_space = Kpath.num_nodes st.trie - 1;
+            lr_counter_space = Kpath.Flat.num_nodes st.trie - 1;
             lr_profiling_ops = st.ops;
             lr_collection_ops = 0;
           })
     in
-    { cw_walk = walk; cw_finish = finish }
+    { cw_walk = walk; cw_walk_batch = None; cw_finish = finish }
 
   let runner k_iter scheme =
     {
@@ -1306,7 +1404,7 @@ module Net_k_kernel = struct
             lr_collection_ops = st.collection;
           })
     in
-    { cw_walk = walk; cw_finish = finish }
+    { cw_walk = walk; cw_walk_batch = None; cw_finish = finish }
 
   let runner k_iter scheme =
     {
@@ -1457,6 +1555,85 @@ let run_many_stream ?events:ev ?(jobs = 1) (module S : Scheme.S) ~delays rd =
 
 let run_stream ?events scheme ~delay rd =
   match run_many_stream ?events scheme ~delays:[ delay ] rd with
+  | Error _ as e -> e
+  | Ok [ o ] -> Ok o
+  | Ok _ -> assert false
+
+(* Mapped replay: [run_many_stream] over the zero-copy reader.  The
+   frame payload is decoded once per instance frame into one shared
+   [Batch.t] — ids and widened arrival codes, no Bytes.blit, no
+   per-chunk array allocation — and every lane-group session replays
+   the batch via [Session.push_batch].  Sessions only read the batch
+   during a push, so the groups share it concurrently and the driver
+   refills it after the fan-out joins; the table grows only between
+   fan-outs ([Mapped.next_batch]), like the pull-reader driver. *)
+let run_many_mapped ?events:ev ?(jobs = 1) (module S : Scheme.S) ~delays m =
+  if jobs < 1 then invalid_arg "Replay.run_many_mapped: jobs must be >= 1";
+  let ev = live ev in
+  match Array.of_list delays with
+  | [||] -> Ok []
+  | lanes ->
+    let k = Array.length lanes in
+    let program = Stream.Mapped.program m in
+    let table = Stream.Mapped.table m in
+    let workers = min (Pool.effective_workers ~jobs) k in
+    let slices =
+      if workers <= 1 then [| lanes |] else shard_slices lanes workers
+    in
+    let ng = Array.length slices in
+    let bufs = Array.map (fun _ -> Vec.create ()) slices in
+    let sessions =
+      Array.mapi
+        (fun s slice ->
+           let ev_s =
+             if ng = 1 then ev
+             else
+               Option.map
+                 (fun e -> { e with ev_sink = Events.of_fn (Vec.push bufs.(s)) })
+                 ev
+           in
+           match
+             Session.create ?events:ev_s ~lint:false (module S)
+               ~delays:(Array.to_list slice) ~program ~table
+           with
+           | Ok sess -> sess
+           | Error _ -> assert false (* lint off: create cannot fail *))
+        slices
+    in
+    let batch = Batch.create () in
+    let rec consume () =
+      match Stream.Mapped.next_batch m batch with
+      | Error _ as e -> e
+      | Ok false -> Ok ()
+      | Ok true ->
+        (* One logical read of the frame, independent of the fan-out. *)
+        ignore (Atomic.fetch_and_add reads (Batch.length batch));
+        let push sess =
+          match Session.push_batch sess batch with
+          | Ok () -> ()
+          | Error e ->
+            (* Unreachable: reader-validated batches against the shared
+               table cannot be rejected by an unlinted session. *)
+            invalid_arg ("Replay.run_many_mapped: " ^ e)
+        in
+        if ng = 1 then push sessions.(0)
+        else ignore (Pool.map_array ~jobs:ng push sessions);
+        consume ()
+    in
+    (match consume () with
+     | Error _ as e -> e
+     | Ok () ->
+       let lrs =
+         Array.concat
+           (Array.to_list
+              (Array.map (fun sess -> Array.of_list (Session.finish sess)) sessions))
+       in
+       if ng > 1 then
+         Option.iter (fun e -> merge_event_lines e.ev_sink slices bufs) ev;
+       Ok (Array.to_list lrs))
+
+let run_mapped ?events scheme ~delay m =
+  match run_many_mapped ?events scheme ~delays:[ delay ] m with
   | Error _ as e -> e
   | Ok [ o ] -> Ok o
   | Ok _ -> assert false

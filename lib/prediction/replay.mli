@@ -175,6 +175,34 @@ val run_many_stream :
     counts the stream once.
     @raise Invalid_argument when any delay is [< 1] or [jobs < 1]. *)
 
+val run_mapped :
+  ?events:events ->
+  Scheme.packed ->
+  delay:int ->
+  Hotpath_trace.Serialize.Stream.Mapped.t ->
+  (outcome, string) result
+(** {!run_stream} over the zero-copy mapped reader
+    ({!Hotpath_trace.Serialize.Stream.Mapped}): frames are validated and
+    decoded in place out of the mapping, one instance frame at a time
+    into a reused dense batch — no [Bytes] copy per frame, no per-chunk
+    array allocation.  Outcomes, counter registries, and event streams
+    are byte-identical to {!run_stream} on the same bytes.
+    @raise Invalid_argument when [delay < 1]. *)
+
+val run_many_mapped :
+  ?events:events ->
+  ?jobs:int ->
+  Scheme.packed ->
+  delays:int list ->
+  Hotpath_trace.Serialize.Stream.Mapped.t ->
+  (outcome list, string) result
+(** Multiplexed {!run_mapped}; the mapped counterpart of
+    {!run_many_stream}, with the same lane-group fan-out and the same
+    byte-identity guarantees at every job count.  All lane groups replay
+    the same shared batch concurrently (sessions only read it during a
+    push), so jobs > 1 adds no decode work and no extra copies.
+    @raise Invalid_argument when any delay is [< 1] or [jobs < 1]. *)
+
 val instance_reads : unit -> int
 (** Total logical instance-stream reads performed by {!run}/{!run_many}
     since the last {!reset_instance_reads} — the observable backing the

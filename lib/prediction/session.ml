@@ -1,6 +1,7 @@
 module Recorder = Hotpath_trace.Recorder
 module Path = Hotpath_trace.Path
 module Path_table = Hotpath_trace.Path_table
+module Batch = Hotpath_trace.Batch
 module Lint = Hotpath_trace.Lint
 module Diag = Hotpath_analysis.Diag
 module Cfg = Hotpath_cfg.Cfg
@@ -130,6 +131,7 @@ type t = {
   s_lint : Lint.Incremental.t option;
   s_sync : unit -> unit;
   s_walk : int array -> Bytes.t -> int -> unit;
+  s_walk_batch : Batch.t -> unit;
   s_outcomes : unit -> outcome list;
   s_synced : unit -> int;
   s_instances : unit -> int;
@@ -219,8 +221,10 @@ let create ?events:ev ?(lint = true) ?on_predict (module S : Scheme.S) ~delays
     in
     (* The per-instance body, identical to the batch engine's walker:
        lane state persists across calls, so pushing [0, n) in one chunk
-       or instance-by-instance is the same computation. *)
-    let walk ids arrs nc =
+       or instance-by-instance is the same computation.  Generic over
+       how instance [j]'s arrival code is fetched, so the packed-bytes
+       chunk and the batched int decode drive the very same loop. *)
+    let walk_core ids code_at nc =
       let heads = !heads
       and branches = !branches
       and blocks = !blocks
@@ -233,7 +237,7 @@ let create ?events:ev ?(lint = true) ?on_predict (module S : Scheme.S) ~delays
         let head = heads.(pid)
         and n_branches = branches.(pid)
         and n_blocks = blocks.(pid)
-        and arrival = Recorder.arrival_of_code (Bytes.get arrs j) in
+        and arrival = Batch.kind_of_code (code_at j) in
         for l = 0 to gk - 1 do
           let pa = !(pa.(l)) in
           if pa.(pid) < i then begin
@@ -264,6 +268,13 @@ let create ?events:ev ?(lint = true) ?on_predict (module S : Scheme.S) ~delays
       done;
       total := base + nc
     in
+    let walk ids arrs nc =
+      walk_core ids (fun j -> Char.code (Bytes.unsafe_get arrs j)) nc
+    in
+    let walk_batch (b : Batch.t) =
+      let arrs = b.Batch.arrs in
+      walk_core b.Batch.ids (fun j -> Array.unsafe_get arrs j) (Batch.length b)
+    in
     let outcomes () =
       sync ();
       sample_lanes Sampler.final !total;
@@ -285,9 +296,9 @@ let create ?events:ev ?(lint = true) ?on_predict (module S : Scheme.S) ~delays
           })
     in
     Ok
-      { s_lint; s_sync = sync; s_walk = walk; s_outcomes = outcomes;
-        s_synced = (fun () -> !synced); s_instances = (fun () -> !total);
-        s_done = None }
+      { s_lint; s_sync = sync; s_walk = walk; s_walk_batch = walk_batch;
+        s_outcomes = outcomes; s_synced = (fun () -> !synced);
+        s_instances = (fun () -> !total); s_done = None }
 
 let instances t = t.s_instances ()
 
@@ -347,6 +358,55 @@ let push_chunk t ~ids ~arrivals =
         t.s_walk ids arrivals n;
         Ok ()
     end
+
+(* Same protocol as [push_chunk] — finished check, validation gate
+   before any state moves, then the shared walker — reading the widened
+   int codes of a decoded batch.  [push_batch b] after [fill_of_chunk]
+   is bit-identical to pushing the chunk itself. *)
+let push_batch t (b : Batch.t) =
+  match t.s_done with
+  | Some _ -> Error "Session.push_batch: session already finished"
+  | None ->
+    let n = Batch.length b in
+    let gate =
+      match t.s_lint with
+      | Some lt ->
+        let diags = Lint.Incremental.check_batch lt b in
+        if Diag.has_errors diags then Error (first_error diags) else Ok ()
+      | None ->
+        t.s_sync ();
+        let np = t.s_synced () in
+        let ids = b.Batch.ids and arrs = b.Batch.arrs in
+        let err = ref None in
+        (try
+           for j = 0 to n - 1 do
+             let id = ids.(j) in
+             if id < 0 || id >= np then begin
+               err :=
+                 Some
+                   (Printf.sprintf
+                      "Session.push_batch: path id %d out of range (%d paths)"
+                      id np);
+               raise Exit
+             end;
+             let c = arrs.(j) in
+             if c < 0 || c > 2 then begin
+               err :=
+                 Some
+                   (Printf.sprintf
+                      "Session.push_batch: invalid arrival code %d" c);
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        (match !err with Some e -> Error e | None -> Ok ())
+    in
+    (match gate with
+     | Error _ as e -> e
+     | Ok () ->
+       t.s_sync ();
+       t.s_walk_batch b;
+       Ok ())
 
 let code_of_arrival = function
   | Path.Loop_head -> '\000'

@@ -137,6 +137,14 @@ val push_chunk : t -> ids:int array -> arrivals:Bytes.t -> (unit, string) result
     before the call, so a server can drop one bad client without
     poisoning the session-independent state it shares. *)
 
+val push_batch : t -> Hotpath_trace.Batch.t -> (unit, string) result
+(** {!push_chunk} over a decoded {!Hotpath_trace.Batch.t} — the same
+    validation gate (incremental lint when enabled, id-range and
+    arrival-code checks otherwise), the same no-state-change-on-[Error]
+    contract, the same walker.  Pushing a batch filled from a chunk is
+    bit-identical to pushing the chunk; the batch is read only during
+    the call and may be refilled immediately after. *)
+
 val push : t -> path_id:int -> arrival:Path.head_kind -> (unit, string) result
 (** Single-instance {!push_chunk}. *)
 

@@ -3,10 +3,15 @@
    One single-threaded select loop multiplexes every client: per
    connection a handshake line names the tenant, scheme, and delay
    lanes, then the client streams a raw HOTPATH3 trace.  Frames are
-   reassembled by [Serialize.Stream.Decoder], decoded chunks queue into
-   a bounded [Bqueue] per tenant (queue full -> the fd leaves the read
-   set, so backpressure is the kernel socket buffer filling up, not
-   server memory), and a [Session] replays them through the lint gate.
+   reassembled by [Serialize.Stream.Decoder] and decoded straight into
+   pooled dense [Batch] buffers ([Decoder.next_batch] — no per-frame
+   ids/arrivals allocation) that queue into a bounded [Bqueue] per
+   tenant (queue full -> the fd leaves the read set, so backpressure is
+   the kernel socket buffer filling up, not server memory), and a
+   [Session] replays them through the lint gate ([Session.push_batch]).
+   Pump and drain run on the same thread, so the batch free list needs
+   no synchronization: a batch is either in the pool, in the queue, or
+   being pushed.
    Every failure mode — torn handshake, duplicate tenant, decode error,
    lint rejection, mid-stream disconnect — downgrades exactly one
    connection to a typed error reply; sessions never share mutable
@@ -16,6 +21,7 @@ module Events = Hotpath_util.Events
 module Bqueue = Hotpath_util.Bqueue
 module Stream = Hotpath_trace.Serialize.Stream
 module Decoder = Hotpath_trace.Serialize.Stream.Decoder
+module Batch = Hotpath_trace.Batch
 module Session = Hotpath_prediction.Session
 module Scheme = Hotpath_prediction.Scheme
 
@@ -58,7 +64,10 @@ module Server = struct
     st_packed : (module Scheme.S);
     st_delays : int list;
     st_decoder : Decoder.t;
-    st_queue : Stream.chunk Bqueue.t;
+    st_queue : Batch.t Bqueue.t;
+    (* Free batches, recycled by [drain]; at most queue capacity + 1
+       ever live per tenant. *)
+    mutable st_pool : Batch.t list;
     mutable st_session : Session.t option;
     mutable st_end : bool;
     mutable st_chunks : int;
@@ -214,23 +223,42 @@ module Server = struct
       Events.serve_attach t.t_events ~conn:conn.c_id ~tenant:st.st_tenant
         ~scheme:st.st_scheme ~delays:(List.length st.st_delays)
 
-  (* Decode buffered bytes into the chunk queue until the queue is full,
-     the frames run out, or the end frame lands. *)
+  let acquire_batch st =
+    match st.st_pool with
+    | b :: rest ->
+      st.st_pool <- rest;
+      b
+    | [] -> Batch.create ()
+
+  let release_batch st b =
+    Batch.clear b;
+    st.st_pool <- b :: st.st_pool
+
+  (* Decode buffered bytes into the batch queue until the queue is full,
+     the frames run out, or the end frame lands.  Instance frames decode
+     straight into a pooled batch; cold frames borrow one and return it
+     untouched. *)
   let rec pump t conn st =
     match conn.c_state with
     | Streaming _ when (not st.st_end) && not (Bqueue.is_full st.st_queue)
       -> (
-      match Decoder.next st.st_decoder with
-      | Error e -> fail t conn ~code:"decode" ~message:e
-      | Ok Decoder.Need_more -> ()
-      | Ok (Decoder.Program program) ->
+      let batch = acquire_batch st in
+      match Decoder.next_batch st.st_decoder batch with
+      | Error e ->
+        release_batch st batch;
+        fail t conn ~code:"decode" ~message:e
+      | Ok Decoder.B_need_more -> release_batch st batch
+      | Ok (Decoder.B_program program) ->
+        release_batch st batch;
         attach t conn st program;
         pump t conn st
-      | Ok (Decoder.Chunk c) ->
-        let pushed = Bqueue.push st.st_queue c in
+      | Ok Decoder.B_batch ->
+        let pushed = Bqueue.push st.st_queue batch in
         assert pushed;
         pump t conn st
-      | Ok (Decoder.End _) -> st.st_end <- true)
+      | Ok (Decoder.B_end _) ->
+        release_batch st batch;
+        st.st_end <- true)
     | _ -> ()
 
   let reply_ok ~tenant outcomes =
@@ -277,12 +305,11 @@ module Server = struct
     while (not !blocked) && !budget > 0 do
       match Bqueue.pop st.st_queue with
       | None -> blocked := true
-      | Some (c : Stream.chunk) -> (
+      | Some batch -> (
         decr budget;
-        match
-          Session.push_chunk session ~ids:c.Stream.ids
-            ~arrivals:c.Stream.arrivals
-        with
+        let res = Session.push_batch session batch in
+        release_batch st batch;
+        match res with
         | Ok () ->
           st.st_chunks <- st.st_chunks + 1;
           t.t_chunks <- t.t_chunks + 1
@@ -376,6 +403,7 @@ module Server = struct
                   st_delays = ds;
                   st_decoder = Decoder.create ();
                   st_queue = Bqueue.create ~capacity:t.t_queue_capacity;
+                  st_pool = [];
                   st_session = None;
                   st_end = false;
                   st_chunks = 0;

@@ -1,0 +1,85 @@
+(* A reusable dense view of a slice of the instance stream.
+
+   Everything the replay hot loops touch per instance lives here as a
+   plain int array: path ids, arrival codes, and (optionally) the
+   per-instance descriptor gather (loop-head block, branch count, block
+   count).  Frames and chunks are decoded into a batch exactly once;
+   every lane group then walks cache-resident arrays instead of
+   re-reading bytes or chasing per-path descriptor indirections.
+
+   A batch is a scratch buffer owned by whoever fills it.  Consumers
+   (session walkers, replay lane groups) may read [ids]/[arrs] (and the
+   descriptor arrays when the filler populated them) for indices
+   [0, n), concurrently from several domains, but must never retain the
+   arrays past the call that handed them the batch: the next fill
+   reuses the same storage. *)
+
+type t = {
+  mutable n : int;  (* valid prefix length of every array below *)
+  mutable ids : int array;  (* path ids *)
+  mutable arrs : int array;  (* arrival codes, as in {!Recorder.arrival_code} *)
+  mutable heads : int array;  (* loop-head head block per instance *)
+  mutable branches : int array;  (* branch count per instance *)
+  mutable blocks : int array;  (* block count per instance *)
+}
+
+let create ?(capacity = 1024) () =
+  let capacity = max 1 capacity in
+  {
+    n = 0;
+    ids = Array.make capacity 0;
+    arrs = Array.make capacity 0;
+    heads = [||];
+    branches = [||];
+    blocks = [||];
+  }
+
+let length t = t.n
+
+let clear t = t.n <- 0
+
+let grown old n =
+  let a = Array.make (max n (2 * Array.length old)) 0 in
+  Array.blit old 0 a 0 (Array.length old);
+  a
+
+(* Capacity for [n] instances in the wire arrays ([ids]/[arrs]);
+   amortized doubling so refills never reallocate at steady state. *)
+let ensure t n =
+  if n > Array.length t.ids then begin
+    t.ids <- grown t.ids n;
+    t.arrs <- grown t.arrs n
+  end
+
+(* The descriptor gather is optional — the wire decoders never touch
+   it — so its arrays grow separately and stay empty for sessions. *)
+let ensure_descriptors t n =
+  if n > Array.length t.heads then begin
+    t.heads <- grown t.heads n;
+    t.branches <- grown t.branches n;
+    t.blocks <- grown t.blocks n
+  end
+
+let set_length t n =
+  if n < 0 then invalid_arg "Batch.set_length: negative length";
+  ensure t n;
+  t.n <- n
+
+(* Decode a pull-reader chunk (ids + packed arrival bytes) once.  No
+   validation: callers gate ids/arrivals exactly as they would for the
+   chunk itself. *)
+let fill_of_chunk t ~ids ~arrivals =
+  let n = Array.length ids in
+  ensure t n;
+  Array.blit ids 0 t.ids 0 n;
+  let arrs = t.arrs in
+  for i = 0 to n - 1 do
+    Array.unsafe_set arrs i (Char.code (Bytes.unsafe_get arrivals i))
+  done;
+  t.n <- n
+
+(* Same mapping as [Recorder.arrival_of_code], on the int code. *)
+let kind_of_code = function
+  | 0 -> Path.Loop_head
+  | 1 -> Path.Entry
+  | _ -> Path.Continuation

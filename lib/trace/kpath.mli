@@ -37,3 +37,25 @@ val num_nodes : t -> int
 
 val depth : t -> int -> int
 (** Window length of a node ([0] for {!root}, at most [k]). *)
+
+(** Flattened interner for the replay kernels: the same automaton with
+    the top trie level (children of the root) in a dense pid-indexed
+    array and deeper children in an open-addressed int table — no
+    hashtable buckets or boxing on the hot walk.  Node ids are
+    bit-identical to the reference interner above for any advance
+    sequence (allocation order is preserved exactly), so
+    [num_nodes - 1] reports the same counter space. *)
+module Flat : sig
+  type t
+
+  val create : k:int -> t
+  (** @raise Invalid_argument when [k < 1]. *)
+
+  val k : t -> int
+
+  val advance : t -> cur:int -> arrival:Path.head_kind -> pid:int -> int
+
+  val num_nodes : t -> int
+
+  val depth : t -> int -> int
+end

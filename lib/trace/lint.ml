@@ -359,48 +359,50 @@ module Incremental = struct
     sync_paths t (fun d -> diags := d :: !diags);
     List.rev !diags
 
-  let check_chunk t ~ids ~arrivals =
+  (* The shared chunk walk, generic over how instance [j]'s path id and
+     arrival code are fetched — the packed-bytes chunk and the widened
+     int-array batch feed the same checks and seam protocol, so the two
+     ingest surfaces accept exactly the same streams.  [n_codes] may
+     exceed [n] only for the bytes form, where a mislengthed arrivals
+     container is still scanned for invalid codes in full. *)
+  let check_gen t ~n ~n_codes ~id_at ~code_at ~len_diag =
     let diags = ref [] in
     let add d = diags := d :: !diags in
     sync_paths t add;
-    let n = Array.length ids in
     let containers_ok = ref true in
-    if Bytes.length arrivals <> n then begin
-      containers_ok := false;
-      add
-        (Diag.error ~code:"T202" ~loc:Diag.Program
-           "arrivals length %d differs from instance count %d"
-           (Bytes.length arrivals) n)
-    end;
-    Array.iteri
-      (fun j id ->
-         if id < 0 || id >= t.i_synced then begin
-           containers_ok := false;
-           add
-             (Diag.error ~code:"T201" ~loc:(Diag.Instance (t.i_seen + j))
-                "path id %d outside table of %d paths" id t.i_synced)
-         end)
-      ids;
-    Bytes.iteri
-      (fun j c ->
-         if Char.code c > 2 then begin
-           containers_ok := false;
-           add
-             (Diag.error ~code:"T202" ~loc:(Diag.Instance (t.i_seen + j))
-                "invalid arrival code %d" (Char.code c))
-         end)
-      arrivals;
+    (match len_diag with
+     | Some d ->
+       containers_ok := false;
+       add d
+     | None -> ());
+    for j = 0 to n - 1 do
+      let id = id_at j in
+      if id < 0 || id >= t.i_synced then begin
+        containers_ok := false;
+        add
+          (Diag.error ~code:"T201" ~loc:(Diag.Instance (t.i_seen + j))
+             "path id %d outside table of %d paths" id t.i_synced)
+      end
+    done;
+    for j = 0 to n_codes - 1 do
+      let c = code_at j in
+      if c < 0 || c > 2 then begin
+        containers_ok := false;
+        add
+          (Diag.error ~code:"T202" ~loc:(Diag.Instance (t.i_seen + j))
+             "invalid arrival code %d" c)
+      end
+    done;
     if !containers_ok then begin
       let prev = ref t.i_prev in
       for j = 0 to n - 1 do
         let i = t.i_seen + j in
-        let cur = ids.(j) in
-        if i = 0 then
-          lint_first t.i_program add t.i_facts.(cur) (Bytes.get arrivals 0)
+        let cur = id_at j in
+        if i = 0 then lint_first t.i_program add t.i_facts.(cur) (Char.chr (code_at 0))
         else
           lint_step t.i_program t.i_heads t.i_ret_targets add
             ~prev:t.i_facts.(!prev) ~cur:t.i_facts.(cur)
-            ~a:(Bytes.get arrivals j) ~i;
+            ~a:(Char.chr (code_at j)) ~i;
         prev := cur
       done;
       let out = List.rev !diags in
@@ -414,4 +416,27 @@ module Incremental = struct
       out
     end
     else List.rev !diags
+
+  let check_chunk t ~ids ~arrivals =
+    let n = Array.length ids in
+    let len_diag =
+      if Bytes.length arrivals <> n then
+        Some
+          (Diag.error ~code:"T202" ~loc:Diag.Program
+             "arrivals length %d differs from instance count %d"
+             (Bytes.length arrivals) n)
+      else None
+    in
+    check_gen t ~n ~n_codes:(Bytes.length arrivals)
+      ~id_at:(fun j -> Array.get ids j)
+      ~code_at:(fun j -> Char.code (Bytes.get arrivals j))
+      ~len_diag
+
+  let check_batch t (b : Batch.t) =
+    let n = Batch.length b in
+    let ids = b.Batch.ids and arrs = b.Batch.arrs in
+    check_gen t ~n ~n_codes:n
+      ~id_at:(fun j -> Array.get ids j)
+      ~code_at:(fun j -> Array.get arrs j)
+      ~len_diag:None
 end

@@ -82,6 +82,12 @@ module Incremental : sig
       inter-instance hand-off including the seam from the previous
       chunk.  Commits the seam state only when no error was found. *)
 
+  val check_batch : t -> Batch.t -> Diag.t list
+  (** {!check_chunk} over a decoded {!Batch.t} — same checks, same
+      diagnostics, same commit protocol, reading the widened int arrival
+      codes instead of packed bytes.  A batch and the chunk it decodes
+      produce identical results. *)
+
   val flush_paths : t -> Diag.t list
   (** Lint paths declared since the last call without consuming any
       instances — for end-of-stream table extensions. *)

@@ -9,6 +9,15 @@ type descriptors = {
   d_blocks : int array;
 }
 
+type loop_index = {
+  li_idx : int array;
+  li_occ : int array;
+  li_run_pid : int array;
+  li_run_off : int array;
+  li_run_len : int array;
+  li_freq : int array;
+}
+
 type t = {
   program : Cfg.program;
   table : Path_table.t;
@@ -17,6 +26,7 @@ type t = {
   vm_stats : Vm.run_stats;
   cache_descriptors : descriptors option Atomic.t;
   cache_arrival_view : Path.head_kind array option Atomic.t;
+  cache_loop_index : loop_index option Atomic.t;
 }
 
 let arrival_code = function
@@ -135,6 +145,7 @@ let record ?max_steps ?max_paths ?max_stack program behavior ~rng =
       vm_stats;
       cache_descriptors = Atomic.make None;
       cache_arrival_view = Atomic.make None;
+      cache_loop_index = Atomic.make None;
     }
 
 let of_parts ~program ~table ~instances ~arrivals ~vm_stats =
@@ -180,6 +191,7 @@ let of_parts ~program ~table ~instances ~arrivals ~vm_stats =
                 vm_stats;
                 cache_descriptors = Atomic.make None;
                 cache_arrival_view = Atomic.make None;
+                cache_loop_index = Atomic.make None;
               })
     end
 
@@ -222,6 +234,62 @@ let arrival_view t =
   cached t.cache_arrival_view (fun () ->
       Array.init (Bytes.length t.arrivals) (fun i ->
           arrival_of_code (Bytes.get t.arrivals i)))
+
+(* The NET replay kernels consume the trace only through its loop-head
+   events (index + running occurrence count of the event's own path)
+   grouped into maximal same-path runs per head — everything else is
+   closed form over the final frequencies.  That compression is a pure
+   function of the recording, so compute it once here and let every
+   replay of the recording skip the raw-instance walk entirely.  A run
+   is maximal over *consecutive loop-head events*; the chunk-sharded
+   engine may split it anywhere, since a split run is just two shorter
+   runs advancing the same carried counter. *)
+let loop_index t =
+  cached t.cache_loop_index (fun () ->
+      let d = descriptors t in
+      let heads = d.d_heads in
+      let instances = t.instances in
+      let arrivals = t.arrivals in
+      let n = Array.length instances in
+      let n_blocks = Array.length t.program.Cfg.blocks in
+      let freq = Array.make (Path_table.size t.table) 0 in
+      let open_run = Array.make n_blocks (-1) in
+      let idx = Vec.create () and occ = Vec.create () in
+      let run_pid = Vec.create ()
+      and run_off = Vec.create ()
+      and run_len = Vec.create () in
+      for i = 0 to n - 1 do
+        let pid = Array.unsafe_get instances i in
+        let f = Array.unsafe_get freq pid + 1 in
+        Array.unsafe_set freq pid f;
+        if Bytes.unsafe_get arrivals i = '\000' (* loop head *) then begin
+          let j = Vec.length idx in
+          Vec.push idx i;
+          Vec.push occ f;
+          let h = Array.unsafe_get heads pid in
+          let ri = Array.unsafe_get open_run h in
+          if
+            ri >= 0
+            && Vec.get run_pid ri = pid
+            && Vec.get run_off ri + Vec.get run_len ri = j
+          then Vec.set run_len ri (Vec.get run_len ri + 1)
+          else begin
+            let ri = Vec.length run_pid in
+            Vec.push run_pid pid;
+            Vec.push run_off j;
+            Vec.push run_len 1;
+            Array.unsafe_set open_run h ri
+          end
+        end
+      done;
+      {
+        li_idx = Vec.to_array idx;
+        li_occ = Vec.to_array occ;
+        li_run_pid = Vec.to_array run_pid;
+        li_run_off = Vec.to_array run_off;
+        li_run_len = Vec.to_array run_len;
+        li_freq = freq;
+      })
 
 let instance_path t i = Path_table.path t.table t.instances.(i)
 

@@ -18,6 +18,22 @@ type descriptors = private {
 (** Per-path descriptors in dense arrays, the form the replay hot loop
     reads them in. *)
 
+type loop_index = private {
+  li_idx : int array;  (** Per loop-head event: instance index. *)
+  li_occ : int array;
+      (** Per loop-head event: occurrence count of the event's own path,
+          that event included (running, trace-global). *)
+  li_run_pid : int array;  (** Per run: the repeated path id. *)
+  li_run_off : int array;  (** Per run: first event (index into [li_idx]). *)
+  li_run_len : int array;  (** Per run: events in the run (>= 1). *)
+  li_freq : int array;  (** Final execution count per path id. *)
+}
+(** The trace compressed to what the NET replay kernels consume: the
+    loop-head event stream, grouped into maximal runs of consecutive
+    events repeating one path, plus final frequencies.  A run split at
+    any point is two shorter runs advancing the same counter, so
+    chunk-sharded consumers may window it freely. *)
+
 type t = private {
   program : Cfg.program;
   table : Path_table.t;
@@ -30,6 +46,8 @@ type t = private {
       (** Internal {!descriptors} cache — do not touch. *)
   cache_arrival_view : Path.head_kind array option Atomic.t;
       (** Internal {!arrival_view} cache — do not touch. *)
+  cache_loop_index : loop_index option Atomic.t;
+      (** Internal {!loop_index} cache — do not touch. *)
 }
 
 val record :
@@ -134,6 +152,14 @@ val arrival_view : t -> Path.head_kind array
     [head_kind] per instance, cached like {!descriptors}.  Hoists the
     per-instance decode out of replay loops; costs one word per instance
     on first use. *)
+
+val loop_index : t -> loop_index
+(** The loop-head event/run compression of the trace, computed on first
+    use and cached like {!descriptors}.  Replaying a recording many
+    times (delay sweeps, repeated [?jobs] runs) then never re-walks the
+    raw instance stream for NET — the kernels read the runs directly.
+    Costs a few words per loop-head event, held for the recording's
+    lifetime. *)
 
 val frequencies : t -> int array
 (** Execution count per path id — the paper's [freq(p)]. *)

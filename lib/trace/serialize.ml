@@ -761,10 +761,12 @@ module Stream = struct
         d.d_tail <- d.d_tail + len
       end
 
-    (* A complete frame at the head of the buffer, or [None].  Raises
-       [Parse] on an implausible declared length or a checksum mismatch —
-       both detectable before the payload is complete or copied. *)
-    let take_frame d =
+    (* A complete, CRC-valid frame at the head of the buffer
+       ([Some (kind, payload offset, payload length)]), or [None].
+       Raises [Parse] on an implausible declared length or a checksum
+       mismatch — both detectable before the payload is complete or
+       copied.  Does not consume: {!drop_frame} advances past it. *)
+    let peek_frame d =
       let avail = buffered d in
       if avail < 5 then None
       else begin
@@ -778,15 +780,24 @@ module Stream = struct
           let crc = Crc32.update_bytes crc d.d_buf ~pos:(d.d_head + 5) ~len in
           let expect = Bytes.get_int32_le d.d_buf (d.d_head + 5 + len) in
           if crc <> expect then fail "frame checksum mismatch (kind %d)" kind;
-          let payload = Bytes.sub_string d.d_buf (d.d_head + 5) len in
-          d.d_head <- d.d_head + 5 + len + 4;
-          if d.d_head = d.d_tail then begin
-            d.d_head <- 0;
-            d.d_tail <- 0
-          end;
-          Some (kind, payload)
+          Some (kind, d.d_head + 5, len)
         end
       end
+
+    let drop_frame d ~off ~len =
+      d.d_head <- off + len + 4;
+      if d.d_head = d.d_tail then begin
+        d.d_head <- 0;
+        d.d_tail <- 0
+      end
+
+    let take_frame d =
+      match peek_frame d with
+      | None -> None
+      | Some (kind, off, len) ->
+        let payload = Bytes.sub_string d.d_buf off len in
+        drop_frame d ~off ~len;
+        Some (kind, payload)
 
     (* Tail-recursive for the same reason [reader.next]'s loop is: a
        stream padded with empty paths frames must not grow the stack. *)
@@ -852,6 +863,321 @@ module Stream = struct
           with Parse msg ->
             d.d_error <- Some msg;
             Error msg)
+
+    (* ---- Batched decoding ---- *)
+
+    type batch_step =
+      | B_need_more
+      | B_program of Cfg.program
+      | B_batch
+      | B_end of Vm.run_stats
+
+    (* An instance frame validated and decoded straight out of a buffer
+       region into [batch]: ids range-checked against the table, arrival
+       bytes widened to int codes — no payload string, no per-chunk
+       ids/arrivals allocation.  Checks mirror [parse_instances_payload]
+       (same messages, same order) so batch and chunk decoding accept
+       exactly the same frames. *)
+    let decode_instances_bytes buf ~off ~len ~table (batch : Batch.t) =
+      if len < 4 then fail "truncated input at offset 0 (need 4 bytes)";
+      let n = Int32.to_int (Bytes.get_int32_le buf off) in
+      if n < 0 || n > (len - 4) / 5 then fail "implausible instance count %d" n;
+      let np = Path_table.size table in
+      Batch.ensure batch n;
+      let ids = batch.Batch.ids and arrs = batch.Batch.arrs in
+      let idoff = off + 4 in
+      for j = 0 to n - 1 do
+        let id = Int32.to_int (Bytes.get_int32_le buf (idoff + (4 * j))) in
+        if id < 0 || id >= np then
+          fail "instance path id %d out of range (%d paths)" id np;
+        Array.unsafe_set ids j id
+      done;
+      let aoff = idoff + (4 * n) in
+      for j = 0 to n - 1 do
+        let a = Char.code (Bytes.unsafe_get buf (aoff + j)) in
+        if a > 2 then fail "invalid arrival code %d" a;
+        Array.unsafe_set arrs j a
+      done;
+      if len <> 4 + (5 * n) then
+        fail "frame has %d trailing bytes" (len - (4 + (5 * n)));
+      Batch.set_length batch n
+
+    (* [step], with instance frames decoded from the ring buffer into the
+       caller's batch.  Cold frames (program/paths/end) still go through
+       the shared payload parsers.  Tail-recursive over paths frames like
+       [step]. *)
+    let rec step_batch d (batch : Batch.t) =
+      match d.d_stats with
+      | Some stats ->
+        if buffered d > 0 then fail "trailing garbage after end frame";
+        B_end stats
+      | None ->
+        if not d.d_magic then begin
+          if buffered d < String.length magic then B_need_more
+          else begin
+            let m = Bytes.sub_string d.d_buf d.d_head (String.length magic) in
+            if m <> magic then
+              if m = legacy_magic then
+                fail "HOTPATH2 blob, not a stream (use Serialize.of_string/load)"
+              else fail "bad magic %S" m;
+            d.d_head <- d.d_head + String.length magic;
+            d.d_magic <- true;
+            step_batch d batch
+          end
+        end
+        else
+          match peek_frame d with
+          | None -> B_need_more
+          | Some (kind, off, len) -> (
+              match d.d_program with
+              | None ->
+                if kind <> k_program then
+                  fail "expected program frame, got kind %d" kind;
+                let payload = Bytes.sub_string d.d_buf off len in
+                drop_frame d ~off ~len;
+                let program = parse_program_payload payload in
+                d.d_program <- Some program;
+                B_program program
+              | Some program ->
+                if kind = k_paths then begin
+                  let payload = Bytes.sub_string d.d_buf off len in
+                  drop_frame d ~off ~len;
+                  let c = { s = payload; pos = 0 } in
+                  parse_paths_payload c ~table:d.d_table
+                    ~n_blocks:(Array.length program.Cfg.blocks);
+                  step_batch d batch
+                end
+                else if kind = k_instances then begin
+                  decode_instances_bytes d.d_buf ~off ~len ~table:d.d_table
+                    batch;
+                  drop_frame d ~off ~len;
+                  d.d_instances <- d.d_instances + Batch.length batch;
+                  B_batch
+                end
+                else if kind = k_end then begin
+                  let payload = Bytes.sub_string d.d_buf off len in
+                  drop_frame d ~off ~len;
+                  let c = { s = payload; pos = 0 } in
+                  let stats =
+                    parse_end_payload c ~instances:d.d_instances
+                      ~paths:(Path_table.size d.d_table)
+                  in
+                  if buffered d > 0 then
+                    fail "trailing garbage after end frame";
+                  d.d_stats <- Some stats;
+                  B_end stats
+                end
+                else fail "unknown frame kind %d" kind)
+
+    let next_batch d batch =
+      match d.d_error with
+      | Some e -> Error e
+      | None -> (
+          try Ok (step_batch d batch)
+          with Parse msg ->
+            d.d_error <- Some msg;
+            Error msg)
+  end
+
+  (* ---------------- Mapped (zero-copy) reader ---------------- *)
+
+  module Mapped = struct
+    type bigstring = Crc32.bigstring
+
+    let ba_u8 (b : bigstring) i = Char.code (Bigarray.Array1.unsafe_get b i)
+
+    (* Little-endian i32 straight off the map.  Sign extension is by the
+       xor/subtract identity — [(v lsl 32) asr 32] would overflow the
+       63-bit native int. *)
+    let ba_i32 (b : bigstring) i =
+      let v =
+        ba_u8 b i
+        lor (ba_u8 b (i + 1) lsl 8)
+        lor (ba_u8 b (i + 2) lsl 16)
+        lor (ba_u8 b (i + 3) lsl 24)
+      in
+      (v lxor 0x8000_0000) - 0x8000_0000
+
+    let ba_sub_string (b : bigstring) ~pos ~len =
+      String.init len (fun i -> Bigarray.Array1.unsafe_get b (pos + i))
+
+    type t = {
+      m_buf : bigstring;
+      mutable m_pos : int;
+      m_program : Cfg.program;
+      m_table : Path_table.t;
+      mutable m_instances : int;
+      mutable m_vm_stats : Vm.run_stats option;
+      mutable m_error : string option;
+    }
+
+    let program m = m.m_program
+
+    let table m = m.m_table
+
+    let instances_read m = m.m_instances
+
+    let vm_stats m = m.m_vm_stats
+
+    let error m = m.m_error
+
+    (* Validate the frame at [p] against the mapped region — header and
+       payload bounds, CRC-32 over the raw mapped bytes — and return
+       [(kind, payload offset, payload length, next frame offset)]
+       without copying anything. *)
+    let frame_at (buf : bigstring) p =
+      let dim = Bigarray.Array1.dim buf in
+      if dim - p < 5 then
+        fail "truncated stream: EOF while reading frame header";
+      let kind = ba_u8 buf p in
+      let len = ba_i32 buf (p + 1) in
+      if len < 0 || len > max_frame_payload then
+        fail "implausible frame payload length %d" len;
+      if dim - (p + 5) < len then
+        fail "truncated stream: EOF while reading frame payload";
+      if dim - (p + 5 + len) < 4 then
+        fail "truncated stream: EOF while reading frame checksum";
+      let crc = Crc32.update_bigstring Crc32.empty buf ~pos:p ~len:(5 + len) in
+      let expect = Int32.of_int (ba_i32 buf (p + 5 + len)) in
+      if crc <> expect then fail "frame checksum mismatch (kind %d)" kind;
+      (kind, p + 5, len, p + 5 + len + 4)
+
+    let of_bigstring buf =
+      try
+        let mlen = String.length magic in
+        if Bigarray.Array1.dim buf < mlen then
+          fail "truncated stream: EOF while reading magic";
+        let ms = ba_sub_string buf ~pos:0 ~len:mlen in
+        if ms <> magic then
+          if ms = legacy_magic then
+            fail "HOTPATH2 blob, not a stream (use Serialize.of_string/load)"
+          else fail "bad magic %S" ms;
+        let kind, off, len, next = frame_at buf mlen in
+        if kind <> k_program then
+          fail "expected program frame, got kind %d" kind;
+        let program = parse_program_payload (ba_sub_string buf ~pos:off ~len) in
+        Ok
+          { m_buf = buf; m_pos = next; m_program = program;
+            m_table = Path_table.create (); m_instances = 0;
+            m_vm_stats = None; m_error = None }
+      with Parse msg -> Error msg
+
+    let of_string s =
+      let n = String.length s in
+      let b = Bigarray.Array1.create Bigarray.char Bigarray.c_layout n in
+      for i = 0 to n - 1 do
+        Bigarray.Array1.unsafe_set b i (String.unsafe_get s i)
+      done;
+      of_bigstring b
+
+    let map_file ~path =
+      match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+      | exception Unix.Unix_error (e, _, _) ->
+        Error (path ^ ": " ^ Unix.error_message e)
+      | fd -> (
+          let close () = try Unix.close fd with Unix.Unix_error _ -> () in
+          match (Unix.fstat fd).Unix.st_kind with
+          | exception Unix.Unix_error (e, _, _) ->
+            close ();
+            Error (path ^ ": " ^ Unix.error_message e)
+          | Unix.S_REG -> (
+              (* mmap(2) rejects empty regions; an empty file is just a
+                 truncated stream. *)
+              if (Unix.fstat fd).Unix.st_size = 0 then begin
+                close ();
+                of_bigstring
+                  (Bigarray.Array1.create Bigarray.char Bigarray.c_layout 0)
+              end
+              else
+                match
+                  Unix.map_file fd Bigarray.char Bigarray.c_layout false
+                    [| -1 |]
+                with
+                | exception Unix.Unix_error (e, _, _) ->
+                  close ();
+                  Error (path ^ ": mmap failed: " ^ Unix.error_message e)
+                | exception Sys_error e ->
+                  close ();
+                  Error (path ^ ": mmap failed: " ^ e)
+                | ga ->
+                  (* The mapping outlives the descriptor; the bigarray
+                     finalizer unmaps at GC. *)
+                  close ();
+                  of_bigstring (Bigarray.array1_of_genarray ga))
+          | _ ->
+            close ();
+            Error
+              (path
+             ^ ": not a regular file — mmap ingest needs one (use open_file)"))
+
+    (* The zero-copy hot path: an instance frame's count, ids, and
+       arrival bytes are validated and widened directly from the mapped
+       region into the caller's batch.  Checks mirror
+       [parse_instances_payload]. *)
+    let decode_instances m ~off ~len (batch : Batch.t) =
+      let buf = m.m_buf in
+      if len < 4 then fail "truncated input at offset 0 (need 4 bytes)";
+      let n = ba_i32 buf off in
+      if n < 0 || n > (len - 4) / 5 then fail "implausible instance count %d" n;
+      let np = Path_table.size m.m_table in
+      Batch.ensure batch n;
+      let ids = batch.Batch.ids and arrs = batch.Batch.arrs in
+      let idoff = off + 4 in
+      for j = 0 to n - 1 do
+        let id = ba_i32 buf (idoff + (4 * j)) in
+        if id < 0 || id >= np then
+          fail "instance path id %d out of range (%d paths)" id np;
+        Array.unsafe_set ids j id
+      done;
+      let aoff = idoff + (4 * n) in
+      for j = 0 to n - 1 do
+        let a = ba_u8 buf (aoff + j) in
+        if a > 2 then fail "invalid arrival code %d" a;
+        Array.unsafe_set arrs j a
+      done;
+      if len <> 4 + (5 * n) then
+        fail "frame has %d trailing bytes" (len - (4 + (5 * n)));
+      Batch.set_length batch n
+
+    (* Tail-recursive over paths frames, like [reader.next]. *)
+    let next_batch m batch =
+      match m.m_error with
+      | Some e -> Error e
+      | None ->
+        if m.m_vm_stats <> None then Ok false
+        else begin
+          let rec loop () =
+            let kind, off, len, next = frame_at m.m_buf m.m_pos in
+            m.m_pos <- next;
+            if kind = k_paths then begin
+              let c = { s = ba_sub_string m.m_buf ~pos:off ~len; pos = 0 } in
+              parse_paths_payload c ~table:m.m_table
+                ~n_blocks:(Array.length m.m_program.Cfg.blocks);
+              loop ()
+            end
+            else if kind = k_instances then begin
+              decode_instances m ~off ~len batch;
+              m.m_instances <- m.m_instances + Batch.length batch;
+              Ok true
+            end
+            else if kind = k_end then begin
+              let c = { s = ba_sub_string m.m_buf ~pos:off ~len; pos = 0 } in
+              let stats =
+                parse_end_payload c ~instances:m.m_instances
+                  ~paths:(Path_table.size m.m_table)
+              in
+              if m.m_pos <> Bigarray.Array1.dim m.m_buf then
+                fail "trailing garbage after end frame";
+              m.m_vm_stats <- Some stats;
+              Ok false
+            end
+            else fail "unknown frame kind %d" kind
+          in
+          try loop ()
+          with Parse msg ->
+            m.m_error <- Some msg;
+            Error msg
+        end
   end
 end
 

@@ -249,5 +249,81 @@ module Stream : sig
     (** The end frame has been validated. *)
 
     val error : t -> string option
+
+    (** {2 Batched decoding}
+
+        {!next} cuts one payload string and allocates fresh [ids] and
+        [arrivals] per instance frame.  {!next_batch} instead validates
+        and decodes instance frames straight out of the internal buffer
+        into a caller-supplied (reusable) {!Batch.t} — ids range-checked,
+        arrival bytes widened to int codes — accepting and rejecting
+        exactly the same streams.  Cold frames (program, paths, end) go
+        through the shared payload parsers unchanged. *)
+
+    type batch_step =
+      | B_need_more  (** A complete next frame has not arrived yet. *)
+      | B_program of Cfg.program
+      | B_batch  (** One instances frame, decoded into the batch. *)
+      | B_end of Hotpath_vm.Vm.run_stats
+
+    val next_batch : t -> Batch.t -> (batch_step, string) result
+    (** As {!next}, filling [batch] instead of allocating a {!chunk}.
+        The batch contents are valid until the next [next_batch] call
+        with the same batch. *)
+  end
+
+  (** {1 Zero-copy mapped reading}
+
+      A {!Mapped.t} reads a HOTPATH3 stream from a [Bigarray]-backed
+      buffer — a memory-mapped file via {!Mapped.map_file}, or any
+      in-memory bigstring — validating each frame's bounds and CRC-32
+      against the mapped region directly and decoding instance frames
+      straight into a reusable {!Batch.t}.  No [Bytes.blit] per frame,
+      no per-chunk allocation: the kernel pages the file in behind the
+      sequential scan, and the only per-frame copies are the cold
+      program/paths/end payloads handed to the shared parsers.  Frame
+      windowing is preserved — a consumer holds one decoded frame of
+      state at a time, so replaying through {!Session} keeps peak heap
+      at O(paths + frame) even though the file mapping is as large as
+      the file. *)
+  module Mapped : sig
+    type bigstring = Hotpath_util.Crc32.bigstring
+
+    type t
+
+    val map_file : path:string -> (t, string) result
+    (** Map a HOTPATH3 file read-only and validate its magic and program
+        frame.  Non-regular files (pipes, sockets, directories) return
+        [Error] — stream those through {!open_file}/{!Decoder} instead.
+        The mapping is released when the reader is garbage-collected. *)
+
+    val of_bigstring : bigstring -> (t, string) result
+    (** Wrap an incoming buffer without copying it.  The caller must not
+        mutate the buffer while the reader is live. *)
+
+    val of_string : string -> (t, string) result
+    (** Copy [s] into a fresh bigstring and wrap it (tests, small
+        buffers). *)
+
+    val next_batch : t -> Batch.t -> (bool, string) result
+    (** Decode frames up to and including the next instance frame into
+        [batch].  [Ok true]: the batch holds the frame's instances.
+        [Ok false]: the end frame was validated (totals cross-checked,
+        no trailing bytes) — {!vm_stats} is now [Some] — and every later
+        call returns [Ok false] again.  After an [Error] the reader is
+        poisoned and repeats the same error.  Validation matches the
+        pull reader frame for frame: same bounds checks, same CRC, same
+        accept/reject decisions on every stream. *)
+
+    val program : t -> Cfg.program
+
+    val table : t -> Path_table.t
+    (** Paths declared so far; grows as batches are pulled. *)
+
+    val instances_read : t -> int
+
+    val vm_stats : t -> Hotpath_vm.Vm.run_stats option
+
+    val error : t -> string option
   end
 end

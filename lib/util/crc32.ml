@@ -35,6 +35,62 @@ let update_bytes crc b ~pos ~len =
     invalid_arg "Crc32.update_bytes: slice out of bounds";
   update_gen (fun b i -> Char.code (Bytes.unsafe_get b i)) crc b ~pos ~len
 
+type bigstring =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(* Slicing-by-4 tables on native ints for the bigstring loop below:
+   [t.(0)] is the standard byte table widened to int, and each
+   [t.(j+1).(b)] advances [t.(j).(b)] one more zero byte, so four
+   lookups absorb four message bytes at once. *)
+let tables_nat =
+  lazy
+    (let t0 =
+       Array.map (fun c -> Int32.to_int c land 0xFFFF_FFFF) (Lazy.force table)
+     in
+     let next t = Array.map (fun c -> t0.(c land 0xFF) lxor (c lsr 8)) t in
+     let t1 = next t0 in
+     let t2 = next t1 in
+     let t3 = next t2 in
+     [| t0; t1; t2; t3 |])
+
+(* Specialized loop for the mapped-ingest hot path: zero-copy readers
+   checksum every mapped byte, so this replaces [update_gen]'s per-byte
+   closure call with a slicing-by-4 state machine on untagged native
+   ints (the state fits 32 bits and stays non-negative, so [lsr] is the
+   logical shift).  Byte-compatible with [update_gen] by construction —
+   both compute reflected CRC-32 — and the shared test suite pins them
+   to each other. *)
+let update_bigstring crc b ~pos ~len =
+  if pos < 0 || len < 0 || pos > Bigarray.Array1.dim b - len then
+    invalid_arg "Crc32.update_bigstring: slice out of bounds";
+  let t = Lazy.force tables_nat in
+  let t0 = t.(0) and t1 = t.(1) and t2 = t.(2) and t3 = t.(3) in
+  let c = ref (Int32.to_int (Int32.lognot crc) land 0xFFFF_FFFF) in
+  let i = ref pos in
+  let last = pos + len in
+  while last - !i >= 4 do
+    let p = !i in
+    let word =
+      Char.code (Bigarray.Array1.unsafe_get b p)
+      lor (Char.code (Bigarray.Array1.unsafe_get b (p + 1)) lsl 8)
+      lor (Char.code (Bigarray.Array1.unsafe_get b (p + 2)) lsl 16)
+      lor (Char.code (Bigarray.Array1.unsafe_get b (p + 3)) lsl 24)
+    in
+    let x = !c lxor word in
+    c :=
+      Array.unsafe_get t3 (x land 0xFF)
+      lxor Array.unsafe_get t2 ((x lsr 8) land 0xFF)
+      lxor Array.unsafe_get t1 ((x lsr 16) land 0xFF)
+      lxor Array.unsafe_get t0 ((x lsr 24) land 0xFF);
+    i := p + 4
+  done;
+  while !i < last do
+    let byte = Char.code (Bigarray.Array1.unsafe_get b !i) in
+    c := Array.unsafe_get t0 ((!c lxor byte) land 0xFF) lxor (!c lsr 8);
+    incr i
+  done;
+  Int32.lognot (Int32.of_int !c)
+
 let update_char crc ch = update_gen (fun c _ -> Char.code c) crc ch ~pos:0 ~len:1
 
 let digest_string s = update_string empty s ~pos:0 ~len:(String.length s)

@@ -20,6 +20,16 @@ val update_string : t -> string -> pos:int -> len:int -> t
 
 val update_bytes : t -> Bytes.t -> pos:int -> len:int -> t
 
+type bigstring =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** A char [Bigarray] — the view type of a memory-mapped trace file. *)
+
+val update_bigstring : t -> bigstring -> pos:int -> len:int -> t
+(** Extend the digest straight over a mapped region — no copy into the
+    OCaml heap.  Equal bytes give equal digests across all three buffer
+    kinds, which is what lets the mapped reader check the same frame
+    CRCs the pull reader wrote. *)
+
 val update_char : t -> char -> t
 
 val digest_string : string -> t

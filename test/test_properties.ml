@@ -554,6 +554,137 @@ let prop_replay_capture_monotone_in_delay =
        captured 2 >= captured 8 && captured 8 >= captured 64)
 
 (* ------------------------------------------------------------------ *)
+(* Batched decode: generic-walker fan-out and the mapped reader        *)
+(* ------------------------------------------------------------------ *)
+
+(* Under ?jobs the generic Make(S) walker re-packs each chunk once into
+   a dense shared batch and fans it out over the lane groups.  That
+   branch only engages when *every* lane compiles to the generic walker,
+   so these twins eta-expand the member the kernel dispatch keys on —
+   [observe] for the base schemes, [create] for the k-iteration families
+   (whose [observe] is shared across every k). *)
+module Net_generic : Scheme.S = struct
+  include Net
+
+  let observe t ~head ~arrival ~path_id ~n_branches ~n_blocks =
+    Net.observe t ~head ~arrival ~path_id ~n_branches ~n_blocks
+end
+
+module Pp_generic : Scheme.S = struct
+  include Path_profile
+
+  let observe t ~head ~arrival ~path_id ~n_branches ~n_blocks =
+    Path_profile.observe t ~head ~arrival ~path_id ~n_branches ~n_blocks
+end
+
+module Net_k2 = (val Hotpath_prediction.Net_k.make 2)
+module Pp_k2 = (val Hotpath_prediction.Path_profile_k.make 2)
+
+module Net_k2_generic : Scheme.S = struct
+  include Net_k2
+
+  let create ~delay ~program = Net_k2.create ~delay ~program
+end
+
+module Pp_k2_generic : Scheme.S = struct
+  include Pp_k2
+
+  let create ~delay ~program = Pp_k2.create ~delay ~program
+end
+
+let prop_batch_fanout_equals_serial =
+  (* Covers what [prop_chunk_seam_equals_serial] cannot: the k-iteration
+     kernels and the generic batch fan-out.  Adversarial chunk sizes
+     (every instance a seam; one chunk spanning past the end) run under
+     a simulated 1-core budget where the fan-out is inline — a real
+     4-domain spawn per 1-instance chunk would cost minutes, not test
+     more — and the true multi-domain fan-out runs at chunk sizes that
+     give every domain real work per round. *)
+  QCheck.Test.make
+    ~name:"batched fan-out == serial (k-kernels + generic walkers x chunk)"
+    ~count:8
+    QCheck.(pair arb_workload (int_range 2 4))
+    (fun (w, jobs) ->
+       let _, recorded = record_spec w in
+       let n = Recorder.num_instances recorded in
+       let delays = [ 1; 3; 7; 20; 100; 5_000 ] in
+       List.for_all
+         (fun scheme ->
+            let serial = Replay.run_many scheme ~delays recorded in
+            let sharded ~chunk =
+              List.for_all2 outcome_equal serial
+                (Replay.run_many ~jobs ~chunk scheme ~delays recorded)
+            in
+            Pool.with_domain_limit 1 (fun () ->
+                sharded ~chunk:1 && sharded ~chunk:13)
+            && Pool.with_domain_limit 4 (fun () ->
+                sharded ~chunk:37 && sharded ~chunk:(n + 1)))
+         [
+           (module Net_k2 : Scheme.S);
+           (module Pp_k2);
+           (module Net_generic);
+           (module Pp_generic);
+           (module Net_k2_generic);
+           (module Pp_k2_generic);
+         ])
+
+let prop_run_many_mapped_equals_serial =
+  (* The zero-copy mapped driver against the materialized reference:
+     same outcomes and byte-identical event streams for every scheme, at
+     jobs=1 and under a forced multi-domain fan-out (where all lane
+     groups walk one shared batch). *)
+  QCheck.Test.make
+    ~name:"run_many_mapped == run_many (+ events), serial and fanned out"
+    ~count:10
+    QCheck.(pair arb_workload (int_range 2 4))
+    (fun (((_, seed) as w), jobs) ->
+       let _, recorded = record_spec w in
+       let blob =
+         Serialize.Stream.to_string ~chunk_instances:(64 + (seed mod 97))
+           recorded
+       in
+       let mapped () =
+         match Serialize.Stream.Mapped.of_string blob with
+         | Ok m -> m
+         | Error _ -> QCheck.assume_fail ()
+       in
+       let delays = [ 1; 3; 7; 20; 100; 5_000 ] in
+       List.for_all
+         (fun scheme ->
+            let materialized = Replay.run_many scheme ~delays recorded in
+            let check ?jobs () =
+              match Replay.run_many_mapped ?jobs scheme ~delays (mapped ()) with
+              | Error _ -> false
+              | Ok ms ->
+                List.length ms = List.length delays
+                && List.for_all2 outcome_equal materialized ms
+            in
+            check ()
+            && Pool.with_domain_limit 4 (fun () -> check ~jobs ()))
+         seam_schemes
+       &&
+       let mapped_bytes jobs =
+         let buf = Buffer.create 4_096 in
+         let ev = Replay.events ~window:97 (Hotpath_util.Events.of_buffer buf) in
+         match
+           Replay.run_many_mapped ~events:ev ~jobs (module Net) ~delays
+             (mapped ())
+         with
+         | Error _ -> None
+         | Ok _ -> Some (Buffer.contents buf)
+       in
+       let reference =
+         let buf = Buffer.create 4_096 in
+         let ev = Replay.events ~window:97 (Hotpath_util.Events.of_buffer buf) in
+         ignore (Replay.run_many ~events:ev (module Net) ~delays recorded);
+         Buffer.contents buf
+       in
+       Recorder.num_instances recorded = 0
+       || String.length reference > 0
+          && mapped_bytes 1 = Some reference
+          && Pool.with_domain_limit 4 (fun () -> mapped_bytes jobs = Some reference))
+
+(* ------------------------------------------------------------------ *)
 (* Closed-form vs operational rates (Section 3)                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -654,6 +785,8 @@ let suites =
         QCheck_alcotest.to_alcotest prop_run_stream_equals_run;
         QCheck_alcotest.to_alcotest prop_run_many_stream_equals_run_many;
         QCheck_alcotest.to_alcotest prop_run_many_stream_jobs_equals_serial;
+        QCheck_alcotest.to_alcotest prop_batch_fanout_equals_serial;
+        QCheck_alcotest.to_alcotest prop_run_many_mapped_equals_serial;
         QCheck_alcotest.to_alcotest prop_rates_closed_form_exact_for_path_profile;
         QCheck_alcotest.to_alcotest prop_rates_closed_form_undershoots_for_net_once;
         QCheck_alcotest.to_alcotest prop_rates_closed_form_conserves_for_net;

@@ -159,6 +159,96 @@ let test_differential_vs_stream () =
     schemes
 
 (* ------------------------------------------------------------------ *)
+(* push_batch: the batched-decode twin of push_chunk                   *)
+(* ------------------------------------------------------------------ *)
+
+module Batch = Hotpath_trace.Batch
+
+(* Same slicing as [push_sliced], but each slice is decoded into a
+   single reused batch first — exactly the serve daemon's ingest shape,
+   where the decoder refills one pooled batch per frame. *)
+let push_sliced_batch sess (r : Recorder.t) g =
+  let b = Batch.create ~capacity:8 () in
+  let n = Array.length r.Recorder.instances in
+  let off = ref 0 in
+  while !off < n do
+    let len = min g (n - !off) in
+    Batch.fill_of_chunk b
+      ~ids:(Array.sub r.Recorder.instances !off len)
+      ~arrivals:(Bytes.sub r.Recorder.arrivals !off len);
+    (match Session.push_batch sess b with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "push_batch (granularity %d): %s" g e);
+    off := !off + len
+  done
+
+let test_differential_push_batch () =
+  (* Pushing batches refilled from the same storage must be
+     bit-identical to push_chunk and to the batch engine, for every
+     scheme at every adversarial granularity. *)
+  List.iter
+    (fun (fname, r) ->
+      let n = Array.length r.Recorder.instances in
+      List.iter
+        (fun (sname, packed) ->
+          let batch = Replay.run_many packed ~delays r in
+          List.iter
+            (fun g ->
+              let sess = session_exn packed ~delays r in
+              push_sliced_batch sess r g;
+              let label = Printf.sprintf "batch %s/%s/g=%d" fname sname g in
+              check_outcomes label batch (Session.finish sess))
+            (granularities n))
+        schemes)
+    (fixtures ())
+
+let test_push_batch_event_stream_identical () =
+  let r = Test_serialize.record_fixture () in
+  let window = 1024 in
+  List.iter
+    (fun (sname, packed) ->
+      let run_batch () =
+        let buf = Buffer.create 4096 in
+        let ev = Replay.events ~window (Events.of_buffer buf) in
+        ignore (Replay.run_many ~events:ev packed ~delays r : Replay.outcome list);
+        Buffer.contents buf
+      in
+      let run_session g =
+        let buf = Buffer.create 4096 in
+        let ev = Session.events ~window (Events.of_buffer buf) in
+        let sess = session_exn ~events:ev packed ~delays r in
+        push_sliced_batch sess r g;
+        ignore (Session.finish sess : Session.outcome list);
+        Buffer.contents buf
+      in
+      let batch_lines = run_batch () in
+      List.iter
+        (fun g ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s batch events g=%d" sname g)
+            batch_lines (run_session g))
+        [ 1; 13; 4096 ])
+    [ ("net", (module Net : Scheme.S)); ("path-profile", (module Path_profile)) ]
+
+let test_push_batch_validates_like_push_chunk () =
+  (* The decode-level gate must hold for batches too: undeclared ids and
+     invalid arrival codes refused with zero state movement, even with
+     the trace linter off. *)
+  let r = Test_serialize.record_fixture () in
+  let sess = session_exn ~lint:false (module Net) ~delays r in
+  let np = Hotpath_trace.Path_table.size r.Recorder.table in
+  let b = Batch.create () in
+  Batch.fill_of_chunk b ~ids:[| np + 3 |] ~arrivals:(Bytes.make 1 '\000');
+  (match Session.push_batch sess b with
+  | Ok () -> Alcotest.fail "out-of-range path id accepted"
+  | Error _ -> ());
+  Batch.fill_of_chunk b ~ids:[| 0 |] ~arrivals:(Bytes.make 1 '\007');
+  (match Session.push_batch sess b with
+  | Ok () -> Alcotest.fail "invalid arrival code accepted"
+  | Error _ -> ());
+  Alcotest.(check int) "nothing accepted" 0 (Session.instances sess)
+
+(* ------------------------------------------------------------------ *)
 (* Event streams and the counter registry                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -378,6 +468,12 @@ let suites =
           test_differential_single_push;
         Alcotest.test_case "batch ≡ stream ≡ session" `Quick
           test_differential_vs_stream;
+        Alcotest.test_case "push_batch ≡ push_chunk (all schemes)" `Quick
+          test_differential_push_batch;
+        Alcotest.test_case "push_batch event streams byte-identical" `Quick
+          test_push_batch_event_stream_identical;
+        Alcotest.test_case "push_batch validates like push_chunk" `Quick
+          test_push_batch_validates_like_push_chunk;
         Alcotest.test_case "event streams byte-identical" `Quick
           test_event_stream_identical;
         Alcotest.test_case "registry snapshots identical" `Quick

@@ -630,6 +630,264 @@ let test_decoder_feed_validation () =
     (Invalid_argument "Serialize.Stream.Decoder.feed: bad substring")
     (fun () -> Stream.Decoder.feed d "abc" ~pos:2 ~len:5)
 
+(* ------------------------------------------------------------------ *)
+(* Mapped (zero-copy) reader: differential vs the pull reader, plus     *)
+(* its own bitflip/truncation fuzz — the in-place validation must make  *)
+(* exactly the pull reader's accept/reject decisions and never crash.   *)
+(* ------------------------------------------------------------------ *)
+
+module Mapped = Stream.Mapped
+module Batch = Hotpath_trace.Batch
+
+(* Drain a mapped reader through one reused batch.  Returns the
+   concatenated ids and re-packed arrival bytes plus the terminal state:
+   [Ok ()] for a clean end frame, [Error e] when the reader poisoned. *)
+let drain_mapped m =
+  let b = Batch.create ~capacity:16 () in
+  let ids = ref [] in
+  let arrs = ref [] in
+  let rec loop () =
+    match Mapped.next_batch m b with
+    | Ok true ->
+      let n = Batch.length b in
+      ids := Array.sub b.Batch.ids 0 n :: !ids;
+      arrs :=
+        String.init n (fun j -> Char.chr (b.Batch.arrs.(j) land 0xFF)) :: !arrs;
+      loop ()
+    | Ok false -> Ok ()
+    | Error e -> Error e
+  in
+  let final = loop () in
+  (Array.concat (List.rev !ids), String.concat "" (List.rev !arrs), final)
+
+let test_mapped_matches_recorder () =
+  let r = record_fixture () in
+  List.iter
+    (fun chunk_instances ->
+       let blob = Stream.to_string ~chunk_instances r in
+       match Mapped.of_string blob with
+       | Error e -> Alcotest.failf "of_string on valid stream: %s" e
+       | Ok m ->
+         let ids, arrs, final = drain_mapped m in
+         (match final with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "drain (chunk=%d): %s" chunk_instances e);
+         Alcotest.(check (array int)) "ids match recorder"
+           r.Recorder.instances ids;
+         Alcotest.(check string) "arrivals match recorder"
+           (Bytes.to_string r.Recorder.arrivals)
+           arrs;
+         Alcotest.(check int) "instances_read" (Recorder.num_instances r)
+           (Mapped.instances_read m);
+         Alcotest.(check int) "table size" (Recorder.num_paths r)
+           (Path_table.size (Mapped.table m));
+         Alcotest.(check bool) "stats after end" true (Mapped.vm_stats m <> None);
+         (* The end state is sticky. *)
+         (match Mapped.next_batch m (Batch.create ()) with
+          | Ok false -> ()
+          | _ -> Alcotest.fail "next_batch after end must keep returning Ok false"))
+    [ 1; 7; 256; Stream.default_chunk_instances ]
+
+let test_mapped_file_and_fallback () =
+  let r = record_fixture () in
+  let path = Filename.temp_file "hotpath_mapped" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+       Stream.save ~chunk_instances:100 r ~path;
+       (match Mapped.map_file ~path with
+        | Error e -> Alcotest.failf "map_file failed: %s" e
+        | Ok m ->
+          let ids, arrs, final = drain_mapped m in
+          Alcotest.(check bool) "clean end" true (final = Ok ());
+          Alcotest.(check (array int)) "ids via mmap" r.Recorder.instances ids;
+          Alcotest.(check string) "arrivals via mmap"
+            (Bytes.to_string r.Recorder.arrivals)
+            arrs);
+       (* Non-regular files must bounce to the pull reader, not crash:
+          a directory and a character device both refuse to map. *)
+       (match Mapped.map_file ~path:(Filename.get_temp_dir_name ()) with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "mapped a directory");
+       (match Mapped.map_file ~path:"/dev/null" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "mapped a character device");
+       (match Mapped.map_file ~path:(path ^ ".does-not-exist") with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "mapped a missing file"))
+
+let test_mapped_corpus_agrees_with_pull_reader () =
+  (* The one differential that matters for a second decoder: identical
+     accept/reject decisions on every corpus member (HOTPATH2 members
+     fail the magic in both; corrupt HOTPATH3 members must poison both). *)
+  List.iter
+    (fun name ->
+       let contents = read_file (Filename.concat "fixtures" name) in
+       let pull_ok =
+         match Stream.open_string contents with
+         | Error _ -> false
+         | Ok rd -> (match Stream.to_recorder rd with Ok _ -> true | Error _ -> false)
+       in
+       let mapped_ok =
+         match Mapped.of_string contents with
+         | Error _ -> false
+         | Ok m -> (match drain_mapped m with _, _, Ok () -> true | _ -> false)
+       in
+       Alcotest.(check bool)
+         (Printf.sprintf "%s: mapped verdict = pull verdict" name)
+         pull_ok mapped_ok)
+    (corpus_files ())
+
+let test_mapped_bitflip_fuzz () =
+  (* 400 random single-bit flips: the per-frame CRC covers every byte,
+     so no mutation may drain to a clean end — Error at open or Error
+     mid-drain, never an exception.  Errors are sticky. *)
+  let r = record_fixture () in
+  let s = Stream.to_string ~chunk_instances:64 r in
+  let rng = Prng.create ~seed:0x3A99ED in
+  for case = 1 to 400 do
+    let pos = Prng.int rng ~bound:(String.length s) in
+    let bit = Prng.int rng ~bound:8 in
+    match Mapped.of_string (flip_bit s ~pos ~bit) with
+    | Error _ -> ()
+    | Ok m -> (
+        match drain_mapped m with
+        | _, _, Ok () ->
+          Alcotest.failf "mapped bitflip %d (pos=%d bit=%d) drained clean" case
+            pos bit
+        | _, _, Error e -> (
+            match Mapped.next_batch m (Batch.create ()) with
+            | Error e' -> Alcotest.(check string) "error is sticky" e e'
+            | Ok _ -> Alcotest.fail "poisoned mapped reader recovered"))
+  done
+
+let test_mapped_truncation_fuzz () =
+  (* 120 prefixes: every torn write is Error, never a crash or a clean
+     end. *)
+  let r = record_fixture () in
+  let s = Stream.to_string ~chunk_instances:64 r in
+  let n = String.length s in
+  for i = 0 to 119 do
+    let keep = i * (n - 1) / 119 in
+    match Mapped.of_string (String.sub s 0 keep) with
+    | Error _ -> ()
+    | Ok m -> (
+        match drain_mapped m with
+        | _, _, Ok () -> Alcotest.failf "truncation to %d drained clean" keep
+        | _, _, Error _ -> ())
+  done
+
+let test_run_mapped_matches_run () =
+  let r = record_fixture () in
+  let mapped ?(chunk_instances = 33) () =
+    match Mapped.of_string (Stream.to_string ~chunk_instances r) with
+    | Ok m -> m
+    | Error e -> Alcotest.failf "of_string on valid stream: %s" e
+  in
+  List.iter
+    (fun (name, scheme) ->
+       List.iter
+         (fun delay ->
+            let materialized = Replay.run scheme ~delay r in
+            match Replay.run_mapped scheme ~delay (mapped ()) with
+            | Error e -> Alcotest.failf "%s: run_mapped failed: %s" name e
+            | Ok m ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s delay=%d identical" name delay)
+                true
+                (Test_properties.outcome_equal materialized m))
+         [ 1; 7; 50; 100_000 ])
+    schemes
+
+let test_run_many_mapped_matches_run_many () =
+  let r = record_fixture () in
+  let delays = [ 1; 3; 7; 20; 100; 5_000 ] in
+  let mapped ~chunk_instances () =
+    match Mapped.of_string (Stream.to_string ~chunk_instances r) with
+    | Ok m -> m
+    | Error e -> Alcotest.failf "of_string on valid stream: %s" e
+  in
+  List.iter
+    (fun (name, scheme) ->
+       let materialized = Replay.run_many scheme ~delays r in
+       let check_jobs jobs =
+         match
+           Replay.run_many_mapped ~jobs scheme ~delays
+             (mapped ~chunk_instances:61 ())
+         with
+         | Error e -> Alcotest.failf "%s: run_many_mapped failed: %s" name e
+         | Ok ms ->
+           Alcotest.(check int) "one outcome per delay" (List.length delays)
+             (List.length ms);
+           List.iter2
+             (fun a b ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s lane identical (jobs=%d)" name jobs)
+                  true
+                  (Test_properties.outcome_equal a b))
+             materialized ms
+       in
+       check_jobs 1;
+       (* Forced 4-domain budget: the shared-batch fan-out must run for
+          real even on a 1-core CI machine. *)
+       Hotpath_util.Pool.with_domain_limit 4 (fun () -> check_jobs 3))
+    schemes
+
+let test_run_many_mapped_events_identical () =
+  (* One event stream, three drivers: materialized, pull-streamed, and
+     mapped replay must emit byte-identical samples. *)
+  let r = record_fixture () in
+  let delays = [ 1; 3; 7; 20; 100 ] in
+  let via_run_many () =
+    let buf = Buffer.create 4096 in
+    let ev = Replay.events ~window:97 (Hotpath_util.Events.of_buffer buf) in
+    ignore (Replay.run_many ~events:ev (module Net) ~delays r);
+    Buffer.contents buf
+  in
+  let via_stream () =
+    let buf = Buffer.create 4096 in
+    let ev = Replay.events ~window:97 (Hotpath_util.Events.of_buffer buf) in
+    (match
+       Replay.run_many_stream ~events:ev (module Net) ~delays
+         (stream_of_recorder ~chunk_instances:61 r)
+     with
+     | Ok _ -> ()
+     | Error e -> Alcotest.failf "run_many_stream: %s" e);
+    Buffer.contents buf
+  in
+  let via_mapped () =
+    let buf = Buffer.create 4096 in
+    let ev = Replay.events ~window:97 (Hotpath_util.Events.of_buffer buf) in
+    (match Mapped.of_string (Stream.to_string ~chunk_instances:61 r) with
+     | Error e -> Alcotest.failf "of_string: %s" e
+     | Ok m -> (
+         match Replay.run_many_mapped ~events:ev (module Net) ~delays m with
+         | Ok _ -> ()
+         | Error e -> Alcotest.failf "run_many_mapped: %s" e));
+    Buffer.contents buf
+  in
+  let reference = via_run_many () in
+  Alcotest.(check bool) "events non-empty" true (String.length reference > 0);
+  Alcotest.(check string) "stream events identical" reference (via_stream ());
+  Alcotest.(check string) "mapped events identical" reference (via_mapped ())
+
+let test_run_mapped_surfaces_decode_errors () =
+  let r = record_fixture () in
+  let s = Stream.to_string ~chunk_instances:40 r in
+  let b = Bytes.of_string s in
+  let mid = String.length s / 2 in
+  Bytes.set b mid (Char.chr (Char.code (Bytes.get b mid) lxor 0x40));
+  match Mapped.of_string (Bytes.to_string b) with
+  | Error _ -> () (* corruption already hit the program frame: fine *)
+  | Ok m -> (
+      match Replay.run_mapped (module Net) ~delay:7 m with
+      | Ok _ -> Alcotest.fail "corrupt mapped stream replayed to Ok"
+      | Error first -> (
+          match Mapped.next_batch m (Batch.create ()) with
+          | Error second ->
+            Alcotest.(check string) "mapped reader stays poisoned" first second
+          | Ok _ -> Alcotest.fail "poisoned mapped reader yielded a batch"))
+
 let suites =
   [
     ( "trace.stream",
@@ -695,5 +953,26 @@ let suites =
           test_decoder_end_repeats;
         Alcotest.test_case "feed validates substring" `Quick
           test_decoder_feed_validation;
+      ] );
+    ( "trace.stream.mapped",
+      [
+        Alcotest.test_case "mapped reader = recorder (chunk 1/7/256/default)"
+          `Quick test_mapped_matches_recorder;
+        Alcotest.test_case "map_file roundtrip + non-regular files refused"
+          `Quick test_mapped_file_and_fallback;
+        Alcotest.test_case "corpus verdicts agree with pull reader" `Quick
+          test_mapped_corpus_agrees_with_pull_reader;
+        Alcotest.test_case "400 bitflips never drain clean" `Quick
+          test_mapped_bitflip_fuzz;
+        Alcotest.test_case "120 truncations never drain clean" `Quick
+          test_mapped_truncation_fuzz;
+        Alcotest.test_case "run_mapped = run (all schemes)" `Quick
+          test_run_mapped_matches_run;
+        Alcotest.test_case "run_many_mapped = run_many (jobs 1/3)" `Quick
+          test_run_many_mapped_matches_run_many;
+        Alcotest.test_case "event streams byte-identical across drivers" `Quick
+          test_run_many_mapped_events_identical;
+        Alcotest.test_case "replay surfaces mapped decode errors" `Quick
+          test_run_mapped_surfaces_decode_errors;
       ] );
   ]
