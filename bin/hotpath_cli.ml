@@ -70,8 +70,9 @@ let delay_arg =
 
 let scheme_arg =
   let doc =
-    "Prediction scheme: net | net-once | let | path-profile | net-k<k> | \
-     path-profile-k<k> (k-iteration families, 1 <= k <= 32)."
+    "Prediction scheme: net | net-once | let | path-profile | static | \
+     net-k<k> | path-profile-k<k> (k-iteration families, 1 <= k <= 32) | \
+     net-kauto | path-profile-kauto (statically-selected per-head k)."
   in
   (* Validated at parse time (a bad name is a usage error, not an
      uncaught exception), but carried as the string: serve-send ships
@@ -338,11 +339,7 @@ let dynamo_cmd =
     in
     let cost = Hotpath_dynamo.Cost_model.default in
     let packed = scheme_of_string scheme in
-    let costs =
-      if String.starts_with ~prefix:"path-profile" scheme then
-        E.path_profile_costs cost
-      else E.net_costs cost
-    in
+    let costs = E.costs_for ~scheme cost in
     with_events_sink events (fun sink ->
       let config =
         E.config ~cost ~scheme:packed ~scheme_costs:costs ~delay ~events:sink
@@ -370,11 +367,7 @@ let online_cmd =
     in
     let cost = Hotpath_dynamo.Cost_model.default in
     let packed = scheme_of_string scheme in
-    let costs =
-      if String.starts_with ~prefix:"path-profile" scheme then
-        E.path_profile_costs cost
-      else E.net_costs cost
-    in
+    let costs = E.costs_for ~scheme cost in
     let config = E.config ~cost ~scheme:packed ~scheme_costs:costs ~delay () in
     let max_paths =
       max 1000
@@ -579,6 +572,36 @@ let replay_cmd =
 (* ------------------------------------------------------------------ *)
 (* Static analysis / linting                                           *)
 (* ------------------------------------------------------------------ *)
+
+let static_cmd =
+  let module SR = Hotpath_experiments.Static_report in
+  let bench_opt =
+    let doc =
+      "Benchmark name: drill down to the per-head estimated-vs-measured \
+       table (default: the all-benchmark summary)."
+    in
+    Arg.(value & opt (some string) None & info [ "bench"; "b" ] ~docv:"NAME" ~doc)
+  in
+  let top_arg =
+    let doc = "Heads to list in the per-benchmark drill-down." in
+    Arg.(value & opt int 12 & info [ "top" ] ~docv:"N" ~doc)
+  in
+  let run scale jobs csv bench top =
+    match bench with
+    | None ->
+      if csv then print_string (SR.render_csv ~scale ~jobs ())
+      else print_string (SR.render ~scale ~jobs ())
+    | Some name ->
+      print_string
+        (SR.render_bench ~scale ~top (Hotpath_workloads.Suite.find_exn name))
+  in
+  Cmd.v
+    (Cmd.info "static"
+       ~doc:
+         "Static Wu-Larus frequency estimate vs measured hot heads: rank \
+          correlation, top-N overlap, and the kauto per-head window \
+          selection")
+    Term.(const run $ scale_arg $ jobs_arg $ csv_arg $ bench_opt $ top_arg)
 
 let check_cmd =
   let module Diag = Hotpath_analysis.Diag in
@@ -835,7 +858,7 @@ let main_cmd =
     [
       table1_cmd; table2_cmd; fig2_cmd; fig3_cmd; fig4_cmd; fig5_cmd; ablations_cmd; offline_cmd; phases_cmd;
       sweep_cmd; dynamo_cmd; online_cmd; paths_cmd; dot_cmd; record_cmd; replay_cmd;
-      serve_cmd; serve_send_cmd; check_cmd; events_summary_cmd; bench_list_cmd;
+      serve_cmd; serve_send_cmd; check_cmd; static_cmd; events_summary_cmd; bench_list_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,197 @@
+open Hotpath_cfg
+
+type heuristic =
+  | Loop_branch
+  | Loop_exit
+  | Loop_header
+  | Call
+  | Return
+  | Pointer_guard
+  | Opcode_weight
+  | Fallback_not_taken
+
+let name = function
+  | Loop_branch -> "loop-branch"
+  | Loop_exit -> "loop-exit"
+  | Loop_header -> "loop-header"
+  | Call -> "call"
+  | Return -> "return"
+  | Pointer_guard -> "pointer-guard"
+  | Opcode_weight -> "opcode-weight"
+  | Fallback_not_taken -> "fallback-not-taken"
+
+(* The Wu–Larus table values (Static Branch Frequency and Program
+   Profile Analysis, MICRO-27), with the weight proxy at the store
+   heuristic's 0.55 and the not-taken fallback at a mild 0.55. *)
+let confidence = function
+  | Loop_branch -> 0.88
+  | Loop_exit -> 0.80
+  | Loop_header -> 0.75
+  | Call -> 0.78
+  | Return -> 0.72
+  | Pointer_guard -> 0.60
+  | Opcode_weight -> 0.55
+  | Fallback_not_taken -> 0.55
+
+let combine p q = p *. q /. ((p *. q) +. ((1.0 -. p) *. (1.0 -. q)))
+
+type branch = {
+  br_block : Cfg.block_id;
+  br_taken : Cfg.block_id;
+  br_fallthrough : Cfg.block_id;
+  br_taken_prob : float;
+  br_fired : heuristic list;
+}
+
+type t = {
+  program : Cfg.program;
+  proc : Cfg.proc_id;
+  branches : branch list;
+  taken_prob : (Cfg.block_id, float) Hashtbl.t;
+}
+
+let proc_id t = t.proc
+
+let branches t = t.branches
+
+(* Innermost loop containing a block: among the loops whose body holds
+   it, the one with the deepest head. *)
+let innermost_loop loops b =
+  List.fold_left
+    (fun best (l : Loops.loop) ->
+       if List.mem b l.Loops.blocks then
+         match best with
+         | Some (bl : Loops.loop) when bl.Loops.depth >= l.Loops.depth -> best
+         | _ -> Some l
+       else best)
+    None (Loops.loops loops)
+
+let analyze g loops =
+  let p = Procgraph.program g in
+  let proc = Procgraph.proc_id g in
+  let back = Hashtbl.create 16 in
+  let heads = Hashtbl.create 8 in
+  List.iter
+    (fun (l : Loops.loop) ->
+       Hashtbl.replace heads l.Loops.head ();
+       List.iter (fun e -> Hashtbl.replace back e ()) l.Loops.back_edges)
+    (Loops.loops loops);
+  let is_back src dst = Hashtbl.mem back (src, dst) in
+  let is_head b = Hashtbl.mem heads b in
+  let term b = (Cfg.block p b).Cfg.term in
+  let taken_prob = Hashtbl.create 64 in
+  let branch_infos = ref [] in
+  Array.iter
+    (fun b ->
+       match term b with
+       | Cfg.Branch { taken; fallthrough } when taken <> fallthrough ->
+         let fired = ref [] in
+         (* Each heuristic contributes a taken-probability; the rule is
+            skipped when it cannot tell the arms apart. *)
+         let apply h taken_favored =
+           fired := h :: !fired;
+           let c = confidence h in
+           if taken_favored then c else 1.0 -. c
+         in
+         let votes = ref [] in
+         let vote v = votes := v :: !votes in
+         (* Loop branch: a back-edge arm is taken. *)
+         (match (is_back b taken, is_back b fallthrough) with
+          | true, false -> vote (apply Loop_branch true)
+          | false, true -> vote (apply Loop_branch false)
+          | _ -> ());
+         (* Loop exit: the arm staying in the innermost loop around the
+            branch wins. *)
+         (match innermost_loop loops b with
+          | Some l ->
+            let stays x = List.mem x l.Loops.blocks in
+            (match (stays taken, stays fallthrough) with
+             | true, false -> vote (apply Loop_exit true)
+             | false, true -> vote (apply Loop_exit false)
+             | _ -> ())
+          | None -> ());
+         (* Loop header: an arm entering a loop (without being its back
+            edge) wins. *)
+         (match
+            ( is_head taken && not (is_back b taken),
+              is_head fallthrough && not (is_back b fallthrough) )
+          with
+          | true, false -> vote (apply Loop_header true)
+          | false, true -> vote (apply Loop_header false)
+          | _ -> ());
+         (* Call / Return: an arm leading straight to a call or a return
+            is off the fast path. *)
+         let is_call x = match term x with Cfg.Call _ -> true | _ -> false in
+         (match (is_call taken, is_call fallthrough) with
+          | true, false -> vote (apply Call false)
+          | false, true -> vote (apply Call true)
+          | _ -> ());
+         let is_ret x = match term x with Cfg.Return -> true | _ -> false in
+         (match (is_ret taken, is_ret fallthrough) with
+          | true, false -> vote (apply Return false)
+          | false, true -> vote (apply Return true)
+          | _ -> ());
+         (* Pointer guard: an arm reaching an indirect dispatch wins. *)
+         let is_ind x =
+           match term x with Cfg.Indirect _ -> true | _ -> false
+         in
+         (match (is_ind taken, is_ind fallthrough) with
+          | true, false -> vote (apply Pointer_guard true)
+          | false, true -> vote (apply Pointer_guard false)
+          | _ -> ());
+         (* Weight proxy for the opcode/store content heuristics. *)
+         let wt = (Cfg.block p taken).Cfg.weight
+         and wf = (Cfg.block p fallthrough).Cfg.weight in
+         if wt > wf then vote (apply Opcode_weight true)
+         else if wf > wt then vote (apply Opcode_weight false);
+         if !votes = [] then vote (apply Fallback_not_taken false);
+         let prob = List.fold_left combine 0.5 (List.rev !votes) in
+         (* Evidence keeps probabilities strictly inside (0, 1); the
+            clamp guards the frequency propagation against any future
+            heuristic that could saturate. *)
+         let prob = Float.min 0.99 (Float.max 0.01 prob) in
+         Hashtbl.replace taken_prob b prob;
+         branch_infos :=
+           {
+             br_block = b;
+             br_taken = taken;
+             br_fallthrough = fallthrough;
+             br_taken_prob = prob;
+             br_fired = List.rev !fired;
+           }
+           :: !branch_infos
+       | Cfg.Branch _ -> Hashtbl.replace taken_prob b 1.0
+       | _ -> ())
+    (Cfg.proc p proc).Cfg.blocks;
+  { program = p; proc; branches = List.rev !branch_infos; taken_prob }
+
+let taken_prob t b =
+  match Hashtbl.find_opt t.taken_prob b with
+  | Some p -> p
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Heuristics.taken_prob: block %d is not a branch of proc %d"
+         b t.proc)
+
+let succ_probs t b =
+  let p = t.program in
+  let blk = Cfg.block p b in
+  if blk.Cfg.proc <> t.proc then
+    invalid_arg
+      (Printf.sprintf "Heuristics.succ_probs: block %d not in proc %d" b t.proc);
+  let probs =
+    match blk.Cfg.term with
+    | Cfg.Branch { taken; fallthrough } when taken = fallthrough ->
+      [ (taken, 1.0) ]
+    | Cfg.Branch { taken; fallthrough } ->
+      let pt = taken_prob t b in
+      [ (taken, pt); (fallthrough, 1.0 -. pt) ]
+    | Cfg.Jump d -> [ (d, 1.0) ]
+    | Cfg.Indirect targets ->
+      let distinct = List.sort_uniq compare (Array.to_list targets) in
+      let u = 1.0 /. float_of_int (List.length distinct) in
+      List.map (fun d -> (d, u)) distinct
+    | Cfg.Call { return_to; _ } -> [ (return_to, 1.0) ]
+    | Cfg.Return | Cfg.Exit -> []
+  in
+  List.sort (fun (a, _) (b, _) -> compare a b) probs

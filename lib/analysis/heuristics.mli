@@ -1,0 +1,76 @@
+(** Wu–Larus-style branch-probability heuristics (Ball–Larus 1993,
+    Wu–Larus 1994) over one procedure's control flow.
+
+    Each conditional branch is assigned a taken-probability by combining
+    the structural heuristics that apply to it with the Dempster–Shafer
+    evidence rule, starting from an uninformative 0.5 prior.  The
+    abstract ISA carries no instruction content, so the opcode/store
+    heuristics of the original papers are approximated by the only
+    content proxy a block has — its weight — and the pointer heuristic
+    by the presence of an indirect-dispatch terminator (see DESIGN.md).
+
+    The probabilities feed {!Freq}'s static frequency propagation; the
+    per-branch evidence lists feed the [hotpath static] report and the
+    heuristic unit tests. *)
+
+open Hotpath_cfg
+
+type heuristic =
+  | Loop_branch  (** Back edges are taken (0.88). *)
+  | Loop_exit  (** The arm staying in the innermost loop wins (0.80). *)
+  | Loop_header  (** An arm entering a loop (its head) wins (0.75). *)
+  | Call  (** An arm whose target performs a call loses (0.78). *)
+  | Return  (** An arm whose target returns loses (0.72). *)
+  | Pointer_guard
+      (** An arm whose target is an indirect dispatch wins — the guard
+          in front of a pointer dispatch usually passes (0.60). *)
+  | Opcode_weight
+      (** The arm with the heavier target block wins — the straight-line
+          work proxy for the store/opcode content heuristics (0.55). *)
+  | Fallback_not_taken
+      (** No structural heuristic fired: forward branches fall through
+          (taken 0.45) — the standard not-taken fallback. *)
+
+val name : heuristic -> string
+(** Short stable identifier, e.g. ["loop-branch"]. *)
+
+val confidence : heuristic -> float
+(** The Wu–Larus table probability of the heuristic's preferred arm. *)
+
+val combine : float -> float -> float
+(** Dempster–Shafer evidence combination of two taken-probabilities:
+    [p*q / (p*q + (1-p)*(1-q))].  [combine 0.5 q = q]. *)
+
+type branch = {
+  br_block : Cfg.block_id;
+  br_taken : Cfg.block_id;
+  br_fallthrough : Cfg.block_id;
+  br_taken_prob : float;  (** Combined evidence, in (0, 1). *)
+  br_fired : heuristic list;  (** Heuristics that applied, fixed order. *)
+}
+
+type t
+
+val analyze : Procgraph.t -> Loops.t -> t
+(** Branch probabilities for the procedure of the graph.  The loop
+    analysis must come from the same procedure
+    ([Loops.analyze (Dominators.compute g)]). *)
+
+val proc_id : t -> Cfg.proc_id
+
+val branches : t -> branch list
+(** Every conditional branch of the procedure with distinct arms,
+    ascending by block.  A branch whose arms coincide is a single graph
+    edge of probability 1 and is not listed. *)
+
+val taken_prob : t -> Cfg.block_id -> float
+(** Taken-probability of a branch block ([1.0] when both arms coincide).
+    @raise Invalid_argument when the block is not a [Branch] of this
+    procedure. *)
+
+val succ_probs : t -> Cfg.block_id -> (Cfg.block_id * float) list
+(** Intra-procedural successor distribution of any block of the
+    procedure, over the deduplicated {!Procgraph} edges: branch arms by
+    {!taken_prob}, indirect targets uniform, jump/call-continuation 1.0,
+    return/exit empty.  Probabilities sum to 1 for every block with at
+    least one successor (property-tested to 1e-9). *)

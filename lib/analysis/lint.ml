@@ -2,6 +2,12 @@ open Hotpath_cfg
 
 let explosion_threshold = 1 lsl 20
 
+(* Beyond this nesting depth the per-loop frequency multipliers (each
+   up to [1 / (1 - Freq.cp_cap)] = 50x) compound past any useful
+   precision, so the estimate is flagged even though the closed form
+   still runs. *)
+let static_depth_threshold = 16
+
 let structural (p : Cfg.program) =
   let diags = ref [] in
   let add d = diags := d :: !diags in
@@ -129,7 +135,18 @@ let graph_passes ?(cap = Bounds.default_cap) (p : Cfg.program) =
             (Diag.warning ~code:"P110" ~loc:(Diag.Proc pid)
                "irreducible control flow (retreating edge %d -> %d without a \
                 dominating header)"
-               src dst));
+               src dst);
+          add
+            (Diag.warning ~code:"P113" ~loc:(Diag.Proc pid)
+               "static frequency estimation degraded: irreducible region \
+                forces the bounded iterative solver"));
+       if Loops.reducible loops && Loops.max_depth loops > static_depth_threshold
+       then
+         add
+           (Diag.warning ~code:"P113" ~loc:(Diag.Proc pid)
+              "static frequency estimation degraded: loop nesting depth %d \
+               exceeds %d, compounding the cyclic-probability cap"
+              (Loops.max_depth loops) static_depth_threshold);
        match Bounds.bl_paths ~cap p ~proc:pid with
        | Bounds.Overflow ->
          add

@@ -21,12 +21,20 @@
     - [P109] (warning) block unreachable from its procedure's entry
     - [P110] (warning) irreducible control flow
     - [P111] (warning) procedure is called but has no [Return] block
-    - [P112] (warning) Ball–Larus path-count explosion *)
+    - [P112] (warning) Ball–Larus path-count explosion
+    - [P113] (warning) static frequency estimation degraded (irreducible
+      region solved iteratively, or loop nesting beyond
+      {!static_depth_threshold} compounding the {!Freq.cp_cap}) *)
 
 open Hotpath_cfg
 
 val explosion_threshold : int
 (** [2{^20}] paths — above this a procedure draws [P112]. *)
+
+val static_depth_threshold : int
+(** [16] — loop nesting deeper than this draws [P113] even when
+    reducible: each level multiplies frequencies by up to
+    [1 / (1 - Freq.cp_cap)], so the estimate loses meaning. *)
 
 val check_program : ?cap:int -> Cfg.program -> Diag.t list
 (** All diagnostics, structural first.  Graph passes run only when no

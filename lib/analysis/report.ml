@@ -61,6 +61,35 @@ let render ?cap p =
    | None ->
      Buffer.add_string buf
        "NET/B-L counter ratio (static): ~0% (path count overflows the cap)\n");
+  let freq = Freq.cached p in
+  let heads = Freq.ranked_heads freq in
+  let total = List.fold_left (fun acc (_, f) -> acc +. f) 0.0 heads in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "static frequency estimate: %d heads ranked, total head flow %s%s%s\n"
+       (List.length heads)
+       (Tablefmt.cell_float ~digits:1 total)
+       (match Freq.degraded_procs freq with
+        | [] -> ""
+        | ps -> Printf.sprintf ", %d degraded procs (P113)" (List.length ps))
+       (if Freq.recursion_capped freq then ", recursion-capped invocations"
+        else ""));
+  let ks = Kselect.cached p in
+  let kdist = Hashtbl.create 4 in
+  List.iter
+    (fun (c : Kselect.choice) ->
+       Hashtbl.replace kdist c.Kselect.k
+         (1 + Option.value ~default:0 (Hashtbl.find_opt kdist c.Kselect.k)))
+    (Kselect.choices ks);
+  Buffer.add_string buf
+    (Printf.sprintf "kauto window selection: %s\n"
+       (if Kselect.choices ks = [] then "no loop heads"
+        else
+          String.concat ", "
+            (List.map
+               (fun (k, n) -> Printf.sprintf "k=%d x%d" k n)
+               (List.sort compare
+                  (Hashtbl.fold (fun k n acc -> (k, n) :: acc) kdist [])))));
   Buffer.contents buf
 
 let render_csv ?cap p = Tablefmt.render_csv (build_table ?cap p)

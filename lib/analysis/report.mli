@@ -1,6 +1,7 @@
 (** Human-readable rendering of the static analyses: one row per
     procedure (blocks, branches, loops, nesting, reducibility,
-    Ball–Larus paths) plus the program-level counter-space summary. *)
+    Ball–Larus paths) plus the program-level counter-space summary, the
+    {!Freq} head-flow estimate, and the {!Kselect} window distribution. *)
 
 open Hotpath_cfg
 

@@ -37,6 +37,24 @@ let net_costs (c : Cost_model.t) =
          +. (float_of_int n_instrs *. c.Cost_model.optimize_cycles_per_instr));
   }
 
+let static_costs (c : Cost_model.t) =
+  {
+    per_instance = (fun ~n_branches ~arrival ->
+        ignore n_branches;
+        ignore arrival;
+        0.0);
+    per_prediction =
+      (fun ~n_blocks ~n_instrs ->
+         (float_of_int n_blocks *. c.Cost_model.collection_cycles_per_block)
+         +. (float_of_int n_instrs *. c.Cost_model.optimize_cycles_per_instr));
+  }
+
+let costs_for ~scheme c =
+  if String.starts_with ~prefix:"path-profile" scheme then
+    path_profile_costs c
+  else if scheme = "static" then static_costs c
+  else net_costs c
+
 type flush_policy = { fp_window : int; fp_factor : float; fp_min : int }
 
 let default_flush_policy = { fp_window = 4096; fp_factor = 2.5; fp_min = 24 }

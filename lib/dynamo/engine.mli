@@ -41,6 +41,16 @@ val net_costs : Cost_model.t -> scheme_costs
 (** One counter bump per loop-head arrival; breakpoint-based tail
     collection plus optimization at prediction. *)
 
+val static_costs : Cost_model.t -> scheme_costs
+(** Zero recurring profiling cycles (the estimate was paid at compile
+    time); materializing a prediction still costs NET's breakpoint
+    collection plus optimization. *)
+
+val costs_for : scheme:string -> Cost_model.t -> scheme_costs
+(** Cost family by scheme name: [path-profile*] bit-tracing costs,
+    ["static"] {!static_costs}, anything else (the NET family and its
+    k-window variants) {!net_costs}. *)
+
 type flush_policy = {
   fp_window : int;  (** Window length, in path instances. *)
   fp_factor : float;

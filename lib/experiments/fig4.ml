@@ -13,6 +13,9 @@ type row = {
   net_k2_counters : int;
   path_profile_k2_counters : int;
   k2_ratio : float;
+  static_bound : int;
+      (** Full static head set — the counter ceiling NET can never
+          exceed, and the static scheme's (counter-free) universe. *)
   paper_ratio : float;
 }
 
@@ -50,6 +53,10 @@ let compute ?scale ?(delay = 50) ?(jobs = 1) () =
         net_k2_counters = net_k2;
         path_profile_k2_counters = pp_k2;
         k2_ratio = Stats.ratio (float_of_int net_k2) (float_of_int pp_k2);
+        static_bound =
+          Hotpath_analysis.Bounds.(
+            full_head_count
+              (static_heads run.Runs.recorded.Hotpath_trace.Recorder.program));
         paper_ratio =
           Stats.ratio
             (float_of_int paper.Suite.pr_unique_heads)
@@ -78,6 +85,7 @@ let to_table rows =
           ("NET-k2 counters", Tablefmt.Right);
           ("PP-k2 counters", Tablefmt.Right);
           ("k2 ratio", Tablefmt.Right);
+          ("static bound", Tablefmt.Right);
           ("paper ratio", Tablefmt.Right);
         ]
   in
@@ -92,6 +100,7 @@ let to_table rows =
            Tablefmt.cell_int r.net_k2_counters;
            Tablefmt.cell_int r.path_profile_k2_counters;
            Tablefmt.cell_float ~digits:3 r.k2_ratio;
+           Tablefmt.cell_int r.static_bound;
            Tablefmt.cell_float ~digits:3 r.paper_ratio;
          ])
     rows;
@@ -105,6 +114,7 @@ let to_table rows =
       Tablefmt.cell_float ~digits:3 (average_ratio rows);
       ""; "";
       Tablefmt.cell_float ~digits:3 (average_k2_ratio rows);
+      "";
       Tablefmt.cell_float ~digits:3 paper_avg;
     ];
   t

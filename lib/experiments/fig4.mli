@@ -19,6 +19,10 @@ type row = {
       (** net-k2 / path-profile-k2 — the same trade-off on the
           2-iteration path space, where the path-profile side pays for
           every distinct window. *)
+  static_bound : int;
+      (** Full static head set — the counter ceiling NET can never
+          exceed; the static scheme itself allocates zero counters over
+          this universe. *)
   paper_ratio : float;  (** Table 2's unique-heads / paths. *)
 }
 

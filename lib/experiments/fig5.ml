@@ -12,12 +12,26 @@ type row = { name : string; cells : (string * int * cell) list }
 
 let delays = [ 10; 50; 100 ]
 
+(* Cost models come from [Engine.costs_for], so each column charges what
+   its scheme actually does: net/net-k2 pay per-arrival counter work,
+   path-profile pays per-branch, static pays nothing until collection.
+   The net-k2 column answers the fig5-k question — does k2's better
+   tau-50 hit rate survive Dynamo cost accounting? — and the static
+   column prices the zero-profiling floor. *)
 let schemes : (string * Scheme.packed * (Cost_model.t -> Engine.scheme_costs)) list =
   [
-    ("net", (module Hotpath_prediction.Net : Scheme.S), Engine.net_costs);
+    ( "net",
+      (module Hotpath_prediction.Net : Scheme.S),
+      Engine.costs_for ~scheme:"net" );
     ( "path-profile",
       (module Hotpath_prediction.Path_profile : Scheme.S),
-      Engine.path_profile_costs );
+      Engine.costs_for ~scheme:"path-profile" );
+    ( "net-k2",
+      Hotpath_prediction.Net_k.make 2,
+      Engine.costs_for ~scheme:"net-k2" );
+    ( "static",
+      (module Hotpath_prediction.Static : Scheme.S),
+      Engine.costs_for ~scheme:"static" );
   ]
 
 let scheme_cells ~cost (run : Runs.run) (scheme_name, scheme, costs_of) =

@@ -10,7 +10,12 @@
     average and peaking at delay 50 (the paper reports ≈ +15%; at scaled
     flow this reproduction measures ≈ +8%); path-profile-based prediction
     negative on average at every delay, profitable only on the most
-    dominant program. *)
+    dominant program.
+
+    Two extra columns beyond the paper: net-k2 (does the k-iteration
+    scheme's better tau-50 hit rate survive Dynamo cost accounting?) and
+    static (the zero-profiling floor — no counter or profiling charges,
+    but predictions come from the Wu–Larus estimate alone). *)
 
 type cell = { speedup_pct : float; bailed : bool }
 

@@ -8,11 +8,14 @@ module Pool = Hotpath_util.Pool
 (* The paper's two schemes plus the k-iteration families at k = 2 and 3
    (ROADMAP item 4): the same sweep on a strictly richer path space, so
    the summary answers whether "less is more" survives paths that cross
-   loop boundaries. *)
+   loop boundaries.  The static series is the zero-profiling floor: no
+   counters, no delay sensitivity — predictions come straight from the
+   Wu–Larus estimate, so its curve is flat in tau. *)
 let schemes : (string * Scheme.packed) list =
   [
     ("path-profile", (module Hotpath_prediction.Path_profile : Scheme.S));
     ("net", (module Hotpath_prediction.Net : Scheme.S));
+    ("static", (module Hotpath_prediction.Static : Scheme.S));
     ("path-profile-k2", Hotpath_prediction.Path_profile_k.make 2);
     ("path-profile-k3", Hotpath_prediction.Path_profile_k.make 3);
     ("net-k2", Hotpath_prediction.Net_k.make 2);

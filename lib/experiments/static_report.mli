@@ -1,0 +1,41 @@
+(** Estimated-vs-measured hot-head comparison — the "how much do you
+    keep with zero profiling?" table behind [hotpath static].
+
+    For each benchmark, the static {!Hotpath_analysis.Freq} estimate
+    ranks the full head set; the recorded trace's backward-arrival
+    counts rank the same set dynamically (unvisited heads count zero).
+    The row reports Spearman rank correlation (tie-averaged) over the
+    heads the trace actually visited — the full set would drown the
+    statistic in never-visited zero ties — and top-10/top-50 overlap
+    between the two full-set rankings. *)
+
+module Suite = Hotpath_workloads.Suite
+
+type row = {
+  sr_bench : string;
+  sr_heads : int;  (** Static full head set size. *)
+  sr_observed : int;  (** Heads the trace actually arrived at. *)
+  sr_armed : int;  (** Statically-hot heads (0.1% estimated share). *)
+  sr_spearman : float;
+  sr_top10_pct : float;  (** Top-10 overlap, percent. *)
+  sr_top50_pct : float;  (** Top-50 overlap, percent. *)
+  sr_degraded : int;  (** Procedures flagged P113-degraded. *)
+}
+
+val compute_row : ?scale:float -> Suite.benchmark -> row
+
+val compute : ?scale:float -> ?jobs:int -> unit -> row list
+(** All nine benchmarks, Table 1 order; recordings come from the shared
+    {!Runs} cache. *)
+
+val to_table : row list -> Hotpath_util.Tablefmt.t
+
+val render : ?scale:float -> ?jobs:int -> unit -> string
+(** Summary table plus the mean correlation/overlap line. *)
+
+val render_csv : ?scale:float -> ?jobs:int -> unit -> string
+
+val render_bench : ?scale:float -> ?top:int -> Suite.benchmark -> string
+(** Per-benchmark drill-down: the [top] (default 12) measured heads
+    with estimated frequency and both ranks, the per-head kauto window
+    selection, and the benchmark's summary line. *)

@@ -1,0 +1,11 @@
+(** [net-kauto] — NET with the k-iteration collection window sized per
+    loop head by the static {!Hotpath_analysis.Kselect} analysis.
+
+    Identical to [net-k<k>] mechanics, but each trip reads its window
+    length from the tripping head's statically-selected k: deep
+    low-branching loops collect multi-iteration regions, branchy or
+    short-lived loops stay at k = 1.  On a program whose every head
+    selects k = 1 the scheme is observation-for-observation identical
+    to {!Net} (property-tested). *)
+
+include Scheme.S

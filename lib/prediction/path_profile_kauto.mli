@@ -1,0 +1,11 @@
+(** [path-profile-kauto] — k-iteration path profiling with the window
+    depth chosen per loop head by {!Hotpath_analysis.Kselect}.
+
+    Windows are interned directly (newest instance first) rather than
+    via the fixed-k {!Hotpath_trace.Kpath} trie, so counter space is
+    exactly the number of live window counters.  On a program whose
+    every head selects k = 1 the scheme keeps the same counters,
+    predictions, and profiling ops as {!Path_profile}
+    (property-tested). *)
+
+include Scheme.S

@@ -10,11 +10,18 @@ let base : (string * Scheme.packed) list =
     ("net-once", (module Net.Net_once));
     ("let", (module Net.Last_executed_tail));
     ("path-profile", (module Path_profile));
+    ("static", (module Static));
+    (* The kauto names live in [base], which [of_name] consults before
+       the "-k<k>" family parse — and the family's canonical-decimal
+       rule would reject "auto" anyway. *)
+    ("net-kauto", (module Net_kauto));
+    ("path-profile-kauto", (module Path_profile_kauto));
   ]
 
 let base_names = List.map fst base
 
-let help = "net|net-once|let|path-profile|net-k<k>|path-profile-k<k>"
+let help =
+  "net|net-once|let|path-profile|static|net-k<k>|net-kauto|path-profile-k<k>|path-profile-kauto"
 
 (* Canonical decimal only: [int_of_string_opt] alone would admit
    "0x2", "007", "+2" — names must round-trip. *)

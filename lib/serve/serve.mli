@@ -9,8 +9,9 @@
     {v HPSERVE1 <tenant> <scheme> <d1,d2,...>\n v}
 
     (scheme per the {!Hotpath_prediction.Schemes} grammar —
-    [net|net-once|let|path-profile|net-k<k>|path-profile-k<k>], [k] a
-    canonical decimal in [\[1, 32\]]; delays positive integers), then
+    [net|net-once|let|path-profile|static|net-k<k>|net-kauto|path-profile-k<k>|path-profile-kauto],
+    [k] a canonical decimal in [\[1, 32\]]; delays positive integers),
+    then
     streams a raw HOTPATH3 trace — exactly the bytes
     {!Hotpath_trace.Serialize.Stream} writes — in arbitrarily sized
     pieces, half-closes its send side, and reads the reply to EOF.  The

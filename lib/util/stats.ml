@@ -56,3 +56,42 @@ let pct part whole = if whole = 0.0 then 0.0 else 100.0 *. part /. whole
 let round_to digits x =
   let f = 10.0 ** float_of_int digits in
   Float.round (x *. f) /. f
+
+(* Fractional (average) ranks, 1-based: tied values share the mean of
+   the positions they span. *)
+let ranks xs =
+  let n = Array.length xs in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare xs.(a) xs.(b)) order;
+  let r = Array.make n 0.0 in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && xs.(order.(!j + 1)) = xs.(order.(!i)) do
+      incr j
+    done;
+    let avg = float_of_int (!i + !j + 2) /. 2.0 in
+    for k = !i to !j do
+      r.(order.(k)) <- avg
+    done;
+    i := !j + 1
+  done;
+  r
+
+let spearman xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Stats.spearman: length mismatch";
+  if n < 2 then 0.0
+  else begin
+    let rx = ranks xs and ry = ranks ys in
+    let mx = mean rx and my = mean ry in
+    let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
+    for i = 0 to n - 1 do
+      let dx = rx.(i) -. mx and dy = ry.(i) -. my in
+      sxy := !sxy +. (dx *. dy);
+      sxx := !sxx +. (dx *. dx);
+      syy := !syy +. (dy *. dy)
+    done;
+    if !sxx = 0.0 || !syy = 0.0 then 0.0
+    else !sxy /. sqrt (!sxx *. !syy)
+  end

@@ -31,3 +31,12 @@ val pct : float -> float -> float
 
 val round_to : int -> float -> float
 (** [round_to digits x] rounds to [digits] decimal places. *)
+
+val ranks : float array -> float array
+(** Fractional ranks, 1-based: tied values share the average of the
+    positions they span (the tie convention of rank correlation). *)
+
+val spearman : float array -> float array -> float
+(** Spearman rank correlation with tie-averaged ranks (Pearson on
+    {!ranks}); [0.] for fewer than two samples or a constant side.
+    @raise Invalid_argument on a length mismatch. *)

@@ -125,6 +125,12 @@ let test_fig2_hit_declines () =
        | Some s ->
          let hits = List.map (fun p -> p.Sweep.hit_rate) s.Figures23.s_points in
          (match (hits, List.rev hits) with
+          | first :: _, last :: _ when scheme = "static" ->
+            (* The zero-profiling scheme never reacts to tau: flat. *)
+            Alcotest.(check bool)
+              (Printf.sprintf "static: %.1f == %.1f (delay-inert)" first last)
+              true
+              (Float.abs (first -. last) < 1e-9)
           | first :: _, last :: _ ->
             Alcotest.(check bool)
               (Printf.sprintf "%s: %.1f -> %.1f declines" scheme first last)
@@ -140,6 +146,13 @@ let test_fig3_noise_declines () =
        | None -> Alcotest.fail "missing gcc"
        | Some s ->
          (match s.Figures23.s_points with
+          | p2 :: _ when scheme = "static" ->
+            let last = List.nth s.Figures23.s_points 3 in
+            Alcotest.(check bool)
+              (Printf.sprintf "static gcc noise %.1f == %.1f (delay-inert)"
+                 p2.Sweep.noise_rate last.Sweep.noise_rate)
+              true
+              (Float.abs (p2.Sweep.noise_rate -. last.Sweep.noise_rate) < 1e-9)
           | p2 :: _ ->
             let last = List.nth s.Figures23.s_points 3 in
             Alcotest.(check bool)
